@@ -1,0 +1,96 @@
+// Ablation study of the design choices DESIGN.md §3.6 documents on top
+// of the paper's equations. Each row disables exactly one mechanism on
+// Synthetic-64 and reports the accuracy impact:
+//
+//  - threshold offset: Eq. 2's clipping window initialized pass-through
+//    (offset 3) vs literally (offset 0, window collapses onto the
+//    normal band);
+//  - bias correction: counterfactual SLO test scaled by the model's
+//    per-trace reconstruction bias vs raw predictions;
+//  - anomalies in training: ~15% of the (unlabeled) training corpus
+//    simulated under chaos plans vs purely fault-free traffic;
+//  - GIN vs GCN aggregation (the paper's own ablation).
+
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+
+namespace {
+
+eval::SleuthAdapter::Config
+baseConfig()
+{
+    eval::SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 10;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: Sleuth design choices on Synthetic-64\n\n");
+
+    eval::ExperimentParams params;
+    params.trainTraces = 400;
+    params.numQueries = 50;
+    params.seed = 19;
+    eval::ExperimentData data = eval::prepareExperiment(
+        eval::makeApp(eval::BenchmarkApp::Syn64, 7), params);
+
+    eval::ExperimentParams clean_params = params;
+    clean_params.faultyTrainFraction = 0.0;
+    eval::ExperimentData clean = eval::prepareExperiment(
+        eval::makeApp(eval::BenchmarkApp::Syn64, 7), clean_params);
+
+    util::Table table({"variant", "F1", "ACC"});
+    auto run = [&](const std::string &label,
+                   eval::SleuthAdapter::Config cfg,
+                   const eval::ExperimentData &train_data) {
+        eval::SleuthAdapter adapter(cfg);
+        adapter.fit(train_data.trainCorpus);
+        // Queries always come from the standard experiment so every
+        // variant answers the same questions.
+        eval::Scores s = eval::evaluateFitted(adapter, data);
+        table.addRow({label, util::formatDouble(s.f1, 2),
+                      util::formatDouble(s.acc, 2)});
+        std::fprintf(stderr, "  %s: F1=%.2f ACC=%.2f\n", label.c_str(),
+                     s.f1, s.acc);
+    };
+
+    run("full design", baseConfig(), data);
+
+    {
+        eval::SleuthAdapter::Config cfg = baseConfig();
+        cfg.gnn.thresholdOffset = 0.0;
+        run("no threshold offset (literal Eq. 2 window)", cfg, data);
+    }
+    {
+        eval::SleuthAdapter::Config cfg = baseConfig();
+        cfg.rca.biasCorrection = false;
+        run("no bias correction", cfg, data);
+    }
+    run("fault-free training corpus", baseConfig(), clean);
+    {
+        eval::SleuthAdapter::Config cfg = baseConfig();
+        cfg.gnn.aggregator = core::Aggregator::Gcn;
+        run("gcn aggregation", cfg, data);
+    }
+
+    table.print();
+    std::printf(
+        "\nThe literal Eq. 2 window saturates counterfactuals and the"
+        "\nuncorrected SLO test misjudges marginal traces. With the"
+        " pass-through\nwindow in place a fault-free corpus is"
+        " survivable at this scale; at\nSynthetic-256+ the anomalous"
+        " training slice becomes load-bearing too\n(see"
+        " EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+// Reproduces paper Figure 5: (a) training time and (b) inference time
+// of Sleuth-GIN, Sleuth-GCN, and Sage as the microservice application
+// scales, plus the clustering speedup on inference and the model-size
+// comparison the paper attributes the difference to.
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/sage.h"
+#include "eval/harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "Figure 5: training / inference time scaling (seconds) and"
+        " model size\n(batch of %d anomalous traces per inference"
+        " measurement)\n\n",
+        60);
+
+    util::Table table({"benchmark", "algo", "train s", "infer s",
+                       "model params"});
+    util::Table speedup({"benchmark", "rca calls (no clustering)",
+                         "rca calls (clustered)", "inference speedup"});
+
+    for (eval::BenchmarkApp b :
+         {eval::BenchmarkApp::Syn16, eval::BenchmarkApp::Syn64,
+          eval::BenchmarkApp::Syn256, eval::BenchmarkApp::Syn1024}) {
+        eval::ExperimentParams params;
+        params.trainTraces = 200;
+        params.numQueries = 60;
+        params.seed = 13;
+        eval::ExperimentData data =
+            eval::prepareExperiment(eval::makeApp(b, 7), params);
+        std::string bench = toString(b);
+
+        // --- Sleuth-GIN / Sleuth-GCN. ---
+        for (core::Aggregator agg :
+             {core::Aggregator::Gin, core::Aggregator::Gcn}) {
+            eval::SleuthAdapter::Config cfg;
+            cfg.gnn.embedDim = 8;
+            cfg.gnn.hidden = 16;
+            cfg.gnn.aggregator = agg;
+            cfg.train.epochs = 6;
+            eval::SleuthAdapter sleuth(cfg);
+
+            Clock::time_point t0 = Clock::now();
+            sleuth.fit(data.trainCorpus);
+            double train_s = secondsSince(t0);
+
+            t0 = Clock::now();
+            for (const eval::AnomalyQuery &q : data.queries)
+                sleuth.locate(q.trace, q.sloUs);
+            double infer_s = secondsSince(t0);
+
+            table.addRow({bench, sleuth.name(),
+                          util::formatDouble(train_s, 2),
+                          util::formatDouble(infer_s, 2),
+                          std::to_string(
+                              sleuth.model().parameterCount())});
+
+            if (agg == core::Aggregator::Gin) {
+                // Clustering speedup on inference (Fig. 5b inset).
+                core::PipelineConfig pc;
+                pc.hdbscan = {.minClusterSize = 5, .minSamples = 3,
+                              .clusterSelectionEpsilon = 0.05};
+                size_t clustered_calls = 0;
+                Clock::time_point t1 = Clock::now();
+                eval::evaluatePipeline(sleuth, data, pc, nullptr,
+                                       &clustered_calls);
+                double clustered_s = secondsSince(t1);
+                speedup.addRow(
+                    {bench, std::to_string(data.queries.size()),
+                     std::to_string(clustered_calls),
+                     util::formatDouble(
+                         infer_s / std::max(clustered_s, 1e-9), 1)});
+            }
+        }
+
+        // --- Sage: one model per operation. ---
+        baselines::SageRca::Config sage_cfg;
+        sage_cfg.epochs = 20;
+        baselines::SageRca sage(sage_cfg);
+        Clock::time_point t0 = Clock::now();
+        sage.fit(data.trainCorpus);
+        double train_s = secondsSince(t0);
+        t0 = Clock::now();
+        for (const eval::AnomalyQuery &q : data.queries)
+            sage.locate(q.trace, q.sloUs);
+        double infer_s = secondsSince(t0);
+        table.addRow({bench, "sage", util::formatDouble(train_s, 2),
+                      util::formatDouble(infer_s, 2),
+                      std::to_string(sage.parameterCount())});
+    }
+
+    // Paper §3.1 efficiency claim: an RCA query over a thousand-span
+    // trace completes in under one second on a CPU.
+    {
+        eval::ExperimentParams params;
+        params.trainTraces = 150;
+        params.numQueries = 10;
+        params.seed = 23;
+        eval::ExperimentData data = eval::prepareExperiment(
+            eval::makeApp(eval::BenchmarkApp::Syn1024, 7), params);
+        eval::SleuthAdapter::Config cfg;
+        cfg.gnn.embedDim = 8;
+        cfg.gnn.hidden = 16;
+        cfg.train.epochs = 4;
+        eval::SleuthAdapter sleuth(cfg);
+        sleuth.fit(data.trainCorpus);
+        size_t max_spans = 0;
+        Clock::time_point t0 = Clock::now();
+        for (const eval::AnomalyQuery &q : data.queries) {
+            sleuth.locate(q.trace, q.sloUs);
+            max_spans = std::max(max_spans, q.trace.spans.size());
+        }
+        double per_query = secondsSince(t0) /
+                           static_cast<double>(data.queries.size());
+        std::printf("\nRCA query latency (largest trace %zu spans):"
+                    " %.3f s/query %s\n",
+                    max_spans, per_query,
+                    per_query < 1.0 ? "(< 1 s: paper efficiency claim"
+                                      " holds)"
+                                    : "(>= 1 s)");
+    }
+
+    table.print();
+    std::printf("\nClustering speedup (Fig. 5b):\n\n");
+    speedup.print();
+    std::printf(
+        "\nExpected shape (paper Fig. 5): Sleuth's parameter count is"
+        " constant\nacross scales while Sage's grows ~linearly with the"
+        " application, so\nSage's training/inference time grows much"
+        " faster; clustering speeds\nup inference more on larger"
+        " applications.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+// Reproduces paper Figure 6: real-time detection accuracy of Sleuth vs
+// Sage while the microservice application receives rolling updates:
+//   A: one level-3 service's processing time grows 10x
+//   B: that service is removed
+//   C: a new service is added on level 2
+//   D: three 3-service chains are added mid-graph
+// After each update both models retrain as data streams in; Sleuth
+// warm-starts (its architecture is topology-independent) while Sage
+// must rebuild per-operation models from scratch.
+//
+// Scale note: the paper runs this on Synthetic-1024; we use
+// Synthetic-64 so every retraining round stays in the same wall-clock
+// budget (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <set>
+
+#include "baselines/sage.h"
+#include "eval/harness.h"
+#include "synth/mutate.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+
+namespace {
+
+struct RoundData
+{
+    std::vector<trace::Trace> corpus;
+    eval::ExperimentData data;  // queries for evaluation
+};
+
+eval::ExperimentData
+freshData(const synth::AppConfig &app, size_t train, size_t queries,
+          uint64_t seed)
+{
+    eval::ExperimentParams params;
+    params.trainTraces = train;
+    params.numQueries = queries;
+    params.seed = seed;
+    return eval::prepareExperiment(app, params);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "Figure 6: detection F1 under service updates (A-D), per"
+        " retraining round\n\n");
+
+    synth::AppConfig app = eval::makeApp(eval::BenchmarkApp::Syn64, 7);
+    util::Rng rng(41);
+
+    // Initial steady state: both models fully trained.
+    eval::ExperimentData init = freshData(app, 300, 40, 50);
+    eval::SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 10;
+    eval::SleuthAdapter sleuth(cfg);
+    sleuth.fit(init.trainCorpus);
+    baselines::SageRca::Config sage_cfg;
+    sage_cfg.epochs = 30;
+    baselines::SageRca sage(sage_cfg);
+    sage.fit(init.trainCorpus);
+
+    util::Table table({"update", "round", "sleuth F1", "sage F1"});
+    {
+        eval::Scores s0 = eval::evaluateFitted(sleuth, init);
+        eval::Scores g0 = eval::evaluateFitted(sage, init);
+        table.addRow({"initial", "-", util::formatDouble(s0.f1, 2),
+                      util::formatDouble(g0.f1, 2)});
+    }
+
+    // Victim: a mid-graph service that roots no flow (so update B can
+    // remove it without deleting an operation flow).
+    int victim = -1;
+    {
+        std::set<int> root_services;
+        for (const synth::FlowConfig &f : app.flows)
+            root_services.insert(
+                app.rpcs[static_cast<size_t>(
+                             f.nodes[static_cast<size_t>(f.root)]
+                                 .rpcId)]
+                    .serviceId);
+        // First middleware service that roots no flow.
+        for (const synth::ServiceConfig &s : app.services) {
+            if (s.tier == synth::Tier::Middleware &&
+                !root_services.count(s.id)) {
+                victim = s.id;
+                break;
+            }
+        }
+    }
+    SLEUTH_ASSERT(victim >= 0, "no removable mid-graph service");
+    const char *updates = "ABCD";
+    for (int u = 0; u < 4; ++u) {
+        switch (updates[u]) {
+          case 'A':
+            synth::scaleServiceLatency(app, victim, 10.0);
+            break;
+          case 'B':
+            synth::removeService(app, victim);
+            break;
+          case 'C':
+            synth::addServiceAtDepth(app, 2, "rollout-svc", rng);
+            break;
+          case 'D':
+            synth::addServiceChains(app, 3, 3, rng);
+            break;
+        }
+
+        // Data streams in over retraining rounds (every "10 minutes").
+        eval::ExperimentData round_eval =
+            freshData(app, 120, 30, 60 + static_cast<uint64_t>(u));
+        std::vector<trace::Trace> accumulated;
+        for (int round = 0; round <= 2; ++round) {
+            if (round > 0) {
+                // A fresh batch of traces from the updated system.
+                eval::ExperimentData batch = freshData(
+                    app, 120, 1,
+                    100 + static_cast<uint64_t>(10 * u + round));
+                accumulated.insert(accumulated.end(),
+                                   batch.trainCorpus.begin(),
+                                   batch.trainCorpus.end());
+                // Sleuth fine-tunes from its current weights; Sage
+                // must retrain its per-operation inventory from
+                // scratch on whatever has streamed in so far.
+                sleuth.fineTune(sleuth.model(), accumulated, 3);
+                sage.fit(accumulated);
+            }
+            eval::Scores s = eval::evaluateFitted(sleuth, round_eval);
+            eval::Scores g = eval::evaluateFitted(sage, round_eval);
+            table.addRow({std::string(1, updates[u]),
+                          std::to_string(round),
+                          util::formatDouble(s.f1, 2),
+                          util::formatDouble(g.f1, 2)});
+            std::fprintf(stderr, "  update %c round %d: sleuth=%.2f"
+                         " sage=%.2f\n",
+                         updates[u], round, s.f1, g.f1);
+        }
+    }
+
+    table.print();
+    std::printf(
+        "\nExpected shape (paper Fig. 6): at round 0 after structural"
+        " updates\n(B, C, D) Sage drops sharply — its per-operation"
+        " models do not cover\nthe new topology — while Sleuth degrades"
+        " mildly and recovers within\na round or two of fine-tuning.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces paper Figure 8: sensitivity of pre-trained models to the
+// semantic information in span names. The test application is
+// duplicated into two isomorphic copies — one keeping its original
+// service/RPC names, one renamed from a disjoint vocabulary — and two
+// pre-trained models (single-source and diverse-corpus) are evaluated
+// on both, before and after fine-tuning.
+
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "synth/generator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+
+namespace {
+
+eval::SleuthAdapter::Config
+sleuthConfig()
+{
+    eval::SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 10;
+    return cfg;
+}
+
+core::SleuthGnn
+pretrain(const std::vector<trace::Trace> &corpus)
+{
+    eval::SleuthAdapter adapter(sleuthConfig());
+    adapter.fit(corpus);
+    return core::SleuthGnn::fromJson(adapter.model().save());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "Figure 8: accuracy with original vs randomized span names\n\n");
+
+    // Target application in two isomorphic copies: same seed (same
+    // topology, kernels, faults), disjoint name vocabularies.
+    synth::GeneratorParams gp = synth::syntheticParams(64, 23);
+    synth::AppConfig original = synth::generateApp(gp);
+    gp.vocabulary = 3;
+    synth::AppConfig renamed = synth::generateApp(gp);
+
+    eval::ExperimentParams params;
+    params.trainTraces = 400;
+    params.numQueries = 40;
+    params.seed = 31;
+    eval::ExperimentData data_orig =
+        eval::prepareExperiment(original, params);
+    eval::ExperimentData data_renamed =
+        eval::prepareExperiment(renamed, params);
+
+    // Pre-trained models: single source shares the original's
+    // vocabulary; the diverse corpus mixes topologies and vocabularies.
+    eval::ExperimentParams src;
+    src.trainTraces = 400;
+    src.numQueries = 1;
+    src.seed = 37;
+    eval::ExperimentData syn64 = eval::prepareExperiment(
+        synth::generateApp(synth::syntheticParams(64, 29)), src);
+    core::SleuthGnn pre_single = pretrain(syn64.trainCorpus);
+
+    std::vector<trace::Trace> diverse;
+    {
+        auto add_app = [&](synth::AppConfig app, uint64_t seed) {
+            sim::ClusterModel cluster(app, 50, seed);
+            sim::Simulator s(app, cluster, {.seed = seed});
+            for (int i = 0; i < 150; ++i)
+                diverse.push_back(s.simulateOne().trace);
+        };
+        add_app(eval::makeApp(eval::BenchmarkApp::SockShop), 5);
+        synth::GeneratorParams dgp = synth::syntheticParams(64, 41);
+        dgp.vocabulary = 1;
+        add_app(synth::generateApp(dgp), 6);
+        dgp = synth::syntheticParams(128, 43);
+        dgp.vocabulary = 2;
+        add_app(synth::generateApp(dgp), 7);
+    }
+    core::SleuthGnn pre_diverse = pretrain(diverse);
+
+    util::Table table({"model", "fine-tune", "names", "F1", "ACC"});
+    auto run = [&](const std::string &model_name,
+                   const core::SleuthGnn &pre, int epochs,
+                   const std::string &tune_label) {
+        for (bool use_renamed : {false, true}) {
+            eval::ExperimentData &data =
+                use_renamed ? data_renamed : data_orig;
+            eval::SleuthAdapter adapter(sleuthConfig());
+            // Profiles always come from the evaluated copy's traces
+            // (data engineering, not model training).
+            std::vector<trace::Trace> tune(
+                data.trainCorpus.begin(),
+                data.trainCorpus.begin() +
+                    (epochs > 0 ? 400 : 100));
+            adapter.fineTune(pre, tune, epochs);
+            eval::Scores s = eval::evaluateFitted(adapter, data);
+            table.addRow({model_name, tune_label,
+                          use_renamed ? "randomized" : "original",
+                          util::formatDouble(s.f1, 2),
+                          util::formatDouble(s.acc, 2)});
+            std::fprintf(stderr, "  %s %s %s: F1=%.2f\n",
+                         model_name.c_str(), tune_label.c_str(),
+                         use_renamed ? "randomized" : "original",
+                         s.f1);
+        }
+    };
+
+    run("pretrained (single source)", pre_single, 0, "zero-shot");
+    run("pretrained (diverse corpus)", pre_diverse, 0, "zero-shot");
+    run("pretrained (single source)", pre_single, 6, "fine-tuned");
+    run("pretrained (diverse corpus)", pre_diverse, 6, "fine-tuned");
+
+    table.print();
+    std::printf(
+        "\nExpected shape (paper Fig. 8): misleading names cost the"
+        " single-source\nmodel noticeably at zero-shot, much less for"
+        " the diverse model; after\nfine-tuning both copies score"
+        " similarly.\n");
+    return 0;
+}

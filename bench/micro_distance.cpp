@@ -1,0 +1,79 @@
+// Microbenchmark backing the complexity claim of §3.3.1: the weighted
+// Jaccard trace distance is O(m) per pair while the tree edit distance
+// grows superquadratically, which is why TED cannot be used to cluster
+// thousand-span traces. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "distance/trace_distance.h"
+#include "distance/tree_edit_distance.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+
+using namespace sleuth;
+
+namespace {
+
+/** Two traces with approximately `spans` spans each. */
+std::pair<trace::Trace, trace::Trace>
+tracePair(int spans)
+{
+    int rpcs = std::max(4, spans / 2);
+    synth::GeneratorParams gp = synth::syntheticParams(rpcs, 3);
+    static std::map<int, synth::AppConfig> apps;
+    if (!apps.count(rpcs))
+        apps.emplace(rpcs, synth::generateApp(gp));
+    const synth::AppConfig &app = apps.at(rpcs);
+    sim::ClusterModel cluster(app, 20, 1);
+    sim::Simulator sim(app, cluster,
+                       {.seed = static_cast<uint64_t>(spans)});
+    return {sim.simulateFlow(0).trace, sim.simulateFlow(0).trace};
+}
+
+void
+BM_JaccardDistance(benchmark::State &state)
+{
+    auto [a, b] = tracePair(static_cast<int>(state.range(0)));
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    trace::TraceGraph gb = trace::TraceGraph::build(b);
+    auto sa = distance::encodeSpanSet(a, ga);
+    auto sb = distance::encodeSpanSet(b, gb);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(distance::jaccardDistance(sa, sb));
+    state.SetLabel(std::to_string(a.spans.size()) + " spans");
+}
+
+void
+BM_JaccardEncodeAndDistance(benchmark::State &state)
+{
+    auto [a, b] = tracePair(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(distance::traceDistance(a, b));
+    state.SetLabel(std::to_string(a.spans.size()) + " spans");
+}
+
+void
+BM_TreeEditDistance(benchmark::State &state)
+{
+    auto [a, b] = tracePair(static_cast<int>(state.range(0)));
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    trace::TraceGraph gb = trace::TraceGraph::build(b);
+    auto ta = distance::traceToTree(a, ga);
+    auto tb = distance::traceToTree(b, gb);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(distance::treeEditDistance(ta, tb));
+    state.SetLabel(std::to_string(a.spans.size()) + " spans");
+}
+
+} // namespace
+
+BENCHMARK(BM_JaccardDistance)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_JaccardEncodeAndDistance)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048);
+// TED becomes impractical long before 2048 spans — the point of Eq. 1.
+BENCHMARK(BM_TreeEditDistance)->Arg(32)->Arg(128)->Arg(512);
+
+BENCHMARK_MAIN();

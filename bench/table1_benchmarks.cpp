@@ -1,0 +1,67 @@
+// Reproduces paper Table 1: specifications of the microservice
+// benchmarks — services, RPCs, max spans, max depth, max out-degree —
+// measured from simulated traces of each application.
+
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+
+int
+main()
+{
+    std::printf("Table 1: specifications of microservice benchmarks\n");
+    std::printf(
+        "(spans counted per trace; depth is span-tree depth, with the\n"
+        " call-graph depth shown alongside since each RPC contributes\n"
+        " a client+server span pair)\n\n");
+
+    util::Table table({"benchmark", "services", "rpcs", "max spans",
+                       "max span depth", "max call depth",
+                       "max out degree"});
+
+    util::Table paper({"benchmark", "paper services", "paper rpcs",
+                       "paper max spans", "paper max depth",
+                       "paper max out degree"});
+    paper.addRow({"SockShop", "11", "58", "57", "9", "11"});
+    paper.addRow({"SocialNet", "26", "61", "31", "9", "7"});
+    paper.addRow({"Synthetic-16", "4", "16", "30", "3", "4"});
+    paper.addRow({"Synthetic-64", "16", "64", "126", "7", "7"});
+    paper.addRow({"Synthetic-256", "64", "256", "510", "15", "14"});
+    paper.addRow({"Synthetic-1024", "256", "1024", "2046", "15", "24"});
+
+    for (eval::BenchmarkApp b :
+         {eval::BenchmarkApp::SockShop, eval::BenchmarkApp::SocialNet,
+          eval::BenchmarkApp::Syn16, eval::BenchmarkApp::Syn64,
+          eval::BenchmarkApp::Syn256, eval::BenchmarkApp::Syn1024}) {
+        synth::AppConfig app = eval::makeApp(b, 7);
+        sim::ClusterModel cluster(app, 100, 7);
+        sim::Simulator simulator(app, cluster, {.seed = 5});
+
+        // Sample the workload mix plus one trace of every flow so the
+        // maxima cover the largest operation.
+        std::vector<trace::Trace> traces;
+        for (size_t f = 0; f < app.flows.size(); ++f)
+            traces.push_back(
+                simulator.simulateFlow(static_cast<int>(f)).trace);
+        for (int i = 0; i < 200; ++i)
+            traces.push_back(simulator.simulateOne().trace);
+
+        trace::CorpusStats st = trace::summarize(traces);
+        int call_depth = (st.maxDepth + 1) / 2;
+        table.addRow({toString(b), std::to_string(app.services.size()),
+                      std::to_string(app.rpcs.size()),
+                      std::to_string(st.maxSpans),
+                      std::to_string(st.maxDepth),
+                      std::to_string(call_depth),
+                      std::to_string(st.maxOutDegree)});
+    }
+
+    table.print();
+    std::printf("\nPaper's Table 1 for comparison:\n\n");
+    paper.print();
+    return 0;
+}

@@ -1,0 +1,136 @@
+// Reproduces paper Table 3: F1 score and accuracy of every RCA
+// algorithm — and of Sleuth under different clustering metrics — on
+// five microservice benchmarks.
+
+#include <cstdio>
+
+#include "baselines/deeptralog.h"
+#include "baselines/realtime_rca.h"
+#include "baselines/sage.h"
+#include "baselines/simple_rules.h"
+#include "baselines/trace_anomaly.h"
+#include "eval/harness.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sleuth;
+
+namespace {
+
+std::string
+fmt(double v)
+{
+    return util::formatDouble(v, 2);
+}
+
+eval::SleuthAdapter::Config
+sleuthConfig(core::Aggregator agg)
+{
+    eval::SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.gnn.aggregator = agg;
+    cfg.train.epochs = 10;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "Table 3: F1 / ACC of RCA algorithms and Sleuth clustering"
+        " variants\n(training corpus and query counts scaled to the"
+        " simulator; see EXPERIMENTS.md)\n\n");
+
+    util::Table table({"benchmark", "algorithm", "F1", "ACC"});
+
+    for (eval::BenchmarkApp b :
+         {eval::BenchmarkApp::SockShop, eval::BenchmarkApp::SocialNet,
+          eval::BenchmarkApp::Syn64, eval::BenchmarkApp::Syn256,
+          eval::BenchmarkApp::Syn1024}) {
+        eval::ExperimentParams params;
+        params.trainTraces =
+            b == eval::BenchmarkApp::Syn1024 ? 300 : 400;
+        params.numQueries = 60;
+        params.seed = 11;
+        eval::ExperimentData data =
+            eval::prepareExperiment(eval::makeApp(b, 7), params);
+        std::string bench = toString(b);
+
+        auto row = [&](const std::string &algo, eval::Scores s) {
+            table.addRow({bench, algo, fmt(s.f1), fmt(s.acc)});
+            std::fprintf(stderr, "  [%s] %s: F1=%.2f ACC=%.2f\n",
+                         bench.c_str(), algo.c_str(), s.f1, s.acc);
+        };
+
+        baselines::MaxDurationRca max_rca;
+        row("max", eval::evaluateAlgorithm(max_rca, data));
+
+        baselines::ThresholdRca threshold(99.0);
+        row("threshold", eval::evaluateAlgorithm(threshold, data));
+
+        baselines::TraceAnomalyRca::Config ta_cfg;
+        ta_cfg.epochs = 30;
+        baselines::TraceAnomalyRca trace_anomaly(ta_cfg);
+        row("trace-anomaly",
+            eval::evaluateAlgorithm(trace_anomaly, data));
+
+        baselines::RealtimeRca realtime;
+        row("realtime-rca", eval::evaluateAlgorithm(realtime, data));
+
+        baselines::SageRca::Config sage_cfg;
+        sage_cfg.epochs = 30;
+        baselines::SageRca sage(sage_cfg);
+        row("sage", eval::evaluateAlgorithm(sage, data));
+
+        eval::SleuthAdapter gcn(sleuthConfig(core::Aggregator::Gcn));
+        row("sleuth-gcn", eval::evaluateAlgorithm(gcn, data));
+
+        eval::SleuthAdapter gin(sleuthConfig(core::Aggregator::Gin));
+        gin.fit(data.trainCorpus);
+        row("sleuth-gin (no clustering)", eval::evaluateFitted(gin, data));
+
+        // Clustered variants evaluate an incident storm — many traces
+        // per failure mode (paper §3.3) — with weighted-Jaccard vs
+        // DeepTraLog SVDD distances.
+        eval::ExperimentParams storm_params = params;
+        storm_params.queriesPerPlan = 10;
+        storm_params.numQueries = 60;
+        eval::ExperimentData storm = eval::prepareExperiment(
+            eval::makeApp(b, 7), storm_params);
+        row("sleuth-gin storm (no clustering)",
+            eval::evaluateFitted(gin, storm));
+
+        core::PipelineConfig pc;
+        pc.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                      .clusterSelectionEpsilon = 0.0};
+        row("sleuth-gin storm (jaccard clustering)",
+            eval::evaluatePipeline(gin, storm, pc));
+
+        baselines::DeepTraLogDistance::Config dt_cfg;
+        dt_cfg.epochs = 80;
+        baselines::DeepTraLogDistance deeptralog(dt_cfg);
+        deeptralog.fit(data.trainCorpus);
+        std::vector<const trace::Trace *> query_traces;
+        for (const eval::AnomalyQuery &q : storm.queries)
+            query_traces.push_back(&q.trace);
+        std::function<double(size_t, size_t)> dt_dist =
+            [&](size_t i, size_t j) {
+                return deeptralog.distance(*query_traces[i],
+                                           *query_traces[j]);
+            };
+        row("sleuth-gin storm (deeptralog clustering)",
+            eval::evaluatePipeline(gin, storm, pc, &dt_dist));
+    }
+
+    table.print();
+    std::printf(
+        "\nExpected shape (paper Table 3): counterfactual methods"
+        " (sleuth, sage)\nabove the rule/threshold baselines; sleuth-gin"
+        " best overall and most\nrobust at Synthetic-1024; Jaccard"
+        " clustering costs a few points vs no\nclustering; DeepTraLog"
+        " clustering collapses accuracy.\n");
+    return 0;
+}

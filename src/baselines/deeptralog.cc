@@ -1,0 +1,55 @@
+#include "deeptralog.h"
+
+#include <cmath>
+
+namespace sleuth::baselines {
+
+DeepTraLogDistance::DeepTraLogDistance(Config config)
+    : config_(config), encoder_(config.embedDim),
+      rng_(config.seed ^ 0xd77au)
+{
+}
+
+std::vector<double>
+DeepTraLogDistance::traceVector(const trace::Trace &trace)
+{
+    core::TraceBatch batch = encoder_.encode(trace);
+    size_t dim = batch.featureDim();
+    std::vector<double> pooled(dim, 0.0);
+    for (size_t r = 0; r < batch.numNodes; ++r)
+        for (size_t c = 0; c < dim; ++c)
+            pooled[c] += batch.x.at(r, c);
+    for (double &v : pooled)
+        v /= static_cast<double>(std::max<size_t>(1, batch.numNodes));
+    return pooled;
+}
+
+void
+DeepTraLogDistance::fit(const std::vector<trace::Trace> &corpus)
+{
+    SLEUTH_ASSERT(!corpus.empty());
+    std::vector<std::vector<double>> xs;
+    xs.reserve(corpus.size());
+    for (const trace::Trace &t : corpus)
+        xs.push_back(traceVector(t));
+    svdd_ = std::make_unique<cluster::DeepSvdd>(
+        encoder_.featureDim(), config_.svddDim, rng_);
+    svdd_->train(xs, config_.epochs, config_.learningRate);
+}
+
+double
+DeepTraLogDistance::distance(const trace::Trace &a,
+                             const trace::Trace &b)
+{
+    SLEUTH_ASSERT(svdd_, "deeptralog not fitted");
+    return svdd_->embeddingDistance(traceVector(a), traceVector(b));
+}
+
+double
+DeepTraLogDistance::distanceToCenter(const trace::Trace &t)
+{
+    SLEUTH_ASSERT(svdd_, "deeptralog not fitted");
+    return std::sqrt(svdd_->squaredDistanceToCenter(traceVector(t)));
+}
+
+} // namespace sleuth::baselines

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * DeepTraLog baseline (Zhang et al., ICSE'22; paper §6.1.2 / §6.2).
+ *
+ * DeepTraLog learns a graph embedding of each trace with a gated GNN
+ * and encloses normal embeddings in a minimum hypersphere (deep SVDD);
+ * the Euclidean distance between two traces' embeddings acts as a
+ * trace distance. The paper shows that clustering anomalous traces
+ * with this distance collapses traces with *different* root causes
+ * into one cluster (they all sit near the hypersphere center), hurting
+ * clustered RCA — our benches reproduce that comparison against the
+ * weighted-Jaccard metric.
+ */
+
+#include "cluster/svdd.h"
+#include "core/features.h"
+
+namespace sleuth::baselines {
+
+/** Trace distance via deep-SVDD graph embeddings. */
+class DeepTraLogDistance
+{
+  public:
+    /** Training knobs. */
+    struct Config
+    {
+        size_t embedDim = 8;   ///< feature encoder embedding width
+        size_t svddDim = 4;    ///< hypersphere embedding width
+        int epochs = 120;
+        double learningRate = 1e-2;
+        uint64_t seed = 19;
+    };
+
+    explicit DeepTraLogDistance(Config config);
+
+    /** Construct with default configuration. */
+    DeepTraLogDistance() : DeepTraLogDistance(Config()) {}
+
+    /** Train the encoder + hypersphere on a (mostly normal) corpus. */
+    void fit(const std::vector<trace::Trace> &corpus);
+
+    /**
+     * Pooled input vector of a trace: mean over span rows of
+     * [semantic embedding | scaled duration | error].
+     */
+    std::vector<double> traceVector(const trace::Trace &trace);
+
+    /** Euclidean distance in the SVDD embedding space. */
+    double distance(const trace::Trace &a, const trace::Trace &b);
+
+    /** Distance of a trace's embedding to the hypersphere center. */
+    double distanceToCenter(const trace::Trace &t);
+
+  private:
+    Config config_;
+    core::FeatureEncoder encoder_;
+    std::unique_ptr<cluster::DeepSvdd> svdd_;
+    util::Rng rng_;
+};
+
+} // namespace sleuth::baselines

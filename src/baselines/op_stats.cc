@@ -1,0 +1,69 @@
+#include "op_stats.h"
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace sleuth::baselines {
+
+std::string
+OperationStats::key(const std::string &service, const std::string &name,
+                    trace::SpanKind kind)
+{
+    return service + "\x1f" + name + "\x1f" + toString(kind);
+}
+
+void
+OperationStats::add(const trace::Trace &trace)
+{
+    SLEUTH_ASSERT(!finalized_, "stats already finalized");
+    trace::TraceGraph graph = trace::TraceGraph::build(trace);
+    trace::ExclusiveMetrics m = trace::computeExclusive(trace, graph);
+    for (size_t i = 0; i < trace.spans.size(); ++i) {
+        const trace::Span &s = trace.spans[i];
+        samples_[key(s.service, s.name, s.kind)].push_back(
+            static_cast<double>(m.exclusiveUs[i]));
+    }
+}
+
+void
+OperationStats::finalize()
+{
+    SLEUTH_ASSERT(!finalized_, "stats already finalized");
+    std::vector<double> pooled;
+    for (auto &[k, xs] : samples_) {
+        OpSummary s;
+        s.mean = util::mean(xs);
+        s.stddev = util::stddev(xs);
+        s.p50 = util::percentile(xs, 50.0);
+        s.p90 = util::percentile(xs, 90.0);
+        s.p95 = util::percentile(xs, 95.0);
+        s.p99 = util::percentile(xs, 99.0);
+        s.count = xs.size();
+        summaries_.emplace(k, s);
+        pooled.insert(pooled.end(), xs.begin(), xs.end());
+        xs.clear();
+        xs.shrink_to_fit();
+    }
+    if (!pooled.empty()) {
+        global_.mean = util::mean(pooled);
+        global_.stddev = util::stddev(pooled);
+        global_.p50 = util::percentile(pooled, 50.0);
+        global_.p90 = util::percentile(pooled, 90.0);
+        global_.p95 = util::percentile(pooled, 95.0);
+        global_.p99 = util::percentile(pooled, 99.0);
+        global_.count = pooled.size();
+    }
+    samples_.clear();
+    finalized_ = true;
+}
+
+const OpSummary &
+OperationStats::get(const std::string &service, const std::string &name,
+                    trace::SpanKind kind) const
+{
+    SLEUTH_ASSERT(finalized_, "stats not finalized");
+    auto it = summaries_.find(key(service, name, kind));
+    return it == summaries_.end() ? global_ : it->second;
+}
+
+} // namespace sleuth::baselines

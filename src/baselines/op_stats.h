@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Per-operation statistics over exclusive durations — the shared
+ * substrate of the rule-based baselines (n-sigma, thresholds, 95% CI).
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sleuth::baselines {
+
+/** Summary of one operation's exclusive-duration distribution. */
+struct OpSummary
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    /** Percentile ladder: p50, p90, p95, p99. */
+    double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+    size_t count = 0;
+};
+
+/** Aggregates exclusive-duration statistics per (service, name, kind). */
+class OperationStats
+{
+  public:
+    /** Fold one trace into the statistics. */
+    void add(const trace::Trace &trace);
+
+    /** Finalize summaries; call once after all add()s. */
+    void finalize();
+
+    /**
+     * Summary for an operation; unseen operations return the global
+     * (pooled) summary.
+     */
+    const OpSummary &get(const std::string &service,
+                         const std::string &name,
+                         trace::SpanKind kind) const;
+
+    /** Number of distinct operations. */
+    size_t size() const { return summaries_.size(); }
+
+    /** Stable key used internally (exposed for diagnostics). */
+    static std::string key(const std::string &service,
+                           const std::string &name,
+                           trace::SpanKind kind);
+
+  private:
+    std::unordered_map<std::string, std::vector<double>> samples_;
+    std::unordered_map<std::string, OpSummary> summaries_;
+    OpSummary global_;
+    bool finalized_ = false;
+};
+
+} // namespace sleuth::baselines

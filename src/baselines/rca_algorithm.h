@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Common interface of every trace RCA algorithm evaluated in the paper
+ * (§6.1.2), so the benchmark harness can sweep algorithms uniformly.
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sleuth::baselines {
+
+/** A root cause analysis algorithm. */
+class RcaAlgorithm
+{
+  public:
+    virtual ~RcaAlgorithm() = default;
+
+    /** Human-readable algorithm name (table row label). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Learn normal behavior from a (mostly fault-free) corpus.
+     * Unsupervised: no fault labels are available.
+     */
+    virtual void fit(const std::vector<trace::Trace> &corpus) = 0;
+
+    /**
+     * Locate the root-cause services of an anomalous trace.
+     *
+     * @param anomaly the SLO-violating trace
+     * @param slo_us the trace's latency SLO
+     * @return predicted root-cause service set
+     */
+    virtual std::vector<std::string>
+    locate(const trace::Trace &anomaly, int64_t slo_us) = 0;
+};
+
+} // namespace sleuth::baselines

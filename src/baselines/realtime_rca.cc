@@ -1,0 +1,87 @@
+#include "realtime_rca.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sleuth::baselines {
+
+void
+RealtimeRca::fit(const std::vector<trace::Trace> &corpus)
+{
+    stats_ = OperationStats();
+    regressions_.clear();
+
+    // Per-operation samples of (exclusive duration, root duration).
+    std::unordered_map<std::string,
+                       std::vector<std::pair<double, double>>> samples;
+    for (const trace::Trace &t : corpus) {
+        stats_.add(t);
+        trace::TraceGraph g = trace::TraceGraph::build(t);
+        trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+        double root = static_cast<double>(t.rootDurationUs());
+        for (size_t i = 0; i < t.spans.size(); ++i) {
+            const trace::Span &s = t.spans[i];
+            samples[OperationStats::key(s.service, s.name, s.kind)]
+                .emplace_back(static_cast<double>(m.exclusiveUs[i]),
+                              root);
+        }
+    }
+    stats_.finalize();
+
+    for (const auto &[key, xs] : samples) {
+        Regression reg;
+        double mx = 0, my = 0;
+        for (const auto &[x, y] : xs) {
+            mx += x;
+            my += y;
+        }
+        mx /= static_cast<double>(xs.size());
+        my /= static_cast<double>(xs.size());
+        double cov = 0, var = 0;
+        for (const auto &[x, y] : xs) {
+            cov += (x - mx) * (y - my);
+            var += (x - mx) * (x - mx);
+        }
+        reg.meanX = mx;
+        reg.beta = var > 1e-9 ? cov / var : 0.0;
+        regressions_.emplace(key, reg);
+    }
+}
+
+std::vector<std::string>
+RealtimeRca::locate(const trace::Trace &anomaly, int64_t slo_us)
+{
+    (void)slo_us;
+    trace::TraceGraph g = trace::TraceGraph::build(anomaly);
+    trace::ExclusiveMetrics m = trace::computeExclusive(anomaly, g);
+
+    std::map<std::string, double> contribution;
+    for (size_t i = 0; i < anomaly.spans.size(); ++i) {
+        const trace::Span &s = anomaly.spans[i];
+        const OpSummary &st = stats_.get(s.service, s.name, s.kind);
+        double x = static_cast<double>(m.exclusiveUs[i]);
+        // 95% CI of the operation's exclusive duration.
+        double hi = st.mean + 1.96 * st.stddev;
+        bool flagged = x > hi ||
+                       (s.hasError() &&
+                        m.exclusiveError[i]);
+        if (!flagged)
+            continue;
+        auto it = regressions_.find(
+            OperationStats::key(s.service, s.name, s.kind));
+        double beta = it == regressions_.end() ? 1.0 : it->second.beta;
+        double mean_x =
+            it == regressions_.end() ? st.mean : it->second.meanX;
+        contribution[s.service] +=
+            std::max(0.0, beta * (x - mean_x)) +
+            (m.exclusiveError[i] ? 1e6 : 0.0);
+    }
+    if (contribution.empty())
+        return {};
+    auto best = std::max_element(
+        contribution.begin(), contribution.end(),
+        [](const auto &a, const auto &b) { return a.second < b.second; });
+    return {best->first};
+}
+
+} // namespace sleuth::baselines

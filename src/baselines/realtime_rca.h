@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Realtime RCA baseline (Cai et al., IEEE Access'19; paper §6.1.2).
+ *
+ * Compares an anomalous trace against historical normal behavior:
+ * spans outside the 95% confidence interval of their operation are
+ * flagged, each flagged span's contribution to end-to-end latency
+ * variance is estimated with a per-operation linear regression, and
+ * the service with the most significant contribution is reported.
+ */
+
+#include <unordered_map>
+
+#include "baselines/op_stats.h"
+#include "baselines/rca_algorithm.h"
+
+namespace sleuth::baselines {
+
+/** Realtime trace-level RCA. */
+class RealtimeRca : public RcaAlgorithm
+{
+  public:
+    std::string name() const override { return "realtime-rca"; }
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+
+  private:
+    struct Regression
+    {
+        double meanX = 0.0;
+        double beta = 0.0;  ///< slope of root duration on span duration
+    };
+
+    OperationStats stats_;
+    std::unordered_map<std::string, Regression> regressions_;
+};
+
+} // namespace sleuth::baselines

@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Sage baseline (Gan et al., ASPLOS'21; paper §6.1.2).
+ *
+ * Sage builds a causal Bayesian network from the RPC dependency graph
+ * and trains a *separate* generative model per node (operation) to
+ * produce counterfactuals. This faithfully reproduces the properties
+ * the paper contrasts Sleuth against:
+ *
+ *  - the total model size grows linearly with the application (one
+ *    network per operation), so training/inference time scales with
+ *    the number of RPCs (Fig. 5);
+ *  - operations unseen at training time have no model, so service
+ *    updates and cross-application transfer degrade accuracy until a
+ *    full retrain (Figs. 6-7).
+ *
+ * Per-operation model: a small MLP that predicts the span's duration
+ * and error from its children's aggregated state plus its own
+ * exclusive state. RCA uses the same counterfactual restoration loop
+ * as Sleuth, but driven by the per-node models.
+ */
+
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/rca_algorithm.h"
+#include "core/features.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace sleuth::baselines {
+
+/** Sage: per-node counterfactual generative models. */
+class SageRca : public RcaAlgorithm
+{
+  public:
+    /** Training / architecture knobs. */
+    struct Config
+    {
+        size_t hidden = 8;
+        int epochs = 60;
+        double learningRate = 1e-2;
+        size_t maxRootCauses = 5;
+        double errorThreshold = 0.5;
+        uint64_t seed = 17;
+    };
+
+    explicit SageRca(Config config);
+
+    /** Construct with default configuration. */
+    SageRca() : SageRca(Config()) {}
+
+    std::string name() const override { return "sage"; }
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+
+    /** Number of per-operation models (grows with the application). */
+    size_t numModels() const { return models_.size(); }
+
+    /** Total scalar parameter count across all per-node models. */
+    size_t parameterCount() const;
+
+  private:
+    struct NodeModel
+    {
+        std::unique_ptr<nn::Mlp> mlp;  // 5 inputs -> hidden -> 2
+        std::vector<std::array<double, 7>> rows;  // 5 in + 2 targets
+    };
+
+    /** Per-node feature row for span i given child predictions. */
+    static std::array<double, 5>
+    inputRow(double max_child_dur, double sum_child_dur,
+             double max_child_err, double excl_dur_scaled,
+             double excl_err);
+
+    /** Structural duration base in scaled space. */
+    double baseScaled(double children_sum_pow10,
+                      double excl_scaled) const;
+
+    /** Predict (durScaled, errProb) for an operation. */
+    std::pair<double, double> predict(const std::string &key,
+                                      const std::array<double, 5> &in)
+        const;
+
+    Config config_;
+    core::DurationScale scale_;
+    core::NormalProfile profile_;
+    std::unordered_map<std::string, NodeModel> models_;
+    util::Rng rng_;
+    bool fitted_ = false;
+};
+
+} // namespace sleuth::baselines

@@ -1,0 +1,130 @@
+#include "simple_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sleuth::baselines {
+
+std::vector<std::string>
+errorRootServices(const trace::Trace &trace)
+{
+    trace::TraceGraph graph = trace::TraceGraph::build(trace);
+    trace::ExclusiveMetrics m = trace::computeExclusive(trace, graph);
+    std::set<std::string> out;
+    // DFS from the root following error spans; spans with an error of
+    // their own (no erroring child) are the origins.
+    std::vector<int> stack = {graph.root()};
+    while (!stack.empty()) {
+        int i = stack.back();
+        stack.pop_back();
+        if (!trace.spans[static_cast<size_t>(i)].hasError())
+            continue;
+        if (m.exclusiveError[static_cast<size_t>(i)])
+            out.insert(trace.spans[static_cast<size_t>(i)].service);
+        for (int c : graph.children(i))
+            stack.push_back(c);
+    }
+    return {out.begin(), out.end()};
+}
+
+std::string
+NSigmaRule::name() const
+{
+    return "n-sigma";
+}
+
+void
+NSigmaRule::fit(const std::vector<trace::Trace> &corpus)
+{
+    stats_ = OperationStats();
+    for (const trace::Trace &t : corpus)
+        stats_.add(t);
+    stats_.finalize();
+}
+
+std::vector<std::string>
+NSigmaRule::locate(const trace::Trace &anomaly, int64_t slo_us)
+{
+    (void)slo_us;
+    if (anomaly.hasError()) {
+        std::vector<std::string> err = errorRootServices(anomaly);
+        if (!err.empty())
+            return err;
+    }
+    trace::TraceGraph graph = trace::TraceGraph::build(anomaly);
+    trace::ExclusiveMetrics m = trace::computeExclusive(anomaly, graph);
+    std::set<std::string> out;
+    for (size_t i = 0; i < anomaly.spans.size(); ++i) {
+        const trace::Span &s = anomaly.spans[i];
+        const OpSummary &st = stats_.get(s.service, s.name, s.kind);
+        if (static_cast<double>(m.exclusiveUs[i]) >
+            st.mean + n_ * st.stddev)
+            out.insert(s.service);
+    }
+    return {out.begin(), out.end()};
+}
+
+void
+MaxDurationRca::fit(const std::vector<trace::Trace> &corpus)
+{
+    (void)corpus;  // purely structural: nothing to learn
+}
+
+std::vector<std::string>
+MaxDurationRca::locate(const trace::Trace &anomaly, int64_t slo_us)
+{
+    (void)slo_us;
+    if (anomaly.hasError()) {
+        std::vector<std::string> err = errorRootServices(anomaly);
+        if (!err.empty())
+            return err;
+    }
+    trace::TraceGraph graph = trace::TraceGraph::build(anomaly);
+    trace::ExclusiveMetrics m = trace::computeExclusive(anomaly, graph);
+    std::map<std::string, int64_t> per_service;
+    for (size_t i = 0; i < anomaly.spans.size(); ++i)
+        per_service[anomaly.spans[i].service] += m.exclusiveUs[i];
+    if (per_service.empty())
+        return {};
+    auto best = std::max_element(
+        per_service.begin(), per_service.end(),
+        [](const auto &a, const auto &b) { return a.second < b.second; });
+    return {best->first};
+}
+
+void
+ThresholdRca::fit(const std::vector<trace::Trace> &corpus)
+{
+    stats_ = OperationStats();
+    for (const trace::Trace &t : corpus)
+        stats_.add(t);
+    stats_.finalize();
+}
+
+std::vector<std::string>
+ThresholdRca::locate(const trace::Trace &anomaly, int64_t slo_us)
+{
+    (void)slo_us;
+    if (anomaly.hasError()) {
+        std::vector<std::string> err = errorRootServices(anomaly);
+        if (!err.empty())
+            return err;
+    }
+    trace::TraceGraph graph = trace::TraceGraph::build(anomaly);
+    trace::ExclusiveMetrics m = trace::computeExclusive(anomaly, graph);
+    std::set<std::string> out;
+    for (size_t i = 0; i < anomaly.spans.size(); ++i) {
+        const trace::Span &s = anomaly.spans[i];
+        const OpSummary &st = stats_.get(s.service, s.name, s.kind);
+        double threshold = pct_ >= 99.0   ? st.p99
+                           : pct_ >= 95.0 ? st.p95
+                           : pct_ >= 90.0 ? st.p90
+                                          : st.p50;
+        if (static_cast<double>(m.exclusiveUs[i]) > threshold)
+            out.insert(s.service);
+    }
+    return {out.begin(), out.end()};
+}
+
+} // namespace sleuth::baselines

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Rule-based RCA baselines (paper §6.1.2 and the Fig. 1 motivation):
+ *
+ *  - NSigmaRule: a span is anomalous when its exclusive duration
+ *    exceeds mean + n * stddev of its operation; root causes are the
+ *    services owning anomalous spans (the "rule of thumb" whose
+ *    accuracy collapses as the system scales — Fig. 1).
+ *  - MaxDurationRca: the service with the highest aggregated exclusive
+ *    duration for latency anomalies; exclusive-error spans found by
+ *    DFS for error anomalies.
+ *  - ThresholdRca: like MaxDuration, but flags every span whose
+ *    exclusive duration exceeds a per-operation percentile threshold.
+ */
+
+#include "baselines/op_stats.h"
+#include "baselines/rca_algorithm.h"
+
+namespace sleuth::baselines {
+
+/** The n-sigma rule of thumb. */
+class NSigmaRule : public RcaAlgorithm
+{
+  public:
+    /** @param n number of standard deviations (3 is the magic number) */
+    explicit NSigmaRule(double n = 3.0) : n_(n) {}
+
+    std::string name() const override;
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+
+    /** Change n without re-fitting (used by the Fig. 1 sweep). */
+    void setN(double n) { n_ = n; }
+
+  private:
+    double n_;
+    OperationStats stats_;
+};
+
+/** Maximum-exclusive-duration heuristic. */
+class MaxDurationRca : public RcaAlgorithm
+{
+  public:
+    std::string name() const override { return "max-duration"; }
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+};
+
+/** Per-operation percentile-threshold heuristic. */
+class ThresholdRca : public RcaAlgorithm
+{
+  public:
+    /** @param pct percentile used as the anomaly threshold */
+    explicit ThresholdRca(double pct = 99.0) : pct_(pct) {}
+
+    std::string name() const override { return "threshold"; }
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+
+  private:
+    double pct_;
+    OperationStats stats_;
+};
+
+/**
+ * Shared error handling of the rule baselines: services of spans whose
+ * error does not originate from a child (found by DFS over the RPC
+ * dependency graph).
+ */
+std::vector<std::string> errorRootServices(const trace::Trace &trace);
+
+} // namespace sleuth::baselines

@@ -1,0 +1,164 @@
+#include "fault.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace sleuth::chaos {
+
+const char *
+toString(FaultType t)
+{
+    switch (t) {
+      case FaultType::CpuStress: return "cpu-stress";
+      case FaultType::MemoryStress: return "memory-stress";
+      case FaultType::DiskStress: return "disk-stress";
+      case FaultType::NetworkDelay: return "network-delay";
+      case FaultType::NetworkError: return "network-error";
+    }
+    util::panic("invalid fault type");
+}
+
+const char *
+toString(FaultScope s)
+{
+    switch (s) {
+      case FaultScope::Container: return "container";
+      case FaultScope::Pod: return "pod";
+      case FaultScope::Node: return "node";
+    }
+    util::panic("invalid fault scope");
+}
+
+namespace {
+
+FaultType
+randomFaultType(util::Rng &rng)
+{
+    switch (rng.uniformInt(0, 4)) {
+      case 0: return FaultType::CpuStress;
+      case 1: return FaultType::MemoryStress;
+      case 2: return FaultType::DiskStress;
+      case 3: return FaultType::NetworkDelay;
+      default: return FaultType::NetworkError;
+    }
+}
+
+FaultSpec
+makeFault(FaultScope scope, const std::string &target,
+          const ChaosParams &params, util::Rng &rng)
+{
+    FaultSpec f;
+    f.type = randomFaultType(rng);
+    f.scope = scope;
+    f.target = target;
+    f.latencyMultiplier =
+        rng.uniform(params.minMultiplier, params.maxMultiplier);
+    if (f.type == FaultType::NetworkError ||
+        f.type == FaultType::DiskStress) {
+        f.errorProb = rng.uniform(params.minErrorProb,
+                                  params.maxErrorProb);
+    }
+    if (f.type == FaultType::NetworkError)
+        f.latencyMultiplier = 1.0;  // pure error fault
+    return f;
+}
+
+} // namespace
+
+FaultPlan
+planFaults(const std::vector<Instance> &instances,
+           const ChaosParams &params, util::Rng &rng)
+{
+    FaultPlan plan;
+    std::set<std::string> pods, nodes;
+    for (const Instance &inst : instances) {
+        pods.insert(inst.pod);
+        nodes.insert(inst.node);
+        if (rng.bernoulli(params.containerProb))
+            plan.faults.push_back(makeFault(
+                FaultScope::Container, inst.container, params, rng));
+    }
+    for (const std::string &p : pods)
+        if (rng.bernoulli(params.podProb))
+            plan.faults.push_back(
+                makeFault(FaultScope::Pod, p, params, rng));
+    for (const std::string &n : nodes)
+        if (rng.bernoulli(params.nodeProb))
+            plan.faults.push_back(
+                makeFault(FaultScope::Node, n, params, rng));
+    return plan;
+}
+
+FaultPlan
+planFixedFaults(const std::vector<Instance> &instances, size_t count,
+                FaultScope scope, const ChaosParams &params,
+                util::Rng &rng)
+{
+    std::vector<std::string> targets;
+    {
+        std::set<std::string> uniq;
+        for (const Instance &inst : instances) {
+            switch (scope) {
+              case FaultScope::Container:
+                uniq.insert(inst.container);
+                break;
+              case FaultScope::Pod:
+                uniq.insert(inst.pod);
+                break;
+              case FaultScope::Node:
+                uniq.insert(inst.node);
+                break;
+            }
+        }
+        targets.assign(uniq.begin(), uniq.end());
+    }
+    SLEUTH_ASSERT(count <= targets.size(), "asked for ", count,
+                  " faults but only ", targets.size(), " targets exist");
+    rng.shuffle(targets);
+    FaultPlan plan;
+    for (size_t i = 0; i < count; ++i)
+        plan.faults.push_back(
+            makeFault(scope, targets[i], params, rng));
+    return plan;
+}
+
+FaultIndex::FaultIndex(const FaultPlan &plan)
+{
+    for (const FaultSpec &f : plan.faults) {
+        empty_ = false;
+        switch (f.scope) {
+          case FaultScope::Container:
+            by_container_[f.target].push_back(f);
+            break;
+          case FaultScope::Pod:
+            by_pod_[f.target].push_back(f);
+            break;
+          case FaultScope::Node:
+            by_node_[f.target].push_back(f);
+            break;
+        }
+    }
+}
+
+std::vector<const FaultSpec *>
+FaultIndex::faultsOn(const Instance &inst) const
+{
+    std::vector<const FaultSpec *> out;
+    auto collect = [&](const std::unordered_map<
+                           std::string, std::vector<FaultSpec>> &map,
+                       const std::string &key) {
+        auto it = map.find(key);
+        if (it == map.end())
+            return;
+        for (const FaultSpec &f : it->second)
+            out.push_back(&f);
+    };
+    collect(by_container_, inst.container);
+    collect(by_pod_, inst.pod);
+    collect(by_node_, inst.node);
+    return out;
+}
+
+} // namespace sleuth::chaos

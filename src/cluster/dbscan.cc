@@ -1,0 +1,61 @@
+#include "dbscan.h"
+
+#include <deque>
+
+namespace sleuth::cluster {
+
+std::vector<size_t>
+ClusterResult::members(int cluster) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < labels.size(); ++i)
+        if (labels[i] == cluster)
+            out.push_back(i);
+    return out;
+}
+
+ClusterResult
+dbscan(size_t n, const DistanceFn &dist, const DbscanParams &params)
+{
+    ClusterResult res;
+    res.labels.assign(n, -2);  // -2 = unvisited, -1 = noise
+
+    auto neighbors = [&](size_t i) {
+        std::vector<size_t> out;
+        for (size_t j = 0; j < n; ++j)
+            if (dist(i, j) <= params.eps)
+                out.push_back(j);
+        return out;
+    };
+
+    int next_cluster = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (res.labels[i] != -2)
+            continue;
+        std::vector<size_t> nb = neighbors(i);
+        if (nb.size() < params.minPts) {
+            res.labels[i] = -1;
+            continue;
+        }
+        int c = next_cluster++;
+        res.labels[i] = c;
+        std::deque<size_t> frontier(nb.begin(), nb.end());
+        while (!frontier.empty()) {
+            size_t q = frontier.front();
+            frontier.pop_front();
+            if (res.labels[q] == -1)
+                res.labels[q] = c;  // border point adopted
+            if (res.labels[q] != -2)
+                continue;
+            res.labels[q] = c;
+            std::vector<size_t> qn = neighbors(q);
+            if (qn.size() >= params.minPts)
+                for (size_t x : qn)
+                    frontier.push_back(x);
+        }
+    }
+    res.numClusters = next_cluster;
+    return res;
+}
+
+} // namespace sleuth::cluster

@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * DBSCAN density clustering over a pairwise distance callback.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sleuth::cluster {
+
+/** Pairwise distance oracle over item indices. */
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+/** Result of a clustering run. Label -1 marks noise. */
+struct ClusterResult
+{
+    /** Cluster label per item; -1 for noise. */
+    std::vector<int> labels;
+    /** Number of clusters found. */
+    int numClusters = 0;
+
+    /** Item indices of one cluster. */
+    std::vector<size_t> members(int cluster) const;
+};
+
+/** DBSCAN parameters. */
+struct DbscanParams
+{
+    double eps = 0.1;       ///< neighborhood radius
+    size_t minPts = 5;      ///< neighbors (incl. self) to be a core point
+};
+
+/**
+ * Run DBSCAN on n items.
+ *
+ * @param n item count
+ * @param dist symmetric distance oracle
+ * @param params eps / minPts
+ */
+ClusterResult dbscan(size_t n, const DistanceFn &dist,
+                     const DbscanParams &params);
+
+} // namespace sleuth::cluster

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * HDBSCAN hierarchical density clustering (paper §3.3.2).
+ *
+ * The full pipeline: core distances -> mutual-reachability graph ->
+ * minimum spanning tree -> single-linkage dendrogram -> condensed tree
+ * (min_cluster_size) -> stability-based (excess-of-mass) cluster
+ * selection with cluster_selection_epsilon, as in McInnes et al.
+ */
+
+#include "cluster/dbscan.h"
+
+namespace sleuth::cluster {
+
+/** HDBSCAN parameters (paper defaults: 10 / 5 / 1). */
+struct HdbscanParams
+{
+    /** Smallest group of items considered a cluster. */
+    size_t minClusterSize = 10;
+    /** Neighborhood size for core-distance estimation. */
+    size_t minSamples = 5;
+    /**
+     * Clusters splitting at a distance below this threshold are not
+     * split further (0 disables the epsilon constraint).
+     */
+    double clusterSelectionEpsilon = 0.0;
+};
+
+/**
+ * Run HDBSCAN on n items.
+ *
+ * @param n item count
+ * @param dist symmetric distance oracle
+ * @param params algorithm parameters
+ */
+ClusterResult hdbscan(size_t n, const DistanceFn &dist,
+                      const HdbscanParams &params);
+
+} // namespace sleuth::cluster

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Deep support vector data description (SVDD) over fixed-length vectors.
+ *
+ * This is the clustering-side substitute for DeepTraLog (Zhang et al.,
+ * ICSE'22), which the paper uses as a baseline trace distance: a neural
+ * encoder is trained so that embeddings of traces fall inside a minimum
+ * hypersphere, and the Euclidean distance between embeddings serves as
+ * the trace distance. The paper observes (and our benches reproduce)
+ * that this objective pulls traces with different root causes toward the
+ * same center, degrading clustering-based RCA.
+ */
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace sleuth::cluster {
+
+/** Deep SVDD model: an MLP encoder trained to contract around a center. */
+class DeepSvdd
+{
+  public:
+    /**
+     * Build an encoder.
+     *
+     * @param input_dim input vector width
+     * @param embed_dim embedding width
+     * @param rng initialization randomness
+     */
+    DeepSvdd(size_t input_dim, size_t embed_dim, util::Rng &rng);
+
+    /**
+     * Train on a set of vectors: fixes the center to the mean initial
+     * embedding, then minimizes the mean squared distance to it.
+     *
+     * @return final objective value
+     */
+    double train(const std::vector<std::vector<double>> &xs, int epochs,
+                 double lr);
+
+    /** Embed one vector. */
+    std::vector<double> embedVector(const std::vector<double> &x) const;
+
+    /** Squared distance of a vector's embedding to the learned center. */
+    double squaredDistanceToCenter(const std::vector<double> &x) const;
+
+    /** Euclidean distance between the embeddings of two vectors. */
+    double embeddingDistance(const std::vector<double> &a,
+                             const std::vector<double> &b) const;
+
+    /** Hypersphere radius covering a quantile of the training set. */
+    double radius() const { return radius_; }
+
+  private:
+    nn::Var encode(const nn::Var &x) const;
+
+    nn::Mlp encoder_;
+    std::vector<double> center_;
+    double radius_ = 0.0;
+};
+
+/**
+ * Pick each cluster's geometric-median representative: the member with
+ * the minimum total distance to all other members (paper §3.3.2).
+ *
+ * @param labels cluster label per item (-1 = noise, ignored)
+ * @param num_clusters number of clusters
+ * @param dist distance oracle
+ * @return representative item index per cluster
+ */
+std::vector<size_t> selectRepresentatives(
+    const std::vector<int> &labels, int num_clusters,
+    const std::function<double(size_t, size_t)> &dist);
+
+} // namespace sleuth::cluster

@@ -1,0 +1,192 @@
+#include "collector.h"
+
+#include <map>
+
+#include "trace/trace_json.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sleuth::collector {
+
+const char *
+toString(Protocol p)
+{
+    switch (p) {
+      case Protocol::Otel: return "otel";
+      case Protocol::Zipkin: return "zipkin";
+      case Protocol::Jaeger: return "jaeger";
+    }
+    util::panic("invalid protocol");
+}
+
+namespace {
+
+trace::SpanKind
+zipkinKind(const std::string &kind)
+{
+    std::string k = util::toLower(kind);
+    if (k == "client")
+        return trace::SpanKind::Client;
+    if (k == "server")
+        return trace::SpanKind::Server;
+    if (k == "producer")
+        return trace::SpanKind::Producer;
+    if (k == "consumer")
+        return trace::SpanKind::Consumer;
+    return trace::SpanKind::Local;
+}
+
+bool
+errorTag(const util::Json &tags)
+{
+    if (tags.type() != util::Json::Type::Object)
+        return false;
+    if (!tags.has("error"))
+        return false;
+    const util::Json &e = tags.at("error");
+    if (e.type() == util::Json::Type::Bool)
+        return e.asBool();
+    if (e.type() == util::Json::Type::String)
+        return !e.asString().empty() && e.asString() != "false";
+    return true;
+}
+
+} // namespace
+
+std::vector<trace::Trace>
+parseZipkin(const util::Json &doc)
+{
+    std::map<std::string, trace::Trace> by_trace;
+    for (const util::Json &j : doc.asArray()) {
+        trace::Span s;
+        std::string trace_id = j.at("traceId").asString();
+        s.spanId = j.at("id").asString();
+        if (j.has("parentId"))
+            s.parentSpanId = j.at("parentId").asString();
+        s.name = j.has("name") ? j.at("name").asString() : "";
+        s.kind = j.has("kind") ? zipkinKind(j.at("kind").asString())
+                               : trace::SpanKind::Local;
+        s.startUs = j.at("timestamp").asInt();
+        s.endUs = s.startUs + j.at("duration").asInt();
+        if (j.has("localEndpoint") &&
+            j.at("localEndpoint").has("serviceName"))
+            s.service =
+                j.at("localEndpoint").at("serviceName").asString();
+        bool err = j.has("tags") && errorTag(j.at("tags"));
+        s.status =
+            err ? trace::StatusCode::Error : trace::StatusCode::Ok;
+        trace::Trace &t = by_trace[trace_id];
+        t.traceId = trace_id;
+        t.spans.push_back(std::move(s));
+    }
+    std::vector<trace::Trace> out;
+    out.reserve(by_trace.size());
+    for (auto &[id, t] : by_trace) {
+        (void)id;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::vector<trace::Trace>
+parseJaeger(const util::Json &doc)
+{
+    std::vector<trace::Trace> out;
+    for (const util::Json &entry : doc.at("data").asArray()) {
+        trace::Trace t;
+        t.traceId = entry.at("traceID").asString();
+        const util::Json &processes = entry.at("processes");
+        for (const util::Json &j : entry.at("spans").asArray()) {
+            trace::Span s;
+            s.spanId = j.at("spanID").asString();
+            if (j.has("references")) {
+                for (const util::Json &r :
+                     j.at("references").asArray()) {
+                    if (r.at("refType").asString() == "CHILD_OF")
+                        s.parentSpanId = r.at("spanID").asString();
+                }
+            }
+            s.name = j.at("operationName").asString();
+            s.startUs = j.at("startTime").asInt();
+            s.endUs = s.startUs + j.at("duration").asInt();
+            std::string pid = j.at("processID").asString();
+            if (processes.has(pid))
+                s.service =
+                    processes.at(pid).at("serviceName").asString();
+            s.kind = trace::SpanKind::Server;
+            s.status = trace::StatusCode::Ok;
+            if (j.has("tags")) {
+                for (const util::Json &tag : j.at("tags").asArray()) {
+                    std::string key = tag.at("key").asString();
+                    if (key == "span.kind")
+                        s.kind = zipkinKind(
+                            tag.at("value").asString());
+                    if (key == "error")
+                        s.status = trace::StatusCode::Error;
+                }
+            }
+            t.spans.push_back(std::move(s));
+        }
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::vector<trace::Trace>
+parseOtel(const util::Json &doc)
+{
+    return trace::tracesFromJson(doc);
+}
+
+TraceCollector::TraceCollector(storage::TraceStore *store)
+    : store_(store)
+{
+    SLEUTH_ASSERT(store != nullptr);
+}
+
+size_t
+TraceCollector::ingest(const std::string &payload, Protocol protocol,
+                       int64_t slo_us)
+{
+    std::string error;
+    util::Json doc = util::Json::parse(payload, &error);
+    if (!error.empty()) {
+        util::warn("collector: rejecting ", toString(protocol),
+                   " payload: ", error);
+        ++stats_.tracesRejected;
+        return 0;
+    }
+    std::vector<trace::Trace> traces;
+    switch (protocol) {
+      case Protocol::Otel:
+        traces = parseOtel(doc);
+        break;
+      case Protocol::Zipkin:
+        traces = parseZipkin(doc);
+        break;
+      case Protocol::Jaeger:
+        traces = parseJaeger(doc);
+        break;
+    }
+    size_t accepted = 0;
+    for (trace::Trace &t : traces) {
+        trace::TraceGraph graph;
+        std::string why;
+        if (!trace::TraceGraph::tryBuild(t, &graph, &why)) {
+            util::warn("collector: dropping trace '", t.traceId,
+                       "': ", why);
+            ++stats_.tracesRejected;
+            continue;
+        }
+        stats_.spansAccepted += t.spans.size();
+        storage::Record rec;
+        rec.trace = std::move(t);
+        rec.sloUs = slo_us;
+        store_->insert(std::move(rec));
+        ++accepted;
+        ++stats_.tracesAccepted;
+    }
+    return accepted;
+}
+
+} // namespace sleuth::collector

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Trace collectors (paper §4): the production deployment runs a fleet
+ * of OpenTelemetry collectors that accept multiple wire protocols —
+ * OpenTelemetry, Zipkin, and Jaeger — normalize them, and forward the
+ * traces into the storage engine. This module implements the protocol
+ * adapters over JSON payloads and a collector front end that ingests
+ * into a TraceStore.
+ */
+
+#include <string>
+#include <vector>
+
+#include "storage/trace_store.h"
+#include "trace/trace.h"
+#include "util/json.h"
+
+namespace sleuth::collector {
+
+/** Supported wire protocols. */
+enum class Protocol { Otel, Zipkin, Jaeger };
+
+/** Render a protocol name. */
+const char *toString(Protocol p);
+
+/**
+ * Parse a Zipkin v2 JSON span array. Spans of multiple traces may be
+ * interleaved; they are grouped by traceId. Recognized fields:
+ * traceId, id, parentId, name, kind (CLIENT/SERVER/PRODUCER/CONSUMER),
+ * timestamp + duration (microseconds), localEndpoint.serviceName, and
+ * tags.error for the status.
+ */
+std::vector<trace::Trace> parseZipkin(const util::Json &doc);
+
+/**
+ * Parse a Jaeger JSON export ({"data": [{traceID, spans, processes}]}).
+ * Recognized: spanID, references[CHILD_OF].spanID, operationName,
+ * startTime + duration (microseconds), processID -> processes[pid]
+ * .serviceName, and the span.kind / error tags.
+ */
+std::vector<trace::Trace> parseJaeger(const util::Json &doc);
+
+/**
+ * Parse this library's native OpenTelemetry-like format (an array of
+ * trace documents as produced by trace::toJson).
+ */
+std::vector<trace::Trace> parseOtel(const util::Json &doc);
+
+/** Ingestion statistics of a collector. */
+struct CollectorStats
+{
+    size_t tracesAccepted = 0;
+    size_t tracesRejected = 0;
+    size_t spansAccepted = 0;
+};
+
+/**
+ * A collector front end: parses payloads of any supported protocol,
+ * validates each trace (single root, resolvable parents, acyclic), and
+ * forwards the valid ones into a TraceStore.
+ */
+class TraceCollector
+{
+  public:
+    /** @param store destination store (held by pointer; must outlive) */
+    explicit TraceCollector(storage::TraceStore *store);
+
+    /**
+     * Ingest one JSON payload.
+     *
+     * @param payload raw JSON text
+     * @param protocol wire protocol of the payload
+     * @param slo_us SLO stamped on the stored records (0 = unknown)
+     * @return number of traces accepted
+     */
+    size_t ingest(const std::string &payload, Protocol protocol,
+                  int64_t slo_us = 0);
+
+    /** Running statistics. */
+    const CollectorStats &stats() const { return stats_; }
+
+  private:
+    storage::TraceStore *store_;
+    CollectorStats stats_;
+};
+
+} // namespace sleuth::collector

@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Anomaly detection front end (paper §3.1: Sleuth "fetches abnormal
+ * traces from the database" before clustering + RCA).
+ *
+ * Two detectors are provided:
+ *  - SloDetector: the operational definition — a trace is anomalous
+ *    when its end-to-end latency breaches the flow's SLO or its root
+ *    span errors;
+ *  - ModelDetector: model-based detection — the observed end-to-end
+ *    duration is compared against the GNN's all-normal counterfactual
+ *    prediction, thresholded at a quantile calibrated on normal
+ *    traffic (useful when no SLO is configured).
+ */
+
+#include <vector>
+
+#include "core/gnn.h"
+
+namespace sleuth::core {
+
+/** SLO-based anomaly detection. */
+class SloDetector
+{
+  public:
+    /**
+     * @param trace the trace to classify
+     * @param slo_us latency SLO (0 = latency unconstrained)
+     * @return true when the trace is anomalous
+     */
+    static bool isAnomalous(const trace::Trace &trace, int64_t slo_us);
+};
+
+/** Model-based anomaly detection via counterfactual baselining. */
+class ModelDetector
+{
+  public:
+    /**
+     * @param model trained Sleuth GNN (held by reference)
+     * @param encoder shared feature encoder
+     * @param profile per-operation normal medians
+     */
+    ModelDetector(const SleuthGnn &model, FeatureEncoder &encoder,
+                  const NormalProfile &profile);
+
+    /**
+     * Anomaly score of a trace: the log10 ratio of the observed
+     * end-to-end duration to the duration the GNN predicts when every
+     * span is restored to its normal state (the all-normal
+     * counterfactual), plus 1 when the root span errors. Normal
+     * traces score near zero; inflated or erroring traces score high.
+     */
+    double score(const trace::Trace &trace);
+
+    /**
+     * Calibrate the detection threshold at a quantile of normal
+     * traffic's scores.
+     *
+     * @param normal normal traces
+     * @param pct threshold percentile (default 99)
+     */
+    void calibrate(const std::vector<trace::Trace> &normal,
+                   double pct = 99.0);
+
+    /** True when the trace's score exceeds the calibrated threshold. */
+    bool isAnomalous(const trace::Trace &trace);
+
+    /** The calibrated threshold (0 before calibrate()). */
+    double threshold() const { return threshold_; }
+
+  private:
+    const SleuthGnn &model_;
+    FeatureEncoder &encoder_;
+    const NormalProfile &profile_;
+    double threshold_ = 0.0;
+    bool calibrated_ = false;
+};
+
+} // namespace sleuth::core

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Model lifecycle management (paper §4): a registry that stores
+ * serialized Sleuth models with versioning, inheritance (fine-tuned
+ * children record their parent), retirement, and disk persistence, as
+ * the centralized model server in the production deployment does.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gnn.h"
+
+namespace sleuth::core {
+
+/** Metadata of one registered model version. */
+struct ModelMeta
+{
+    std::string name;
+    int version = 1;
+    /** "name:vN" of the model this one was fine-tuned from, or "". */
+    std::string parent;
+    bool retired = false;
+};
+
+/** In-memory (and optionally on-disk) model store. */
+class ModelRegistry
+{
+  public:
+    /**
+     * Register a model snapshot under a name; versions auto-increment.
+     *
+     * @param name model family name
+     * @param model model to snapshot
+     * @param parent id of the pre-trained parent ("" for from-scratch)
+     * @return the new model id "name:vN"
+     */
+    std::string add(const std::string &name, const SleuthGnn &model,
+                    const std::string &parent = "");
+
+    /** Reconstruct a stored model; fatal() on unknown or retired id. */
+    SleuthGnn instantiate(const std::string &id) const;
+
+    /** Mark a model retired; retired models cannot be instantiated. */
+    void retire(const std::string &id);
+
+    /** Metadata of every stored model, insertion-ordered. */
+    std::vector<ModelMeta> list() const;
+
+    /** Latest non-retired version id of a family ("" if none). */
+    std::string latest(const std::string &name) const;
+
+    /** Persist the registry as one JSON file. */
+    void saveToFile(const std::string &path) const;
+
+    /** Load a registry persisted with saveToFile(). */
+    static ModelRegistry loadFromFile(const std::string &path);
+
+    /** Number of stored versions. */
+    size_t size() const { return order_.size(); }
+
+  private:
+    struct Entry
+    {
+        ModelMeta meta;
+        util::Json blob;
+    };
+
+    std::map<std::string, Entry> models_;  // id -> entry
+    std::vector<std::string> order_;
+    std::map<std::string, int> next_version_;
+};
+
+} // namespace sleuth::core

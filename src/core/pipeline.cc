@@ -1,0 +1,97 @@
+#include "pipeline.h"
+
+#include "cluster/svdd.h"
+
+namespace sleuth::core {
+
+SleuthPipeline::SleuthPipeline(const SleuthGnn &model,
+                               FeatureEncoder &encoder,
+                               const NormalProfile &profile,
+                               PipelineConfig config)
+    : model_(model), encoder_(encoder), profile_(profile),
+      config_(config)
+{
+}
+
+PipelineResult
+SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
+                        const std::vector<int64_t> &slos) const
+{
+    // Default distance: weighted-Jaccard over encoded span sets,
+    // pre-encoded once per trace (O(m) per pair, paper Eq. 1).
+    std::vector<distance::WeightedSpanSet> sets;
+    sets.reserve(traces.size());
+    for (const trace::Trace &t : traces) {
+        trace::TraceGraph g = trace::TraceGraph::build(t);
+        sets.push_back(
+            distance::encodeSpanSet(t, g, config_.distanceOpts));
+    }
+    return analyzeWithDistance(traces, slos, [&sets](size_t a,
+                                                     size_t b) {
+        return distance::jaccardDistance(sets[a], sets[b]);
+    });
+}
+
+PipelineResult
+SleuthPipeline::analyzeWithDistance(
+    const std::vector<trace::Trace> &traces,
+    const std::vector<int64_t> &slos,
+    const std::function<double(size_t, size_t)> &dist) const
+{
+    SLEUTH_ASSERT(traces.size() == slos.size(),
+                  "trace/slo count mismatch");
+    PipelineResult out;
+    out.perTrace.resize(traces.size());
+    out.clusterLabels.assign(traces.size(), -1);
+    if (traces.empty())
+        return out;
+
+    CounterfactualRca rca(model_, encoder_, profile_, config_.rca);
+
+    if (!config_.clustering) {
+        for (size_t i = 0; i < traces.size(); ++i) {
+            out.perTrace[i] = rca.analyze(traces[i], slos[i]);
+            ++out.rcaInvocations;
+        }
+        return out;
+    }
+
+    cluster::ClusterResult clusters =
+        config_.algorithm == PipelineConfig::Algorithm::Hdbscan
+            ? cluster::hdbscan(traces.size(), dist, config_.hdbscan)
+            : cluster::dbscan(traces.size(), dist, config_.dbscan);
+    out.clusterLabels = clusters.labels;
+    out.numClusters = clusters.numClusters;
+
+    // One RCA per cluster representative (geometric median), then the
+    // verdict generalizes to every member.
+    std::vector<size_t> reps = cluster::selectRepresentatives(
+        clusters.labels, clusters.numClusters, dist);
+    std::vector<bool> assigned(traces.size(), false);
+    for (int c = 0; c < clusters.numClusters; ++c) {
+        size_t rep = reps[static_cast<size_t>(c)];
+        RcaResult verdict = rca.analyze(traces[rep], slos[rep]);
+        ++out.rcaInvocations;
+        for (size_t i = 0; i < traces.size(); ++i) {
+            if (clusters.labels[i] != c)
+                continue;
+            // Far-from-representative members do not inherit the
+            // verdict; they fall through to individual analysis.
+            if (config_.maxRepresentativeDistance > 0.0 && i != rep &&
+                dist(i, rep) > config_.maxRepresentativeDistance)
+                continue;
+            out.perTrace[i] = verdict;
+            assigned[i] = true;
+        }
+    }
+    // Noise traces and far members are analyzed individually.
+    for (size_t i = 0; i < traces.size(); ++i) {
+        if (!assigned[i]) {
+            out.perTrace[i] = rca.analyze(traces[i], slos[i]);
+            ++out.rcaInvocations;
+        }
+    }
+    return out;
+}
+
+} // namespace sleuth::core

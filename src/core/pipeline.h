@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * The end-to-end Sleuth pipeline (paper §3.1): cluster the incoming
+ * anomalous traces with the weighted-Jaccard distance + HDBSCAN, run
+ * the counterfactual RCA once per cluster representative (geometric
+ * median), and generalize each representative's root causes to the
+ * whole cluster. Noise traces are analyzed individually. Clustering
+ * cuts ML inference by orders of magnitude during incident storms.
+ */
+
+#include <functional>
+
+#include "cluster/hdbscan.h"
+#include "core/counterfactual.h"
+#include "distance/trace_distance.h"
+
+namespace sleuth::core {
+
+/** Pipeline knobs. */
+struct PipelineConfig
+{
+    /** Clustering algorithm choice. */
+    enum class Algorithm { Hdbscan, Dbscan };
+
+    /** Cluster before RCA (disable to analyze every trace). */
+    bool clustering = true;
+    /** HDBSCAN (paper §3.3.2) or plain DBSCAN (paper §3.1). */
+    Algorithm algorithm = Algorithm::Hdbscan;
+    /** HDBSCAN parameters (paper defaults 10 / 5 / epsilon). */
+    cluster::HdbscanParams hdbscan{10, 5, 0.05};
+    /** DBSCAN parameters (used when algorithm == Dbscan). */
+    cluster::DbscanParams dbscan{0.3, 4};
+    /** Span-identifier options for the trace distance. */
+    distance::SpanSetOptions distanceOpts;
+    /** RCA knobs. */
+    RcaParams rca;
+    /**
+     * Members farther than this from their cluster's representative
+     * fall back to individual RCA instead of inheriting its verdict
+     * (bounds the damage of an impure cluster; 0 disables).
+     */
+    double maxRepresentativeDistance = 0.6;
+};
+
+/** Result of a pipeline run over a batch of anomalous traces. */
+struct PipelineResult
+{
+    /** Per-input-trace RCA verdicts (cluster members share one). */
+    std::vector<RcaResult> perTrace;
+    /** Cluster label per trace; -1 = analyzed individually. */
+    std::vector<int> clusterLabels;
+    /** Number of clusters formed. */
+    int numClusters = 0;
+    /** Counterfactual RCA invocations actually executed. */
+    size_t rcaInvocations = 0;
+};
+
+/** The trace-storm-scale RCA front end. */
+class SleuthPipeline
+{
+  public:
+    /** All components are held by reference and must outlive this. */
+    SleuthPipeline(const SleuthGnn &model, FeatureEncoder &encoder,
+                   const NormalProfile &profile, PipelineConfig config);
+
+    /**
+     * Analyze a batch of anomalous traces.
+     *
+     * @param traces the anomalous traces
+     * @param slos per-trace latency SLO in microseconds
+     */
+    PipelineResult analyze(const std::vector<trace::Trace> &traces,
+                           const std::vector<int64_t> &slos) const;
+
+    /**
+     * As analyze(), but clustering uses a caller-provided distance
+     * (e.g. the DeepTraLog SVDD embedding distance for comparison).
+     */
+    PipelineResult analyzeWithDistance(
+        const std::vector<trace::Trace> &traces,
+        const std::vector<int64_t> &slos,
+        const std::function<double(size_t, size_t)> &dist) const;
+
+  private:
+    const SleuthGnn &model_;
+    FeatureEncoder &encoder_;
+    const NormalProfile &profile_;
+    PipelineConfig config_;
+};
+
+} // namespace sleuth::core

@@ -1,0 +1,73 @@
+#include "trainer.h"
+
+#include <numeric>
+
+namespace sleuth::core {
+
+Trainer::Trainer(SleuthGnn &model, FeatureEncoder &encoder,
+                 TrainConfig config)
+    : model_(model), encoder_(encoder), config_(config),
+      optimizer_(model.parameters(), config.learningRate),
+      rng_(config.seed ^ 0x7e41u)
+{
+    SLEUTH_ASSERT(config_.tracesPerBatch >= 1);
+}
+
+double
+Trainer::trainEpoch(const std::vector<trace::Trace> &corpus)
+{
+    SLEUTH_ASSERT(!corpus.empty(), "empty training corpus");
+    std::vector<size_t> order(corpus.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.shuffle(order);
+
+    double total = 0.0;
+    size_t batches = 0;
+    for (size_t at = 0; at < order.size();
+         at += config_.tracesPerBatch) {
+        std::vector<const trace::Trace *> batch_traces;
+        for (size_t k = at;
+             k < std::min(order.size(), at + config_.tracesPerBatch);
+             ++k)
+            batch_traces.push_back(&corpus[order[k]]);
+        TraceBatch batch = encoder_.encode(batch_traces);
+        nn::Var loss = model_.loss(batch);
+        nn::backward(loss);
+        nn::clipGradNorm(model_.parameters(), config_.gradClip);
+        optimizer_.step();
+        total += loss->value().item();
+        ++batches;
+    }
+    return total / static_cast<double>(batches);
+}
+
+double
+Trainer::train(const std::vector<trace::Trace> &corpus)
+{
+    double last = 0.0;
+    for (int e = 0; e < config_.epochs; ++e)
+        last = trainEpoch(corpus);
+    return last;
+}
+
+double
+Trainer::evaluate(const std::vector<trace::Trace> &corpus)
+{
+    SLEUTH_ASSERT(!corpus.empty(), "empty evaluation corpus");
+    double total = 0.0;
+    size_t batches = 0;
+    for (size_t at = 0; at < corpus.size();
+         at += config_.tracesPerBatch) {
+        std::vector<const trace::Trace *> batch_traces;
+        for (size_t k = at;
+             k < std::min(corpus.size(), at + config_.tracesPerBatch);
+             ++k)
+            batch_traces.push_back(&corpus[k]);
+        TraceBatch batch = encoder_.encode(batch_traces);
+        total += model_.loss(batch)->value().item();
+        ++batches;
+    }
+    return total / static_cast<double>(batches);
+}
+
+} // namespace sleuth::core

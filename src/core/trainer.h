@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Mini-batch training and fine-tuning of the Sleuth GNN (Eq. 5).
+ *
+ * Training is unsupervised: the objective is reconstruction of every
+ * span's duration and error status from its children, so no fault
+ * labels are needed (paper design principle 1). Fine-tuning is the
+ * same loop warm-started from a pre-trained model with fewer samples
+ * and a smaller learning rate (paper §6.5).
+ */
+
+#include <vector>
+
+#include "core/gnn.h"
+#include "nn/optim.h"
+
+namespace sleuth::core {
+
+/** Training-loop knobs. */
+struct TrainConfig
+{
+    int epochs = 5;
+    /** Traces merged into one training batch. */
+    size_t tracesPerBatch = 16;
+    double learningRate = 3e-3;
+    double gradClip = 5.0;
+    uint64_t seed = 7;
+};
+
+/** Runs the unsupervised reconstruction objective over a corpus. */
+class Trainer
+{
+  public:
+    /**
+     * @param model model to optimize (held by reference)
+     * @param encoder feature encoder shared with inference
+     * @param config loop knobs
+     */
+    Trainer(SleuthGnn &model, FeatureEncoder &encoder,
+            TrainConfig config);
+
+    /**
+     * Train over a corpus for config.epochs epochs.
+     *
+     * @return the mean batch loss of the final epoch
+     */
+    double train(const std::vector<trace::Trace> &corpus);
+
+    /** One epoch over the corpus; returns the mean batch loss. */
+    double trainEpoch(const std::vector<trace::Trace> &corpus);
+
+    /** Mean loss over a corpus without updating weights. */
+    double evaluate(const std::vector<trace::Trace> &corpus);
+
+  private:
+    SleuthGnn &model_;
+    FeatureEncoder &encoder_;
+    TrainConfig config_;
+    nn::Adam optimizer_;
+    util::Rng rng_;
+};
+
+} // namespace sleuth::core

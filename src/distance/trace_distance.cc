@@ -1,0 +1,84 @@
+#include "trace_distance.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sleuth::distance {
+
+namespace {
+
+uint64_t
+fnv1aAppend(uint64_t h, const std::string &s)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    h ^= 0x1f;  // field separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ull;
+    return h;
+}
+
+} // namespace
+
+WeightedSpanSet
+encodeSpanSet(const trace::Trace &trace, const trace::TraceGraph &graph,
+              const SpanSetOptions &opts)
+{
+    WeightedSpanSet set;
+    set.reserve(trace.spans.size());
+    for (size_t i = 0; i < trace.spans.size(); ++i) {
+        const trace::Span &s = trace.spans[i];
+        uint64_t h = 1469598103934665603ull;
+        h = fnv1aAppend(h, s.service);
+        h = fnv1aAppend(h, s.name);
+        h = fnv1aAppend(h, toString(s.kind));
+        if (opts.includeErrorStatus)
+            h = fnv1aAppend(h, s.hasError() ? "err" : "ok");
+        // Calling path: ancestor names within maxAncestorDistance.
+        int up = 0;
+        for (int a = graph.parent(static_cast<int>(i));
+             a >= 0 && up < opts.maxAncestorDistance;
+             a = graph.parent(a), ++up) {
+            const trace::Span &anc = trace.spans[static_cast<size_t>(a)];
+            h = fnv1aAppend(h, anc.service);
+            h = fnv1aAppend(h, anc.name);
+        }
+        set[h] += static_cast<double>(s.durationUs());
+    }
+    return set;
+}
+
+double
+jaccardDistance(const WeightedSpanSet &a, const WeightedSpanSet &b)
+{
+    // |A ∩ B| = Σ min(w_a, w_b); |A ∪ B| = Σ max(w_a, w_b), with missing
+    // identifiers treated as weight 0.
+    double inter = 0.0;
+    double uni = 0.0;
+    for (const auto &[id, wa] : a) {
+        auto it = b.find(id);
+        double wb = it == b.end() ? 0.0 : it->second;
+        inter += std::min(wa, wb);
+        uni += std::max(wa, wb);
+    }
+    for (const auto &[id, wb] : b) {
+        if (!a.count(id))
+            uni += wb;
+    }
+    if (uni <= 0.0)
+        return 0.0;
+    return 1.0 - inter / uni;
+}
+
+double
+traceDistance(const trace::Trace &a, const trace::Trace &b,
+              const SpanSetOptions &opts)
+{
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    trace::TraceGraph gb = trace::TraceGraph::build(b);
+    return jaccardDistance(encodeSpanSet(a, ga, opts),
+                           encodeSpanSet(b, gb, opts));
+}
+
+} // namespace sleuth::distance

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * The Sleuth trace distance metric (paper §3.3.1, Eq. 1).
+ *
+ * A trace is encoded as a weighted set of span identifiers, where an
+ * identifier is the tuple (service, name, kind, error status, names of
+ * all ancestors within distance d_max) and the weight is the span
+ * duration; spans sharing an identifier merge with summed weights. The
+ * distance between two traces is the extended (weighted) Jaccard
+ * distance between their sets — O(m) per pair via hashing.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/trace.h"
+
+namespace sleuth::distance {
+
+/** A trace encoded as a weighted set keyed by hashed span identifier. */
+using WeightedSpanSet = std::unordered_map<uint64_t, double>;
+
+/** Options controlling span-identifier construction. */
+struct SpanSetOptions
+{
+    /** Ancestors included in the identifier's calling-path component. */
+    int maxAncestorDistance = 2;
+    /** Include the span's error status in the identifier. */
+    bool includeErrorStatus = true;
+};
+
+/**
+ * Encode a trace as a weighted span set.
+ *
+ * @param trace the trace
+ * @param graph its dependency graph (from TraceGraph::build)
+ * @param opts identifier construction options
+ */
+WeightedSpanSet encodeSpanSet(const trace::Trace &trace,
+                              const trace::TraceGraph &graph,
+                              const SpanSetOptions &opts = {});
+
+/**
+ * Extended Jaccard distance between two weighted sets, normalized to
+ * [0, 1]: 1 - sum(min w)/sum(max w) over the union of identifiers.
+ * Two empty sets have distance 0.
+ */
+double jaccardDistance(const WeightedSpanSet &a, const WeightedSpanSet &b);
+
+/** Convenience: encode both traces and return their distance. */
+double traceDistance(const trace::Trace &a, const trace::Trace &b,
+                     const SpanSetOptions &opts = {});
+
+} // namespace sleuth::distance

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Zhang-Shasha ordered tree edit distance — the classical baseline the
+ * paper rejects for trace similarity because it scales poorly with span
+ * count (§3.3.1). Included so the distance-metric benchmark can compare
+ * accuracy and cost against the weighted Jaccard metric.
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sleuth::distance {
+
+/** An ordered, labeled tree. */
+struct LabeledTree
+{
+    /** Node labels. */
+    std::vector<std::string> labels;
+    /** Children per node, in order. */
+    std::vector<std::vector<int>> children;
+    /** Root index. */
+    int root = 0;
+};
+
+/**
+ * Convert a trace into an ordered labeled tree: children ordered by
+ * start time, labels formed from (service, name, kind, error status).
+ */
+LabeledTree traceToTree(const trace::Trace &trace,
+                        const trace::TraceGraph &graph);
+
+/**
+ * Zhang-Shasha tree edit distance with unit costs (insert = delete = 1,
+ * rename = 1 when labels differ, 0 otherwise). O(m^2 n^2) worst case.
+ */
+int treeEditDistance(const LabeledTree &a, const LabeledTree &b);
+
+/**
+ * TED normalized to [0, 1] by the total node count, giving a distance
+ * comparable with jaccardDistance().
+ */
+double normalizedTreeEditDistance(const trace::Trace &a,
+                                  const trace::Trace &b);
+
+} // namespace sleuth::distance

@@ -1,0 +1,182 @@
+#pragma once
+
+/**
+ * @file
+ * Shared experiment harness (paper §6.1): benchmark application
+ * catalog, training-corpus + anomaly-query generation via chaos
+ * engineering, and uniform evaluation of RCA algorithms (including the
+ * Sleuth adapters and the clustered pipeline variants).
+ */
+
+#include <memory>
+#include <set>
+
+#include "baselines/rca_algorithm.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "sim/simulator.h"
+#include "synth/config.h"
+
+namespace sleuth::eval {
+
+/** The applications of Table 1. */
+enum class BenchmarkApp {
+    SockShop,
+    SocialNet,
+    Syn16,
+    Syn64,
+    Syn256,
+    Syn1024,
+};
+
+/** Table row label of a benchmark. */
+std::string toString(BenchmarkApp app);
+
+/** Build the application config of a benchmark. */
+synth::AppConfig makeApp(BenchmarkApp app, uint64_t seed = 1);
+
+/** One RCA query: an anomalous trace with chaos ground truth. */
+struct AnomalyQuery
+{
+    trace::Trace trace;
+    int64_t sloUs = 0;
+    std::set<std::string> truthServices;
+};
+
+/** Experiment generation knobs (paper §6.2: 144k traces, 100 queries). */
+struct ExperimentParams
+{
+    size_t trainTraces = 400;
+    /**
+     * Fraction of the training corpus simulated under random chaos
+     * plans. The paper samples 24h of production traffic, which
+     * naturally contains incidents; training stays unsupervised (no
+     * labels are used), but the model must see abnormal durations to
+     * learn the clipping thresholds of Eq. 2 across the whole range.
+     */
+    double faultyTrainFraction = 0.15;
+    size_t numQueries = 100;
+    /** Chaos incidence per instance when drawing fault plans. */
+    chaos::ChaosParams chaosParams{.containerProb = 0.02,
+                                   .podProb = 0.01,
+                                   .nodeProb = 0.004};
+    /**
+     * Expected concurrent faults per chaos plan; the per-instance
+     * probabilities above are rescaled so large deployments do not get
+     * proportionally more simultaneous incidents (0 disables).
+     */
+    double targetFaultsPerPlan = 2.0;
+    /** Traces attempted per fault plan before drawing a new plan. */
+    size_t attemptsPerPlan = 60;
+    /**
+     * Anomalous traces harvested per fault plan. 1 keeps failure modes
+     * maximally diverse (the per-query accuracy evaluation); larger
+     * values emulate an incident storm where many traces share a few
+     * failure modes (the clustering evaluation, paper §3.3).
+     */
+    size_t queriesPerPlan = 1;
+    uint64_t seed = 1;
+    int clusterNodes = 100;
+};
+
+/** A prepared experiment: app, deployment, corpus, queries. */
+struct ExperimentData
+{
+    synth::AppConfig app;
+    sim::ClusterModel cluster;
+    std::vector<trace::Trace> trainCorpus;
+    std::vector<AnomalyQuery> queries;
+};
+
+/**
+ * Prepare an experiment: calibrate SLOs, simulate the fault-free
+ * training corpus, then draw chaos fault plans (independent Bernoulli
+ * per instance, §6.1.4) and harvest SLO-violating traces with their
+ * ground truth until numQueries anomalies exist.
+ */
+ExperimentData prepareExperiment(synth::AppConfig app,
+                                 const ExperimentParams &params);
+
+/** F1 / ACC of one run. */
+struct Scores
+{
+    double f1 = 0.0;
+    double acc = 0.0;
+};
+
+/** Fit an algorithm on the corpus and evaluate it over the queries. */
+Scores evaluateAlgorithm(baselines::RcaAlgorithm &algo,
+                         const ExperimentData &data);
+
+/** Evaluate an already-fitted algorithm over the queries. */
+Scores evaluateFitted(baselines::RcaAlgorithm &algo,
+                      const ExperimentData &data);
+
+/**
+ * Sleuth wrapped as an RcaAlgorithm (GIN or GCN aggregation), exposing
+ * its parts for the transfer-learning and clustering experiments.
+ */
+class SleuthAdapter : public baselines::RcaAlgorithm
+{
+  public:
+    /** Assembly knobs. */
+    struct Config
+    {
+        core::GnnConfig gnn;
+        core::TrainConfig train;
+        core::RcaParams rca;
+    };
+
+    explicit SleuthAdapter(Config config);
+
+    /** Construct with default configuration. */
+    SleuthAdapter() : SleuthAdapter(Config()) {}
+
+    std::string name() const override;
+    void fit(const std::vector<trace::Trace> &corpus) override;
+    std::vector<std::string> locate(const trace::Trace &anomaly,
+                                    int64_t slo_us) override;
+
+    /**
+     * Fine-tune from an existing model instead of training from
+     * scratch: installs the pre-trained weights, then runs `epochs`
+     * over the corpus (0 = zero-shot: profile only, no training).
+     */
+    void fineTune(const core::SleuthGnn &pretrained,
+                  const std::vector<trace::Trace> &corpus, int epochs);
+
+    /** The trained model. */
+    const core::SleuthGnn &model() const;
+    /** The feature encoder (shared embedding cache). */
+    core::FeatureEncoder &encoder() { return encoder_; }
+    /** The normal profile. */
+    const core::NormalProfile &profile() const { return profile_; }
+
+  private:
+    Config config_;
+    core::FeatureEncoder encoder_;
+    std::unique_ptr<core::SleuthGnn> model_;
+    core::NormalProfile profile_;
+    bool fitted_ = false;
+};
+
+/**
+ * Evaluate the full Sleuth pipeline (clustering + per-representative
+ * RCA) over an experiment's queries.
+ *
+ * @param adapter fitted Sleuth adapter
+ * @param data the experiment
+ * @param pipeline pipeline configuration
+ * @param custom_distance optional distance override (e.g. DeepTraLog);
+ *        null uses the weighted-Jaccard default
+ * @param rca_invocations optional out-param: RCA calls executed
+ */
+Scores evaluatePipeline(
+    SleuthAdapter &adapter, const ExperimentData &data,
+    const core::PipelineConfig &pipeline,
+    const std::function<double(size_t, size_t)> *custom_distance =
+        nullptr,
+    size_t *rca_invocations = nullptr);
+
+} // namespace sleuth::eval

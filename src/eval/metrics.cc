@@ -1,0 +1,45 @@
+#include "metrics.h"
+
+namespace sleuth::eval {
+
+void
+RcaEvaluator::addQuery(const std::set<std::string> &predicted,
+                       const std::set<std::string> &actual)
+{
+    size_t tp = 0;
+    for (const std::string &p : predicted)
+        if (actual.count(p))
+            ++tp;
+    tp_ += tp;
+    fp_ += predicted.size() - tp;
+    fn_ += actual.size() - tp;
+    if (predicted == actual)
+        ++exact_;
+    ++queries_;
+}
+
+double
+RcaEvaluator::f1() const
+{
+    double denom = static_cast<double>(2 * tp_ + fp_ + fn_);
+    if (denom == 0.0)
+        return 0.0;
+    return 2.0 * static_cast<double>(tp_) / denom;
+}
+
+double
+RcaEvaluator::accuracy() const
+{
+    if (queries_ == 0)
+        return 0.0;
+    return static_cast<double>(exact_) /
+           static_cast<double>(queries_);
+}
+
+std::set<std::string>
+toSet(const std::vector<std::string> &items)
+{
+    return {items.begin(), items.end()};
+}
+
+} // namespace sleuth::eval

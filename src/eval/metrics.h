@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Accuracy metrics of paper §6.1.5: per-query TP/FP/FN against the
+ * ground-truth root-cause set, aggregated across all RCA queries into
+ * the F1 score, plus the stricter exact-set-match accuracy (ACC).
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sleuth::eval {
+
+/** Accumulates RCA query outcomes and reports F1 / ACC. */
+class RcaEvaluator
+{
+  public:
+    /**
+     * Record one query.
+     *
+     * @param predicted the algorithm's root-cause set
+     * @param actual the ground-truth root-cause set
+     */
+    void addQuery(const std::set<std::string> &predicted,
+                  const std::set<std::string> &actual);
+
+    /** F1 = 2 TP / (2 TP + FP + FN) over all queries. */
+    double f1() const;
+
+    /** ACC = fraction of queries with exact set match. */
+    double accuracy() const;
+
+    /** Number of queries recorded. */
+    size_t queries() const { return queries_; }
+
+    /** Aggregate true positives. */
+    size_t tp() const { return tp_; }
+    /** Aggregate false positives. */
+    size_t fp() const { return fp_; }
+    /** Aggregate false negatives. */
+    size_t fn() const { return fn_; }
+
+  private:
+    size_t tp_ = 0, fp_ = 0, fn_ = 0;
+    size_t exact_ = 0, queries_ = 0;
+};
+
+/** Convenience conversion. */
+std::set<std::string> toSet(const std::vector<std::string> &items);
+
+} // namespace sleuth::eval

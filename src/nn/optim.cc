@@ -1,0 +1,82 @@
+#include "optim.h"
+
+#include <cmath>
+
+namespace sleuth::nn {
+
+Sgd::Sgd(std::vector<Var> params, double lr)
+    : params_(std::move(params)), lr_(lr)
+{
+}
+
+void
+Sgd::step()
+{
+    for (const Var &p : params_) {
+        Tensor &value = p->mutableValue();
+        const Tensor &g = p->grad();
+        if (g.size() != value.size())
+            continue;  // no backward pass touched this parameter yet
+        for (size_t i = 0; i < value.size(); ++i)
+            value.data()[i] -= lr_ * g.data()[i];
+    }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    for (const Var &p : params_) {
+        m_.emplace_back(p->value().rows(), p->value().cols());
+        v_.emplace_back(p->value().rows(), p->value().cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t k = 0; k < params_.size(); ++k) {
+        Tensor &value = params_[k]->mutableValue();
+        const Tensor &g = params_[k]->grad();
+        if (g.size() != value.size())
+            continue;
+        for (size_t i = 0; i < value.size(); ++i) {
+            double gi = g.data()[i];
+            double &m = m_[k].data()[i];
+            double &v = v_[k].data()[i];
+            m = beta1_ * m + (1.0 - beta1_) * gi;
+            v = beta2_ * v + (1.0 - beta2_) * gi * gi;
+            double mh = m / bc1;
+            double vh = v / bc2;
+            value.data()[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
+        }
+    }
+}
+
+double
+clipGradNorm(const std::vector<Var> &params, double max_norm)
+{
+    SLEUTH_ASSERT(max_norm > 0.0);
+    double sq = 0.0;
+    for (const Var &p : params) {
+        const Tensor &g = p->grad();
+        for (double x : g.data())
+            sq += x * x;
+    }
+    double norm = std::sqrt(sq);
+    if (norm > max_norm) {
+        double s = max_norm / norm;
+        for (const Var &p : params) {
+            if (p->grad().size() == 0)
+                continue;
+            GradAccess::grad(*p).scaleInPlace(s);
+        }
+    }
+    return norm;
+}
+
+} // namespace sleuth::nn

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * First-order optimizers over autograd parameters.
+ */
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace sleuth::nn {
+
+/** Interface of all optimizers. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using the gradients currently in the params. */
+    virtual void step() = 0;
+
+    /** Parameters being optimized. */
+    virtual const std::vector<Var> &parameters() const = 0;
+};
+
+/** Plain stochastic gradient descent. */
+class Sgd : public Optimizer
+{
+  public:
+    /** Optimize `params` with the given learning rate. */
+    Sgd(std::vector<Var> params, double lr);
+
+    void step() override;
+    const std::vector<Var> &parameters() const override { return params_; }
+
+  private:
+    std::vector<Var> params_;
+    double lr_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    /** Optimize `params`; defaults follow the standard recipe. */
+    Adam(std::vector<Var> params, double lr = 1e-3, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+
+    void step() override;
+    const std::vector<Var> &parameters() const override { return params_; }
+
+    /** Adjust the learning rate (used for fine-tuning schedules). */
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    std::vector<Var> params_;
+    std::vector<Tensor> m_, v_;
+    double lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+};
+
+/**
+ * Scale gradients in place so their global L2 norm is at most max_norm.
+ *
+ * @return the pre-clipping norm
+ */
+double clipGradNorm(const std::vector<Var> &params, double max_norm);
+
+} // namespace sleuth::nn

@@ -1,0 +1,97 @@
+#include "tensor.h"
+
+namespace sleuth::nn {
+
+Tensor
+Tensor::column(std::vector<double> values)
+{
+    size_t n = values.size();
+    return Tensor(n, 1, std::move(values));
+}
+
+Tensor
+Tensor::full(size_t rows, size_t cols, double v)
+{
+    Tensor t(rows, cols);
+    t.fill(v);
+    return t;
+}
+
+Tensor
+Tensor::randn(size_t rows, size_t cols, double stddev, util::Rng &rng)
+{
+    Tensor t(rows, cols);
+    for (double &x : t.data_)
+        x = rng.normal(0.0, stddev);
+    return t;
+}
+
+double
+Tensor::item() const
+{
+    SLEUTH_ASSERT(size() == 1, "item() on non-scalar tensor");
+    return data_[0];
+}
+
+void
+Tensor::fill(double v)
+{
+    for (double &x : data_)
+        x = v;
+}
+
+void
+Tensor::addInPlace(const Tensor &other)
+{
+    SLEUTH_ASSERT(sameShape(other), "addInPlace shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scaleInPlace(double s)
+{
+    for (double &x : data_)
+        x *= s;
+}
+
+Tensor
+Tensor::matmul(const Tensor &other) const
+{
+    SLEUTH_ASSERT(cols_ == other.rows_, "matmul shape mismatch: ",
+                  rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
+    Tensor out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = data_[i * cols_ + k];
+            if (a == 0.0)
+                continue;
+            const double *brow = &other.data_[k * other.cols_];
+            double *orow = &out.data_[i * other.cols_];
+            for (size_t j = 0; j < other.cols_; ++j)
+                orow[j] += a * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+Tensor::transposed() const
+{
+    Tensor out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.data_[j * rows_ + i] = data_[i * cols_ + j];
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (double x : data_)
+        s += x;
+    return s;
+}
+
+} // namespace sleuth::nn

@@ -1,0 +1,28 @@
+#include "cluster_model.h"
+
+#include "util/rng.h"
+
+namespace sleuth::sim {
+
+ClusterModel::ClusterModel(const synth::AppConfig &app, int num_nodes,
+                           uint64_t seed)
+    : num_nodes_(num_nodes)
+{
+    SLEUTH_ASSERT(num_nodes >= 1);
+    util::Rng rng(seed ^ 0xc105e7u);
+    by_service_.resize(app.services.size());
+    for (const synth::ServiceConfig &svc : app.services) {
+        for (int r = 0; r < svc.replicas; ++r) {
+            chaos::Instance inst;
+            inst.serviceId = svc.id;
+            inst.pod = svc.name + "-pod-" + std::to_string(r);
+            inst.container = svc.name + "-ctr-" + std::to_string(r);
+            inst.node = "node-" + std::to_string(
+                rng.uniformInt(0, num_nodes - 1));
+            by_service_[static_cast<size_t>(svc.id)].push_back(inst);
+            all_.push_back(inst);
+        }
+    }
+}
+
+} // namespace sleuth::sim

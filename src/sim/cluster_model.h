@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Deployment model: services -> pod replicas -> nodes, mirroring the
+ * 100-node Kubernetes cluster of the paper's evaluation (§6.1.3). The
+ * model supplies the instance coordinates stamped on spans and the
+ * target inventory for chaos fault planning.
+ */
+
+#include <vector>
+
+#include "chaos/fault.h"
+#include "synth/config.h"
+
+namespace sleuth::sim {
+
+/** Placement of every service replica onto cluster nodes. */
+class ClusterModel
+{
+  public:
+    /**
+     * Place an application's replicas.
+     *
+     * @param app application config (replica counts per service)
+     * @param num_nodes cluster size (paper: 100)
+     * @param seed placement randomness
+     */
+    ClusterModel(const synth::AppConfig &app, int num_nodes,
+                 uint64_t seed);
+
+    /** Instances (pod replicas) of one service. */
+    const std::vector<chaos::Instance> &
+    instancesOf(int service_id) const
+    {
+        return by_service_[static_cast<size_t>(service_id)];
+    }
+
+    /** Every instance in the deployment. */
+    const std::vector<chaos::Instance> &allInstances() const
+    {
+        return all_;
+    }
+
+    /** Cluster node count. */
+    int numNodes() const { return num_nodes_; }
+
+  private:
+    std::vector<std::vector<chaos::Instance>> by_service_;
+    std::vector<chaos::Instance> all_;
+    int num_nodes_;
+};
+
+} // namespace sleuth::sim

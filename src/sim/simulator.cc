@@ -1,0 +1,393 @@
+#include "simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/stats.h"
+
+namespace sleuth::sim {
+
+bool
+SimResult::violatesSlo(int64_t slo_us) const
+{
+    if (slo_us > 0 && trace.rootDurationUs() > slo_us)
+        return true;
+    // An error on the root span is always an SLO violation.
+    for (const trace::Span &s : trace.spans)
+        if (s.parentSpanId.empty())
+            return s.hasError();
+    return false;
+}
+
+void
+Simulator::CauseAccumulator::addLatency(const chaos::Instance &inst,
+                                        double added_us)
+{
+    Effect &e = byContainer[inst.container];
+    e.instance = &inst;
+    e.addedUs += added_us;
+}
+
+void
+Simulator::CauseAccumulator::addError(const chaos::Instance &inst)
+{
+    Effect &e = byContainer[inst.container];
+    e.instance = &inst;
+    e.errorInjected = true;
+}
+
+Simulator::Simulator(const synth::AppConfig &app,
+                     const ClusterModel &cluster, const SimParams &params,
+                     const chaos::FaultPlan &plan)
+    : app_(app), cluster_(cluster), params_(params), faults_(plan),
+      rng_(params.seed ^ 0x5137u)
+{
+    app_.validate();
+    for (const synth::FlowConfig &f : app_.flows)
+        flow_weights_.push_back(f.weight);
+}
+
+double
+Simulator::kernelMultiplier(
+    const std::vector<const chaos::FaultSpec *> &faults,
+    synth::Resource resource) const
+{
+    double mult = 1.0;
+    for (const chaos::FaultSpec *f : faults) {
+        bool matches = false;
+        switch (f->type) {
+          case chaos::FaultType::CpuStress:
+            matches = resource == synth::Resource::Cpu;
+            break;
+          case chaos::FaultType::MemoryStress:
+            matches = resource == synth::Resource::Memory;
+            break;
+          case chaos::FaultType::DiskStress:
+            matches = resource == synth::Resource::Disk;
+            break;
+          case chaos::FaultType::NetworkDelay:
+            matches = resource == synth::Resource::Network;
+            break;
+          case chaos::FaultType::NetworkError:
+            matches = false;
+            break;
+        }
+        if (matches)
+            mult *= f->latencyMultiplier;
+    }
+    return mult;
+}
+
+int64_t
+Simulator::sampleKernel(const synth::KernelConfig &k)
+{
+    return static_cast<int64_t>(
+        std::ceil(rng_.logNormal(k.logMu, k.logSigma)));
+}
+
+Simulator::CallOutcome
+Simulator::simulateCall(const synth::FlowConfig &flow, int node_id,
+                        int64_t client_start,
+                        const std::string &parent_span_id,
+                        const chaos::Instance *caller,
+                        bool async_invocation, bool sync_path,
+                        SimResult *out, CauseAccumulator *causes)
+{
+    const synth::CallNode &node =
+        flow.nodes[static_cast<size_t>(node_id)];
+    const synth::RpcConfig &rpc =
+        app_.rpcs[static_cast<size_t>(node.rpcId)];
+    const synth::ServiceConfig &svc =
+        app_.services[static_cast<size_t>(rpc.serviceId)];
+
+    // Client-side load balancing: pick a pod replica.
+    const auto &replicas = cluster_.instancesOf(rpc.serviceId);
+    const chaos::Instance &inst = replicas[static_cast<size_t>(
+        rng_.uniformInt(0, static_cast<int64_t>(replicas.size()) - 1))];
+    auto server_faults = faults_.faultsOn(inst);
+
+    std::string span_prefix =
+        "s" + std::to_string(out->trace.spans.size());
+
+    // --- Client span (absent for the flow root). ---
+    bool has_client = caller != nullptr;
+    std::string client_span_id;
+    size_t client_span_slot = 0;
+    std::vector<const chaos::FaultSpec *> caller_faults;
+    if (has_client) {
+        caller_faults = faults_.faultsOn(*caller);
+        client_span_id = span_prefix + "c";
+        trace::Span cs;
+        cs.spanId = client_span_id;
+        cs.parentSpanId = parent_span_id;
+        cs.service =
+            app_.services[static_cast<size_t>(caller->serviceId)].name;
+        cs.name = rpc.name;
+        cs.kind = async_invocation ? trace::SpanKind::Producer
+                                   : trace::SpanKind::Client;
+        cs.startUs = client_start;
+        cs.container = caller->container;
+        cs.pod = caller->pod;
+        cs.node = caller->node;
+        out->trace.spans.push_back(std::move(cs));
+        client_span_slot = out->trace.spans.size() - 1;
+    }
+
+    // --- Network hop to the server. ---
+    double server_net =
+        kernelMultiplier(server_faults, synth::Resource::Network);
+    double caller_net = has_client
+        ? kernelMultiplier(caller_faults, synth::Resource::Network)
+        : 1.0;
+    double net_mult = server_net * caller_net;
+    int64_t net_base = sampleKernel(app_.network);
+    int64_t net_out = static_cast<int64_t>(
+        static_cast<double>(net_base) * net_mult);
+    if (sync_path && net_mult > 1.0) {
+        double added = static_cast<double>(net_out - net_base);
+        // Attribute the slowdown to whichever endpoint is faulted.
+        if (server_net > 1.0)
+            causes->addLatency(inst, added);
+        if (has_client && caller_net > 1.0)
+            causes->addLatency(*caller, added);
+    }
+    int64_t server_start = client_start + (has_client ? net_out : 0);
+
+    // --- Server span: start kernel, staged children, end kernel. ---
+    double start_mult = kernelMultiplier(server_faults,
+                                         rpc.startKernel.resource);
+    int64_t start_base = sampleKernel(rpc.startKernel);
+    int64_t start_kernel = static_cast<int64_t>(
+        static_cast<double>(start_base) * start_mult);
+    if (sync_path && start_mult > 1.0)
+        causes->addLatency(
+            inst, static_cast<double>(start_kernel - start_base));
+    int64_t t = server_start + start_kernel;
+
+    std::string server_span_id = span_prefix + "s";
+    // Reserve the slot now so children order after their parent.
+    {
+        trace::Span ss;
+        ss.spanId = server_span_id;
+        ss.parentSpanId = has_client ? client_span_id : parent_span_id;
+        ss.service = svc.name;
+        ss.name = rpc.name;
+        ss.kind = async_invocation ? trace::SpanKind::Consumer
+                                   : trace::SpanKind::Server;
+        ss.startUs = server_start;
+        ss.container = inst.container;
+        ss.pod = inst.pod;
+        ss.node = inst.node;
+        out->trace.spans.push_back(std::move(ss));
+    }
+    size_t server_span_slot = out->trace.spans.size() - 1;
+
+    // Group children by barrier stage.
+    std::map<int, std::vector<int>> stages;
+    for (int c : node.children)
+        stages[flow.nodes[static_cast<size_t>(c)].stage].push_back(c);
+
+    bool sync_child_error = false;
+    for (const auto &[stage, kids] : stages) {
+        (void)stage;
+        int64_t stage_end = t;
+        for (int child : kids) {
+            const synth::CallNode &cn =
+                flow.nodes[static_cast<size_t>(child)];
+            if (cn.async) {
+                int64_t dispatch = static_cast<int64_t>(std::ceil(
+                    rng_.logNormal(params_.asyncDispatchLogMu, 0.3)));
+                simulateCall(flow, child, t, server_span_id, &inst,
+                             true, false, out, causes);
+                // The producer publish costs the parent only the
+                // dispatch; the consumer runs on its own.
+                stage_end = std::max(stage_end, t + dispatch);
+            } else {
+                CallOutcome oc = simulateCall(flow, child, t,
+                                              server_span_id, &inst,
+                                              false, sync_path, out,
+                                              causes);
+                sync_child_error |= oc.clientError;
+                stage_end = std::max(stage_end, oc.clientEndUs);
+            }
+        }
+        t = stage_end;
+    }
+
+    double end_mult = kernelMultiplier(server_faults,
+                                       rpc.endKernel.resource);
+    int64_t end_base = sampleKernel(rpc.endKernel);
+    int64_t end_kernel = static_cast<int64_t>(
+        static_cast<double>(end_base) * end_mult);
+    if (sync_path && end_mult > 1.0)
+        causes->addLatency(inst,
+                           static_cast<double>(end_kernel - end_base));
+    int64_t server_end = t + end_kernel;
+
+    // --- Server error status. ---
+    bool exclusive_error = rng_.bernoulli(rpc.baseErrorProb);
+    for (const chaos::FaultSpec *f : server_faults) {
+        if (f->type == chaos::FaultType::DiskStress &&
+            f->errorProb > 0.0 &&
+            (rpc.startKernel.resource == synth::Resource::Disk ||
+             rpc.endKernel.resource == synth::Resource::Disk) &&
+            rng_.bernoulli(f->errorProb)) {
+            exclusive_error = true;
+            if (sync_path)
+                causes->addError(inst);
+        }
+    }
+    bool server_error =
+        exclusive_error ||
+        (sync_child_error && !rng_.bernoulli(params_.errorHandleProb));
+
+    {
+        trace::Span &ss = out->trace.spans[server_span_slot];
+        ss.endUs = server_end;
+        ss.status = server_error ? trace::StatusCode::Error
+                                 : trace::StatusCode::Ok;
+    }
+
+    if (!has_client)
+        return {server_end, server_error};
+
+    // --- Return hop, client-side network errors, timeout. ---
+    int64_t back_base = sampleKernel(app_.network);
+    int64_t net_back = static_cast<int64_t>(
+        static_cast<double>(back_base) * net_mult);
+    if (sync_path && net_mult > 1.0) {
+        double added = static_cast<double>(net_back - back_base);
+        if (server_net > 1.0)
+            causes->addLatency(inst, added);
+        if (caller_net > 1.0)
+            causes->addLatency(*caller, added);
+    }
+    int64_t client_end = server_end + net_back;
+    bool client_error = server_error;
+
+    auto maybe_network_error = [&](const chaos::Instance &where,
+                                   const std::vector<
+                                       const chaos::FaultSpec *> &fs) {
+        for (const chaos::FaultSpec *f : fs) {
+            if (f->type == chaos::FaultType::NetworkError &&
+                rng_.bernoulli(f->errorProb)) {
+                client_error = true;
+                if (sync_path)
+                    causes->addError(where);
+            }
+        }
+    };
+    maybe_network_error(inst, server_faults);
+    maybe_network_error(*caller, caller_faults);
+
+    if (!async_invocation && rpc.timeoutUs > 0 &&
+        client_end - client_start > rpc.timeoutUs) {
+        client_end = client_start + rpc.timeoutUs;
+        client_error = true;
+    }
+
+    {
+        trace::Span &cs = out->trace.spans[client_span_slot];
+        cs.endUs = client_end;
+        cs.status = client_error ? trace::StatusCode::Error
+                                 : trace::StatusCode::Ok;
+    }
+    // Producer (async) invocations never propagate errors or latency to
+    // the caller; the caller only paid the dispatch cost.
+    if (async_invocation)
+        return {client_end, false};
+    return {client_end, client_error};
+}
+
+SimResult
+Simulator::simulateFlow(int flow_index)
+{
+    SLEUTH_ASSERT(flow_index >= 0 &&
+                  flow_index < static_cast<int>(app_.flows.size()));
+    const synth::FlowConfig &flow =
+        app_.flows[static_cast<size_t>(flow_index)];
+    SimResult out;
+    out.flowIndex = flow_index;
+    out.trace.traceId =
+        app_.name + "-" + std::to_string(next_trace_++);
+    CauseAccumulator causes;
+    simulateCall(flow, flow.root, 0, "", nullptr, false, true, &out,
+                 &causes);
+
+    // --- Resolve ground truth: error injectors count when the root
+    // errored; latency faults count when the added time is a material
+    // fraction of the end-to-end duration. ---
+    bool root_error = false;
+    for (const trace::Span &s : out.trace.spans)
+        if (s.parentSpanId.empty())
+            root_error = s.hasError();
+    double material_threshold =
+        params_.materialityFraction *
+        static_cast<double>(std::max<int64_t>(
+            out.trace.rootDurationUs(), 1));
+    for (const auto &[container, effect] : causes.byContainer) {
+        (void)container;
+        bool material =
+            effect.addedUs >= material_threshold ||
+            (effect.errorInjected && root_error);
+        if (!material)
+            continue;
+        const chaos::Instance &inst = *effect.instance;
+        out.rootCauseServices.insert(
+            app_.services[static_cast<size_t>(inst.serviceId)].name);
+        out.rootCauseContainers.insert(inst.container);
+        out.rootCausePods.insert(inst.pod);
+        out.rootCauseNodes.insert(inst.node);
+    }
+    return out;
+}
+
+SimResult
+Simulator::simulateOne()
+{
+    return simulateFlow(
+        static_cast<int>(rng_.weightedIndex(flow_weights_)));
+}
+
+std::vector<SimResult>
+Simulator::simulateMany(size_t n)
+{
+    std::vector<SimResult> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(simulateOne());
+    return out;
+}
+
+void
+Simulator::simulateStream(size_t n,
+                          const std::function<void(SimResult &&)> &sink)
+{
+    for (size_t i = 0; i < n; ++i)
+        sink(simulateOne());
+}
+
+void
+Simulator::calibrateSlos(synth::AppConfig &app,
+                         const ClusterModel &cluster,
+                         size_t samples_per_flow, double pct,
+                         uint64_t seed)
+{
+    SimParams params;
+    params.seed = seed;
+    Simulator sim(app, cluster, params);
+    for (size_t f = 0; f < app.flows.size(); ++f) {
+        std::vector<double> durations;
+        durations.reserve(samples_per_flow);
+        for (size_t i = 0; i < samples_per_flow; ++i) {
+            SimResult r = sim.simulateFlow(static_cast<int>(f));
+            durations.push_back(
+                static_cast<double>(r.trace.rootDurationUs()));
+        }
+        app.flows[f].sloUs = static_cast<int64_t>(
+            util::percentile(durations, pct));
+    }
+}
+
+} // namespace sleuth::sim

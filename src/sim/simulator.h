@@ -1,0 +1,154 @@
+#pragma once
+
+/**
+ * @file
+ * Discrete-event trace simulator.
+ *
+ * This is the substitute for the paper's 100-node Kubernetes deployment
+ * of real gRPC microservices: it executes an AppConfig's operation
+ * flows request by request — sampling log-normal workload kernels,
+ * honoring per-parent execution stages (sequential / parallel / async
+ * child calls), adding network hops, propagating errors, and enforcing
+ * client timeouts — and emits OpenTelemetry-style traces with
+ * client/server (and producer/consumer) span pairs stamped with the
+ * container/pod/node that executed them. Chaos faults perturb matching
+ * kernels and hops; every materially affected instance is recorded as
+ * the trace's root-cause ground truth.
+ */
+
+#include <functional>
+#include <unordered_map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "sim/cluster_model.h"
+#include "synth/config.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace sleuth::sim {
+
+/** One simulated request: its trace plus root-cause ground truth. */
+struct SimResult
+{
+    trace::Trace trace;
+    /** Which operation flow produced the trace. */
+    int flowIndex = 0;
+    /** Services whose instances materially perturbed this trace. */
+    std::set<std::string> rootCauseServices;
+    /** Containers that materially perturbed this trace. */
+    std::set<std::string> rootCauseContainers;
+    /** Pods that materially perturbed this trace. */
+    std::set<std::string> rootCausePods;
+    /** Nodes that materially perturbed this trace. */
+    std::set<std::string> rootCauseNodes;
+
+    /** True when any fault materially touched the trace. */
+    bool faultTouched() const { return !rootCauseServices.empty(); }
+
+    /** True when the trace violates its flow's latency SLO or errors. */
+    bool violatesSlo(int64_t slo_us) const;
+};
+
+/** Simulator knobs. */
+struct SimParams
+{
+    /** Randomness seed. */
+    uint64_t seed = 1;
+    /** Probability a parent handles (absorbs) a child's error. */
+    double errorHandleProb = 0.15;
+    /** Dispatch cost of an async publish, ln(us). */
+    double asyncDispatchLogMu = 3.0;
+    /**
+     * Ground-truth materiality: a fault becomes a root cause of a
+     * trace when the latency it added on synchronous paths is at least
+     * this fraction of the end-to-end duration (error-injecting faults
+     * count whenever the root span errors).
+     */
+    double materialityFraction = 0.1;
+};
+
+/** Executes requests against an application + deployment (+ faults). */
+class Simulator
+{
+  public:
+    /**
+     * @param app application config (kept by reference; must outlive)
+     * @param cluster deployment model (kept by reference; must outlive)
+     * @param params simulator knobs
+     * @param plan active faults (copied into an index)
+     */
+    Simulator(const synth::AppConfig &app, const ClusterModel &cluster,
+              const SimParams &params,
+              const chaos::FaultPlan &plan = {});
+
+    /** Simulate one request of a flow chosen by workload-mix weight. */
+    SimResult simulateOne();
+
+    /** Simulate one request of a specific flow. */
+    SimResult simulateFlow(int flow_index);
+
+    /** Simulate n mixed requests. */
+    std::vector<SimResult> simulateMany(size_t n);
+
+    /** Simulate n mixed requests, streaming results to a consumer. */
+    void simulateStream(size_t n,
+                        const std::function<void(SimResult &&)> &sink);
+
+    /**
+     * Set each flow's SLO to the given percentile of fault-free latency
+     * over `samples_per_flow` simulated requests (paper: anomalous =
+     * SLO-violating). Writes into the AppConfig's flows.
+     */
+    static void calibrateSlos(synth::AppConfig &app,
+                              const ClusterModel &cluster,
+                              size_t samples_per_flow, double pct = 99.0,
+                              uint64_t seed = 0xca11b0);
+
+  private:
+    struct CallOutcome
+    {
+        int64_t clientEndUs = 0;
+        bool clientError = false;
+    };
+
+    /** Per-instance fault effects accumulated during one request. */
+    struct CauseAccumulator
+    {
+        struct Effect
+        {
+            const chaos::Instance *instance = nullptr;
+            double addedUs = 0.0;       ///< extra latency on sync paths
+            bool errorInjected = false;  ///< injected error on sync path
+        };
+        std::unordered_map<std::string, Effect> byContainer;
+
+        void addLatency(const chaos::Instance &inst, double added_us);
+        void addError(const chaos::Instance &inst);
+    };
+
+    CallOutcome simulateCall(const synth::FlowConfig &flow, int node_id,
+                             int64_t client_start,
+                             const std::string &parent_span_id,
+                             const chaos::Instance *caller,
+                             bool async_invocation, bool sync_path,
+                             SimResult *out, CauseAccumulator *causes);
+
+    double kernelMultiplier(const std::vector<const chaos::FaultSpec *>
+                                &faults,
+                            synth::Resource resource) const;
+
+    int64_t sampleKernel(const synth::KernelConfig &k);
+
+    const synth::AppConfig &app_;
+    const ClusterModel &cluster_;
+    SimParams params_;
+    chaos::FaultIndex faults_;
+    util::Rng rng_;
+    uint64_t next_trace_ = 0;
+    std::vector<double> flow_weights_;
+};
+
+} // namespace sleuth::sim

@@ -1,0 +1,121 @@
+#include "trace_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace sleuth::storage {
+
+int64_t
+Record::startUs() const
+{
+    for (const trace::Span &s : trace.spans)
+        if (s.parentSpanId.empty())
+            return s.startUs;
+    return 0;
+}
+
+bool
+Record::anomalous() const
+{
+    if (sloUs > 0 && trace.rootDurationUs() > sloUs)
+        return true;
+    for (const trace::Span &s : trace.spans)
+        if (s.parentSpanId.empty())
+            return s.hasError();
+    return false;
+}
+
+size_t
+TraceStore::insert(Record record)
+{
+    size_t id = records_.size();
+    by_start_.emplace(record.startUs(), id);
+    std::set<std::string> services;
+    for (const trace::Span &s : record.trace.spans)
+        services.insert(s.service);
+    for (const std::string &svc : services)
+        by_service_[svc].push_back(id);
+    total_spans_ += record.trace.spans.size();
+    records_.push_back(std::move(record));
+    return id;
+}
+
+const Record &
+TraceStore::at(size_t id) const
+{
+    SLEUTH_ASSERT(id < records_.size(), "record id out of range");
+    return records_[id];
+}
+
+std::vector<const Record *>
+TraceStore::query(const Query &q) const
+{
+    // Choose the narrower index: service postings when a service is
+    // given, otherwise the time index.
+    std::vector<const Record *> out;
+    auto matches = [&](const Record &r) {
+        if (q.minStartUs && r.startUs() < *q.minStartUs)
+            return false;
+        if (q.maxStartUs && r.startUs() >= *q.maxStartUs)
+            return false;
+        if (q.onlyAnomalous && !r.anomalous())
+            return false;
+        if (q.service) {
+            bool found = false;
+            for (const trace::Span &s : r.trace.spans)
+                if (s.service == *q.service) {
+                    found = true;
+                    break;
+                }
+            if (!found)
+                return false;
+        }
+        return true;
+    };
+
+    if (q.service) {
+        auto it = by_service_.find(*q.service);
+        if (it == by_service_.end())
+            return out;
+        std::vector<size_t> ids = it->second;
+        std::sort(ids.begin(), ids.end(), [&](size_t a, size_t b) {
+            return records_[a].startUs() < records_[b].startUs();
+        });
+        for (size_t id : ids) {
+            if (matches(records_[id])) {
+                out.push_back(&records_[id]);
+                if (q.limit && out.size() >= q.limit)
+                    break;
+            }
+        }
+        return out;
+    }
+
+    auto lo = q.minStartUs ? by_start_.lower_bound(*q.minStartUs)
+                           : by_start_.begin();
+    auto hi = q.maxStartUs ? by_start_.lower_bound(*q.maxStartUs)
+                           : by_start_.end();
+    for (auto it = lo; it != hi; ++it) {
+        const Record &r = records_[it->second];
+        if (matches(r)) {
+            out.push_back(&r);
+            if (q.limit && out.size() >= q.limit)
+                break;
+        }
+    }
+    return out;
+}
+
+Dataset<const Record *>
+TraceStore::scan() const
+{
+    std::vector<const Record *> all;
+    all.reserve(records_.size());
+    for (const Record &r : records_)
+        all.push_back(&r);
+    return Dataset<const Record *>(std::move(all));
+}
+
+} // namespace sleuth::storage

@@ -1,0 +1,151 @@
+#pragma once
+
+/**
+ * @file
+ * Embedded trace storage engine (paper §4).
+ *
+ * The production system stores terabytes of traces in a distributed
+ * engine and offloads feature engineering to SQL-like parallel queries
+ * with user-defined operators. This embedded equivalent provides the
+ * same interface shape at library scale: indexed predicate queries
+ * over stored traces plus a typed operator pipeline (filter / map /
+ * group / aggregate) that the feature-engineering code runs close to
+ * the data.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sleuth::storage {
+
+/** One stored trace with its workload metadata. */
+struct Record
+{
+    trace::Trace trace;
+    /** Latency SLO the trace is held against (0 = unknown). */
+    int64_t sloUs = 0;
+    /** Operation flow that produced the trace (-1 = unknown). */
+    int flowIndex = -1;
+
+    /** Root span start timestamp (used by the time index). */
+    int64_t startUs() const;
+
+    /** True when the trace breaches its SLO or errors at the root. */
+    bool anomalous() const;
+};
+
+/** Declarative filter for TraceStore::query(). */
+struct Query
+{
+    /** Half-open time window on root start (us); unset = unbounded. */
+    std::optional<int64_t> minStartUs;
+    std::optional<int64_t> maxStartUs;
+    /** Only traces touching this service. */
+    std::optional<std::string> service;
+    /** Only SLO-violating / erroring traces. */
+    bool onlyAnomalous = false;
+    /** Cap on the number of results (0 = unlimited). */
+    size_t limit = 0;
+};
+
+/** A typed, chainable in-memory operator pipeline. */
+template <typename T>
+class Dataset
+{
+  public:
+    Dataset() = default;
+    explicit Dataset(std::vector<T> items) : items_(std::move(items)) {}
+
+    /** Keep items satisfying the predicate. */
+    Dataset<T>
+    filter(const std::function<bool(const T &)> &pred) const
+    {
+        std::vector<T> out;
+        for (const T &x : items_)
+            if (pred(x))
+                out.push_back(x);
+        return Dataset<T>(std::move(out));
+    }
+
+    /** Transform every item. */
+    template <typename U>
+    Dataset<U>
+    map(const std::function<U(const T &)> &fn) const
+    {
+        std::vector<U> out;
+        out.reserve(items_.size());
+        for (const T &x : items_)
+            out.push_back(fn(x));
+        return Dataset<U>(std::move(out));
+    }
+
+    /** Group items under a key. */
+    template <typename K>
+    std::map<K, std::vector<T>>
+    groupBy(const std::function<K(const T &)> &key) const
+    {
+        std::map<K, std::vector<T>> out;
+        for (const T &x : items_)
+            out[key(x)].push_back(x);
+        return out;
+    }
+
+    /** Left fold. */
+    template <typename A>
+    A
+    aggregate(A init, const std::function<A(A, const T &)> &fn) const
+    {
+        A acc = std::move(init);
+        for (const T &x : items_)
+            acc = fn(std::move(acc), x);
+        return acc;
+    }
+
+    /** Materialized items. */
+    const std::vector<T> &items() const { return items_; }
+
+    /** Item count. */
+    size_t size() const { return items_.size(); }
+
+  private:
+    std::vector<T> items_;
+};
+
+/** The embedded trace store. */
+class TraceStore
+{
+  public:
+    /** Insert a record; returns its id. */
+    size_t insert(Record record);
+
+    /** Number of stored records. */
+    size_t size() const { return records_.size(); }
+
+    /** Record access by id. */
+    const Record &at(size_t id) const;
+
+    /** Indexed declarative query; results ordered by start time. */
+    std::vector<const Record *> query(const Query &q) const;
+
+    /** Full-scan operator pipeline over record pointers. */
+    Dataset<const Record *> scan() const;
+
+    /** Total spans stored (capacity accounting). */
+    size_t totalSpans() const { return total_spans_; }
+
+  private:
+    std::vector<Record> records_;
+    /** start-time index: (startUs, record id), kept sorted. */
+    std::multimap<int64_t, size_t> by_start_;
+    /** service name -> record ids. */
+    std::map<std::string, std::vector<size_t>> by_service_;
+    size_t total_spans_ = 0;
+};
+
+} // namespace sleuth::storage

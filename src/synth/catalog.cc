@@ -1,0 +1,374 @@
+#include "catalog.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace sleuth::synth {
+
+namespace {
+
+/** Nested literal call-tree used to describe catalog flows. */
+struct Call
+{
+    int rpc;
+    std::vector<Call> kids;
+    int stage = 0;
+    bool async = false;
+};
+
+/** Incremental builder for hand-written application models. */
+class AppBuilder
+{
+  public:
+    explicit AppBuilder(std::string name) { app_.name = std::move(name); }
+
+    int
+    service(const std::string &name, Tier tier, int replicas = 2)
+    {
+        ServiceConfig s;
+        s.id = static_cast<int>(app_.services.size());
+        s.name = name;
+        s.tier = tier;
+        s.replicas = replicas;
+        app_.services.push_back(s);
+        service_ids_[name] = s.id;
+        return s.id;
+    }
+
+    int
+    rpc(const std::string &service_name, const std::string &rpc_name,
+        double log_mu, Resource resource = Resource::Cpu,
+        double log_sigma = 0.55)
+    {
+        auto it = service_ids_.find(service_name);
+        SLEUTH_ASSERT(it != service_ids_.end(), "unknown service ",
+                      service_name);
+        RpcConfig r;
+        r.id = static_cast<int>(app_.rpcs.size());
+        r.serviceId = it->second;
+        r.name = rpc_name;
+        r.startKernel = {resource, log_mu, log_sigma};
+        r.endKernel = {resource, log_mu - 1.0, log_sigma};
+        r.baseErrorProb = 0.0005;
+        r.timeoutUs = static_cast<int64_t>(60.0 * 10.0 *
+                                           std::exp(log_mu + 1.0));
+        app_.rpcs.push_back(r);
+        return r.id;
+    }
+
+    void
+    flow(const std::string &name, double weight, const Call &root)
+    {
+        FlowConfig f;
+        f.name = name;
+        f.weight = weight;
+        f.root = 0;
+        appendCall(f, root);
+        app_.flows.push_back(std::move(f));
+    }
+
+    AppConfig
+    build()
+    {
+        app_.validate();
+        return app_;
+    }
+
+  private:
+    int
+    appendCall(FlowConfig &f, const Call &c)
+    {
+        CallNode nd;
+        nd.rpcId = c.rpc;
+        nd.stage = c.stage;
+        nd.async = c.async;
+        f.nodes.push_back(nd);
+        int id = static_cast<int>(f.nodes.size()) - 1;
+        for (const Call &k : c.kids) {
+            int kid = appendCall(f, k);
+            f.nodes[static_cast<size_t>(id)].children.push_back(kid);
+        }
+        return id;
+    }
+
+    AppConfig app_;
+    std::unordered_map<std::string, int> service_ids_;
+};
+
+} // namespace
+
+AppConfig
+sockShopConfig()
+{
+    AppBuilder b("sockshop");
+    b.service("front-end", Tier::Frontend, 3);
+    b.service("orders", Tier::Middleware, 2);
+    b.service("carts", Tier::Middleware, 2);
+    b.service("user", Tier::Middleware, 2);
+    b.service("catalogue", Tier::Middleware, 2);
+    b.service("payment", Tier::Middleware, 2);
+    b.service("shipping", Tier::Middleware, 2);
+    b.service("queue-master", Tier::Backend, 1);
+    b.service("carts-db", Tier::Leaf, 1);
+    b.service("orders-db", Tier::Leaf, 1);
+    b.service("user-db", Tier::Leaf, 1);
+
+    // front-end
+    int fe_orders = b.rpc("front-end", "POST /orders", 6.2);
+    int fe_cat = b.rpc("front-end", "GET /catalogue", 5.7);
+    int fe_cart_get = b.rpc("front-end", "GET /cart", 5.6);
+    int fe_cart_post = b.rpc("front-end", "POST /cart", 5.8);
+    int fe_login = b.rpc("front-end", "GET /login", 5.6);
+    // orders
+    int or_create = b.rpc("orders", "CreateOrder", 6.0);
+    int or_history = b.rpc("orders", "GetOrders", 5.6);
+    int or_status = b.rpc("orders", "UpdateStatus", 5.2);
+    // carts
+    int ca_get = b.rpc("carts", "GetCart", 5.3, Resource::Memory);
+    int ca_items = b.rpc("carts", "GetItems", 5.2, Resource::Memory);
+    int ca_add = b.rpc("carts", "AddItem", 5.4, Resource::Memory);
+    int ca_del = b.rpc("carts", "DeleteCart", 5.1, Resource::Memory);
+    // user
+    int us_cust = b.rpc("user", "GetCustomer", 5.2);
+    int us_addr = b.rpc("user", "GetAddress", 5.1);
+    int us_card = b.rpc("user", "GetCard", 5.1);
+    int us_login = b.rpc("user", "Login", 5.5);
+    // catalogue
+    int cat_list = b.rpc("catalogue", "ListSocks", 5.5);
+    int cat_sku = b.rpc("catalogue", "GetSku", 5.1);
+    int cat_related = b.rpc("catalogue", "ListRelated", 5.3);
+    int cat_db_q = b.rpc("catalogue", "QueryDb", 5.9, Resource::Disk);
+    // payment
+    int pay_auth = b.rpc("payment", "Authorize", 5.9);
+    int pay_risk = b.rpc("payment", "RiskCheck", 5.4);
+    // shipping
+    int sh_create = b.rpc("shipping", "CreateShipment", 5.5);
+    int qm_enqueue = b.rpc("queue-master", "Enqueue", 5.0,
+                           Resource::Network);
+    int qm_process = b.rpc("queue-master", "ProcessShipment", 6.3,
+                           Resource::Disk);
+    // databases
+    int cdb_find = b.rpc("carts-db", "FindCart", 5.6, Resource::Disk);
+    int cdb_items = b.rpc("carts-db", "FindItems", 5.7, Resource::Disk);
+    int cdb_upd = b.rpc("carts-db", "UpdateCart", 5.8, Resource::Disk);
+    int odb_save = b.rpc("orders-db", "SaveOrder", 6.0, Resource::Disk);
+    int odb_find = b.rpc("orders-db", "FindOrders", 5.9, Resource::Disk);
+    int odb_upd = b.rpc("orders-db", "UpdateOrder", 5.7, Resource::Disk);
+    int udb_user = b.rpc("user-db", "FindUser", 5.5, Resource::Disk);
+    int udb_addr = b.rpc("user-db", "FindAddress", 5.4, Resource::Disk);
+    int udb_card = b.rpc("user-db", "FindCard", 5.4, Resource::Disk);
+
+    // POST /orders: the most complex API (57 spans, depth 9 in paper).
+    b.flow("post-orders", 1.0,
+        {fe_orders, {
+            {or_create, {
+                {us_cust, {{udb_user, {}}}, 0},
+                {us_addr, {{udb_addr, {}}}, 0},
+                {us_card, {{udb_card, {}}}, 0},
+                {ca_get, {{cdb_find, {}}}, 0},
+                {ca_items, {{cdb_items, {}}}, 0},
+                {cat_sku, {{cat_db_q, {}}}, 1},
+                {pay_auth, {
+                    {pay_risk, {{udb_card, {}}}, 0},
+                }, 1},
+                {odb_save, {}, 2},
+                {sh_create, {
+                    {qm_enqueue, {
+                        {qm_process, {}, 0, true},
+                    }, 0},
+                }, 2},
+                {ca_del, {{cdb_upd, {}}}, 2},
+                {or_status, {{odb_upd, {}}}, 3},
+            }},
+        }});
+
+    // GET /catalogue: browse inventory.
+    b.flow("get-catalogue", 6.0,
+        {fe_cat, {
+            {cat_list, {{cat_db_q, {}}, {cat_db_q, {}, 1}}},
+            {cat_related, {{cat_db_q, {}}}, 1},
+        }});
+
+    // GET /cart.
+    b.flow("get-cart", 4.0,
+        {fe_cart_get, {
+            {ca_get, {{cdb_find, {}}}},
+            {ca_items, {{cdb_items, {}}, {cat_sku, {{cat_db_q, {}}}, 1}},
+             1},
+        }});
+
+    // POST /cart.
+    b.flow("post-cart", 3.0,
+        {fe_cart_post, {
+            {cat_sku, {{cat_db_q, {}}}},
+            {ca_add, {{cdb_upd, {}}}, 1},
+        }});
+
+    // GET /login + order history page.
+    b.flow("login-history", 2.0,
+        {fe_login, {
+            {us_login, {{udb_user, {}}}},
+            {or_history, {
+                {odb_find, {}},
+                {us_cust, {{udb_user, {}}}, 1},
+            }, 1},
+        }});
+
+    return b.build();
+}
+
+AppConfig
+socialNetworkConfig()
+{
+    AppBuilder b("socialnetwork");
+    b.service("nginx", Tier::Frontend, 3);
+    b.service("compose-post", Tier::Middleware, 2);
+    b.service("home-timeline", Tier::Middleware, 2);
+    b.service("user-timeline", Tier::Middleware, 2);
+    b.service("text", Tier::Middleware, 2);
+    b.service("user", Tier::Middleware, 2);
+    b.service("media", Tier::Middleware, 2);
+    b.service("unique-id", Tier::Middleware, 2);
+    b.service("url-shorten", Tier::Middleware, 2);
+    b.service("user-mention", Tier::Middleware, 2);
+    b.service("post-storage", Tier::Backend, 2);
+    b.service("social-graph", Tier::Backend, 2);
+    b.service("write-home-timeline", Tier::Backend, 2);
+    b.service("media-filter", Tier::Backend, 1);
+    b.service("text-filter", Tier::Backend, 1);
+    b.service("user-memcached", Tier::Leaf, 1);
+    b.service("user-mongodb", Tier::Leaf, 1);
+    b.service("post-memcached", Tier::Leaf, 1);
+    b.service("post-mongodb", Tier::Leaf, 1);
+    b.service("user-timeline-redis", Tier::Leaf, 1);
+    b.service("user-timeline-mongodb", Tier::Leaf, 1);
+    b.service("home-timeline-redis", Tier::Leaf, 1);
+    b.service("social-graph-redis", Tier::Leaf, 1);
+    b.service("social-graph-mongodb", Tier::Leaf, 1);
+    b.service("url-shorten-mongodb", Tier::Leaf, 1);
+    b.service("media-mongodb", Tier::Leaf, 1);
+
+    int ngx_compose = b.rpc("nginx", "POST /wrk2-api/post/compose", 5.9);
+    int ngx_home = b.rpc("nginx", "GET /wrk2-api/home-timeline", 5.6);
+    int ngx_user = b.rpc("nginx", "GET /wrk2-api/user-timeline", 5.6);
+    int ngx_follow = b.rpc("nginx", "POST /wrk2-api/user/follow", 5.5);
+
+    int cp_compose = b.rpc("compose-post", "ComposePost", 5.9);
+    int uid_gen = b.rpc("unique-id", "ComposeUniqueId", 4.8);
+    int media_cmp = b.rpc("media", "ComposeMedia", 5.2);
+    int media_filter = b.rpc("media-filter", "FilterMedia", 5.8);
+    int media_store = b.rpc("media-mongodb", "InsertMedia", 5.6,
+                            Resource::Disk);
+    int user_cmp = b.rpc("user", "ComposeCreatorWithUserId", 5.0);
+    int user_mmc = b.rpc("user-memcached", "GetUser", 4.6,
+                         Resource::Memory);
+    int user_mongo = b.rpc("user-mongodb", "FindUser", 5.6,
+                           Resource::Disk);
+    int text_cmp = b.rpc("text", "ComposeText", 5.3);
+    int text_filter = b.rpc("text-filter", "FilterText", 5.5);
+    int url_short = b.rpc("url-shorten", "ComposeUrls", 5.0);
+    int url_mongo = b.rpc("url-shorten-mongodb", "InsertUrls", 5.5,
+                          Resource::Disk);
+    int um_compose = b.rpc("user-mention", "ComposeUserMentions", 5.0);
+    int ps_store = b.rpc("post-storage", "StorePost", 5.4);
+    int ps_mmc = b.rpc("post-memcached", "SetPost", 4.6,
+                       Resource::Memory);
+    int ps_mongo = b.rpc("post-mongodb", "InsertPost", 5.8,
+                         Resource::Disk);
+    int ps_read = b.rpc("post-storage", "ReadPosts", 5.5);
+    int ps_mmc_get = b.rpc("post-memcached", "GetPosts", 4.7,
+                           Resource::Memory);
+    int ps_mongo_find = b.rpc("post-mongodb", "FindPosts", 6.0,
+                              Resource::Disk);
+    int ut_write = b.rpc("user-timeline", "WriteUserTimeline", 5.2);
+    int ut_read = b.rpc("user-timeline", "ReadUserTimeline", 5.4);
+    int ut_redis = b.rpc("user-timeline-redis", "ZAddPost", 4.6,
+                         Resource::Memory);
+    int ut_redis_get = b.rpc("user-timeline-redis", "ZRangePosts", 4.7,
+                             Resource::Memory);
+    int ut_mongo = b.rpc("user-timeline-mongodb", "UpsertTimeline", 5.7,
+                         Resource::Disk);
+    int wht_write = b.rpc("write-home-timeline", "FanoutHomeTimelines",
+                          5.6);
+    int ht_redis = b.rpc("home-timeline-redis", "ZAddPostFanout", 4.8,
+                         Resource::Memory);
+    int ht_redis_get = b.rpc("home-timeline-redis", "ZRangeHome", 4.7,
+                             Resource::Memory);
+    int ht_read = b.rpc("home-timeline", "ReadHomeTimeline", 5.4);
+    int sg_followers = b.rpc("social-graph", "GetFollowers", 5.2);
+    int sg_follow = b.rpc("social-graph", "Follow", 5.3);
+    int sg_redis = b.rpc("social-graph-redis", "SMembersFollowers", 4.7,
+                         Resource::Memory);
+    int sg_mongo = b.rpc("social-graph-mongodb", "UpdateGraph", 5.7,
+                         Resource::Disk);
+
+    // ComposePost: the most complex API (31 spans, depth 9 in paper).
+    b.flow("compose-post", 2.0,
+        {ngx_compose, {
+            {cp_compose, {
+                {uid_gen, {}, 0},
+                {media_cmp, {{media_filter, {}}}, 0},
+                {user_cmp, {{user_mmc, {}}}, 0},
+                {text_cmp, {
+                    {url_short, {{url_mongo, {}}}, 0},
+                    {um_compose, {{user_mongo, {}}}, 0},
+                }, 0},
+                {ps_store, {{ps_mongo, {}}}, 1},
+                {ut_write, {{ut_redis, {}}}, 1},
+                {wht_write, {
+                    {sg_followers, {{sg_redis, {}}}, 0},
+                    {ht_redis, {}, 1},
+                }, 1, true},
+            }},
+        }});
+
+    // ReadHomeTimeline.
+    b.flow("read-home", 6.0,
+        {ngx_home, {
+            {ht_read, {
+                {ht_redis_get, {}},
+                {ps_read, {
+                    {ps_mmc_get, {}},
+                    {ps_mongo_find, {}, 1},
+                }, 1},
+                {user_cmp, {{user_mmc, {}}}, 1},
+            }},
+        }});
+
+    // ReadUserTimeline.
+    b.flow("read-user", 4.0,
+        {ngx_user, {
+            {ut_read, {
+                {ut_redis_get, {}},
+                {ps_read, {{ps_mmc_get, {}}, {ps_mongo_find, {}, 1}}, 1},
+            }},
+        }});
+
+    // Media upload pipeline (covers the remaining operations).
+    b.flow("upload-media", 1.0,
+        {ngx_compose, {
+            {media_cmp, {
+                {media_filter, {}, 0},
+                {media_store, {}, 1},
+            }},
+            {text_cmp, {{text_filter, {}}}, 1},
+            {ps_store, {{ps_mmc, {}}}, 1},
+            {ut_write, {{ut_mongo, {}}}, 2},
+        }});
+
+    // Follow.
+    b.flow("follow", 1.5,
+        {ngx_follow, {
+            {sg_follow, {
+                {user_mmc, {{user_mongo, {}}}},
+                {sg_mongo, {}, 1},
+                {sg_redis, {}, 1},
+            }},
+        }});
+
+    return b.build();
+}
+
+} // namespace sleuth::synth

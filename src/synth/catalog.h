@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file
+ * Hand-written application models of the open-source benchmarks the
+ * paper evaluates (§6.1.1): SockShop (11 services, 58 RPCs, POST /orders
+ * reaching 57 spans at depth 9) and DeathStarBench SocialNetwork
+ * (26 services, 61 RPCs, ComposePost reaching 31 spans at depth 9).
+ * The topologies approximate the real applications' RPC dependency
+ * graphs; the simulator executes them exactly like generated apps.
+ */
+
+#include "synth/config.h"
+
+namespace sleuth::synth {
+
+/** The SockShop demo application model. */
+AppConfig sockShopConfig();
+
+/** The DeathStarBench SocialNetwork application model. */
+AppConfig socialNetworkConfig();
+
+} // namespace sleuth::synth

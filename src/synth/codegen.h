@@ -1,0 +1,36 @@
+#pragma once
+
+/**
+ * @file
+ * Deployable-artifact generation (paper §5.2): from an AppConfig, emit
+ * a gRPC proto definition, a C++ service skeleton per microservice
+ * (with OpenTelemetry-style span emission, Consul registration hooks
+ * and the configured workload kernels), a Kubernetes manifest per
+ * service, and a docker-compose file for local runs. The files are
+ * returned in memory; callers write them wherever they deploy from.
+ */
+
+#include <string>
+#include <vector>
+
+#include "synth/config.h"
+
+namespace sleuth::synth {
+
+/** One emitted artifact. */
+struct GeneratedFile
+{
+    /** Relative path under the output tree. */
+    std::string path;
+    /** Full file contents. */
+    std::string contents;
+};
+
+/** Emit every deployment artifact for an application. */
+std::vector<GeneratedFile> generateCode(const AppConfig &app);
+
+/** Write generated files under a root directory (creates directories). */
+void writeFiles(const std::vector<GeneratedFile> &files,
+                const std::string &root);
+
+} // namespace sleuth::synth

@@ -1,0 +1,280 @@
+#include "config.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace sleuth::synth {
+
+const char *
+toString(Tier tier)
+{
+    switch (tier) {
+      case Tier::Frontend: return "frontend";
+      case Tier::Middleware: return "middleware";
+      case Tier::Backend: return "backend";
+      case Tier::Leaf: return "leaf";
+    }
+    util::panic("invalid tier");
+}
+
+Tier
+tierFromString(const std::string &s)
+{
+    if (s == "frontend")
+        return Tier::Frontend;
+    if (s == "middleware")
+        return Tier::Middleware;
+    if (s == "backend")
+        return Tier::Backend;
+    if (s == "leaf")
+        return Tier::Leaf;
+    util::fatal("unknown tier '", s, "'");
+}
+
+const char *
+toString(Resource r)
+{
+    switch (r) {
+      case Resource::Cpu: return "cpu";
+      case Resource::Memory: return "memory";
+      case Resource::Disk: return "disk";
+      case Resource::Network: return "network";
+    }
+    util::panic("invalid resource");
+}
+
+Resource
+resourceFromString(const std::string &s)
+{
+    if (s == "cpu")
+        return Resource::Cpu;
+    if (s == "memory")
+        return Resource::Memory;
+    if (s == "disk")
+        return Resource::Disk;
+    if (s == "network")
+        return Resource::Network;
+    util::fatal("unknown resource '", s, "'");
+}
+
+void
+AppConfig::validate() const
+{
+    if (services.empty())
+        util::fatal("app '", name, "': no services");
+    if (rpcs.empty())
+        util::fatal("app '", name, "': no rpcs");
+    if (flows.empty())
+        util::fatal("app '", name, "': no flows");
+    for (size_t i = 0; i < services.size(); ++i) {
+        if (services[i].id != static_cast<int>(i))
+            util::fatal("app '", name, "': service ids must be dense");
+        if (services[i].replicas < 1)
+            util::fatal("app '", name, "': service '", services[i].name,
+                        "' needs >= 1 replica");
+    }
+    for (size_t i = 0; i < rpcs.size(); ++i) {
+        if (rpcs[i].id != static_cast<int>(i))
+            util::fatal("app '", name, "': rpc ids must be dense");
+        if (rpcs[i].serviceId < 0 ||
+            rpcs[i].serviceId >= static_cast<int>(services.size()))
+            util::fatal("app '", name, "': rpc '", rpcs[i].name,
+                        "' references unknown service");
+    }
+    for (const FlowConfig &f : flows) {
+        if (f.nodes.empty())
+            util::fatal("app '", name, "': flow '", f.name, "' is empty");
+        if (f.root < 0 || f.root >= static_cast<int>(f.nodes.size()))
+            util::fatal("app '", name, "': flow '", f.name,
+                        "' has invalid root");
+        std::vector<int> indegree(f.nodes.size(), 0);
+        for (const CallNode &nd : f.nodes) {
+            if (nd.rpcId < 0 ||
+                nd.rpcId >= static_cast<int>(rpcs.size()))
+                util::fatal("app '", name, "': flow '", f.name,
+                            "' references unknown rpc");
+            for (int c : nd.children) {
+                if (c < 0 || c >= static_cast<int>(f.nodes.size()))
+                    util::fatal("app '", name, "': flow '", f.name,
+                                "' has invalid child index");
+                ++indegree[static_cast<size_t>(c)];
+            }
+        }
+        for (size_t i = 0; i < f.nodes.size(); ++i) {
+            int expected = static_cast<int>(i) == f.root ? 0 : 1;
+            if (indegree[i] != expected)
+                util::fatal("app '", name, "': flow '", f.name,
+                            "' node ", i, " has in-degree ", indegree[i],
+                            " (call trees require ", expected, ")");
+        }
+    }
+}
+
+size_t
+AppConfig::maxFlowNodes() const
+{
+    size_t best = 0;
+    for (const FlowConfig &f : flows)
+        best = std::max(best, f.nodes.size());
+    return best;
+}
+
+int
+AppConfig::maxFlowDepth() const
+{
+    int best = 0;
+    for (const FlowConfig &f : flows) {
+        // Iterative DFS with depths.
+        std::vector<std::pair<int, int>> stack = {{f.root, 1}};
+        while (!stack.empty()) {
+            auto [node, depth] = stack.back();
+            stack.pop_back();
+            best = std::max(best, depth);
+            for (int c : f.nodes[static_cast<size_t>(node)].children)
+                stack.emplace_back(c, depth + 1);
+        }
+    }
+    return best;
+}
+
+int
+AppConfig::maxFanout() const
+{
+    size_t best = 0;
+    for (const FlowConfig &f : flows)
+        for (const CallNode &nd : f.nodes)
+            best = std::max(best, nd.children.size());
+    return static_cast<int>(best);
+}
+
+namespace {
+
+util::Json
+kernelToJson(const KernelConfig &k)
+{
+    util::Json j = util::Json::object();
+    j.set("resource", toString(k.resource));
+    j.set("logMu", k.logMu);
+    j.set("logSigma", k.logSigma);
+    return j;
+}
+
+KernelConfig
+kernelFromJson(const util::Json &j)
+{
+    KernelConfig k;
+    k.resource = resourceFromString(j.at("resource").asString());
+    k.logMu = j.at("logMu").asNumber();
+    k.logSigma = j.at("logSigma").asNumber();
+    return k;
+}
+
+} // namespace
+
+util::Json
+toJson(const AppConfig &app)
+{
+    util::Json doc = util::Json::object();
+    doc.set("name", app.name);
+    doc.set("network", kernelToJson(app.network));
+
+    util::Json services = util::Json::array();
+    for (const ServiceConfig &s : app.services) {
+        util::Json j = util::Json::object();
+        j.set("id", s.id);
+        j.set("name", s.name);
+        j.set("tier", toString(s.tier));
+        j.set("replicas", s.replicas);
+        services.push(std::move(j));
+    }
+    doc.set("services", std::move(services));
+
+    util::Json rpcs = util::Json::array();
+    for (const RpcConfig &r : app.rpcs) {
+        util::Json j = util::Json::object();
+        j.set("id", r.id);
+        j.set("serviceId", r.serviceId);
+        j.set("name", r.name);
+        j.set("startKernel", kernelToJson(r.startKernel));
+        j.set("endKernel", kernelToJson(r.endKernel));
+        j.set("baseErrorProb", r.baseErrorProb);
+        j.set("timeoutUs", r.timeoutUs);
+        rpcs.push(std::move(j));
+    }
+    doc.set("rpcs", std::move(rpcs));
+
+    util::Json flows = util::Json::array();
+    for (const FlowConfig &f : app.flows) {
+        util::Json j = util::Json::object();
+        j.set("name", f.name);
+        j.set("root", f.root);
+        j.set("weight", f.weight);
+        j.set("sloUs", f.sloUs);
+        util::Json nodes = util::Json::array();
+        for (const CallNode &nd : f.nodes) {
+            util::Json nj = util::Json::object();
+            nj.set("rpcId", nd.rpcId);
+            nj.set("async", nd.async);
+            nj.set("stage", nd.stage);
+            util::Json kids = util::Json::array();
+            for (int c : nd.children)
+                kids.push(c);
+            nj.set("children", std::move(kids));
+            nodes.push(std::move(nj));
+        }
+        j.set("nodes", std::move(nodes));
+        flows.push(std::move(j));
+    }
+    doc.set("flows", std::move(flows));
+    return doc;
+}
+
+AppConfig
+appFromJson(const util::Json &doc)
+{
+    AppConfig app;
+    app.name = doc.at("name").asString();
+    app.network = kernelFromJson(doc.at("network"));
+    for (const util::Json &j : doc.at("services").asArray()) {
+        ServiceConfig s;
+        s.id = static_cast<int>(j.at("id").asInt());
+        s.name = j.at("name").asString();
+        s.tier = tierFromString(j.at("tier").asString());
+        s.replicas = static_cast<int>(j.at("replicas").asInt());
+        app.services.push_back(std::move(s));
+    }
+    for (const util::Json &j : doc.at("rpcs").asArray()) {
+        RpcConfig r;
+        r.id = static_cast<int>(j.at("id").asInt());
+        r.serviceId = static_cast<int>(j.at("serviceId").asInt());
+        r.name = j.at("name").asString();
+        r.startKernel = kernelFromJson(j.at("startKernel"));
+        r.endKernel = kernelFromJson(j.at("endKernel"));
+        r.baseErrorProb = j.at("baseErrorProb").asNumber();
+        r.timeoutUs = j.at("timeoutUs").asInt();
+        app.rpcs.push_back(std::move(r));
+    }
+    for (const util::Json &j : doc.at("flows").asArray()) {
+        FlowConfig f;
+        f.name = j.at("name").asString();
+        f.root = static_cast<int>(j.at("root").asInt());
+        f.weight = j.at("weight").asNumber();
+        f.sloUs = j.at("sloUs").asInt();
+        for (const util::Json &nj : j.at("nodes").asArray()) {
+            CallNode nd;
+            nd.rpcId = static_cast<int>(nj.at("rpcId").asInt());
+            nd.async = nj.at("async").asBool();
+            nd.stage = static_cast<int>(nj.at("stage").asInt());
+            for (const util::Json &c : nj.at("children").asArray())
+                nd.children.push_back(static_cast<int>(c.asInt()));
+            f.nodes.push_back(std::move(nd));
+        }
+        app.flows.push_back(std::move(f));
+    }
+    app.validate();
+    return app;
+}
+
+} // namespace sleuth::synth

@@ -1,0 +1,143 @@
+#pragma once
+
+/**
+ * @file
+ * Configuration model for synthetic microservice applications (paper §5).
+ *
+ * An AppConfig fully describes a microservice application: its services
+ * (with tier and replica counts), its RPCs (with local-workload kernels,
+ * error rates and timeouts), and its operation flows (call trees with
+ * per-parent execution stages encoding sequential/parallel/async child
+ * invocation). The same model drives the trace simulator, the code
+ * generator, and the service-update mutations of the Fig. 6 experiment.
+ */
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sleuth::synth {
+
+/** Service tier — determines placement in the RPC dependency graph. */
+enum class Tier { Frontend, Middleware, Backend, Leaf };
+
+/** Render a tier name. */
+const char *toString(Tier tier);
+
+/** Parse a tier name; fatal() on unknown input. */
+Tier tierFromString(const std::string &s);
+
+/**
+ * Hardware/OS resource a local-workload kernel stresses (paper §5.1.4).
+ * Chaos faults of the matching resource inflate these kernels.
+ */
+enum class Resource { Cpu, Memory, Disk, Network };
+
+/** Render a resource name. */
+const char *toString(Resource r);
+
+/** Parse a resource name; fatal() on unknown input. */
+Resource resourceFromString(const std::string &s);
+
+/**
+ * A local execution kernel: log-normally distributed service time on
+ * one resource. Inserted at the start and end of each RPC handler.
+ */
+struct KernelConfig
+{
+    Resource resource = Resource::Cpu;
+    /** Mean of the underlying normal (natural log of microseconds). */
+    double logMu = 5.0;
+    /** Stddev of the underlying normal. */
+    double logSigma = 0.5;
+};
+
+/** One microservice. */
+struct ServiceConfig
+{
+    int id = 0;
+    std::string name;
+    Tier tier = Tier::Middleware;
+    /** Pod replicas deployed for this service. */
+    int replicas = 1;
+};
+
+/** One RPC (operation) exposed by a service. */
+struct RpcConfig
+{
+    int id = 0;
+    int serviceId = 0;
+    std::string name;
+    /** Request-processing kernel before child calls. */
+    KernelConfig startKernel;
+    /** Response-processing kernel after child calls. */
+    KernelConfig endKernel;
+    /** Intrinsic probability of an exclusive error. */
+    double baseErrorProb = 0.0;
+    /** Client-side timeout for calls to this RPC (0 = none). */
+    int64_t timeoutUs = 0;
+};
+
+/**
+ * One invocation in an operation flow's call tree. The execution graph
+ * of a parent's children (paper §5.1.3) is encoded as barrier stages:
+ * children in stage s start only after every synchronous child in
+ * stages < s has completed; children sharing a stage run in parallel.
+ * Asynchronous children are dispatched in their stage but never block.
+ */
+struct CallNode
+{
+    /** The RPC this node invokes. */
+    int rpcId = 0;
+    /** Asynchronous (producer/consumer) instead of client/server. */
+    bool async = false;
+    /** Barrier stage among this node's siblings. */
+    int stage = 0;
+    /** Child node indices (into FlowConfig::nodes). */
+    std::vector<int> children;
+};
+
+/** One operation flow: a call tree rooted at an entry RPC. */
+struct FlowConfig
+{
+    std::string name;
+    /** Root node index. */
+    int root = 0;
+    std::vector<CallNode> nodes;
+    /** Relative frequency in the workload mix. */
+    double weight = 1.0;
+    /** Latency SLO for this flow in microseconds (0 = uncalibrated). */
+    int64_t sloUs = 0;
+};
+
+/** A complete synthetic microservice application. */
+struct AppConfig
+{
+    std::string name;
+    std::vector<ServiceConfig> services;
+    std::vector<RpcConfig> rpcs;
+    std::vector<FlowConfig> flows;
+    /** Network one-way latency kernel applied to every RPC hop. */
+    KernelConfig network{Resource::Network, 3.9, 0.3};  // ~50us typical
+
+    /** Validate referential integrity; fatal() with a reason if broken. */
+    void validate() const;
+
+    /** Number of call-tree nodes in the largest flow. */
+    size_t maxFlowNodes() const;
+
+    /** Depth of the deepest call tree (root = 1). */
+    int maxFlowDepth() const;
+
+    /** Largest child count of any call node. */
+    int maxFanout() const;
+};
+
+/** Serialize an application config. */
+util::Json toJson(const AppConfig &app);
+
+/** Deserialize an application config; fatal() on malformed input. */
+AppConfig appFromJson(const util::Json &doc);
+
+} // namespace sleuth::synth

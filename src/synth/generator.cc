@@ -1,0 +1,379 @@
+#include "generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sleuth::synth {
+
+namespace {
+
+int
+tierRank(Tier t)
+{
+    switch (t) {
+      case Tier::Frontend: return 0;
+      case Tier::Middleware: return 1;
+      case Tier::Backend: return 2;
+      case Tier::Leaf: return 3;
+    }
+    util::panic("invalid tier");
+}
+
+const std::vector<std::string> &
+serviceWords(int vocabulary)
+{
+    static const std::vector<std::string> realistic = {
+        "frontend", "gateway", "auth", "user", "order", "cart",
+        "payment", "shipping", "catalog", "search", "recommend",
+        "inventory", "pricing", "review", "media", "social", "timeline",
+        "notify", "session", "profile", "checkout", "wishlist", "geo",
+        "ledger", "billing", "fraud", "email", "config", "feature",
+        "metrics", "report", "export", "import", "quota", "rate",
+        "token", "identity", "campaign", "coupon", "loyalty", "return",
+        "refund", "warehouse", "delivery", "route", "driver", "chat",
+        "feed", "follow", "post", "comment", "like", "tag", "upload",
+        "resize", "encode", "stream", "archive", "audit", "policy",
+        "cache", "store", "index", "queue", "broker", "registry",
+    };
+    if (vocabulary == 0)
+        return realistic;
+    // Disjoint synthetic vocabularies for the Fig. 8 experiment.
+    static std::vector<std::vector<std::string>> cache_by_tag;
+    size_t tag = static_cast<size_t>(vocabulary);
+    if (cache_by_tag.size() <= tag)
+        cache_by_tag.resize(tag + 1);
+    if (cache_by_tag[tag].empty()) {
+        util::Rng rng(0xF00Du + tag * 977u);
+        for (int i = 0; i < 64; ++i) {
+            std::string w = "zx";
+            int len = static_cast<int>(rng.uniformInt(4, 8));
+            for (int c = 0; c < len; ++c)
+                w.push_back(static_cast<char>('a' + rng.uniformInt(0, 25)));
+            cache_by_tag[tag].push_back(w);
+        }
+    }
+    return cache_by_tag[tag];
+}
+
+const std::vector<std::string> &
+verbWords(int vocabulary)
+{
+    static const std::vector<std::string> realistic = {
+        "Get", "List", "Create", "Update", "Delete", "Query", "Scan",
+        "Put", "Fetch", "Compose", "Render", "Validate", "Publish",
+        "Consume", "Sync", "Resolve", "Lookup", "Aggregate",
+    };
+    if (vocabulary == 0)
+        return realistic;
+    static std::vector<std::vector<std::string>> cache_by_tag;
+    size_t tag = static_cast<size_t>(vocabulary);
+    if (cache_by_tag.size() <= tag)
+        cache_by_tag.resize(tag + 1);
+    if (cache_by_tag[tag].empty()) {
+        util::Rng rng(0xBEEFu + tag * 1013u);
+        for (int i = 0; i < 18; ++i) {
+            std::string w = "Q";
+            int len = static_cast<int>(rng.uniformInt(3, 6));
+            for (int c = 0; c < len; ++c)
+                w.push_back(static_cast<char>('a' + rng.uniformInt(0, 25)));
+            cache_by_tag[tag].push_back(w);
+        }
+    }
+    return cache_by_tag[tag];
+}
+
+Resource
+kernelResourceForTier(Tier t, util::Rng &rng)
+{
+    switch (t) {
+      case Tier::Frontend:
+        return rng.bernoulli(0.7) ? Resource::Cpu : Resource::Network;
+      case Tier::Middleware:
+        return rng.bernoulli(0.6) ? Resource::Cpu : Resource::Memory;
+      case Tier::Backend:
+        return rng.bernoulli(0.5) ? Resource::Memory : Resource::Disk;
+      case Tier::Leaf:
+        return rng.bernoulli(0.7) ? Resource::Disk : Resource::Memory;
+    }
+    util::panic("invalid tier");
+}
+
+/** A call tree under construction. */
+struct TreeBuilder
+{
+    FlowConfig flow;
+    std::vector<int> depth;   // per node
+    std::vector<int> rank;    // tier rank per node
+
+    int
+    addNode(int rpc_id, int rpc_rank, int parent, int at_depth)
+    {
+        CallNode nd;
+        nd.rpcId = rpc_id;
+        flow.nodes.push_back(nd);
+        int id = static_cast<int>(flow.nodes.size()) - 1;
+        depth.push_back(at_depth);
+        rank.push_back(rpc_rank);
+        if (parent >= 0)
+            flow.nodes[static_cast<size_t>(parent)].children.push_back(id);
+        return id;
+    }
+};
+
+} // namespace
+
+GeneratorParams
+syntheticParams(int num_rpcs, uint64_t seed)
+{
+    GeneratorParams p;
+    p.numRpcs = num_rpcs;
+    p.name = "synthetic-" + std::to_string(num_rpcs);
+    p.seed = seed;
+    p.numServices = std::max(2, num_rpcs / 4);
+    if (num_rpcs <= 16) {
+        p.maxDepth = 3;
+        p.maxOutDegree = 4;
+        p.numFlows = 3;
+    } else if (num_rpcs <= 64) {
+        p.maxDepth = 7;
+        p.maxOutDegree = 7;
+        p.numFlows = 4;
+    } else if (num_rpcs <= 256) {
+        p.maxDepth = 15;
+        p.maxOutDegree = 14;
+        p.numFlows = 6;
+    } else {
+        p.maxDepth = 15;
+        p.maxOutDegree = 24;
+        p.numFlows = 8;
+    }
+    return p;
+}
+
+AppConfig
+generateApp(const GeneratorParams &params)
+{
+    SLEUTH_ASSERT(params.numRpcs >= 2, "need at least two rpcs");
+    util::Rng rng(params.seed ^ 0x51e07au);
+
+    AppConfig app;
+    app.name = params.name;
+    int n_services = params.numServices > 0
+        ? params.numServices
+        : std::max(2, params.numRpcs / 4);
+    n_services = std::min(n_services, params.numRpcs);
+
+    // --- Services across tiers (paper §5.1.1). ---
+    int n_frontend = std::max(1, n_services / 16);
+    int n_leaf = std::max(1, n_services / 3);
+    int n_backend = std::max(1, n_services / 4);
+    int n_middleware =
+        std::max(1, n_services - n_frontend - n_leaf - n_backend);
+    const std::vector<std::string> &words =
+        serviceWords(params.vocabulary);
+    auto make_services = [&](int count, Tier tier) {
+        for (int i = 0; i < count; ++i) {
+            ServiceConfig s;
+            s.id = static_cast<int>(app.services.size());
+            const std::string &w = words[static_cast<size_t>(s.id) %
+                                         words.size()];
+            s.name = w + "-" + toString(tier);
+            if (static_cast<size_t>(s.id) >= words.size())
+                s.name += "-" + std::to_string(s.id / words.size());
+            s.tier = tier;
+            s.replicas = static_cast<int>(rng.uniformInt(1, 3));
+            app.services.push_back(std::move(s));
+        }
+    };
+    make_services(n_frontend, Tier::Frontend);
+    make_services(n_middleware, Tier::Middleware);
+    make_services(n_backend, Tier::Backend);
+    make_services(n_leaf, Tier::Leaf);
+    n_services = static_cast<int>(app.services.size());
+
+    // --- RPC allocation: every service gets one, the rest spread. ---
+    const std::vector<std::string> &verbs = verbWords(params.vocabulary);
+    std::vector<int> rpc_count(static_cast<size_t>(n_services), 1);
+    for (int extra = params.numRpcs - n_services; extra > 0; --extra)
+        ++rpc_count[static_cast<size_t>(
+            rng.uniformInt(0, n_services - 1))];
+    for (int sid = 0; sid < n_services; ++sid) {
+        const ServiceConfig &svc = app.services[static_cast<size_t>(sid)];
+        for (int k = 0; k < rpc_count[static_cast<size_t>(sid)]; ++k) {
+            RpcConfig r;
+            r.id = static_cast<int>(app.rpcs.size());
+            r.serviceId = sid;
+            std::string noun = svc.name.substr(0, svc.name.find('-'));
+            noun[0] = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(noun[0])));
+            r.name = verbs[static_cast<size_t>(
+                         rng.uniformInt(0,
+                                        static_cast<int64_t>(
+                                            verbs.size()) - 1))] +
+                     noun;
+            if (k > 0)
+                r.name += "V" + std::to_string(k);
+            double mu = params.kernelLogMu + rng.uniform(-0.7, 0.7);
+            r.startKernel = {kernelResourceForTier(svc.tier, rng), mu,
+                             params.kernelLogSigma};
+            r.endKernel = {kernelResourceForTier(svc.tier, rng),
+                           mu - 0.8, params.kernelLogSigma};
+            r.baseErrorProb = params.baseErrorProb;
+            double typical = std::exp(mu) + std::exp(mu - 0.8);
+            r.timeoutUs = static_cast<int64_t>(
+                typical * params.timeoutFactor *
+                static_cast<double>(params.maxDepth));
+            app.rpcs.push_back(std::move(r));
+        }
+    }
+
+    auto rpc_rank = [&](int rpc_id) {
+        return tierRank(app.services[static_cast<size_t>(
+            app.rpcs[static_cast<size_t>(rpc_id)].serviceId)].tier);
+    };
+    std::vector<int> frontend_rpcs;
+    for (const RpcConfig &r : app.rpcs)
+        if (rpc_rank(r.id) == 0)
+            frontend_rpcs.push_back(r.id);
+    SLEUTH_ASSERT(!frontend_rpcs.empty());
+
+    // Attach a node for rpc under a compatible parent: parent depth <
+    // maxDepth, parent fanout < maxOutDegree, parent not leaf-tier, and
+    // parent rank <= child rank (requests flow front to back).
+    auto attach = [&](TreeBuilder &tb, int rpc_id) {
+        int rk = rpc_rank(rpc_id);
+        std::vector<int> candidates;
+        std::vector<double> weights;
+        for (size_t i = 0; i < tb.flow.nodes.size(); ++i) {
+            if (tb.depth[i] >= params.maxDepth)
+                continue;
+            if (static_cast<int>(tb.flow.nodes[i].children.size()) >=
+                params.maxOutDegree)
+                continue;
+            if (tb.rank[i] >= 3)  // leaf-tier rpcs are terminal
+                continue;
+            if (tb.rank[i] > rk)
+                continue;
+            candidates.push_back(static_cast<int>(i));
+            // Prefer parents one rank above and moderately deep.
+            double w = (tb.rank[i] == rk || tb.rank[i] == rk - 1)
+                ? 4.0 : 1.0;
+            weights.push_back(w);
+        }
+        if (candidates.empty()) {
+            // Relax the rank constraint (keeps generation total).
+            for (size_t i = 0; i < tb.flow.nodes.size(); ++i) {
+                if (tb.depth[i] >= params.maxDepth)
+                    continue;
+                if (static_cast<int>(tb.flow.nodes[i].children.size()) >=
+                    params.maxOutDegree)
+                    continue;
+                if (tb.rank[i] >= 3)
+                    continue;
+                candidates.push_back(static_cast<int>(i));
+                weights.push_back(1.0);
+            }
+        }
+        SLEUTH_ASSERT(!candidates.empty(), "cannot grow call tree: ",
+                      "depth/out-degree limits too tight");
+        int parent = candidates[rng.weightedIndex(weights)];
+        return tb.addNode(rpc_id, rk, parent,
+                          tb.depth[static_cast<size_t>(parent)] + 1);
+    };
+
+    auto finalize_flow = [&](TreeBuilder &tb) {
+        // Assign barrier stages among each node's children and flag
+        // async children.
+        for (CallNode &nd : tb.flow.nodes) {
+            size_t k = nd.children.size();
+            if (k == 0)
+                continue;
+            int stages = 1 + static_cast<int>(rng.uniformInt(
+                0, std::min<int64_t>(2, static_cast<int64_t>(k) - 1)));
+            for (int child : nd.children) {
+                CallNode &cn =
+                    tb.flow.nodes[static_cast<size_t>(child)];
+                cn.stage = static_cast<int>(
+                    rng.uniformInt(0, stages - 1));
+                cn.async = rng.bernoulli(params.asyncProb);
+            }
+        }
+    };
+
+    // --- The full flow covers every RPC exactly once (paper Table 1:
+    // the largest trace touches the whole dependency graph). ---
+    {
+        TreeBuilder tb;
+        tb.flow.name = "flow-full";
+        tb.flow.root = 0;
+        tb.flow.weight = 1.0;
+        std::vector<int> order;
+        for (const RpcConfig &r : app.rpcs)
+            order.push_back(r.id);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return rpc_rank(a) < rpc_rank(b);
+        });
+        // Seed a spine that realizes the target depth: take the first
+        // maxDepth rpcs in rank order and chain them.
+        int spine_len =
+            std::min<int>(params.maxDepth,
+                          static_cast<int>(order.size()));
+        int prev = -1;
+        std::vector<bool> used(app.rpcs.size(), false);
+        for (int d = 0; d < spine_len; ++d) {
+            // Pick the first unused rpc whose rank is feasible (leaf
+            // ranks only allowed at the spine end).
+            int chosen = -1;
+            for (int rid : order) {
+                if (used[static_cast<size_t>(rid)])
+                    continue;
+                if (d + 1 < spine_len && rpc_rank(rid) >= 3)
+                    continue;
+                chosen = rid;
+                break;
+            }
+            if (chosen < 0)
+                break;
+            used[static_cast<size_t>(chosen)] = true;
+            prev = tb.addNode(chosen, rpc_rank(chosen), prev, d + 1);
+        }
+        for (int rid : order) {
+            if (used[static_cast<size_t>(rid)])
+                continue;
+            attach(tb, rid);
+        }
+        finalize_flow(tb);
+        app.flows.push_back(std::move(tb.flow));
+    }
+
+    // --- Additional smaller flows reuse random subsets of RPCs. ---
+    for (int f = 1; f < params.numFlows; ++f) {
+        TreeBuilder tb;
+        tb.flow.name = "flow-" + std::to_string(f);
+        tb.flow.root = 0;
+        tb.flow.weight = 3.0;  // small requests dominate the mix
+        int root_rpc = frontend_rpcs[static_cast<size_t>(
+            rng.uniformInt(0,
+                           static_cast<int64_t>(frontend_rpcs.size()) -
+                               1))];
+        tb.addNode(root_rpc, 0, -1, 1);
+        int target = std::max(3, params.numRpcs / 4);
+        for (int i = 1; i < target; ++i) {
+            int rid = static_cast<int>(
+                rng.uniformInt(0, static_cast<int64_t>(
+                                      app.rpcs.size()) - 1));
+            attach(tb, rid);
+        }
+        finalize_flow(tb);
+        app.flows.push_back(std::move(tb.flow));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace sleuth::synth

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Synthetic microservice benchmark generator (paper §5).
+ *
+ * Given a target scale, the generator allocates services across tiers,
+ * distributes RPCs to services, constructs an RPC call tree per
+ * operation flow (depth/fanout follow the Alibaba-trace shape
+ * characterization the paper cites), builds per-parent execution stages
+ * (sequential / parallel / async child invocation), and attaches
+ * log-normal local-workload kernels. The result can be simulated,
+ * mutated (service updates), serialized, or emitted as deployable code.
+ */
+
+#include <cstdint>
+
+#include "synth/config.h"
+
+namespace sleuth::synth {
+
+/** Generator knobs. Defaults produce a Synthetic-64-like application. */
+struct GeneratorParams
+{
+    std::string name = "synthetic";
+    /** Total number of RPCs (the paper's scale axis). */
+    int numRpcs = 64;
+    /** Number of services; 0 derives numRpcs / 4 as in the paper. */
+    int numServices = 0;
+    /** Number of operation flows (the largest covers every RPC). */
+    int numFlows = 4;
+    /** Maximum call-tree depth. */
+    int maxDepth = 7;
+    /** Maximum children per invocation. */
+    int maxOutDegree = 7;
+    /** Probability a child call is asynchronous. */
+    double asyncProb = 0.06;
+    /** Mean of ln(kernel microseconds). */
+    double kernelLogMu = 5.3;  // ~200us
+    /** Stddev of ln(kernel microseconds) — heavy tail. */
+    double kernelLogSigma = 0.6;
+    /** Intrinsic exclusive-error probability per RPC. */
+    double baseErrorProb = 0.0005;
+    /** Client timeout as a multiple of the RPC's typical latency. */
+    double timeoutFactor = 60.0;
+    /** Seed controlling every random choice. */
+    uint64_t seed = 1;
+    /**
+     * Vocabulary tag: generators with different tags draw service and
+     * RPC names from disjoint vocabularies (used by the Fig. 8
+     * semantic-sensitivity experiment).
+     */
+    int vocabulary = 0;
+};
+
+/**
+ * Convenience: parameters matching the paper's Synthetic-N benchmarks
+ * (N in {16, 64, 256, 1024}); other sizes interpolate sensibly.
+ */
+GeneratorParams syntheticParams(int num_rpcs, uint64_t seed = 1);
+
+/** Generate a synthetic application; the result is validate()d. */
+AppConfig generateApp(const GeneratorParams &params);
+
+} // namespace sleuth::synth

@@ -1,0 +1,254 @@
+#include "mutate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sleuth::synth {
+
+namespace {
+
+/** Index of the flow with the most nodes. */
+size_t
+largestFlow(const AppConfig &app)
+{
+    SLEUTH_ASSERT(!app.flows.empty());
+    size_t best = 0;
+    for (size_t i = 1; i < app.flows.size(); ++i)
+        if (app.flows[i].nodes.size() > app.flows[best].nodes.size())
+            best = i;
+    return best;
+}
+
+/** Call depth of every node of a flow (root = 1). */
+std::vector<int>
+nodeDepths(const FlowConfig &f)
+{
+    std::vector<int> depth(f.nodes.size(), 0);
+    std::vector<std::pair<int, int>> stack = {{f.root, 1}};
+    while (!stack.empty()) {
+        auto [node, d] = stack.back();
+        stack.pop_back();
+        depth[static_cast<size_t>(node)] = d;
+        for (int c : f.nodes[static_cast<size_t>(node)].children)
+            stack.emplace_back(c, d + 1);
+    }
+    return depth;
+}
+
+/** A fresh RPC for an added service. */
+RpcConfig
+makeRpc(const AppConfig &app, int service_id, const std::string &name,
+        util::Rng &rng)
+{
+    RpcConfig r;
+    r.id = static_cast<int>(app.rpcs.size());
+    r.serviceId = service_id;
+    r.name = name;
+    double mu = 5.3 + rng.uniform(-0.4, 0.4);
+    r.startKernel = {Resource::Cpu, mu, 0.6};
+    r.endKernel = {Resource::Cpu, mu - 0.8, 0.6};
+    r.baseErrorProb = 0.0005;
+    r.timeoutUs = static_cast<int64_t>(600.0 * std::exp(mu + 1.0));
+    return r;
+}
+
+} // namespace
+
+int
+serviceAtDepth(const AppConfig &app, int depth)
+{
+    const FlowConfig &f = app.flows[largestFlow(app)];
+    std::vector<int> depths = nodeDepths(f);
+    for (size_t i = 0; i < f.nodes.size(); ++i)
+        if (depths[i] == depth)
+            return app.rpcs[static_cast<size_t>(f.nodes[i].rpcId)]
+                .serviceId;
+    return -1;
+}
+
+void
+scaleServiceLatency(AppConfig &app, int service_id, double factor)
+{
+    SLEUTH_ASSERT(factor > 0.0);
+    SLEUTH_ASSERT(service_id >= 0 &&
+                  service_id < static_cast<int>(app.services.size()));
+    double shift = std::log(factor);
+    for (RpcConfig &r : app.rpcs) {
+        if (r.serviceId != service_id)
+            continue;
+        r.startKernel.logMu += shift;
+        r.endKernel.logMu += shift;
+    }
+}
+
+void
+removeService(AppConfig &app, int service_id)
+{
+    SLEUTH_ASSERT(service_id >= 0 &&
+                  service_id < static_cast<int>(app.services.size()));
+
+    // Old-to-new id maps after dropping the service and its rpcs.
+    std::vector<int> service_map(app.services.size(), -1);
+    {
+        int next = 0;
+        for (size_t i = 0; i < app.services.size(); ++i)
+            if (static_cast<int>(i) != service_id)
+                service_map[i] = next++;
+    }
+    std::vector<int> rpc_map(app.rpcs.size(), -1);
+    {
+        int next = 0;
+        for (size_t i = 0; i < app.rpcs.size(); ++i)
+            if (app.rpcs[i].serviceId != service_id)
+                rpc_map[i] = next++;
+    }
+
+    // Prune flows: rebuild each call tree skipping subtrees rooted at a
+    // removed rpc.
+    std::vector<FlowConfig> new_flows;
+    for (const FlowConfig &f : app.flows) {
+        if (rpc_map[static_cast<size_t>(
+                f.nodes[static_cast<size_t>(f.root)].rpcId)] < 0)
+            continue;  // entry rpc removed: flow disappears
+        FlowConfig nf;
+        nf.name = f.name;
+        nf.weight = f.weight;
+        nf.sloUs = f.sloUs;
+        // Recursive copy via explicit stack; returns new index or -1.
+        struct Item { int old_node; int new_parent; };
+        std::vector<Item> stack = {{f.root, -1}};
+        nf.root = 0;
+        while (!stack.empty()) {
+            Item it = stack.back();
+            stack.pop_back();
+            const CallNode &old_nd =
+                f.nodes[static_cast<size_t>(it.old_node)];
+            if (rpc_map[static_cast<size_t>(old_nd.rpcId)] < 0)
+                continue;  // prune this subtree
+            CallNode nd;
+            nd.rpcId = rpc_map[static_cast<size_t>(old_nd.rpcId)];
+            nd.async = old_nd.async;
+            nd.stage = old_nd.stage;
+            nf.nodes.push_back(nd);
+            int new_id = static_cast<int>(nf.nodes.size()) - 1;
+            if (it.new_parent >= 0)
+                nf.nodes[static_cast<size_t>(it.new_parent)]
+                    .children.push_back(new_id);
+            for (int c : old_nd.children)
+                stack.push_back({c, new_id});
+        }
+        new_flows.push_back(std::move(nf));
+    }
+    if (new_flows.empty())
+        util::fatal("removing service ", service_id,
+                    " would delete every flow");
+
+    std::vector<ServiceConfig> new_services;
+    for (const ServiceConfig &s : app.services) {
+        if (s.id == service_id)
+            continue;
+        ServiceConfig ns = s;
+        ns.id = service_map[static_cast<size_t>(s.id)];
+        new_services.push_back(std::move(ns));
+    }
+    std::vector<RpcConfig> new_rpcs;
+    for (const RpcConfig &r : app.rpcs) {
+        if (r.serviceId == service_id)
+            continue;
+        RpcConfig nr = r;
+        nr.id = rpc_map[static_cast<size_t>(r.id)];
+        nr.serviceId = service_map[static_cast<size_t>(r.serviceId)];
+        new_rpcs.push_back(std::move(nr));
+    }
+
+    app.services = std::move(new_services);
+    app.rpcs = std::move(new_rpcs);
+    app.flows = std::move(new_flows);
+    app.validate();
+}
+
+int
+addServiceAtDepth(AppConfig &app, int depth, const std::string &name,
+                  util::Rng &rng)
+{
+    SLEUTH_ASSERT(depth >= 2, "cannot add a service above the root");
+    ServiceConfig s;
+    s.id = static_cast<int>(app.services.size());
+    s.name = name;
+    s.tier = Tier::Middleware;
+    s.replicas = 2;
+    app.services.push_back(s);
+    RpcConfig r = makeRpc(app, s.id, "Handle" + name, rng);
+    app.rpcs.push_back(r);
+
+    FlowConfig &f = app.flows[largestFlow(app)];
+    std::vector<int> depths = nodeDepths(f);
+    std::vector<int> candidates;
+    for (size_t i = 0; i < f.nodes.size(); ++i)
+        if (depths[i] == depth - 1)
+            candidates.push_back(static_cast<int>(i));
+    SLEUTH_ASSERT(!candidates.empty(), "no call node at depth ",
+                  depth - 1);
+    int parent = candidates[static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(candidates.size()) - 1))];
+    CallNode nd;
+    nd.rpcId = r.id;
+    f.nodes.push_back(nd);
+    f.nodes[static_cast<size_t>(parent)].children.push_back(
+        static_cast<int>(f.nodes.size()) - 1);
+    app.validate();
+    return s.id;
+}
+
+std::vector<int>
+addServiceChains(AppConfig &app, int num_chains, int chain_len,
+                 util::Rng &rng)
+{
+    SLEUTH_ASSERT(num_chains > 0 && chain_len > 0);
+    std::vector<int> new_services;
+    FlowConfig &f = app.flows[largestFlow(app)];
+    std::vector<int> depths = nodeDepths(f);
+    int max_depth = *std::max_element(depths.begin(), depths.end());
+    int mid = std::max(1, max_depth / 2);
+
+    for (int c = 0; c < num_chains; ++c) {
+        std::vector<int> candidates;
+        for (size_t i = 0; i < f.nodes.size(); ++i)
+            if (depths[i] == mid)
+                candidates.push_back(static_cast<int>(i));
+        if (candidates.empty())
+            for (size_t i = 0; i < f.nodes.size(); ++i)
+                if (depths[i] == 1)
+                    candidates.push_back(static_cast<int>(i));
+        int parent = candidates[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(candidates.size()) - 1))];
+        for (int k = 0; k < chain_len; ++k) {
+            ServiceConfig s;
+            s.id = static_cast<int>(app.services.size());
+            s.name = "chain-" + std::to_string(c) + "-svc-" +
+                     std::to_string(k);
+            s.tier = Tier::Middleware;
+            s.replicas = 1;
+            app.services.push_back(s);
+            new_services.push_back(s.id);
+            RpcConfig r =
+                makeRpc(app, s.id, "HandleChain" + std::to_string(c) +
+                        "L" + std::to_string(k), rng);
+            app.rpcs.push_back(r);
+
+            CallNode nd;
+            nd.rpcId = r.id;
+            f.nodes.push_back(nd);
+            int node_id = static_cast<int>(f.nodes.size()) - 1;
+            f.nodes[static_cast<size_t>(parent)].children.push_back(
+                node_id);
+            parent = node_id;  // chain deeper
+        }
+    }
+    app.validate();
+    return new_services;
+}
+
+} // namespace sleuth::synth

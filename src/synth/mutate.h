@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Service-update mutations on application configs — the rolling updates
+ * of the Fig. 6 experiment: (A) inflate one service's processing time,
+ * (B) remove a service, (C) add a service at a given level, and (D) add
+ * chains of services in the middle of the RPC dependency graph.
+ */
+
+#include "synth/config.h"
+#include "util/rng.h"
+
+namespace sleuth::synth {
+
+/**
+ * Pick a service whose call node sits at the given call depth in the
+ * app's largest flow (root = depth 1). Returns -1 if none exists.
+ */
+int serviceAtDepth(const AppConfig &app, int depth);
+
+/**
+ * Update A: multiply the average processing time of every RPC of a
+ * service by `factor` (shifts the kernels' log-means by ln(factor)).
+ */
+void scaleServiceLatency(AppConfig &app, int service_id, double factor);
+
+/**
+ * Update B: remove a service entirely — its RPCs disappear and every
+ * call subtree rooted at one of them is pruned from every flow. Flows
+ * whose root vanishes are dropped. Service/RPC ids are re-densified.
+ * fatal() when removal would leave the app without flows.
+ */
+void removeService(AppConfig &app, int service_id);
+
+/**
+ * Update C: add a new middleware service with one RPC and attach an
+ * invocation of it under a node at `depth - 1` in the largest flow.
+ *
+ * @return the new service id
+ */
+int addServiceAtDepth(AppConfig &app, int depth, const std::string &name,
+                      util::Rng &rng);
+
+/**
+ * Update D: add `num_chains` chains of `chain_len` services each, every
+ * chain attached under a random mid-depth node of the largest flow.
+ *
+ * @return the ids of the new services
+ */
+std::vector<int> addServiceChains(AppConfig &app, int num_chains,
+                                  int chain_len, util::Rng &rng);
+
+} // namespace sleuth::synth

@@ -1,0 +1,59 @@
+#include "span.h"
+
+#include "util/logging.h"
+
+namespace sleuth::trace {
+
+const char *
+toString(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Client: return "client";
+      case SpanKind::Server: return "server";
+      case SpanKind::Producer: return "producer";
+      case SpanKind::Consumer: return "consumer";
+      case SpanKind::Local: return "local";
+    }
+    util::panic("invalid span kind");
+}
+
+const char *
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Unset: return "unset";
+      case StatusCode::Ok: return "ok";
+      case StatusCode::Error: return "error";
+    }
+    util::panic("invalid status code");
+}
+
+SpanKind
+spanKindFromString(const std::string &s)
+{
+    if (s == "client")
+        return SpanKind::Client;
+    if (s == "server")
+        return SpanKind::Server;
+    if (s == "producer")
+        return SpanKind::Producer;
+    if (s == "consumer")
+        return SpanKind::Consumer;
+    if (s == "local")
+        return SpanKind::Local;
+    util::fatal("unknown span kind '", s, "'");
+}
+
+StatusCode
+statusCodeFromString(const std::string &s)
+{
+    if (s == "unset")
+        return StatusCode::Unset;
+    if (s == "ok")
+        return StatusCode::Ok;
+    if (s == "error")
+        return StatusCode::Error;
+    util::fatal("unknown status code '", s, "'");
+}
+
+} // namespace sleuth::trace

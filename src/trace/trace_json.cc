@@ -1,0 +1,74 @@
+#include "trace_json.h"
+
+namespace sleuth::trace {
+
+util::Json
+toJson(const Trace &trace)
+{
+    util::Json doc = util::Json::object();
+    doc.set("traceId", trace.traceId);
+    util::Json spans = util::Json::array();
+    for (const Span &s : trace.spans) {
+        util::Json j = util::Json::object();
+        j.set("spanId", s.spanId);
+        j.set("parentSpanId", s.parentSpanId);
+        j.set("service", s.service);
+        j.set("name", s.name);
+        j.set("kind", toString(s.kind));
+        j.set("startUs", s.startUs);
+        j.set("endUs", s.endUs);
+        j.set("status", toString(s.status));
+        j.set("container", s.container);
+        j.set("pod", s.pod);
+        j.set("node", s.node);
+        spans.push(std::move(j));
+    }
+    doc.set("spans", std::move(spans));
+    return doc;
+}
+
+Trace
+traceFromJson(const util::Json &doc)
+{
+    Trace t;
+    t.traceId = doc.at("traceId").asString();
+    for (const util::Json &j : doc.at("spans").asArray()) {
+        Span s;
+        s.spanId = j.at("spanId").asString();
+        s.parentSpanId = j.at("parentSpanId").asString();
+        s.service = j.at("service").asString();
+        s.name = j.at("name").asString();
+        s.kind = spanKindFromString(j.at("kind").asString());
+        s.startUs = j.at("startUs").asInt();
+        s.endUs = j.at("endUs").asInt();
+        s.status = statusCodeFromString(j.at("status").asString());
+        if (j.has("container"))
+            s.container = j.at("container").asString();
+        if (j.has("pod"))
+            s.pod = j.at("pod").asString();
+        if (j.has("node"))
+            s.node = j.at("node").asString();
+        t.spans.push_back(std::move(s));
+    }
+    return t;
+}
+
+util::Json
+toJson(const std::vector<Trace> &traces)
+{
+    util::Json arr = util::Json::array();
+    for (const Trace &t : traces)
+        arr.push(toJson(t));
+    return arr;
+}
+
+std::vector<Trace>
+tracesFromJson(const util::Json &doc)
+{
+    std::vector<Trace> out;
+    for (const util::Json &j : doc.asArray())
+        out.push_back(traceFromJson(j));
+    return out;
+}
+
+} // namespace sleuth::trace

@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * JSON import/export for traces.
+ *
+ * The on-disk shape is a flattened OpenTelemetry-like document:
+ * {"traceId": "...", "spans": [{"spanId": ..., "parentSpanId": ...,
+ *  "service": ..., "name": ..., "kind": ..., "startUs": ..., "endUs": ...,
+ *  "status": ..., "container": ..., "pod": ..., "node": ...}, ...]}.
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/json.h"
+
+namespace sleuth::trace {
+
+/** Serialize one trace to a JSON value. */
+util::Json toJson(const Trace &trace);
+
+/** Deserialize one trace; fatal() on malformed documents. */
+Trace traceFromJson(const util::Json &doc);
+
+/** Serialize a corpus as a JSON array. */
+util::Json toJson(const std::vector<Trace> &traces);
+
+/** Deserialize a corpus from a JSON array. */
+std::vector<Trace> tracesFromJson(const util::Json &doc);
+
+} // namespace sleuth::trace

@@ -1,0 +1,28 @@
+#include "logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sleuth::util::detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+void
+emitFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+emitPanic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace sleuth::util::detail

@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: inform() and warn() report status without
+ * stopping execution; fatal() terminates because of a user-correctable
+ * condition (bad configuration, invalid arguments); panic() aborts because
+ * of an internal invariant violation (a bug in this library).
+ */
+
+#include <sstream>
+#include <string>
+
+namespace sleuth::util {
+
+namespace detail {
+
+/** Render a sequence of stream-insertable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit a tagged message on stderr. */
+void emit(const char *tag, const std::string &msg);
+
+/** Emit a tagged message and exit(1). */
+[[noreturn]] void emitFatal(const std::string &msg);
+
+/** Emit a tagged message and abort(). */
+[[noreturn]] void emitPanic(const std::string &msg);
+
+} // namespace detail
+
+/** Report normal operating status the user should see. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a condition that might indicate a problem but is survivable. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a condition that is the caller's fault
+ * (bad configuration or arguments), not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort because something happened that should never happen regardless
+ * of what the caller does — an internal bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Panic with a message unless the condition holds. */
+#define SLEUTH_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sleuth::util::panic("assertion failed: ", #cond, " ",        \
+                                  ##__VA_ARGS__);                           \
+        }                                                                   \
+    } while (0)
+
+} // namespace sleuth::util

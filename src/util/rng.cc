@@ -1,0 +1,105 @@
+#include "rng.h"
+
+#include <cmath>
+
+namespace sleuth::util {
+
+Rng
+Rng::fork(uint64_t tag) const
+{
+    // SplitMix64-style mix of the original seed state and the tag gives
+    // well-separated child streams without consuming parent state.
+    std::mt19937_64 probe = engine_;
+    uint64_t z = probe() ^ (tag + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    SLEUTH_ASSERT(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    std::lognormal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+int64_t
+Rng::poisson(double mean)
+{
+    SLEUTH_ASSERT(mean >= 0.0);
+    if (mean == 0.0)
+        return 0;
+    std::poisson_distribution<int64_t> dist(mean);
+    return dist(engine_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    SLEUTH_ASSERT(rate > 0.0);
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    SLEUTH_ASSERT(xm > 0.0 && alpha > 0.0);
+    double u = uniform(std::numeric_limits<double>::min(), 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    SLEUTH_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        SLEUTH_ASSERT(w >= 0.0);
+        total += w;
+    }
+    SLEUTH_ASSERT(total > 0.0, "all weights are zero");
+    double r = uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace sleuth::util

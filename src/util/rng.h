@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic seeded random number generation.
+ *
+ * All stochastic components of the library draw randomness through Rng so
+ * that every experiment is reproducible from a single seed. Rng also
+ * provides the heavy-tailed distributions (log-normal, Pareto) used to
+ * model microservice latency.
+ */
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "logging.h"
+
+namespace sleuth::util {
+
+/** A seeded pseudo-random generator with distribution helpers. */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; identical seeds replay streams. */
+    explicit Rng(uint64_t seed = 0x5eu) : engine_(seed) {}
+
+    /** Derive an independent child stream (stable for a given tag). */
+    Rng fork(uint64_t tag) const;
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo = 0.0, double hi = 1.0);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Log-normal with the given parameters of the underlying normal. */
+    double logNormal(double mu, double sigma);
+
+    /** Bernoulli trial with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Poisson-distributed count with the given mean. */
+    int64_t poisson(double mean);
+
+    /** Exponential with the given rate. */
+    double exponential(double rate);
+
+    /** Pareto with scale x_m and shape alpha (heavy tail). */
+    double pareto(double xm, double alpha);
+
+    /** Pick an index in [0, weights.size()) proportionally to weights. */
+    size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &items)
+    {
+        SLEUTH_ASSERT(!items.empty());
+        return items[static_cast<size_t>(
+            uniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+    }
+
+    /** Fisher-Yates shuffle in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(
+                uniformInt(0, static_cast<int64_t>(i) - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Expose the engine for <random> interoperability. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace sleuth::util

@@ -1,0 +1,105 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.h"
+
+namespace sleuth::util {
+
+double
+mean(const std::vector<double> &xs)
+{
+    SLEUTH_ASSERT(!xs.empty());
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+percentile(const std::vector<double> &xs, double p)
+{
+    SLEUTH_ASSERT(!xs.empty());
+    SLEUTH_ASSERT(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    return percentile(xs, 50.0);
+}
+
+std::vector<std::pair<double, double>>
+cdfPoints(std::vector<double> xs, size_t points)
+{
+    SLEUTH_ASSERT(!xs.empty() && points >= 2);
+    std::sort(xs.begin(), xs.end());
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (size_t i = 0; i < points; ++i) {
+        double q = static_cast<double>(i) / static_cast<double>(points - 1);
+        size_t idx = static_cast<size_t>(
+            q * static_cast<double>(xs.size() - 1) + 0.5);
+        out.emplace_back(xs[idx], q);
+    }
+    return out;
+}
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace sleuth::util

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Descriptive statistics used across the library: batch summaries,
+ * percentiles, CDF sampling, and online (Welford) accumulation.
+ */
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sleuth::util {
+
+/** Arithmetic mean of a non-empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance (zero for samples of size < 2). */
+double variance(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile of a sample.
+ *
+ * @param xs sample values (copied and sorted internally)
+ * @param p percentile in [0, 100]
+ */
+double percentile(const std::vector<double> &xs, double p);
+
+/** Median (50th percentile). */
+double median(const std::vector<double> &xs);
+
+/**
+ * Sample the empirical CDF at evenly spaced quantiles.
+ *
+ * @return (value, cumulative probability) pairs, `points` of them.
+ */
+std::vector<std::pair<double, double>>
+cdfPoints(std::vector<double> xs, size_t points);
+
+/** Online mean/variance accumulator (Welford's algorithm). */
+class OnlineStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Mean of observations so far (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 for fewer than two observations). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation so far. */
+    double min() const { return min_; }
+
+    /** Largest observation so far. */
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace sleuth::util

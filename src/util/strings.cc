@@ -1,0 +1,125 @@
+#include "strings.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace sleuth::util {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, const std::string &delim)
+{
+    std::string out;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += delim;
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::vector<std::string>
+splitIdentifier(const std::string &s)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    auto flush = [&]() {
+        if (!cur.empty()) {
+            words.push_back(toLower(cur));
+            cur.clear();
+        }
+    };
+    for (size_t i = 0; i < s.size(); ++i) {
+        unsigned char c = static_cast<unsigned char>(s[i]);
+        if (!std::isalnum(c)) {
+            flush();
+            continue;
+        }
+        if (std::isupper(c)) {
+            // Start a new word at a lower->upper boundary, or at the last
+            // capital of an acronym run (e.g. "HTTPServer" -> http server).
+            bool prev_lower =
+                !cur.empty() &&
+                std::islower(static_cast<unsigned char>(cur.back()));
+            bool next_lower =
+                i + 1 < s.size() &&
+                std::islower(static_cast<unsigned char>(s[i + 1]));
+            if (prev_lower || (next_lower && !cur.empty()))
+                flush();
+        } else if (std::isdigit(c)) {
+            bool prev_digit =
+                !cur.empty() &&
+                std::isdigit(static_cast<unsigned char>(cur.back()));
+            if (!cur.empty() && !prev_digit)
+                flush();
+        } else {
+            bool prev_digit =
+                !cur.empty() &&
+                std::isdigit(static_cast<unsigned char>(cur.back()));
+            if (prev_digit)
+                flush();
+        }
+        cur.push_back(static_cast<char>(c));
+    }
+    flush();
+    return words;
+}
+
+bool
+looksLikeHexId(const std::string &token, size_t min_digits)
+{
+    if (token.size() < min_digits)
+        return false;
+    bool has_digit = false;
+    for (char ch : token) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        if (std::isdigit(c))
+            has_digit = true;
+        else if (!std::isxdigit(c))
+            return false;
+    }
+    return has_digit;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+} // namespace sleuth::util

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * String helpers shared by the text-preprocessing and reporting code.
+ */
+
+#include <string>
+#include <vector>
+
+namespace sleuth::util {
+
+/** Split a string on a single-character delimiter (keeps empty pieces). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join pieces with a delimiter string. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &delim);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string s);
+
+/**
+ * Split camelCase / PascalCase / snake_case / kebab-case identifiers into
+ * lower-case word tokens (e.g. "GetUserById" -> {"get","user","by","id"}).
+ */
+std::vector<std::string> splitIdentifier(const std::string &s);
+
+/** True when the token looks like a hex/numeric ID of >= minDigits chars. */
+bool looksLikeHexId(const std::string &token, size_t min_digits = 6);
+
+/** True when the string starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Render a double with fixed precision. */
+std::string formatDouble(double v, int precision = 2);
+
+} // namespace sleuth::util

@@ -1,0 +1,64 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.h"
+
+namespace sleuth::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SLEUTH_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SLEUTH_ASSERT(cells.size() == headers_.size(),
+                  "row width ", cells.size(), " != ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                line += "  ";
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    out.append(total, '-');
+    out.push_back('\n');
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace sleuth::util

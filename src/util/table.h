@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * paper-style result tables and series.
+ */
+
+#include <string>
+#include <vector>
+
+namespace sleuth::util {
+
+/** Accumulates rows and renders an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header separator. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sleuth::util

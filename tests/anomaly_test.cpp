@@ -1,0 +1,139 @@
+// Tests for the anomaly detection front end: SLO-based detection and
+// model-based counterfactual-baseline detection.
+
+#include <gtest/gtest.h>
+
+#include "core/anomaly.h"
+#include "core/trainer.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::core;
+using sleuth::testing::makeSpan;
+
+TEST(SloDetector, LatencyBreach)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "s", "op", 0, 5000));
+    EXPECT_TRUE(SloDetector::isAnomalous(t, 1000));
+    EXPECT_FALSE(SloDetector::isAnomalous(t, 10000));
+    EXPECT_FALSE(SloDetector::isAnomalous(t, 0));  // unconstrained
+}
+
+TEST(SloDetector, RootErrorAlwaysAnomalous)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "s", "op", 0, 10,
+                               trace::SpanKind::Server,
+                               trace::StatusCode::Error));
+    EXPECT_TRUE(SloDetector::isAnomalous(t, 0));
+    EXPECT_TRUE(SloDetector::isAnomalous(t, 1000000));
+}
+
+TEST(SloDetector, ChildErrorAloneNotAnomalous)
+{
+    // Handled (non-propagated) child errors do not breach the SLO.
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "s", "op", 0, 100));
+    t.spans.push_back(makeSpan("c", "r", "s2", "op", 10, 50,
+                               trace::SpanKind::Client,
+                               trace::StatusCode::Error));
+    EXPECT_FALSE(SloDetector::isAnomalous(t, 1000));
+}
+
+namespace {
+
+struct DetectorFixture
+{
+    synth::AppConfig app;
+    sim::ClusterModel cluster;
+    FeatureEncoder encoder{8};
+    SleuthGnn model;
+    NormalProfile profile;
+    std::vector<trace::Trace> normal;
+
+    DetectorFixture()
+        : app(synth::generateApp(synth::syntheticParams(16, 55))),
+          cluster(app, 10, 1),
+          model([] {
+              GnnConfig c;
+              c.embedDim = 8;
+              c.hidden = 16;
+              c.seed = 7;
+              return c;
+          }())
+    {
+        sim::Simulator sim(app, cluster, {.seed = 5});
+        for (int i = 0; i < 150; ++i) {
+            normal.push_back(sim.simulateOne().trace);
+            profile.add(normal.back());
+        }
+        profile.finalize();
+        TrainConfig tc;
+        tc.epochs = 8;
+        Trainer trainer(model, encoder, tc);
+        trainer.train(normal);
+    }
+};
+
+DetectorFixture &
+detectorFixture()
+{
+    static DetectorFixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(ModelDetector, NormalTracesScoreLow)
+{
+    DetectorFixture &f = detectorFixture();
+    ModelDetector det(f.model, f.encoder, f.profile);
+    det.calibrate(f.normal, 99.0);
+    EXPECT_GT(det.threshold(), 0.0);
+    // At the 99th percentile threshold, ~1% of normal traces flag.
+    int flagged = 0;
+    for (const trace::Trace &t : f.normal)
+        flagged += det.isAnomalous(t);
+    EXPECT_LE(flagged, static_cast<int>(f.normal.size() / 20));
+}
+
+TEST(ModelDetector, FaultyTracesScoreHigher)
+{
+    DetectorFixture &f = detectorFixture();
+    ModelDetector det(f.model, f.encoder, f.profile);
+    det.calibrate(f.normal, 95.0);
+
+    chaos::FaultPlan plan;
+    for (const chaos::Instance &inst : f.cluster.instancesOf(1))
+        plan.faults.push_back({chaos::FaultType::CpuStress,
+                               chaos::FaultScope::Container,
+                               inst.container, 20.0, 0.0});
+    for (const chaos::Instance &inst : f.cluster.instancesOf(2))
+        plan.faults.push_back({chaos::FaultType::MemoryStress,
+                               chaos::FaultScope::Container,
+                               inst.container, 20.0, 0.0});
+    sim::Simulator faulty(f.app, f.cluster, {.seed = 77}, plan);
+
+    int flagged = 0, touched = 0;
+    for (int i = 0; i < 150 && touched < 40; ++i) {
+        sim::SimResult r = faulty.simulateOne();
+        if (!r.faultTouched())
+            continue;
+        ++touched;
+        flagged += det.isAnomalous(r.trace);
+    }
+    ASSERT_GE(touched, 20);
+    // A majority of materially faulted traces exceed the threshold.
+    EXPECT_GE(flagged * 2, touched);
+}
+
+TEST(ModelDetector, RequiresCalibration)
+{
+    DetectorFixture &f = detectorFixture();
+    ModelDetector det(f.model, f.encoder, f.profile);
+    EXPECT_DEATH((void)det.isAnomalous(f.normal[0]),
+                 "not calibrated");
+}

@@ -1,0 +1,250 @@
+// Tests for the baseline RCA algorithms: each must localize an obvious
+// injected fault on a small app, and exhibit the structural properties
+// the paper contrasts against (Sage model growth, DeepTraLog distance).
+
+#include <gtest/gtest.h>
+
+#include "baselines/deeptralog.h"
+#include "baselines/realtime_rca.h"
+#include "baselines/sage.h"
+#include "baselines/simple_rules.h"
+#include "baselines/trace_anomaly.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+
+using namespace sleuth;
+using namespace sleuth::baselines;
+
+namespace {
+
+struct Fixture
+{
+    synth::AppConfig app;
+    sim::ClusterModel cluster;
+    std::vector<trace::Trace> corpus;
+    std::vector<sim::SimResult> anomalies;
+    int victim;
+    std::string victimName;
+
+    Fixture()
+        : app(synth::generateApp(synth::syntheticParams(16, 33))),
+          cluster(app, 10, 3)
+    {
+        sim::Simulator::calibrateSlos(app, cluster, 300, 99.0);
+        sim::Simulator healthy(app, cluster, {.seed = 88});
+        for (int i = 0; i < 200; ++i)
+            corpus.push_back(healthy.simulateOne().trace);
+
+        victim = 1;  // a middleware service covered by the full flow
+        victimName = app.services[static_cast<size_t>(victim)].name;
+        chaos::FaultType type = chaos::FaultType::CpuStress;
+        for (const synth::RpcConfig &r : app.rpcs) {
+            if (r.serviceId != victim)
+                continue;
+            if (r.startKernel.resource == synth::Resource::Memory)
+                type = chaos::FaultType::MemoryStress;
+            if (r.startKernel.resource == synth::Resource::Disk)
+                type = chaos::FaultType::DiskStress;
+            break;
+        }
+        chaos::FaultPlan plan;
+        for (const chaos::Instance &inst : cluster.instancesOf(victim))
+            plan.faults.push_back({type, chaos::FaultScope::Container,
+                                   inst.container, 15.0, 0.0});
+        sim::Simulator faulty(app, cluster, {.seed = 99}, plan);
+        for (int i = 0; i < 3000 && anomalies.size() < 20; ++i) {
+            sim::SimResult r = faulty.simulateOne();
+            int64_t slo =
+                app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+            if (r.faultTouched() && r.violatesSlo(slo))
+                anomalies.push_back(std::move(r));
+        }
+    }
+
+    /** Fraction of anomalies whose prediction contains the victim. */
+    double
+    recallOf(RcaAlgorithm &algo)
+    {
+        algo.fit(corpus);
+        int hits = 0;
+        for (const sim::SimResult &r : anomalies) {
+            int64_t slo =
+                app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+            for (const std::string &svc :
+                 algo.locate(r.trace, slo))
+                if (svc == victimName) {
+                    ++hits;
+                    break;
+                }
+        }
+        return static_cast<double>(hits) /
+               static_cast<double>(anomalies.size());
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(Fixture, HasAnomalies)
+{
+    EXPECT_GE(fixture().anomalies.size(), 10u);
+}
+
+TEST(NSigma, FindsObviousFault)
+{
+    NSigmaRule algo(3.0);
+    EXPECT_GE(fixture().recallOf(algo), 0.6);
+}
+
+TEST(NSigma, LargerNIsStricter)
+{
+    Fixture &f = fixture();
+    NSigmaRule loose(1.0), strict(12.0);
+    loose.fit(f.corpus);
+    strict.fit(f.corpus);
+    size_t loose_total = 0, strict_total = 0;
+    for (const sim::SimResult &r : f.anomalies) {
+        int64_t slo =
+            f.app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+        loose_total += loose.locate(r.trace, slo).size();
+        strict_total += strict.locate(r.trace, slo).size();
+    }
+    EXPECT_GE(loose_total, strict_total);
+}
+
+TEST(MaxDuration, FindsObviousFault)
+{
+    MaxDurationRca algo;
+    EXPECT_GE(fixture().recallOf(algo), 0.5);
+}
+
+TEST(MaxDuration, ReturnsSingleService)
+{
+    Fixture &f = fixture();
+    MaxDurationRca algo;
+    algo.fit(f.corpus);
+    for (const sim::SimResult &r : f.anomalies) {
+        auto out = algo.locate(r.trace, 0);
+        EXPECT_LE(out.size(), 1u);
+    }
+}
+
+TEST(Threshold, FindsObviousFault)
+{
+    ThresholdRca algo(99.0);
+    EXPECT_GE(fixture().recallOf(algo), 0.5);
+}
+
+TEST(ErrorRootServices, DfsFindsExclusiveErrorOrigin)
+{
+    Fixture &f = fixture();
+    trace::Trace t = f.corpus[0];
+    // Force an error on a leaf and its ancestors up to the root.
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    int leaf = -1;
+    for (size_t i = 0; i < t.spans.size(); ++i)
+        if (g.children(static_cast<int>(i)).empty())
+            leaf = static_cast<int>(i);
+    ASSERT_GE(leaf, 0);
+    for (int cur = leaf; cur >= 0; cur = g.parent(cur))
+        t.spans[static_cast<size_t>(cur)].status =
+            trace::StatusCode::Error;
+    auto roots = errorRootServices(t);
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(roots[0], t.spans[static_cast<size_t>(leaf)].service);
+}
+
+TEST(TraceAnomalyBaseline, FindsObviousFault)
+{
+    TraceAnomalyRca::Config cfg;
+    cfg.epochs = 30;
+    TraceAnomalyRca algo(cfg);
+    EXPECT_GE(fixture().recallOf(algo), 0.3);
+}
+
+TEST(RealtimeRcaBaseline, FindsObviousFault)
+{
+    RealtimeRca algo;
+    EXPECT_GE(fixture().recallOf(algo), 0.4);
+}
+
+TEST(RealtimeRcaBaseline, ReturnsAtMostOneService)
+{
+    Fixture &f = fixture();
+    RealtimeRca algo;
+    algo.fit(f.corpus);
+    for (const sim::SimResult &r : f.anomalies)
+        EXPECT_LE(algo.locate(r.trace, 0).size(), 1u);
+}
+
+TEST(SageBaseline, FindsObviousFault)
+{
+    SageRca::Config cfg;
+    cfg.epochs = 30;
+    SageRca algo(cfg);
+    EXPECT_GE(fixture().recallOf(algo), 0.6);
+}
+
+TEST(SageBaseline, ModelCountGrowsWithApplication)
+{
+    SageRca::Config cfg;
+    cfg.epochs = 2;
+    SageRca small_algo(cfg), big_algo(cfg);
+
+    synth::AppConfig small_app =
+        synth::generateApp(synth::syntheticParams(16, 5));
+    synth::AppConfig big_app =
+        synth::generateApp(synth::syntheticParams(64, 5));
+    sim::ClusterModel small_cluster(small_app, 10, 1);
+    sim::ClusterModel big_cluster(big_app, 10, 1);
+    sim::Simulator s1(small_app, small_cluster, {.seed = 1});
+    sim::Simulator s2(big_app, big_cluster, {.seed = 1});
+    std::vector<trace::Trace> c1, c2;
+    for (int i = 0; i < 30; ++i) {
+        c1.push_back(s1.simulateOne().trace);
+        c2.push_back(s2.simulateOne().trace);
+    }
+    small_algo.fit(c1);
+    big_algo.fit(c2);
+    // This is the paper's core scalability contrast: Sage's model
+    // inventory tracks the application size, Sleuth's does not.
+    EXPECT_GT(big_algo.numModels(), 2 * small_algo.numModels());
+    EXPECT_GT(big_algo.parameterCount(), small_algo.parameterCount());
+}
+
+TEST(DeepTraLogBaseline, DistanceIsSymmetricAndReflexive)
+{
+    Fixture &f = fixture();
+    DeepTraLogDistance::Config cfg;
+    cfg.epochs = 40;
+    DeepTraLogDistance dist(cfg);
+    std::vector<trace::Trace> sub(f.corpus.begin(),
+                                  f.corpus.begin() + 50);
+    dist.fit(sub);
+    const trace::Trace &a = f.corpus[0];
+    const trace::Trace &b = f.corpus[1];
+    EXPECT_NEAR(dist.distance(a, a), 0.0, 1e-9);
+    EXPECT_NEAR(dist.distance(a, b), dist.distance(b, a), 1e-9);
+}
+
+TEST(DeepTraLogBaseline, TrainingContractsNormalTraces)
+{
+    Fixture &f = fixture();
+    DeepTraLogDistance::Config cfg;
+    cfg.epochs = 60;
+    DeepTraLogDistance dist(cfg);
+    std::vector<trace::Trace> sub(f.corpus.begin(),
+                                  f.corpus.begin() + 60);
+    dist.fit(sub);
+    // Normal traces sit near the hypersphere center.
+    double mean_center = 0;
+    for (int i = 0; i < 20; ++i)
+        mean_center += dist.distanceToCenter(f.corpus[i]);
+    EXPECT_TRUE(std::isfinite(mean_center));
+}

@@ -1,0 +1,227 @@
+// Unit tests for DBSCAN, HDBSCAN, SVDD, and representative selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "cluster/hdbscan.h"
+#include "cluster/svdd.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using namespace sleuth::cluster;
+
+namespace {
+
+// Generate `per` points around each of the given 1-D centers.
+std::vector<double>
+blobs1d(const std::vector<double> &centers, size_t per, double spread,
+        util::Rng &rng)
+{
+    std::vector<double> pts;
+    for (double c : centers)
+        for (size_t i = 0; i < per; ++i)
+            pts.push_back(c + rng.normal(0.0, spread));
+    return pts;
+}
+
+DistanceFn
+absDist(const std::vector<double> &pts)
+{
+    return [&pts](size_t i, size_t j) {
+        return std::abs(pts[i] - pts[j]);
+    };
+}
+
+// All members of one ground-truth blob should share one label, and
+// different blobs should have different labels.
+void
+expectBlobsSeparated(const std::vector<int> &labels, size_t per,
+                     size_t n_blobs)
+{
+    for (size_t b = 0; b < n_blobs; ++b) {
+        int lbl = labels[b * per];
+        EXPECT_GE(lbl, 0) << "blob " << b << " marked noise";
+        for (size_t i = 0; i < per; ++i)
+            EXPECT_EQ(labels[b * per + i], lbl) << "blob " << b;
+        for (size_t b2 = b + 1; b2 < n_blobs; ++b2)
+            EXPECT_NE(labels[b2 * per], lbl);
+    }
+}
+
+} // namespace
+
+TEST(Dbscan, SeparatesTwoBlobs)
+{
+    util::Rng rng(1);
+    auto pts = blobs1d({0.0, 10.0}, 20, 0.3, rng);
+    auto res = dbscan(pts.size(), absDist(pts), {1.0, 4});
+    EXPECT_EQ(res.numClusters, 2);
+    expectBlobsSeparated(res.labels, 20, 2);
+}
+
+TEST(Dbscan, MarksOutliersAsNoise)
+{
+    util::Rng rng(2);
+    auto pts = blobs1d({0.0}, 20, 0.2, rng);
+    pts.push_back(50.0);  // lone outlier
+    auto res = dbscan(pts.size(), absDist(pts), {1.0, 4});
+    EXPECT_EQ(res.numClusters, 1);
+    EXPECT_EQ(res.labels.back(), -1);
+}
+
+TEST(Dbscan, AllNoiseWhenEpsTiny)
+{
+    util::Rng rng(3);
+    auto pts = blobs1d({0.0}, 10, 1.0, rng);
+    auto res = dbscan(pts.size(), absDist(pts), {1e-9, 3});
+    EXPECT_EQ(res.numClusters, 0);
+    for (int l : res.labels)
+        EXPECT_EQ(l, -1);
+}
+
+TEST(Dbscan, MembersHelper)
+{
+    util::Rng rng(4);
+    auto pts = blobs1d({0.0, 10.0}, 10, 0.2, rng);
+    auto res = dbscan(pts.size(), absDist(pts), {1.0, 3});
+    ASSERT_EQ(res.numClusters, 2);
+    size_t total = 0;
+    for (int c = 0; c < res.numClusters; ++c)
+        total += res.members(c).size();
+    EXPECT_EQ(total, pts.size());
+}
+
+TEST(Hdbscan, SeparatesThreeBlobs)
+{
+    util::Rng rng(5);
+    auto pts = blobs1d({0.0, 10.0, 25.0}, 25, 0.4, rng);
+    auto res = hdbscan(pts.size(), absDist(pts),
+                       {.minClusterSize = 10, .minSamples = 5});
+    EXPECT_EQ(res.numClusters, 3);
+    expectBlobsSeparated(res.labels, 25, 3);
+}
+
+TEST(Hdbscan, VaryingDensityBlobs)
+{
+    // HDBSCAN's selling point over DBSCAN: one dense and one loose blob.
+    util::Rng rng(6);
+    std::vector<double> pts = blobs1d({0.0}, 30, 0.1, rng);
+    auto loose = blobs1d({20.0}, 30, 1.2, rng);
+    pts.insert(pts.end(), loose.begin(), loose.end());
+    auto res = hdbscan(pts.size(), absDist(pts),
+                       {.minClusterSize = 10, .minSamples = 5});
+    EXPECT_EQ(res.numClusters, 2);
+    expectBlobsSeparated(res.labels, 30, 2);
+}
+
+TEST(Hdbscan, OutliersBecomeNoise)
+{
+    util::Rng rng(7);
+    auto pts = blobs1d({0.0, 10.0}, 20, 0.3, rng);
+    pts.push_back(100.0);
+    pts.push_back(-100.0);
+    auto res = hdbscan(pts.size(), absDist(pts),
+                       {.minClusterSize = 8, .minSamples = 4});
+    EXPECT_EQ(res.numClusters, 2);
+    EXPECT_EQ(res.labels[pts.size() - 1], -1);
+    EXPECT_EQ(res.labels[pts.size() - 2], -1);
+}
+
+TEST(Hdbscan, TooFewPointsAllNoise)
+{
+    std::vector<double> pts = {0.0, 0.1, 0.2};
+    auto res = hdbscan(pts.size(), absDist(pts),
+                       {.minClusterSize = 10, .minSamples = 5});
+    EXPECT_EQ(res.numClusters, 0);
+    for (int l : res.labels)
+        EXPECT_EQ(l, -1);
+}
+
+TEST(Hdbscan, EmptyInput)
+{
+    auto res = hdbscan(0, [](size_t, size_t) { return 0.0; },
+                       {.minClusterSize = 5, .minSamples = 3});
+    EXPECT_EQ(res.numClusters, 0);
+    EXPECT_TRUE(res.labels.empty());
+}
+
+TEST(Hdbscan, EpsilonMergesFineSplits)
+{
+    // Two sub-blobs 2.0 apart inside a bigger structure: with a large
+    // cluster_selection_epsilon they must merge into one cluster.
+    util::Rng rng(8);
+    auto pts = blobs1d({0.0, 2.0, 30.0}, 20, 0.15, rng);
+    HdbscanParams fine{.minClusterSize = 8, .minSamples = 4,
+                       .clusterSelectionEpsilon = 0.0};
+    HdbscanParams coarse{.minClusterSize = 8, .minSamples = 4,
+                         .clusterSelectionEpsilon = 3.0};
+    auto rf = hdbscan(pts.size(), absDist(pts), fine);
+    auto rc = hdbscan(pts.size(), absDist(pts), coarse);
+    EXPECT_EQ(rf.numClusters, 3);
+    EXPECT_EQ(rc.numClusters, 2);
+    // The first two blobs share a label under the coarse setting.
+    EXPECT_EQ(rc.labels[0], rc.labels[25]);
+    EXPECT_NE(rc.labels[0], rc.labels[45]);
+}
+
+TEST(Hdbscan, DeterministicAcrossRuns)
+{
+    util::Rng rng(9);
+    auto pts = blobs1d({0.0, 5.0}, 15, 0.3, rng);
+    auto r1 = hdbscan(pts.size(), absDist(pts),
+                      {.minClusterSize = 6, .minSamples = 3});
+    auto r2 = hdbscan(pts.size(), absDist(pts),
+                      {.minClusterSize = 6, .minSamples = 3});
+    EXPECT_EQ(r1.labels, r2.labels);
+}
+
+TEST(Representatives, PicksGeometricMedian)
+{
+    // Points 0,1,2,3,100 in one cluster: 2 minimizes the distance sum
+    // among {0,1,2,3}; including 100 pulls the median to 2 still.
+    std::vector<double> pts = {0, 1, 2, 3, 100};
+    std::vector<int> labels = {0, 0, 0, 0, 0};
+    auto reps = selectRepresentatives(labels, 1, absDist(pts));
+    ASSERT_EQ(reps.size(), 1u);
+    EXPECT_EQ(reps[0], 2u);
+}
+
+TEST(Representatives, IgnoresNoise)
+{
+    std::vector<double> pts = {0, 1, 2, 50, 51, 52, 999};
+    std::vector<int> labels = {0, 0, 0, 1, 1, 1, -1};
+    auto reps = selectRepresentatives(labels, 2, absDist(pts));
+    ASSERT_EQ(reps.size(), 2u);
+    EXPECT_EQ(reps[0], 1u);
+    EXPECT_EQ(reps[1], 4u);
+}
+
+TEST(Svdd, ContractsTrainingData)
+{
+    util::Rng rng(10);
+    std::vector<std::vector<double>> xs;
+    for (int i = 0; i < 40; ++i)
+        xs.push_back({rng.normal(0, 1), rng.normal(0, 1),
+                      rng.normal(0, 1)});
+    DeepSvdd model(3, 2, rng);
+    // Measure objective right after center initialization (one epoch of
+    // training barely moves the weights) vs after full training.
+    double before = model.train(xs, 1, 1e-4);
+    double after = model.train(xs, 150, 1e-2);
+    EXPECT_LT(after, before);
+    EXPECT_GE(model.radius(), 0.0);
+}
+
+TEST(Svdd, EmbeddingDistanceSymmetric)
+{
+    util::Rng rng(11);
+    DeepSvdd model(2, 2, rng);
+    std::vector<std::vector<double>> xs = {{0, 0}, {1, 1}, {2, 2}};
+    model.train(xs, 20, 1e-3);
+    double ab = model.embeddingDistance(xs[0], xs[1]);
+    double ba = model.embeddingDistance(xs[1], xs[0]);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_DOUBLE_EQ(model.embeddingDistance(xs[2], xs[2]), 0.0);
+}

@@ -1,0 +1,147 @@
+// Unit tests for feature engineering: duration scaling, normal
+// profiles, and graph batch encoding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::core;
+using sleuth::testing::figure2Trace;
+using sleuth::testing::makeSpan;
+
+TEST(DurationScale, RoundTrip)
+{
+    DurationScale sc;
+    for (double us : {1.0, 100.0, 1e4, 1e6}) {
+        double scaled = sc.scaleUs(us);
+        EXPECT_NEAR(sc.unscale(scaled), us, us * 1e-9);
+    }
+    // Paper constants: 10^4 us maps to 0.
+    EXPECT_NEAR(sc.scaleUs(1e4), 0.0, 1e-12);
+    EXPECT_NEAR(sc.scaleUs(1e5), 1.0, 1e-12);
+}
+
+TEST(DurationScale, SubMicrosecondClamped)
+{
+    DurationScale sc;
+    EXPECT_DOUBLE_EQ(sc.scaleUs(0.0), sc.scaleUs(1.0));
+}
+
+TEST(NormalProfile, MediansPerOperation)
+{
+    NormalProfile profile;
+    for (int i = 0; i < 5; ++i) {
+        trace::Trace t;
+        // Leaf span: exclusive == duration in {100,200,300,400,500}.
+        t.spans.push_back(makeSpan("a", "", "svc", "op", 0,
+                                   100 * (i + 1)));
+        profile.add(t);
+    }
+    profile.finalize();
+    EXPECT_DOUBLE_EQ(
+        profile.medianExclusiveUs("svc", "op", trace::SpanKind::Server),
+        300.0);
+    EXPECT_DOUBLE_EQ(
+        profile.medianDurationUs("svc", "op", trace::SpanKind::Server),
+        300.0);
+    EXPECT_EQ(profile.size(), 1u);
+}
+
+TEST(NormalProfile, UnseenOperationFallsBackToGlobal)
+{
+    NormalProfile profile;
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "", "svc", "op", 0, 240));
+    profile.add(t);
+    profile.finalize();
+    EXPECT_DOUBLE_EQ(profile.medianExclusiveUs(
+                         "other", "op2", trace::SpanKind::Client),
+                     240.0);
+}
+
+TEST(NormalProfile, DistinguishesKinds)
+{
+    NormalProfile profile;
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "", "svc", "op", 0, 100,
+                               trace::SpanKind::Server));
+    profile.add(t);
+    trace::Trace t2;
+    t2.spans.push_back(makeSpan("a", "", "svc", "op", 0, 900,
+                                trace::SpanKind::Client));
+    profile.add(t2);
+    profile.finalize();
+    EXPECT_DOUBLE_EQ(
+        profile.medianExclusiveUs("svc", "op", trace::SpanKind::Server),
+        100.0);
+    EXPECT_DOUBLE_EQ(
+        profile.medianExclusiveUs("svc", "op", trace::SpanKind::Client),
+        900.0);
+}
+
+TEST(FeatureEncoder, SingleTraceBatchShape)
+{
+    FeatureEncoder enc(8);
+    trace::Trace t = figure2Trace();
+    TraceBatch b = enc.encode(t);
+    EXPECT_EQ(b.numNodes, 3u);
+    EXPECT_EQ(b.featureDim(), 10u);
+    EXPECT_EQ(b.edgeChild.size(), 2u);
+    EXPECT_EQ(b.traceRoot.size(), 1u);
+    EXPECT_EQ(b.traceRoot[0], 0u);
+    // Edge parents point to the root span row.
+    for (size_t p : b.edgeParent)
+        EXPECT_EQ(p, 0u);
+}
+
+TEST(FeatureEncoder, DurationAndErrorColumns)
+{
+    FeatureEncoder enc(4);
+    trace::Trace t = figure2Trace();
+    t.spans[1].status = trace::StatusCode::Error;
+    TraceBatch b = enc.encode(t);
+    size_t dcol = 4, errcol = 5;
+    EXPECT_NEAR(b.x.at(0, dcol), enc.scale().scaleUs(100.0), 1e-12);
+    EXPECT_DOUBLE_EQ(b.x.at(1, errcol), 1.0);
+    EXPECT_DOUBLE_EQ(b.x.at(2, errcol), 0.0);
+    // Exclusive duration of the root (30us) differs from full (100us).
+    EXPECT_NEAR(b.xExcl.at(0, dcol), enc.scale().scaleUs(30.0), 1e-12);
+    // Span 1 errors with no erroring children => exclusive error.
+    EXPECT_DOUBLE_EQ(b.xExcl.at(1, errcol), 1.0);
+}
+
+TEST(FeatureEncoder, MultiTraceDisjointUnion)
+{
+    FeatureEncoder enc(4);
+    trace::Trace a = figure2Trace();
+    trace::Trace b = figure2Trace();
+    TraceBatch batch = enc.encode({&a, &b});
+    EXPECT_EQ(batch.numNodes, 6u);
+    EXPECT_EQ(batch.traceOffset.size(), 2u);
+    EXPECT_EQ(batch.traceOffset[1], 3u);
+    EXPECT_EQ(batch.traceRoot[1], 3u);
+    EXPECT_EQ(batch.edgeChild.size(), 4u);
+    // No edge crosses the trace boundary.
+    for (size_t e = 0; e < batch.edgeChild.size(); ++e) {
+        bool child_first = batch.edgeChild[e] < 3;
+        bool parent_first = batch.edgeParent[e] < 3;
+        EXPECT_EQ(child_first, parent_first);
+    }
+}
+
+TEST(FeatureEncoder, EmbeddingSharedAcrossSpans)
+{
+    FeatureEncoder enc(8);
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "svc", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "r", "svc", "op", 10, 50));
+    TraceBatch b = enc.encode(t);
+    for (size_t c = 0; c < 8; ++c)
+        EXPECT_DOUBLE_EQ(b.x.at(0, c), b.x.at(1, c));
+    // One distinct (service, name, kind) string cached.
+    EXPECT_EQ(enc.embedder().cacheSize(), 1u);
+}

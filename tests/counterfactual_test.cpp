@@ -1,0 +1,188 @@
+// Unit tests for the counterfactual RCA mechanics: candidate ranking,
+// client-span affiliation, parameter behavior, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/counterfactual.h"
+#include "core/trainer.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::core;
+using sleuth::testing::makeSpan;
+
+namespace {
+
+/** A tiny fixture with a model trained on simple two-level traces. */
+struct Fixture
+{
+    FeatureEncoder encoder{8};
+    SleuthGnn model;
+    NormalProfile profile;
+
+    Fixture()
+        : model([] {
+              GnnConfig c;
+              c.embedDim = 8;
+              c.hidden = 16;
+              c.seed = 2;
+              return c;
+          }())
+    {
+        util::Rng rng(3);
+        std::vector<trace::Trace> corpus;
+        for (int i = 0; i < 120; ++i)
+            corpus.push_back(makeTrace(rng, i >= 100));
+        for (const trace::Trace &t : corpus)
+            profile.add(t);
+        profile.finalize();
+        TrainConfig tc;
+        tc.epochs = 10;
+        tc.tracesPerBatch = 8;
+        Trainer trainer(model, encoder, tc);
+        trainer.train(corpus);
+    }
+
+    /**
+     * root(server, frontend) -> client(frontend) -> server(backend),
+     * with log-normal-ish timing; `slow` inflates the backend 10x.
+     */
+    static trace::Trace
+    makeTrace(util::Rng &rng, bool slow = false,
+              bool backend_error = false)
+    {
+        int64_t backend = rng.uniformInt(150, 300) * (slow ? 10 : 1);
+        int64_t net = rng.uniformInt(20, 50);
+        int64_t front_pre = rng.uniformInt(50, 120);
+        int64_t front_post = rng.uniformInt(30, 80);
+        trace::Trace t;
+        t.traceId = "t";
+        int64_t c_start = front_pre;
+        int64_t s_start = c_start + net;
+        int64_t s_end = s_start + backend;
+        int64_t c_end = s_end + net;
+        t.spans.push_back(makeSpan("r", "", "frontend", "Handle", 0,
+                                   c_end + front_post));
+        t.spans.push_back(makeSpan("c", "r", "frontend", "GetItem",
+                                   c_start, c_end,
+                                   trace::SpanKind::Client,
+                                   backend_error
+                                       ? trace::StatusCode::Error
+                                       : trace::StatusCode::Ok));
+        t.spans.push_back(makeSpan("s", "c", "backend", "GetItem",
+                                   s_start, s_end,
+                                   trace::SpanKind::Server,
+                                   backend_error
+                                       ? trace::StatusCode::Error
+                                       : trace::StatusCode::Ok));
+        return t;
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(Counterfactual, BlamesInflatedBackend)
+{
+    Fixture &f = fixture();
+    util::Rng rng(99);
+    trace::Trace slow = Fixture::makeTrace(rng, /*slow=*/true);
+    CounterfactualRca rca(f.model, f.encoder, f.profile, {});
+    RcaResult res = rca.analyze(slow, /*slo=*/900);
+    ASSERT_FALSE(res.services.empty());
+    EXPECT_EQ(res.services[0], "backend");
+    EXPECT_TRUE(res.resolved);
+}
+
+TEST(Counterfactual, ErrorTraceBlamesErrorOrigin)
+{
+    Fixture &f = fixture();
+    util::Rng rng(100);
+    trace::Trace bad = Fixture::makeTrace(rng, false, true);
+    // Propagate the error to the root span too.
+    bad.spans[0].status = trace::StatusCode::Error;
+    CounterfactualRca rca(f.model, f.encoder, f.profile, {});
+    RcaResult res = rca.analyze(bad, /*slo=*/100000);
+    ASSERT_FALSE(res.services.empty());
+    EXPECT_EQ(res.services[0], "backend");
+}
+
+TEST(Counterfactual, NormalTraceGivesAtMostOneCandidate)
+{
+    Fixture &f = fixture();
+    util::Rng rng(101);
+    trace::Trace ok = Fixture::makeTrace(rng);
+    CounterfactualRca rca(f.model, f.encoder, f.profile, {});
+    RcaResult res = rca.analyze(ok, /*slo=*/100000);
+    EXPECT_LE(res.services.size(), 1u);
+}
+
+TEST(Counterfactual, MaxRootCausesCapsOutput)
+{
+    Fixture &f = fixture();
+    util::Rng rng(102);
+    trace::Trace slow = Fixture::makeTrace(rng, true);
+    RcaParams params;
+    params.maxRootCauses = 1;
+    CounterfactualRca rca(f.model, f.encoder, f.profile, params);
+    RcaResult res = rca.analyze(slow, /*slo=*/1);  // impossible SLO
+    EXPECT_EQ(res.services.size(), 1u);
+    EXPECT_FALSE(res.resolved);
+}
+
+TEST(Counterfactual, LocationSetsMatchImplicatedServices)
+{
+    Fixture &f = fixture();
+    util::Rng rng(103);
+    trace::Trace slow = Fixture::makeTrace(rng, true);
+    CounterfactualRca rca(f.model, f.encoder, f.profile, {});
+    RcaResult res = rca.analyze(slow, 900);
+    for (const std::string &pod : res.pods)
+        EXPECT_NE(pod.find("-pod-"), std::string::npos);
+    ASSERT_FALSE(res.services.empty());
+    // Every implicated service's pod appears.
+    EXPECT_GE(res.pods.size(), 1u);
+    EXPECT_GE(res.containers.size(), 1u);
+}
+
+TEST(Counterfactual, BiasCorrectionTogglesBehavior)
+{
+    // With bias correction off and a deliberately tight SLO, the loop
+    // should restore more candidates than with it on (the corrected
+    // test accounts for the model's own reconstruction level).
+    Fixture &f = fixture();
+    util::Rng rng(104);
+    size_t with = 0, without = 0;
+    for (int i = 0; i < 10; ++i) {
+        trace::Trace slow = Fixture::makeTrace(rng, true);
+        RcaParams on;
+        RcaParams off;
+        off.biasCorrection = false;
+        CounterfactualRca rca_on(f.model, f.encoder, f.profile, on);
+        CounterfactualRca rca_off(f.model, f.encoder, f.profile, off);
+        with += rca_on.analyze(slow, 900).services.size();
+        without += rca_off.analyze(slow, 900).services.size();
+    }
+    // Not asserting a strict order (depends on bias direction), only
+    // that both run and produce bounded results.
+    EXPECT_GT(with, 0u);
+    EXPECT_GT(without, 0u);
+}
+
+TEST(Counterfactual, SingleSpanTrace)
+{
+    Fixture &f = fixture();
+    trace::Trace t;
+    t.spans.push_back(makeSpan("only", "", "frontend", "Handle", 0,
+                               50000));
+    CounterfactualRca rca(f.model, f.encoder, f.profile, {});
+    RcaResult res = rca.analyze(t, 1000);
+    ASSERT_EQ(res.services.size(), 1u);
+    EXPECT_EQ(res.services[0], "frontend");
+}

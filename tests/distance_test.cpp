@@ -1,0 +1,222 @@
+// Unit and property tests for the weighted-Jaccard trace distance
+// (Eq. 1) and the Zhang-Shasha tree edit distance baseline.
+
+#include <gtest/gtest.h>
+
+#include "distance/trace_distance.h"
+#include "distance/tree_edit_distance.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using namespace sleuth::distance;
+using sleuth::testing::figure2Trace;
+using sleuth::testing::makeSpan;
+
+namespace {
+
+trace::Trace
+chainTrace(const std::string &id, std::vector<int64_t> durations,
+           bool leaf_error = false)
+{
+    trace::Trace t;
+    t.traceId = id;
+    int64_t start = 0;
+    std::string parent;
+    for (size_t i = 0; i < durations.size(); ++i) {
+        std::string sid = "s" + std::to_string(i);
+        auto s = makeSpan(sid, parent, "svc" + std::to_string(i), "op",
+                          start, start + durations[i]);
+        if (leaf_error && i + 1 == durations.size())
+            s.status = trace::StatusCode::Error;
+        t.spans.push_back(s);
+        parent = sid;
+        start += 1;
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(JaccardDistance, IdenticalTracesAreZero)
+{
+    trace::Trace a = figure2Trace();
+    EXPECT_DOUBLE_EQ(traceDistance(a, a), 0.0);
+}
+
+TEST(JaccardDistance, DisjointTracesAreOne)
+{
+    trace::Trace a = chainTrace("a", {100, 50});
+    trace::Trace b;
+    b.traceId = "b";
+    b.spans.push_back(makeSpan("x", "", "other", "op2", 0, 80));
+    EXPECT_DOUBLE_EQ(traceDistance(a, b), 1.0);
+}
+
+TEST(JaccardDistance, SymmetricAndBounded)
+{
+    util::Rng rng(1);
+    std::vector<trace::Trace> ts;
+    for (int i = 0; i < 6; ++i) {
+        std::vector<int64_t> durs;
+        for (int j = 0; j <= i % 3 + 1; ++j)
+            durs.push_back(rng.uniformInt(10, 1000));
+        ts.push_back(chainTrace("t" + std::to_string(i), durs, i % 2));
+    }
+    for (const auto &a : ts) {
+        for (const auto &b : ts) {
+            double dab = traceDistance(a, b);
+            double dba = traceDistance(b, a);
+            EXPECT_DOUBLE_EQ(dab, dba);
+            EXPECT_GE(dab, 0.0);
+            EXPECT_LE(dab, 1.0);
+        }
+    }
+}
+
+TEST(JaccardDistance, SensitiveToDurationChange)
+{
+    trace::Trace normal = chainTrace("n", {100, 50, 20});
+    trace::Trace slow = chainTrace("s", {100, 50, 2000});
+    trace::Trace slightly = chainTrace("s2", {100, 50, 25});
+    double d_big = traceDistance(normal, slow);
+    double d_small = traceDistance(normal, slightly);
+    EXPECT_GT(d_big, d_small);
+    EXPECT_GT(d_big, 0.5);  // dominated by the slow span's weight
+}
+
+TEST(JaccardDistance, SensitiveToErrorStatus)
+{
+    trace::Trace ok = chainTrace("ok", {100, 50, 20}, false);
+    trace::Trace err = chainTrace("err", {100, 50, 20}, true);
+    EXPECT_GT(traceDistance(ok, err), 0.0);
+}
+
+TEST(JaccardDistance, CallPathDistinguishesSameSpanNames)
+{
+    // The same (service, name) span under different parents must count
+    // as different identifiers thanks to the ancestor component.
+    trace::Trace a;
+    a.traceId = "a";
+    a.spans.push_back(makeSpan("r", "", "fe", "handle", 0, 100));
+    a.spans.push_back(makeSpan("m", "r", "mid1", "route", 5, 90));
+    a.spans.push_back(makeSpan("x", "m", "db", "get", 10, 50));
+
+    trace::Trace b;
+    b.traceId = "b";
+    b.spans.push_back(makeSpan("r", "", "fe", "handle", 0, 100));
+    b.spans.push_back(makeSpan("m", "r", "mid2", "route", 5, 90));
+    b.spans.push_back(makeSpan("x", "m", "db", "get", 10, 50));
+
+    SpanSetOptions with_path;
+    with_path.maxAncestorDistance = 2;
+    SpanSetOptions no_path;
+    no_path.maxAncestorDistance = 0;
+
+    EXPECT_GT(traceDistance(a, b, with_path),
+              traceDistance(a, b, no_path));
+}
+
+TEST(JaccardDistance, MergesRepeatedSpans)
+{
+    // Two identical fanout children merge into one weighted element.
+    trace::Trace a;
+    a.traceId = "a";
+    a.spans.push_back(makeSpan("r", "", "fe", "handle", 0, 100));
+    a.spans.push_back(makeSpan("c1", "r", "db", "get", 10, 30));
+    a.spans.push_back(makeSpan("c2", "r", "db", "get", 40, 60));
+
+    trace::Trace b;
+    b.traceId = "b";
+    b.spans.push_back(makeSpan("r", "", "fe", "handle", 0, 100));
+    b.spans.push_back(makeSpan("c1", "r", "db", "get", 10, 50));
+
+    // a's two 20us gets merge to weight 40 vs b's single 40us get:
+    // identical weighted sets.
+    EXPECT_DOUBLE_EQ(traceDistance(a, b), 0.0);
+}
+
+TEST(JaccardDistance, EmptySetsDistanceZero)
+{
+    WeightedSpanSet a, b;
+    EXPECT_DOUBLE_EQ(jaccardDistance(a, b), 0.0);
+}
+
+TEST(JaccardDistance, TriangleInequalityHolsdOnSamples)
+{
+    // The extended Jaccard distance is a metric; spot-check the triangle
+    // inequality on random chains.
+    util::Rng rng(7);
+    std::vector<trace::Trace> ts;
+    for (int i = 0; i < 8; ++i) {
+        std::vector<int64_t> durs;
+        int len = static_cast<int>(rng.uniformInt(1, 4));
+        for (int j = 0; j < len; ++j)
+            durs.push_back(rng.uniformInt(10, 500));
+        ts.push_back(chainTrace("t" + std::to_string(i), durs));
+    }
+    for (const auto &a : ts)
+        for (const auto &b : ts)
+            for (const auto &c : ts)
+                EXPECT_LE(traceDistance(a, c),
+                          traceDistance(a, b) + traceDistance(b, c) +
+                              1e-9);
+}
+
+TEST(TreeEditDistance, IdenticalTreesZero)
+{
+    trace::Trace a = figure2Trace();
+    EXPECT_DOUBLE_EQ(normalizedTreeEditDistance(a, a), 0.0);
+}
+
+TEST(TreeEditDistance, SingleRename)
+{
+    trace::Trace a = figure2Trace();
+    trace::Trace b = figure2Trace();
+    b.spans[1].service = "renamed";
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    trace::TraceGraph gb = trace::TraceGraph::build(b);
+    EXPECT_EQ(treeEditDistance(traceToTree(a, ga), traceToTree(b, gb)),
+              1);
+}
+
+TEST(TreeEditDistance, InsertionCost)
+{
+    trace::Trace a = figure2Trace();
+    trace::Trace b = figure2Trace();
+    b.spans.push_back(makeSpan("c", "p", "svc-c", "opC", 82, 95));
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    trace::TraceGraph gb = trace::TraceGraph::build(b);
+    EXPECT_EQ(treeEditDistance(traceToTree(a, ga), traceToTree(b, gb)),
+              1);
+}
+
+TEST(TreeEditDistance, ChildrenOrderedByStartTime)
+{
+    // Swapping sibling start order changes the ordered tree.
+    trace::Trace a = figure2Trace();
+    trace::TraceGraph ga = trace::TraceGraph::build(a);
+    LabeledTree ta = traceToTree(a, ga);
+    ASSERT_EQ(ta.children[0].size(), 2u);
+    const trace::Span &first =
+        a.spans[static_cast<size_t>(ta.children[0][0])];
+    const trace::Span &second =
+        a.spans[static_cast<size_t>(ta.children[0][1])];
+    EXPECT_LE(first.startUs, second.startUs);
+}
+
+TEST(TreeEditDistance, SymmetricOnRandomTraces)
+{
+    util::Rng rng(3);
+    for (int it = 0; it < 5; ++it) {
+        std::vector<int64_t> da, db;
+        for (int j = 0; j < 3; ++j) {
+            da.push_back(rng.uniformInt(10, 100));
+            db.push_back(rng.uniformInt(10, 100));
+        }
+        trace::Trace a = chainTrace("a", da);
+        trace::Trace b = chainTrace("b", db, true);
+        EXPECT_DOUBLE_EQ(normalizedTreeEditDistance(a, b),
+                         normalizedTreeEditDistance(b, a));
+    }
+}

@@ -1,0 +1,101 @@
+// Unit tests for text pre-processing and the semantic hash embedder.
+
+#include <gtest/gtest.h>
+
+#include "embed/text_embedder.h"
+
+using namespace sleuth::embed;
+
+TEST(Preprocess, SplitsAndLowercases)
+{
+    auto t = preprocess("GetUserById");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], "get");
+    EXPECT_EQ(t[3], "id");
+}
+
+TEST(Preprocess, ReplacesHexIds)
+{
+    auto t = preprocess("session/deadbeef0042/fetch");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], "session");
+    EXPECT_EQ(t[1], "<id>");
+    EXPECT_EQ(t[2], "fetch");
+}
+
+TEST(Preprocess, StripsSpecialCharacters)
+{
+    auto t = preprocess("POST /orders!!");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], "post");
+    EXPECT_EQ(t[1], "orders");
+}
+
+TEST(Embedder, DeterministicAndNormalized)
+{
+    TextEmbedder e1(32), e2(32);
+    auto a = e1.embed("redis-get");
+    auto b = e2.embed("redis-get");
+    ASSERT_EQ(a.size(), 32u);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+    double norm = 0;
+    for (double x : a)
+        norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Embedder, SharedTokensAreCloserThanDisjoint)
+{
+    TextEmbedder e(32);
+    auto redis_get = e.embed("redis-get");
+    auto redis_set = e.embed("redis-set");
+    auto checkout = e.embed("payment-checkout");
+    double near = TextEmbedder::cosine(redis_get, redis_set);
+    double far = TextEmbedder::cosine(redis_get, checkout);
+    EXPECT_GT(near, 0.3);
+    EXPECT_GT(near, far + 0.2);
+}
+
+TEST(Embedder, IdenticalSemanticsDifferentCasing)
+{
+    TextEmbedder e(32);
+    auto a = e.embed("ComposePost");
+    auto b = e.embed("compose_post");
+    EXPECT_NEAR(TextEmbedder::cosine(a, b), 1.0, 1e-9);
+}
+
+TEST(Embedder, EmptyTextIsZeroVector)
+{
+    TextEmbedder e(16);
+    auto v = e.embed("!!!");
+    for (double x : v)
+        EXPECT_DOUBLE_EQ(x, 0.0);
+    EXPECT_DOUBLE_EQ(TextEmbedder::cosine(v, e.embed("abc")), 0.0);
+}
+
+TEST(Embedder, CachesDistinctStrings)
+{
+    TextEmbedder e(16);
+    e.embed("svc-a");
+    e.embed("svc-a");
+    e.embed("svc-b");
+    EXPECT_EQ(e.cacheSize(), 2u);
+}
+
+TEST(Embedder, HexIdsCollapseToSameEmbedding)
+{
+    // Two operations differing only in a request ID embed identically,
+    // which is what lets the model generalize across requests.
+    TextEmbedder e(32);
+    auto a = e.embed("fetch/0a1b2c3d4e");
+    auto b = e.embed("fetch/9f8e7d6c5b");
+    EXPECT_NEAR(TextEmbedder::cosine(a, b), 1.0, 1e-9);
+}
+
+TEST(Embedder, DifferentDimensions)
+{
+    TextEmbedder small(8), big(64);
+    EXPECT_EQ(small.embed("x").size(), 8u);
+    EXPECT_EQ(big.embed("x").size(), 64u);
+}

@@ -1,0 +1,188 @@
+// Tests for the metrics of §6.1.5 and the shared experiment harness.
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_rules.h"
+#include "eval/harness.h"
+
+using namespace sleuth;
+using namespace sleuth::eval;
+
+TEST(Metrics, PerfectPredictions)
+{
+    RcaEvaluator ev;
+    ev.addQuery({"a"}, {"a"});
+    ev.addQuery({"b", "c"}, {"b", "c"});
+    EXPECT_DOUBLE_EQ(ev.f1(), 1.0);
+    EXPECT_DOUBLE_EQ(ev.accuracy(), 1.0);
+    EXPECT_EQ(ev.queries(), 2u);
+}
+
+TEST(Metrics, PartialOverlapCountsTowardF1NotAcc)
+{
+    RcaEvaluator ev;
+    // One TP, one FP, one FN.
+    ev.addQuery({"a", "x"}, {"a", "b"});
+    EXPECT_EQ(ev.tp(), 1u);
+    EXPECT_EQ(ev.fp(), 1u);
+    EXPECT_EQ(ev.fn(), 1u);
+    EXPECT_DOUBLE_EQ(ev.f1(), 0.5);
+    EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
+}
+
+TEST(Metrics, EmptyPredictionIsAllFalseNegatives)
+{
+    RcaEvaluator ev;
+    ev.addQuery({}, {"a"});
+    EXPECT_DOUBLE_EQ(ev.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
+}
+
+TEST(Metrics, AccStricterThanF1)
+{
+    RcaEvaluator ev;
+    ev.addQuery({"a"}, {"a"});
+    ev.addQuery({"a", "b"}, {"a"});
+    EXPECT_GT(ev.f1(), ev.accuracy());
+}
+
+TEST(Metrics, NoQueriesSafe)
+{
+    RcaEvaluator ev;
+    EXPECT_DOUBLE_EQ(ev.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
+}
+
+TEST(Harness, MakeAppCatalog)
+{
+    EXPECT_EQ(makeApp(BenchmarkApp::SockShop).services.size(), 11u);
+    EXPECT_EQ(makeApp(BenchmarkApp::SocialNet).services.size(), 26u);
+    EXPECT_EQ(makeApp(BenchmarkApp::Syn16).rpcs.size(), 16u);
+    EXPECT_EQ(makeApp(BenchmarkApp::Syn64).rpcs.size(), 64u);
+    EXPECT_EQ(toString(BenchmarkApp::Syn1024), "Synthetic-1024");
+}
+
+TEST(Harness, PrepareExperimentProducesQueries)
+{
+    ExperimentParams params;
+    params.trainTraces = 60;
+    params.numQueries = 12;
+    params.clusterNodes = 20;
+    params.seed = 5;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    EXPECT_EQ(data.trainCorpus.size(), 60u);
+    EXPECT_EQ(data.queries.size(), 12u);
+    for (const synth::FlowConfig &f : data.app.flows)
+        EXPECT_GT(f.sloUs, 0);
+    for (const AnomalyQuery &q : data.queries) {
+        EXPECT_FALSE(q.truthServices.empty());
+        EXPECT_GT(q.sloUs, 0);
+        // Each query trace really violates its SLO or errors.
+        bool violates = q.trace.rootDurationUs() > q.sloUs;
+        for (const trace::Span &s : q.trace.spans)
+            if (s.parentSpanId.empty() && s.hasError())
+                violates = true;
+        EXPECT_TRUE(violates);
+    }
+}
+
+TEST(Harness, EvaluateAlgorithmEndToEnd)
+{
+    ExperimentParams params;
+    params.trainTraces = 80;
+    params.numQueries = 15;
+    params.clusterNodes = 20;
+    params.seed = 6;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    baselines::MaxDurationRca max_rca;
+    Scores s = evaluateAlgorithm(max_rca, data);
+    EXPECT_GE(s.f1, 0.0);
+    EXPECT_LE(s.f1, 1.0);
+    EXPECT_GE(s.acc, 0.0);
+    EXPECT_LE(s.acc, 1.0);
+    // The trivial heuristic should find at least some root causes on
+    // a 16-rpc app.
+    EXPECT_GT(s.f1, 0.15);
+}
+
+TEST(Harness, SleuthAdapterBeatsWeakBaselineHere)
+{
+    ExperimentParams params;
+    params.trainTraces = 150;
+    params.numQueries = 20;
+    params.clusterNodes = 20;
+    params.seed = 7;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 8;
+    SleuthAdapter sleuth(cfg);
+    Scores s_sleuth = evaluateAlgorithm(sleuth, data);
+
+    baselines::ThresholdRca threshold(99.0);
+    Scores s_thresh = evaluateAlgorithm(threshold, data);
+
+    EXPECT_GT(s_sleuth.f1, 0.5);
+    EXPECT_GE(s_sleuth.f1, s_thresh.f1);
+}
+
+TEST(Harness, PipelineEvaluationRunsWithClustering)
+{
+    ExperimentParams params;
+    params.trainTraces = 120;
+    params.numQueries = 25;
+    params.clusterNodes = 20;
+    params.seed = 8;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 6;
+    SleuthAdapter sleuth(cfg);
+    sleuth.fit(data.trainCorpus);
+
+    core::PipelineConfig pc;
+    pc.hdbscan = {.minClusterSize = 5, .minSamples = 3,
+                  .clusterSelectionEpsilon = 0.05};
+    size_t invocations = 0;
+    Scores s = evaluatePipeline(sleuth, data, pc, nullptr,
+                                &invocations);
+    EXPECT_GT(invocations, 0u);
+    EXPECT_LE(invocations, data.queries.size());
+    EXPECT_GE(s.f1, 0.0);
+}
+
+TEST(Harness, FineTuneZeroShotUsesPretrainedWeights)
+{
+    ExperimentParams params;
+    params.trainTraces = 100;
+    params.numQueries = 10;
+    params.clusterNodes = 20;
+    params.seed = 9;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 6;
+    SleuthAdapter teacher(cfg);
+    teacher.fit(data.trainCorpus);
+
+    SleuthAdapter student(cfg);
+    student.fineTune(teacher.model(), data.trainCorpus, 0);
+    // Zero-shot: the student's weights equal the teacher's.
+    EXPECT_EQ(student.model().save().dump(),
+              teacher.model().save().dump());
+    Scores s = evaluateFitted(student, data);
+    EXPECT_GE(s.f1, 0.0);
+}

@@ -1,0 +1,330 @@
+// Gradient checks for every autograd operator via central finite
+// differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+using namespace sleuth::nn;
+
+namespace {
+
+// Verify d(loss)/d(param) against finite differences for every element.
+void
+checkGradient(const std::vector<Var> &params,
+              const std::function<Var()> &loss_fn, double tol = 1e-6,
+              double h = 1e-6)
+{
+    Var loss = loss_fn();
+    backward(loss);
+    for (size_t p = 0; p < params.size(); ++p) {
+        Tensor analytic = params[p]->grad();
+        for (size_t i = 0; i < params[p]->value().size(); ++i) {
+            double orig = params[p]->mutableValue().data()[i];
+            params[p]->mutableValue().data()[i] = orig + h;
+            double up = loss_fn()->value().item();
+            params[p]->mutableValue().data()[i] = orig - h;
+            double down = loss_fn()->value().item();
+            params[p]->mutableValue().data()[i] = orig;
+            double numeric = (up - down) / (2 * h);
+            EXPECT_NEAR(analytic.data()[i], numeric, tol)
+                << "param " << p << " element " << i;
+        }
+    }
+}
+
+Var
+randomParam(size_t rows, size_t cols, sleuth::util::Rng &rng)
+{
+    return param(Tensor::randn(rows, cols, 1.0, rng));
+}
+
+} // namespace
+
+TEST(Autograd, AddSubMul)
+{
+    sleuth::util::Rng rng(1);
+    Var a = randomParam(2, 3, rng);
+    Var b = randomParam(2, 3, rng);
+    checkGradient({a, b}, [&] {
+        return sumAll(mul(add(a, b), sub(a, b)));
+    });
+}
+
+TEST(Autograd, MatmulChain)
+{
+    sleuth::util::Rng rng(2);
+    Var a = randomParam(2, 3, rng);
+    Var b = randomParam(3, 4, rng);
+    Var c = randomParam(4, 2, rng);
+    checkGradient({a, b, c}, [&] {
+        return sumAll(matmul(matmul(a, b), c));
+    });
+}
+
+TEST(Autograd, AddRowBroadcast)
+{
+    sleuth::util::Rng rng(3);
+    Var a = randomParam(3, 4, rng);
+    Var bias = randomParam(1, 4, rng);
+    checkGradient({a, bias}, [&] {
+        return sumAll(mul(addRow(a, bias), addRow(a, bias)));
+    });
+}
+
+TEST(Autograd, ScaleAndAddScalar)
+{
+    sleuth::util::Rng rng(4);
+    Var a = randomParam(2, 2, rng);
+    checkGradient({a}, [&] {
+        return sumAll(mul(scale(a, 2.5), addScalar(a, -1.0)));
+    });
+}
+
+TEST(Autograd, ReluGradient)
+{
+    // Values chosen away from zero so finite differences are valid.
+    Var a = param(Tensor(1, 4, {-2.0, -0.5, 0.5, 2.0}));
+    checkGradient({a}, [&] { return sumAll(mul(relu(a), relu(a))); });
+}
+
+TEST(Autograd, SigmoidTanhExpLog)
+{
+    sleuth::util::Rng rng(5);
+    Var a = param(Tensor(1, 3, {0.5, 1.5, 2.5}));
+    checkGradient({a}, [&] {
+        Var s = sigmoid(a);
+        Var t = tanhOp(a);
+        Var e = expOp(scale(a, 0.3));
+        Var l = logOp(a);
+        return sumAll(add(add(s, t), mul(e, l)));
+    }, 1e-5);
+}
+
+TEST(Autograd, Pow10AndLog10)
+{
+    Var a = param(Tensor(1, 3, {0.1, 0.5, 1.0}));
+    checkGradient({a}, [&] {
+        return sumAll(log10Op(pow10(a)));
+    }, 1e-5);
+}
+
+TEST(Autograd, ClampPassesInsideBlocksOutside)
+{
+    Var a = param(Tensor(1, 4, {-5.0, 0.2, 0.8, 5.0}));
+    Var y = clamp(a, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(y->value().at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(y->value().at(0, 3), 1.0);
+    Var loss = sumAll(mul(y, y));
+    backward(loss);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 3), 0.0);
+    EXPECT_NEAR(a->grad().at(0, 1), 0.4, 1e-12);
+}
+
+TEST(Autograd, MaxElemRoutesToWinner)
+{
+    Var a = param(Tensor(1, 2, {1.0, 5.0}));
+    Var b = param(Tensor(1, 2, {3.0, 2.0}));
+    Var loss = sumAll(maxElem(a, b));
+    backward(loss);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(b->grad().at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(b->grad().at(0, 1), 0.0);
+}
+
+TEST(Autograd, ConcatAndSliceCols)
+{
+    sleuth::util::Rng rng(6);
+    Var a = randomParam(2, 2, rng);
+    Var b = randomParam(2, 3, rng);
+    checkGradient({a, b}, [&] {
+        Var cat = concatCols(a, b);
+        Var left = sliceCols(cat, 0, 2);
+        Var right = sliceCols(cat, 2, 5);
+        return add(sumAll(mul(left, left)), sumAll(right));
+    });
+}
+
+TEST(Autograd, GatherRowsWithDuplicates)
+{
+    sleuth::util::Rng rng(7);
+    Var a = randomParam(3, 2, rng);
+    std::vector<size_t> idx = {0, 2, 0, 1};
+    checkGradient({a}, [&] {
+        Var g = gatherRows(a, idx);
+        return sumAll(mul(g, g));
+    });
+}
+
+TEST(Autograd, SegmentSum)
+{
+    sleuth::util::Rng rng(8);
+    Var a = randomParam(5, 2, rng);
+    std::vector<size_t> seg = {0, 1, 0, 2, 1};
+    checkGradient({a}, [&] {
+        Var s = segmentSum(a, seg, 3);
+        return sumAll(mul(s, s));
+    });
+}
+
+TEST(Autograd, SegmentSumEmptySegmentIsZero)
+{
+    Var a = constant(Tensor(2, 1, {1.0, 2.0}));
+    Var s = segmentSum(a, {0, 0}, 3);
+    EXPECT_DOUBLE_EQ(s->value().at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s->value().at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(s->value().at(2, 0), 0.0);
+}
+
+TEST(Autograd, SegmentMaxValuesAndGradient)
+{
+    Var a = param(Tensor(4, 1, {1.0, 7.0, 3.0, -2.0}));
+    std::vector<size_t> seg = {0, 0, 1, 1};
+    Var m = segmentMax(a, seg, 3, -100.0);
+    EXPECT_DOUBLE_EQ(m->value().at(0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(m->value().at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m->value().at(2, 0), -100.0);  // empty segment
+    Var loss = sumAll(m);
+    backward(loss);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(3, 0), 0.0);
+}
+
+TEST(Autograd, SegmentMaxBelowEmptyValueStillWins)
+{
+    // A segment whose only inputs are below empty_value must still pick
+    // the real input, not the sentinel.
+    Var a = param(Tensor(1, 1, {-5.0}));
+    Var m = segmentMax(a, {0}, 1, 0.0);
+    EXPECT_DOUBLE_EQ(m->value().at(0, 0), -5.0);
+}
+
+TEST(Autograd, MeanAll)
+{
+    sleuth::util::Rng rng(9);
+    Var a = randomParam(3, 3, rng);
+    checkGradient({a}, [&] { return meanAll(mul(a, a)); });
+}
+
+TEST(Autograd, ReusedSubexpressionAccumulates)
+{
+    // y = (a + a) summed: dy/da = 2 everywhere.
+    Var a = param(Tensor(2, 2, {1, 2, 3, 4}));
+    Var loss = sumAll(add(a, a));
+    backward(loss);
+    for (double g : a->grad().data())
+        EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient)
+{
+    Var c = constant(Tensor(1, 2, {1.0, 2.0}));
+    Var p = param(Tensor(1, 2, {3.0, 4.0}));
+    Var loss = sumAll(mul(c, p));
+    backward(loss);
+    EXPECT_DOUBLE_EQ(p->grad().at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(p->grad().at(0, 1), 2.0);
+}
+
+TEST(Autograd, BackwardTwiceResetsGradients)
+{
+    Var a = param(Tensor(1, 1, {2.0}));
+    Var loss = mul(a, a);
+    backward(loss);
+    EXPECT_DOUBLE_EQ(a->grad().item(), 4.0);
+    backward(loss);
+    EXPECT_DOUBLE_EQ(a->grad().item(), 4.0);  // not 8: grads are zeroed
+}
+
+TEST(Autograd, DeepChainStability)
+{
+    // Deep graphs must not blow the stack (iterative DFS).
+    Var x = param(Tensor(1, 1, {1.0}));
+    Var y = x;
+    for (int i = 0; i < 5000; ++i)
+        y = addScalar(y, 0.0);
+    Var loss = sumAll(y);
+    backward(loss);
+    EXPECT_DOUBLE_EQ(x->grad().item(), 1.0);
+}
+
+TEST(Autograd, CompositeGnnLikeExpression)
+{
+    // A miniature of the Sleuth layer: gather parent rows, segment-sum
+    // children, MLP-free mixing, clipped-ReLU aggregation.
+    sleuth::util::Rng rng(10);
+    Var x = randomParam(4, 2, rng);       // 4 nodes, 2 features
+    std::vector<size_t> child = {1, 2, 3};
+    std::vector<size_t> par = {0, 0, 1};
+    checkGradient({x}, [&] {
+        Var xc = gatherRows(x, child);
+        Var sums = segmentSum(xc, par, 4);
+        Var sums_for_edges = gatherRows(sums, par);
+        Var msg = add(scale(xc, 1.1), sums_for_edges);
+        Var clipped = sub(relu(addScalar(msg, -0.1)),
+                          relu(addScalar(msg, -2.0)));
+        Var agg = segmentSum(clipped, par, 4);
+        return sumAll(mul(agg, agg));
+    }, 1e-5);
+}
+
+TEST(Autograd, RowScaleGradient)
+{
+    sleuth::util::Rng rng(11);
+    Var a = randomParam(3, 2, rng);
+    std::vector<double> factors = {0.5, 2.0, -1.5};
+    checkGradient({a}, [&] {
+        Var s = rowScale(a, factors);
+        return sumAll(mul(s, s));
+    });
+}
+
+TEST(Autograd, RowScaleValues)
+{
+    Var a = constant(Tensor(2, 2, {1, 2, 3, 4}));
+    Var s = rowScale(a, {2.0, 0.5});
+    EXPECT_DOUBLE_EQ(s->value().at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(s->value().at(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(s->value().at(1, 0), 1.5);
+    EXPECT_DOUBLE_EQ(s->value().at(1, 1), 2.0);
+}
+
+TEST(Autograd, SegmentMaxMultiColumnRouting)
+{
+    // Each column routes its own argmax independently.
+    Var a = param(Tensor(2, 2, {5.0, 1.0, 2.0, 8.0}));
+    Var m = segmentMax(a, {0, 0}, 1);
+    EXPECT_DOUBLE_EQ(m->value().at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(m->value().at(0, 1), 8.0);
+    backward(sumAll(m));
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a->grad().at(1, 1), 1.0);
+}
+
+TEST(Autograd, EmptyEdgeSetOps)
+{
+    // Zero-row gather/segment ops (single-span traces) must be no-ops.
+    sleuth::util::Rng rng(12);
+    Var x = randomParam(3, 2, rng);
+    std::vector<size_t> none;
+    Var gathered = gatherRows(x, none);
+    EXPECT_EQ(gathered->value().rows(), 0u);
+    Var summed = segmentSum(gathered, none, 3);
+    EXPECT_EQ(summed->value().rows(), 3u);
+    EXPECT_DOUBLE_EQ(summed->value().sum(), 0.0);
+    Var maxed = segmentMax(gathered, none, 3, -1.0);
+    EXPECT_DOUBLE_EQ(maxed->value().at(0, 0), -1.0);
+    Var loss = sumAll(add(summed, maxed));
+    backward(loss);  // must not crash
+    EXPECT_TRUE(std::isfinite(loss->value().item()));
+}

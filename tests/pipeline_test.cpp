@@ -1,0 +1,199 @@
+// Unit tests for SleuthPipeline mechanics: representative-distance
+// guard, invocation accounting, DBSCAN/HDBSCAN parity on pure
+// clusters, and end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::core;
+using sleuth::testing::makeSpan;
+
+namespace {
+
+/** Model trained on two-level traces (as in counterfactual_test). */
+struct PipeFixture
+{
+    FeatureEncoder encoder{8};
+    SleuthGnn model;
+    NormalProfile profile;
+
+    PipeFixture()
+        : model([] {
+              GnnConfig c;
+              c.embedDim = 8;
+              c.hidden = 16;
+              c.seed = 4;
+              return c;
+          }())
+    {
+        util::Rng rng(8);
+        std::vector<trace::Trace> corpus;
+        for (int i = 0; i < 100; ++i)
+            corpus.push_back(makeTrace(rng, "backend", i >= 85));
+        for (const trace::Trace &t : corpus)
+            profile.add(t);
+        profile.finalize();
+        TrainConfig tc;
+        tc.epochs = 8;
+        Trainer trainer(model, encoder, tc);
+        trainer.train(corpus);
+    }
+
+    static trace::Trace
+    makeTrace(util::Rng &rng, const std::string &backend,
+              bool slow = false)
+    {
+        int64_t b = rng.uniformInt(150, 300) * (slow ? 12 : 1);
+        int64_t pre = rng.uniformInt(50, 120);
+        trace::Trace t;
+        t.traceId = "t" + std::to_string(rng.uniformInt(0, 1 << 30));
+        t.spans.push_back(
+            makeSpan("r", "", "frontend", "Handle", 0, pre + b + 80));
+        t.spans.push_back(makeSpan("c", "r", "frontend",
+                                   "Get" + backend, pre, pre + b + 40,
+                                   trace::SpanKind::Client));
+        t.spans.push_back(makeSpan("s", "c", backend, "Get" + backend,
+                                   pre + 20, pre + 20 + b));
+        return t;
+    }
+};
+
+PipeFixture &
+pipeFixture()
+{
+    static PipeFixture f;
+    return f;
+}
+
+/** A storm: n slow traces through `backend`. */
+std::vector<trace::Trace>
+storm(const std::string &backend, size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<trace::Trace> out;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(PipeFixture::makeTrace(rng, backend, true));
+    return out;
+}
+
+} // namespace
+
+TEST(PipelineMechanics, PureClusterOneInvocation)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 12, 1);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+    PipelineResult res = pipeline.analyze(traces, slos);
+
+    // Identical failure mode: few clusters, far fewer RCA calls than
+    // traces, same verdict everywhere.
+    EXPECT_LT(res.rcaInvocations, traces.size() / 2);
+    for (const RcaResult &r : res.perTrace) {
+        ASSERT_FALSE(r.services.empty());
+        EXPECT_EQ(r.services[0], "backend");
+    }
+}
+
+TEST(PipelineMechanics, GuardSendsFarMembersToIndividualRca)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 10, 2);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig strict;
+    strict.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                      .clusterSelectionEpsilon = 0.0};
+    strict.maxRepresentativeDistance = 1e-9;  // nobody inherits
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, strict);
+    PipelineResult res = pipeline.analyze(traces, slos);
+    // Every non-representative member falls back to individual RCA.
+    EXPECT_GE(res.rcaInvocations, traces.size());
+}
+
+TEST(PipelineMechanics, DbscanMatchesHdbscanOnPureStorm)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 12, 3);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig hd;
+    hd.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                  .clusterSelectionEpsilon = 0.0};
+    PipelineConfig db;
+    db.algorithm = PipelineConfig::Algorithm::Dbscan;
+    db.dbscan = {.eps = 0.5, .minPts = 3};
+
+    SleuthPipeline p1(f.model, f.encoder, f.profile, hd);
+    SleuthPipeline p2(f.model, f.encoder, f.profile, db);
+    PipelineResult r1 = p1.analyze(traces, slos);
+    PipelineResult r2 = p2.analyze(traces, slos);
+    for (size_t i = 0; i < traces.size(); ++i) {
+        ASSERT_FALSE(r1.perTrace[i].services.empty());
+        ASSERT_FALSE(r2.perTrace[i].services.empty());
+        EXPECT_EQ(r1.perTrace[i].services[0],
+                  r2.perTrace[i].services[0]);
+    }
+}
+
+TEST(PipelineMechanics, DeterministicAcrossRuns)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 8, 4);
+    std::vector<int64_t> slos(traces.size(), 900);
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 3, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+    PipelineResult a = pipeline.analyze(traces, slos);
+    PipelineResult b = pipeline.analyze(traces, slos);
+    EXPECT_EQ(a.clusterLabels, b.clusterLabels);
+    EXPECT_EQ(a.rcaInvocations, b.rcaInvocations);
+    for (size_t i = 0; i < traces.size(); ++i)
+        EXPECT_EQ(a.perTrace[i].services, b.perTrace[i].services);
+}
+
+TEST(PipelineMechanics, EmptyInput)
+{
+    PipeFixture &f = pipeFixture();
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, {});
+    PipelineResult res = pipeline.analyze({}, {});
+    EXPECT_TRUE(res.perTrace.empty());
+    EXPECT_EQ(res.rcaInvocations, 0u);
+}
+
+TEST(PipelineMechanics, MixedStormSeparatesFailureModes)
+{
+    PipeFixture &f = pipeFixture();
+    // Two distinct failure modes with structurally different spans.
+    std::vector<trace::Trace> traces = storm("backend", 8, 5);
+    std::vector<trace::Trace> other = storm("cache", 8, 6);
+    traces.insert(traces.end(), other.begin(), other.end());
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+    PipelineResult res = pipeline.analyze(traces, slos);
+
+    int backend_hits = 0, cache_hits = 0;
+    for (size_t i = 0; i < 8; ++i)
+        if (!res.perTrace[i].services.empty() &&
+            res.perTrace[i].services[0] == "backend")
+            ++backend_hits;
+    for (size_t i = 8; i < 16; ++i)
+        if (!res.perTrace[i].services.empty() &&
+            res.perTrace[i].services[0] == "cache")
+            ++cache_hits;
+    EXPECT_GE(backend_hits, 6);
+    EXPECT_GE(cache_hits, 6);
+}

@@ -1,0 +1,127 @@
+// Parameterized property tests for the clustering stack: HDBSCAN must
+// recover planted blob structure across shapes and seeds, and its
+// output must always be structurally valid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/hdbscan.h"
+#include "cluster/svdd.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using namespace sleuth::cluster;
+
+namespace {
+
+struct BlobCase
+{
+    size_t blobs;
+    size_t per;
+    double spread;
+    double gap;
+    uint64_t seed;
+};
+
+std::string
+blobName(const ::testing::TestParamInfo<BlobCase> &info)
+{
+    const BlobCase &c = info.param;
+    return "b" + std::to_string(c.blobs) + "_p" +
+           std::to_string(c.per) + "_s" + std::to_string(c.seed);
+}
+
+std::vector<std::pair<double, double>>
+makeBlobs(const BlobCase &c)
+{
+    util::Rng rng(c.seed);
+    std::vector<std::pair<double, double>> pts;
+    for (size_t b = 0; b < c.blobs; ++b) {
+        double cx = static_cast<double>(b) * c.gap;
+        double cy = static_cast<double>(b % 2) * c.gap;
+        for (size_t i = 0; i < c.per; ++i)
+            pts.emplace_back(cx + rng.normal(0, c.spread),
+                             cy + rng.normal(0, c.spread));
+    }
+    return pts;
+}
+
+DistanceFn
+euclid(const std::vector<std::pair<double, double>> &pts)
+{
+    return [&pts](size_t i, size_t j) {
+        double dx = pts[i].first - pts[j].first;
+        double dy = pts[i].second - pts[j].second;
+        return std::sqrt(dx * dx + dy * dy);
+    };
+}
+
+} // namespace
+
+class HdbscanBlobs : public ::testing::TestWithParam<BlobCase>
+{
+};
+
+TEST_P(HdbscanBlobs, RecoversPlantedClusters)
+{
+    const BlobCase &c = GetParam();
+    auto pts = makeBlobs(c);
+    auto res = hdbscan(pts.size(), euclid(pts),
+                       {.minClusterSize = c.per / 2,
+                        .minSamples = 3});
+    EXPECT_EQ(res.numClusters, static_cast<int>(c.blobs));
+    // Every blob's points share a label; labels differ across blobs.
+    for (size_t b = 0; b < c.blobs; ++b) {
+        int label = res.labels[b * c.per];
+        EXPECT_GE(label, 0);
+        size_t agree = 0;
+        for (size_t i = 0; i < c.per; ++i)
+            agree += res.labels[b * c.per + i] == label;
+        EXPECT_GE(agree, c.per - c.per / 10)
+            << "blob " << b << " fragmented";
+    }
+}
+
+TEST_P(HdbscanBlobs, OutputStructurallyValid)
+{
+    const BlobCase &c = GetParam();
+    auto pts = makeBlobs(c);
+    auto res = hdbscan(pts.size(), euclid(pts),
+                       {.minClusterSize = c.per / 2,
+                        .minSamples = 3});
+    ASSERT_EQ(res.labels.size(), pts.size());
+    for (int l : res.labels) {
+        EXPECT_GE(l, -1);
+        EXPECT_LT(l, res.numClusters);
+    }
+    // Every cluster id in [0, numClusters) is non-empty.
+    for (int cid = 0; cid < res.numClusters; ++cid)
+        EXPECT_FALSE(res.members(cid).empty());
+}
+
+TEST_P(HdbscanBlobs, RepresentativesComeFromTheirCluster)
+{
+    const BlobCase &c = GetParam();
+    auto pts = makeBlobs(c);
+    auto dist = euclid(pts);
+    auto res = hdbscan(pts.size(), dist,
+                       {.minClusterSize = c.per / 2,
+                        .minSamples = 3});
+    if (res.numClusters == 0)
+        GTEST_SKIP();
+    auto reps = selectRepresentatives(res.labels, res.numClusters,
+                                      dist);
+    ASSERT_EQ(reps.size(), static_cast<size_t>(res.numClusters));
+    for (int cid = 0; cid < res.numClusters; ++cid)
+        EXPECT_EQ(res.labels[reps[static_cast<size_t>(cid)]], cid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HdbscanBlobs,
+    ::testing::Values(BlobCase{2, 20, 0.3, 10.0, 1},
+                      BlobCase{3, 16, 0.4, 12.0, 2},
+                      BlobCase{4, 14, 0.3, 15.0, 3},
+                      BlobCase{2, 30, 0.5, 20.0, 4},
+                      BlobCase{5, 12, 0.2, 8.0, 5}),
+    blobName);

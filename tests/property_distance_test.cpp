@@ -1,0 +1,131 @@
+// Parameterized property tests: metric axioms of the weighted-Jaccard
+// trace distance over randomly generated weighted sets and simulated
+// traces.
+
+#include <gtest/gtest.h>
+
+#include "distance/trace_distance.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using namespace sleuth::distance;
+
+class JaccardAxioms : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    WeightedSpanSet
+    randomSet(util::Rng &rng, size_t universe)
+    {
+        WeightedSpanSet s;
+        size_t n = static_cast<size_t>(rng.uniformInt(
+            1, static_cast<int64_t>(universe)));
+        for (size_t i = 0; i < n; ++i)
+            s[static_cast<uint64_t>(rng.uniformInt(
+                0, static_cast<int64_t>(universe)))] =
+                rng.uniform(0.5, 5000.0);
+        return s;
+    }
+};
+
+TEST_P(JaccardAxioms, IdentityAndRange)
+{
+    util::Rng rng(GetParam());
+    for (int it = 0; it < 20; ++it) {
+        WeightedSpanSet a = randomSet(rng, 40);
+        EXPECT_DOUBLE_EQ(jaccardDistance(a, a), 0.0);
+        WeightedSpanSet b = randomSet(rng, 40);
+        double d = jaccardDistance(a, b);
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 1.0);
+    }
+}
+
+TEST_P(JaccardAxioms, Symmetry)
+{
+    util::Rng rng(GetParam() ^ 0xabc);
+    for (int it = 0; it < 20; ++it) {
+        WeightedSpanSet a = randomSet(rng, 40);
+        WeightedSpanSet b = randomSet(rng, 40);
+        EXPECT_DOUBLE_EQ(jaccardDistance(a, b), jaccardDistance(b, a));
+    }
+}
+
+TEST_P(JaccardAxioms, TriangleInequality)
+{
+    util::Rng rng(GetParam() ^ 0xdef);
+    for (int it = 0; it < 12; ++it) {
+        WeightedSpanSet a = randomSet(rng, 25);
+        WeightedSpanSet b = randomSet(rng, 25);
+        WeightedSpanSet c = randomSet(rng, 25);
+        EXPECT_LE(jaccardDistance(a, c),
+                  jaccardDistance(a, b) + jaccardDistance(b, c) + 1e-9);
+    }
+}
+
+TEST_P(JaccardAxioms, DominatedByDisjointness)
+{
+    // Removing every shared identifier can only increase the distance.
+    util::Rng rng(GetParam() ^ 0x123);
+    for (int it = 0; it < 10; ++it) {
+        WeightedSpanSet a = randomSet(rng, 30);
+        WeightedSpanSet b = randomSet(rng, 30);
+        double before = jaccardDistance(a, b);
+        WeightedSpanSet b2 = b;
+        for (const auto &[k, w] : a) {
+            (void)w;
+            b2.erase(k);
+        }
+        if (b2.empty())
+            continue;
+        EXPECT_GE(jaccardDistance(a, b2), before - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaccardAxioms,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+class TraceDistanceOnSimulated
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TraceDistanceOnSimulated, SameFlowCloserThanCrossFlow)
+{
+    synth::AppConfig app =
+        synth::generateApp(synth::syntheticParams(32, 5));
+    sim::ClusterModel cluster(app, 10, 1);
+    sim::Simulator sim(app, cluster, {.seed = GetParam()});
+    ASSERT_GE(app.flows.size(), 2u);
+
+    trace::Trace a1 = sim.simulateFlow(0).trace;
+    trace::Trace a2 = sim.simulateFlow(0).trace;
+    trace::Trace b = sim.simulateFlow(1).trace;
+    double same = traceDistance(a1, a2);
+    double cross = traceDistance(a1, b);
+    EXPECT_LT(same, cross);
+}
+
+TEST_P(TraceDistanceOnSimulated, MoreAncestorContextNeverCloser)
+{
+    // Adding calling-path context can only split identifiers apart, so
+    // the distance is monotonically non-decreasing in d_max.
+    synth::AppConfig app =
+        synth::generateApp(synth::syntheticParams(32, 5));
+    sim::ClusterModel cluster(app, 10, 1);
+    sim::Simulator sim(app, cluster, {.seed = GetParam() ^ 0x77});
+    trace::Trace a = sim.simulateFlow(0).trace;
+    trace::Trace b = sim.simulateFlow(1).trace;
+    double prev = -1.0;
+    for (int d : {0, 1, 2, 4}) {
+        SpanSetOptions opts;
+        opts.maxAncestorDistance = d;
+        double dist = traceDistance(a, b, opts);
+        EXPECT_GE(dist, prev - 1e-9);
+        prev = dist;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceDistanceOnSimulated,
+                         ::testing::Values(11u, 22u, 33u));

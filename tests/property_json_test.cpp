@@ -1,0 +1,88 @@
+// Parameterized property tests: randomly generated JSON documents must
+// survive dump -> parse -> dump unchanged (both compact and pretty).
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace sleuth::util;
+
+namespace {
+
+Json
+randomJson(Rng &rng, int depth)
+{
+    int kind = static_cast<int>(
+        rng.uniformInt(0, depth >= 3 ? 3 : 5));
+    switch (kind) {
+      case 0:
+        return Json();
+      case 1:
+        return Json(rng.bernoulli(0.5));
+      case 2: {
+        if (rng.bernoulli(0.5))
+            return Json(rng.uniformInt(-1000000, 1000000));
+        return Json(rng.uniform(-1000.0, 1000.0));
+      }
+      case 3: {
+        std::string s;
+        int len = static_cast<int>(rng.uniformInt(0, 12));
+        const std::string alphabet =
+            "abcXYZ012 _-\"\\\n\t/{}[]:,";
+        for (int i = 0; i < len; ++i)
+            s.push_back(alphabet[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(alphabet.size()) - 1))]);
+        return Json(std::move(s));
+      }
+      case 4: {
+        Json arr = Json::array();
+        int n = static_cast<int>(rng.uniformInt(0, 5));
+        for (int i = 0; i < n; ++i)
+            arr.push(randomJson(rng, depth + 1));
+        return arr;
+      }
+      default: {
+        Json obj = Json::object();
+        int n = static_cast<int>(rng.uniformInt(0, 5));
+        for (int i = 0; i < n; ++i)
+            obj.set("k" + std::to_string(i),
+                    randomJson(rng, depth + 1));
+        return obj;
+      }
+    }
+}
+
+} // namespace
+
+class JsonRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(JsonRoundTrip, CompactRoundTrip)
+{
+    Rng rng(GetParam());
+    for (int it = 0; it < 25; ++it) {
+        Json v = randomJson(rng, 0);
+        std::string text = v.dump();
+        std::string err;
+        Json back = Json::parse(text, &err);
+        ASSERT_TRUE(err.empty()) << err << " in " << text;
+        EXPECT_EQ(back.dump(), text);
+    }
+}
+
+TEST_P(JsonRoundTrip, PrettyRoundTrip)
+{
+    Rng rng(GetParam() ^ 0x9999);
+    for (int it = 0; it < 25; ++it) {
+        Json v = randomJson(rng, 0);
+        std::string err;
+        Json back = Json::parse(v.dump(2), &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(back.dump(), v.dump());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 17u, 255u));

@@ -1,0 +1,157 @@
+// Parameterized property tests: simulator output invariants must hold
+// for every benchmark application and seed.
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "sim/simulator.h"
+
+using namespace sleuth;
+
+namespace {
+
+struct Case
+{
+    eval::BenchmarkApp app;
+    uint64_t seed;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string n = toString(info.param.app) + "_s" +
+                    std::to_string(info.param.seed);
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+class SimulatorProperty : public ::testing::TestWithParam<Case>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        app_ = eval::makeApp(GetParam().app, 5);
+        cluster_ = std::make_unique<sim::ClusterModel>(app_, 20,
+                                                       GetParam().seed);
+        simulator_ = std::make_unique<sim::Simulator>(
+            app_, *cluster_,
+            sim::SimParams{.seed = GetParam().seed});
+    }
+
+    synth::AppConfig app_;
+    std::unique_ptr<sim::ClusterModel> cluster_;
+    std::unique_ptr<sim::Simulator> simulator_;
+};
+
+TEST_P(SimulatorProperty, TracesAreWellFormed)
+{
+    for (int i = 0; i < 25; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        trace::TraceGraph g;
+        std::string err;
+        ASSERT_TRUE(trace::TraceGraph::tryBuild(r.trace, &g, &err))
+            << err;
+        // Client+server pair per call, root server has no client.
+        EXPECT_EQ(r.trace.spans.size() % 2, 1u);
+    }
+}
+
+TEST_P(SimulatorProperty, ClientServerPairing)
+{
+    for (int i = 0; i < 15; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+        for (size_t s = 0; s < r.trace.spans.size(); ++s) {
+            const trace::Span &span = r.trace.spans[s];
+            if (span.kind == trace::SpanKind::Client ||
+                span.kind == trace::SpanKind::Producer) {
+                // Exactly one child: the matching server/consumer span
+                // with the same operation name.
+                const auto &kids = g.children(static_cast<int>(s));
+                ASSERT_EQ(kids.size(), 1u);
+                const trace::Span &server =
+                    r.trace.spans[static_cast<size_t>(kids[0])];
+                EXPECT_EQ(server.name, span.name);
+                EXPECT_EQ(server.kind,
+                          span.kind == trace::SpanKind::Client
+                              ? trace::SpanKind::Server
+                              : trace::SpanKind::Consumer);
+            }
+        }
+    }
+}
+
+TEST_P(SimulatorProperty, ExclusiveWithinDuration)
+{
+    for (int i = 0; i < 15; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+        trace::ExclusiveMetrics m = trace::computeExclusive(r.trace, g);
+        for (size_t s = 0; s < r.trace.spans.size(); ++s) {
+            EXPECT_GE(m.exclusiveUs[s], 0);
+            EXPECT_LE(m.exclusiveUs[s], r.trace.spans[s].durationUs());
+        }
+    }
+}
+
+TEST_P(SimulatorProperty, SyncServerErrorReachesClient)
+{
+    // A synchronous call's client span must carry at least the server
+    // span's error status (plus possibly network-injected errors).
+    for (int i = 0; i < 15; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+        for (size_t s = 0; s < r.trace.spans.size(); ++s) {
+            const trace::Span &span = r.trace.spans[s];
+            if (span.kind != trace::SpanKind::Client)
+                continue;
+            const trace::Span &server = r.trace.spans[
+                static_cast<size_t>(g.children(
+                    static_cast<int>(s))[0])];
+            if (server.hasError()) {
+                EXPECT_TRUE(span.hasError());
+            }
+        }
+    }
+}
+
+TEST_P(SimulatorProperty, ResourceAttributesBelongToDeployment)
+{
+    std::set<std::string> containers;
+    for (const chaos::Instance &inst : cluster_->allInstances())
+        containers.insert(inst.container);
+    for (int i = 0; i < 10; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        for (const trace::Span &s : r.trace.spans)
+            EXPECT_TRUE(containers.count(s.container))
+                << s.container;
+    }
+}
+
+TEST_P(SimulatorProperty, ServicesMatchConfig)
+{
+    std::set<std::string> names;
+    for (const synth::ServiceConfig &s : app_.services)
+        names.insert(s.name);
+    for (int i = 0; i < 10; ++i) {
+        sim::SimResult r = simulator_->simulateOne();
+        for (const trace::Span &s : r.trace.spans)
+            EXPECT_TRUE(names.count(s.service)) << s.service;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndSeeds, SimulatorProperty,
+    ::testing::Values(Case{eval::BenchmarkApp::SockShop, 1},
+                      Case{eval::BenchmarkApp::SockShop, 2},
+                      Case{eval::BenchmarkApp::SocialNet, 1},
+                      Case{eval::BenchmarkApp::Syn16, 1},
+                      Case{eval::BenchmarkApp::Syn16, 3},
+                      Case{eval::BenchmarkApp::Syn64, 1},
+                      Case{eval::BenchmarkApp::Syn256, 1}),
+    caseName);

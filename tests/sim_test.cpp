@@ -1,0 +1,350 @@
+// Integration tests for the cluster model, chaos fault planning, and
+// the discrete-event trace simulator.
+
+#include <gtest/gtest.h>
+
+#include "chaos/fault.h"
+#include "sim/cluster_model.h"
+#include "sim/simulator.h"
+#include "trace/trace_json.h"
+#include "synth/catalog.h"
+#include "synth/generator.h"
+
+using namespace sleuth;
+using namespace sleuth::sim;
+
+namespace {
+
+synth::AppConfig
+smallApp()
+{
+    return synth::generateApp(synth::syntheticParams(16, 42));
+}
+
+} // namespace
+
+TEST(ClusterModel, PlacesEveryReplica)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    size_t total = 0;
+    for (const synth::ServiceConfig &s : app.services) {
+        const auto &insts = cluster.instancesOf(s.id);
+        EXPECT_EQ(insts.size(), static_cast<size_t>(s.replicas));
+        for (const chaos::Instance &i : insts) {
+            EXPECT_EQ(i.serviceId, s.id);
+            EXPECT_FALSE(i.container.empty());
+            EXPECT_FALSE(i.pod.empty());
+            EXPECT_TRUE(i.node.rfind("node-", 0) == 0);
+        }
+        total += insts.size();
+    }
+    EXPECT_EQ(cluster.allInstances().size(), total);
+}
+
+TEST(Chaos, BernoulliPlanRates)
+{
+    synth::AppConfig app = synth::generateApp(
+        synth::syntheticParams(256, 3));
+    ClusterModel cluster(app, 100, 2);
+    util::Rng rng(5);
+    chaos::ChaosParams params;
+    params.containerProb = 0.05;
+    chaos::FaultPlan plan =
+        chaos::planFaults(cluster.allInstances(), params, rng);
+    double expected =
+        0.05 * static_cast<double>(cluster.allInstances().size());
+    EXPECT_GT(plan.faults.size(), expected * 0.3);
+    EXPECT_LT(plan.faults.size(), expected * 3.0);
+    for (const chaos::FaultSpec &f : plan.faults)
+        EXPECT_EQ(f.scope, chaos::FaultScope::Container);
+}
+
+TEST(Chaos, FixedPlanExactCount)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 2);
+    util::Rng rng(6);
+    chaos::FaultPlan plan = chaos::planFixedFaults(
+        cluster.allInstances(), 3, chaos::FaultScope::Pod, {}, rng);
+    EXPECT_EQ(plan.faults.size(), 3u);
+    std::set<std::string> targets;
+    for (const chaos::FaultSpec &f : plan.faults) {
+        EXPECT_EQ(f.scope, chaos::FaultScope::Pod);
+        targets.insert(f.target);
+    }
+    EXPECT_EQ(targets.size(), 3u);  // distinct targets
+}
+
+TEST(Chaos, FaultIndexLookups)
+{
+    chaos::FaultPlan plan;
+    plan.faults.push_back({chaos::FaultType::CpuStress,
+                           chaos::FaultScope::Pod, "svc-pod-0", 5.0,
+                           0.0});
+    plan.faults.push_back({chaos::FaultType::NetworkError,
+                           chaos::FaultScope::Node, "node-3", 1.0,
+                           0.5});
+    chaos::FaultIndex idx(plan);
+    chaos::Instance on_both{0, "svc-ctr-0", "svc-pod-0", "node-3"};
+    chaos::Instance on_none{0, "x", "y", "node-9"};
+    EXPECT_EQ(idx.faultsOn(on_both).size(), 2u);
+    EXPECT_TRUE(idx.faultsOn(on_none).empty());
+    EXPECT_FALSE(idx.empty());
+    EXPECT_TRUE(chaos::FaultIndex(chaos::FaultPlan{}).empty());
+}
+
+TEST(Simulator, ProducesValidTraces)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator sim(app, cluster, {.seed = 1});
+    for (int i = 0; i < 50; ++i) {
+        SimResult r = sim.simulateOne();
+        trace::TraceGraph g;
+        std::string err;
+        ASSERT_TRUE(trace::TraceGraph::tryBuild(r.trace, &g, &err))
+            << err;
+        // Client+server per call; the root contributes only a server.
+        const synth::FlowConfig &flow =
+            app.flows[static_cast<size_t>(r.flowIndex)];
+        EXPECT_EQ(r.trace.spans.size(), 2 * flow.nodes.size() - 1);
+    }
+}
+
+TEST(Simulator, SpanTimesNestProperly)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator sim(app, cluster, {.seed = 2});
+    for (int i = 0; i < 20; ++i) {
+        SimResult r = sim.simulateOne();
+        trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+        for (size_t s = 0; s < r.trace.spans.size(); ++s) {
+            const trace::Span &span = r.trace.spans[s];
+            EXPECT_LT(span.startUs, span.endUs);
+            int p = g.parent(static_cast<int>(s));
+            if (p < 0)
+                continue;
+            const trace::Span &parent =
+                r.trace.spans[static_cast<size_t>(p)];
+            EXPECT_GE(span.startUs, parent.startUs);
+            // Synchronous children end inside the parent; async
+            // consumers may outlive it.
+            if (span.kind != trace::SpanKind::Consumer &&
+                parent.kind != trace::SpanKind::Producer) {
+                EXPECT_LE(span.endUs, parent.endUs);
+            }
+        }
+    }
+}
+
+TEST(Simulator, FlowMixFollowsWeights)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator sim(app, cluster, {.seed = 3});
+    std::vector<int> counts(app.flows.size(), 0);
+    for (int i = 0; i < 2000; ++i)
+        counts[static_cast<size_t>(sim.simulateOne().flowIndex)]++;
+    double total_weight = 0;
+    for (const synth::FlowConfig &f : app.flows)
+        total_weight += f.weight;
+    for (size_t f = 0; f < app.flows.size(); ++f) {
+        double expect = 2000.0 * app.flows[f].weight / total_weight;
+        EXPECT_NEAR(counts[f], expect, expect * 0.35 + 20);
+    }
+}
+
+TEST(Simulator, FaultFreeTracesHaveNoGroundTruth)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator sim(app, cluster, {.seed = 4});
+    for (int i = 0; i < 30; ++i) {
+        SimResult r = sim.simulateOne();
+        EXPECT_FALSE(r.faultTouched());
+    }
+}
+
+TEST(Simulator, CpuFaultInflatesLatencyAndIsRecorded)
+{
+    synth::AppConfig app = synth::sockShopConfig();
+    ClusterModel cluster(app, 10, 1);
+
+    // Fault every replica of the orders service with a CPU stress.
+    chaos::FaultPlan plan;
+    for (const chaos::Instance &inst : cluster.instancesOf(1))
+        plan.faults.push_back({chaos::FaultType::CpuStress,
+                               chaos::FaultScope::Container,
+                               inst.container, 15.0, 0.0});
+
+    Simulator healthy(app, cluster, {.seed = 5});
+    Simulator faulty(app, cluster, {.seed = 5}, plan);
+
+    // POST /orders (flow 0) goes through orders.
+    double healthy_sum = 0, faulty_sum = 0;
+    int touched = 0;
+    for (int i = 0; i < 40; ++i) {
+        healthy_sum += static_cast<double>(
+            healthy.simulateFlow(0).trace.rootDurationUs());
+        SimResult r = faulty.simulateFlow(0);
+        faulty_sum += static_cast<double>(r.trace.rootDurationUs());
+        if (r.rootCauseServices.count("orders"))
+            ++touched;
+    }
+    EXPECT_GT(faulty_sum, healthy_sum * 1.5);
+    EXPECT_EQ(touched, 40);  // every orders trace is materially hit
+}
+
+TEST(Simulator, NetworkErrorFaultCausesClientErrors)
+{
+    synth::AppConfig app = synth::sockShopConfig();
+    ClusterModel cluster(app, 10, 1);
+    chaos::FaultPlan plan;
+    // payment service id is 5 in sockShopConfig.
+    for (const chaos::Instance &inst : cluster.instancesOf(5))
+        plan.faults.push_back({chaos::FaultType::NetworkError,
+                               chaos::FaultScope::Container,
+                               inst.container, 1.0, 1.0});
+    Simulator sim(app, cluster, {.seed = 6}, plan);
+    int errors = 0, attributed = 0, root_errors = 0;
+    for (int i = 0; i < 30; ++i) {
+        SimResult r = sim.simulateFlow(0);  // POST /orders uses payment
+        if (r.trace.hasError())
+            ++errors;
+        bool root_error = false;
+        for (const trace::Span &s : r.trace.spans)
+            if (s.parentSpanId.empty())
+                root_error = s.hasError();
+        // Ground truth blames payment exactly when the injected error
+        // actually propagated to the root (not absorbed by handlers).
+        if (root_error) {
+            ++root_errors;
+            EXPECT_TRUE(r.rootCauseServices.count("payment"));
+        }
+        if (r.rootCauseServices.count("payment"))
+            ++attributed;
+    }
+    EXPECT_EQ(errors, 30);
+    EXPECT_GT(root_errors, 10);
+    EXPECT_GE(attributed, root_errors);
+}
+
+TEST(Simulator, AsyncConsumerDoesNotBlockParent)
+{
+    // Fault queue-master (async consumer in post-orders) with a huge
+    // latency multiplier; the root duration must stay near healthy.
+    synth::AppConfig app = synth::sockShopConfig();
+    ClusterModel cluster(app, 10, 1);
+    chaos::FaultPlan plan;
+    for (const chaos::Instance &inst : cluster.instancesOf(7))
+        plan.faults.push_back({chaos::FaultType::DiskStress,
+                               chaos::FaultScope::Container,
+                               inst.container, 50.0, 0.0});
+    Simulator healthy(app, cluster, {.seed = 7});
+    Simulator faulty(app, cluster, {.seed = 7}, plan);
+    double healthy_sum = 0, faulty_sum = 0;
+    for (int i = 0; i < 40; ++i) {
+        healthy_sum += static_cast<double>(
+            healthy.simulateFlow(0).trace.rootDurationUs());
+        faulty_sum += static_cast<double>(
+            faulty.simulateFlow(0).trace.rootDurationUs());
+    }
+    // ProcessShipment is async: inflating it shifts root latency by
+    // far less than the 50x kernel factor.
+    EXPECT_LT(faulty_sum, healthy_sum * 2.0);
+}
+
+TEST(Simulator, TimeoutCapsClientDuration)
+{
+    synth::AppConfig app = smallApp();
+    // Give one rpc a tiny timeout and stress it so it always trips.
+    app.rpcs[5].timeoutUs = 50;
+    ClusterModel cluster(app, 10, 1);
+    chaos::FaultPlan plan;
+    for (const chaos::Instance &inst :
+         cluster.instancesOf(app.rpcs[5].serviceId))
+        plan.faults.push_back({chaos::FaultType::CpuStress,
+                               chaos::FaultScope::Container,
+                               inst.container, 100.0, 0.0});
+    Simulator sim(app, cluster, {.seed = 8}, plan);
+    bool saw_timeout = false;
+    for (int i = 0; i < 60 && !saw_timeout; ++i) {
+        SimResult r = sim.simulateFlow(0);
+        trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+        for (const trace::Span &s : r.trace.spans) {
+            if (s.kind == trace::SpanKind::Client &&
+                s.name == app.rpcs[5].name) {
+                EXPECT_LE(s.durationUs(), 50 + 1);
+                if (s.hasError())
+                    saw_timeout = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_timeout);
+}
+
+TEST(Simulator, DeterministicGivenSeed)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator a(app, cluster, {.seed = 9});
+    Simulator b(app, cluster, {.seed = 9});
+    for (int i = 0; i < 10; ++i) {
+        SimResult ra = a.simulateOne();
+        SimResult rb = b.simulateOne();
+        EXPECT_EQ(trace::toJson(ra.trace).dump(),
+                  trace::toJson(rb.trace).dump());
+    }
+}
+
+TEST(Simulator, CalibrateSlosSetsThresholds)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator::calibrateSlos(app, cluster, 200, 99.0);
+    for (const synth::FlowConfig &f : app.flows)
+        EXPECT_GT(f.sloUs, 0);
+
+    // Fault-free traffic should rarely violate the calibrated SLO.
+    Simulator sim(app, cluster, {.seed = 10});
+    int violations = 0;
+    for (int i = 0; i < 200; ++i) {
+        SimResult r = sim.simulateOne();
+        if (r.violatesSlo(
+                app.flows[static_cast<size_t>(r.flowIndex)].sloUs))
+            ++violations;
+    }
+    EXPECT_LT(violations, 20);
+}
+
+TEST(Simulator, ExclusiveDurationsConsistent)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator sim(app, cluster, {.seed = 11});
+    SimResult r = sim.simulateOne();
+    trace::TraceGraph g = trace::TraceGraph::build(r.trace);
+    trace::ExclusiveMetrics m = trace::computeExclusive(r.trace, g);
+    for (size_t i = 0; i < r.trace.spans.size(); ++i) {
+        EXPECT_GE(m.exclusiveUs[i], 0);
+        EXPECT_LE(m.exclusiveUs[i], r.trace.spans[i].durationUs());
+    }
+}
+
+TEST(Simulator, StreamMatchesBatch)
+{
+    synth::AppConfig app = smallApp();
+    ClusterModel cluster(app, 10, 1);
+    Simulator a(app, cluster, {.seed = 12});
+    Simulator b(app, cluster, {.seed = 12});
+    std::vector<SimResult> batch = a.simulateMany(5);
+    size_t idx = 0;
+    b.simulateStream(5, [&](SimResult &&r) {
+        EXPECT_EQ(trace::toJson(r.trace).dump(),
+                  trace::toJson(batch[idx].trace).dump());
+        ++idx;
+    });
+    EXPECT_EQ(idx, 5u);
+}

@@ -1,0 +1,129 @@
+// Unit tests for the embedded trace store and operator pipeline.
+
+#include <gtest/gtest.h>
+
+#include "storage/trace_store.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::storage;
+using sleuth::testing::makeSpan;
+
+namespace {
+
+Record
+record(const std::string &id, int64_t start, int64_t dur,
+       const std::string &svc, int64_t slo = 0, bool error = false)
+{
+    Record r;
+    r.trace.traceId = id;
+    r.trace.spans.push_back(makeSpan(
+        "root", "", svc, "op", start, start + dur,
+        trace::SpanKind::Server,
+        error ? trace::StatusCode::Error : trace::StatusCode::Ok));
+    r.sloUs = slo;
+    return r;
+}
+
+} // namespace
+
+TEST(Record, StartAndAnomalyFlags)
+{
+    Record normal = record("a", 100, 50, "svc", 1000);
+    EXPECT_EQ(normal.startUs(), 100);
+    EXPECT_FALSE(normal.anomalous());
+
+    Record slow = record("b", 0, 5000, "svc", 1000);
+    EXPECT_TRUE(slow.anomalous());
+
+    Record err = record("c", 0, 10, "svc", 1000, true);
+    EXPECT_TRUE(err.anomalous());
+
+    Record no_slo = record("d", 0, 5000, "svc", 0);
+    EXPECT_FALSE(no_slo.anomalous());
+}
+
+TEST(TraceStore, InsertAndAccess)
+{
+    TraceStore store;
+    size_t id = store.insert(record("a", 0, 10, "svc"));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.at(id).trace.traceId, "a");
+    EXPECT_EQ(store.totalSpans(), 1u);
+}
+
+TEST(TraceStore, TimeWindowQuery)
+{
+    TraceStore store;
+    for (int64_t t = 0; t < 10; ++t)
+        store.insert(record("t" + std::to_string(t), t * 100, 10,
+                            "svc"));
+    Query q;
+    q.minStartUs = 300;
+    q.maxStartUs = 600;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0]->trace.traceId, "t3");
+    EXPECT_EQ(hits[2]->trace.traceId, "t5");
+}
+
+TEST(TraceStore, ServiceQueryUsesPostings)
+{
+    TraceStore store;
+    store.insert(record("a", 0, 10, "alpha"));
+    store.insert(record("b", 10, 10, "beta"));
+    store.insert(record("c", 20, 10, "alpha"));
+    Query q;
+    q.service = "alpha";
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->trace.traceId, "a");
+    EXPECT_EQ(hits[1]->trace.traceId, "c");
+
+    q.service = "missing";
+    EXPECT_TRUE(store.query(q).empty());
+}
+
+TEST(TraceStore, AnomalousFilterAndLimit)
+{
+    TraceStore store;
+    store.insert(record("ok1", 0, 100, "svc", 1000));
+    store.insert(record("bad1", 10, 5000, "svc", 1000));
+    store.insert(record("ok2", 20, 100, "svc", 1000));
+    store.insert(record("bad2", 30, 9000, "svc", 1000));
+    Query q;
+    q.onlyAnomalous = true;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    q.limit = 1;
+    EXPECT_EQ(store.query(q).size(), 1u);
+}
+
+TEST(Dataset, FilterMapGroupAggregate)
+{
+    TraceStore store;
+    store.insert(record("a", 0, 100, "alpha"));
+    store.insert(record("b", 10, 200, "beta"));
+    store.insert(record("c", 20, 300, "alpha"));
+
+    auto slow = store.scan().filter(
+        [](const Record *const &r) {
+            return r->trace.rootDurationUs() >= 200;
+        });
+    EXPECT_EQ(slow.size(), 2u);
+
+    auto durations = slow.map<int64_t>(
+        [](const Record *const &r) {
+            return r->trace.rootDurationUs();
+        });
+    int64_t total = durations.aggregate<int64_t>(
+        0, [](int64_t acc, const int64_t &d) { return acc + d; });
+    EXPECT_EQ(total, 500);
+
+    auto by_service = store.scan().groupBy<std::string>(
+        [](const Record *const &r) {
+            return r->trace.spans[0].service;
+        });
+    EXPECT_EQ(by_service.size(), 2u);
+    EXPECT_EQ(by_service["alpha"].size(), 2u);
+}

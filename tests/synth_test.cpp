@@ -1,0 +1,300 @@
+// Unit tests for the synthetic benchmark generator, catalog models,
+// config serialization, service-update mutations, and code generation.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "synth/catalog.h"
+#include "synth/codegen.h"
+#include "synth/generator.h"
+#include "synth/mutate.h"
+
+using namespace sleuth;
+using namespace sleuth::synth;
+
+TEST(Generator, SyntheticParamsFollowPaperScales)
+{
+    GeneratorParams p16 = syntheticParams(16);
+    EXPECT_EQ(p16.numServices, 4);
+    EXPECT_EQ(p16.maxDepth, 3);
+    EXPECT_EQ(p16.maxOutDegree, 4);
+    GeneratorParams p1024 = syntheticParams(1024);
+    EXPECT_EQ(p1024.numServices, 256);
+    EXPECT_EQ(p1024.maxDepth, 15);
+    EXPECT_EQ(p1024.maxOutDegree, 24);
+}
+
+TEST(Generator, ProducesRequestedScale)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    EXPECT_EQ(app.services.size(), 16u);
+    EXPECT_EQ(app.rpcs.size(), 64u);
+    EXPECT_GE(app.flows.size(), 2u);
+}
+
+TEST(Generator, FullFlowCoversEveryRpc)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    std::vector<bool> seen(app.rpcs.size(), false);
+    for (const CallNode &nd : app.flows[0].nodes)
+        seen[static_cast<size_t>(nd.rpcId)] = true;
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "rpc " << i << " missing from full flow";
+    EXPECT_EQ(app.flows[0].nodes.size(), app.rpcs.size());
+}
+
+TEST(Generator, RespectsDepthAndFanoutLimits)
+{
+    for (int n : {16, 64, 256}) {
+        GeneratorParams p = syntheticParams(n);
+        AppConfig app = generateApp(p);
+        EXPECT_LE(app.maxFlowDepth(), p.maxDepth) << n;
+        EXPECT_LE(app.maxFanout(), p.maxOutDegree) << n;
+        EXPECT_EQ(app.maxFlowDepth(), p.maxDepth) << n;
+    }
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    AppConfig a = generateApp(syntheticParams(32, 7));
+    AppConfig b = generateApp(syntheticParams(32, 7));
+    EXPECT_EQ(toJson(a).dump(), toJson(b).dump());
+    AppConfig c = generateApp(syntheticParams(32, 8));
+    EXPECT_NE(toJson(a).dump(), toJson(c).dump());
+}
+
+TEST(Generator, VocabulariesAreDisjoint)
+{
+    AppConfig a = generateApp(syntheticParams(32, 1));
+    GeneratorParams p = syntheticParams(32, 1);
+    p.vocabulary = 2;
+    AppConfig b = generateApp(p);
+    for (const ServiceConfig &sa : a.services)
+        for (const ServiceConfig &sb : b.services)
+            EXPECT_NE(sa.name, sb.name);
+}
+
+TEST(Generator, EveryServiceHasAnRpc)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    std::vector<bool> has(app.services.size(), false);
+    for (const RpcConfig &r : app.rpcs)
+        has[static_cast<size_t>(r.serviceId)] = true;
+    for (size_t i = 0; i < has.size(); ++i)
+        EXPECT_TRUE(has[i]);
+}
+
+TEST(Generator, LeafTierRpcsAreTerminal)
+{
+    AppConfig app = generateApp(syntheticParams(128));
+    for (const FlowConfig &f : app.flows) {
+        for (const CallNode &nd : f.nodes) {
+            Tier t = app.services[static_cast<size_t>(
+                app.rpcs[static_cast<size_t>(nd.rpcId)].serviceId)].tier;
+            if (t == Tier::Leaf) {
+                EXPECT_TRUE(nd.children.empty());
+            }
+        }
+    }
+}
+
+TEST(ConfigJson, RoundTrip)
+{
+    AppConfig app = generateApp(syntheticParams(16));
+    util::Json doc = toJson(app);
+    std::string err;
+    util::Json parsed = util::Json::parse(doc.dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    AppConfig back = appFromJson(parsed);
+    EXPECT_EQ(toJson(back).dump(), doc.dump());
+}
+
+TEST(Catalog, SockShopMatchesTable1Shape)
+{
+    AppConfig app = sockShopConfig();
+    EXPECT_EQ(app.services.size(), 11u);  // paper: 11 services
+    // Paper: POST /orders has 57 spans => ~29 call nodes, depth 5.
+    EXPECT_GE(app.maxFlowNodes(), 20u);
+    EXPECT_LE(app.maxFlowNodes(), 35u);
+    EXPECT_EQ(app.maxFlowDepth(), 5);     // 2*5 - 1 = 9 span depth
+    EXPECT_GE(app.flows.size(), 4u);
+}
+
+TEST(Catalog, SocialNetworkMatchesTable1Shape)
+{
+    AppConfig app = socialNetworkConfig();
+    EXPECT_EQ(app.services.size(), 26u);  // paper: 26 services
+    // Paper: ComposePost has 31 spans => ~16 call nodes, depth 5.
+    EXPECT_GE(app.maxFlowNodes(), 12u);
+    EXPECT_LE(app.maxFlowNodes(), 24u);
+    EXPECT_EQ(app.maxFlowDepth(), 5);
+}
+
+TEST(Mutate, ScaleServiceLatencyShiftsLogMeans)
+{
+    AppConfig app = generateApp(syntheticParams(16));
+    int svc = serviceAtDepth(app, 3);
+    ASSERT_GE(svc, 0);
+    double before = 0;
+    for (const RpcConfig &r : app.rpcs)
+        if (r.serviceId == svc) {
+            before = r.startKernel.logMu;
+            break;
+        }
+    scaleServiceLatency(app, svc, 10.0);
+    for (const RpcConfig &r : app.rpcs)
+        if (r.serviceId == svc) {
+            EXPECT_NEAR(r.startKernel.logMu, before + std::log(10.0),
+                        1e-12);
+            break;
+        }
+}
+
+TEST(Mutate, RemoveServicePrunesSubtrees)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    size_t services_before = app.services.size();
+    size_t rpcs_before = app.rpcs.size();
+    int victim = serviceAtDepth(app, 3);
+    ASSERT_GE(victim, 0);
+    removeService(app, victim);
+    EXPECT_EQ(app.services.size(), services_before - 1);
+    EXPECT_LT(app.rpcs.size(), rpcs_before);
+    app.validate();  // ids dense, trees intact
+}
+
+TEST(Mutate, RemoveFrontendDropsItsFlows)
+{
+    AppConfig app = sockShopConfig();
+    // front-end is service 0 and roots every flow; removing it must
+    // fail loudly rather than leave an app with no flows.
+    EXPECT_DEATH(removeService(app, 0), "every flow");
+}
+
+TEST(Mutate, AddServiceAtDepth)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    size_t nodes_before = app.flows[0].nodes.size();
+    util::Rng rng(3);
+    int sid = addServiceAtDepth(app, 2, "canary", rng);
+    EXPECT_EQ(app.services[static_cast<size_t>(sid)].name, "canary");
+    EXPECT_EQ(app.flows[0].nodes.size(), nodes_before + 1);
+    EXPECT_EQ(serviceAtDepth(app, 2) >= 0, true);
+}
+
+TEST(Mutate, AddServiceChains)
+{
+    AppConfig app = generateApp(syntheticParams(64));
+    size_t services_before = app.services.size();
+    util::Rng rng(4);
+    auto added = addServiceChains(app, 3, 3, rng);
+    EXPECT_EQ(added.size(), 9u);
+    EXPECT_EQ(app.services.size(), services_before + 9);
+    app.validate();
+}
+
+TEST(Codegen, EmitsExpectedArtifacts)
+{
+    AppConfig app = sockShopConfig();
+    auto files = generateCode(app);
+    // proto + (source + manifest per service) + compose + config.
+    EXPECT_EQ(files.size(), 1 + 2 * app.services.size() + 2);
+    bool saw_proto = false, saw_orders = false, saw_yaml = false;
+    for (const auto &f : files) {
+        if (f.path == "proto/sockshop.proto") {
+            saw_proto = true;
+            EXPECT_NE(f.contents.find("service front_end"),
+                      std::string::npos);
+            EXPECT_NE(f.contents.find("rpc CreateOrder"),
+                      std::string::npos);
+        }
+        if (f.path == "services/orders/main.cc") {
+            saw_orders = true;
+            EXPECT_NE(f.contents.find("call_rpc(\"payment\""),
+                      std::string::npos);
+            EXPECT_NE(f.contents.find("startSpan"), std::string::npos);
+        }
+        if (f.path == "k8s/orders.yaml") {
+            saw_yaml = true;
+            EXPECT_NE(f.contents.find("kind: Deployment"),
+                      std::string::npos);
+            EXPECT_NE(f.contents.find("replicas: 2"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_TRUE(saw_proto);
+    EXPECT_TRUE(saw_orders);
+    EXPECT_TRUE(saw_yaml);
+}
+
+TEST(Codegen, AsyncCallsUsePublish)
+{
+    AppConfig app = sockShopConfig();
+    auto files = generateCode(app);
+    bool found = false;
+    for (const auto &f : files) {
+        if (f.path == "services/queue-master/main.cc" &&
+            f.contents.find("publish_async(") != std::string::npos)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Codegen, WritesFilesToDisk)
+{
+    AppConfig app = generateApp(syntheticParams(16));
+    auto files = generateCode(app);
+    std::string root = ::testing::TempDir() + "/sleuth-codegen";
+    writeFiles(files, root);
+    std::ifstream in(root + "/config.json");
+    ASSERT_TRUE(in.good());
+}
+
+// Parameterized generator sweep: structural invariants hold across
+// scales and seeds.
+struct GenCase
+{
+    int rpcs;
+    uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenCase>
+{
+};
+
+TEST_P(GeneratorSweep, StructuralInvariants)
+{
+    GeneratorParams p = syntheticParams(GetParam().rpcs,
+                                        GetParam().seed);
+    AppConfig app = generateApp(p);
+    app.validate();
+    EXPECT_EQ(app.rpcs.size(), static_cast<size_t>(GetParam().rpcs));
+    EXPECT_LE(app.maxFlowDepth(), p.maxDepth);
+    EXPECT_LE(app.maxFanout(), p.maxOutDegree);
+    // The full flow covers every rpc exactly once.
+    std::vector<int> count(app.rpcs.size(), 0);
+    for (const CallNode &nd : app.flows[0].nodes)
+        count[static_cast<size_t>(nd.rpcId)]++;
+    for (int c : count)
+        EXPECT_EQ(c, 1);
+    // Flow roots are frontend services.
+    for (const FlowConfig &f : app.flows) {
+        int svc = app.rpcs[static_cast<size_t>(
+                               f.nodes[static_cast<size_t>(f.root)]
+                                   .rpcId)]
+                      .serviceId;
+        EXPECT_EQ(app.services[static_cast<size_t>(svc)].tier,
+                  Tier::Frontend);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndSeeds, GeneratorSweep,
+    ::testing::Values(GenCase{16, 1}, GenCase{16, 9}, GenCase{32, 2},
+                      GenCase{64, 3}, GenCase{128, 4},
+                      GenCase{256, 5}, GenCase{512, 6}),
+    [](const ::testing::TestParamInfo<GenCase> &info) {
+        return "r" + std::to_string(info.param.rpcs) + "_s" +
+               std::to_string(info.param.seed);
+    });

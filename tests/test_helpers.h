@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared helpers for constructing traces in unit tests.
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace sleuth::testing {
+
+/** Build a span with the commonly varied fields. */
+inline trace::Span
+makeSpan(const std::string &id, const std::string &parent,
+         const std::string &service, const std::string &name,
+         int64_t start_us, int64_t end_us,
+         trace::SpanKind kind = trace::SpanKind::Server,
+         trace::StatusCode status = trace::StatusCode::Ok)
+{
+    trace::Span s;
+    s.spanId = id;
+    s.parentSpanId = parent;
+    s.service = service;
+    s.name = name;
+    s.kind = kind;
+    s.startUs = start_us;
+    s.endUs = end_us;
+    s.status = status;
+    s.container = service + "-ctr-0";
+    s.pod = service + "-pod-0";
+    s.node = "node-0";
+    return s;
+}
+
+/**
+ * The example trace of paper Figure 2: a parent span P with children A
+ * and B where A and B overlap each other and the parent works before,
+ * between, and after them.
+ *
+ * Timeline (us): P=[0,100]; A=[10,60]; B=[30,80].
+ * Exclusive durations: P = (10-0)+(100-80) = 30; A = 50; B = 50 - but B
+ * overlaps A in [30,60], exclusive means "not overlapping any CHILD", and
+ * A/B are leaves, so A=50, B=50.
+ */
+inline trace::Trace
+figure2Trace()
+{
+    trace::Trace t;
+    t.traceId = "fig2";
+    t.spans.push_back(makeSpan("p", "", "frontend", "handle", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "svc-a", "opA", 10, 60));
+    t.spans.push_back(makeSpan("b", "p", "svc-b", "opB", 30, 80));
+    return t;
+}
+
+} // namespace sleuth::testing

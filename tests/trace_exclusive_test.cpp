@@ -1,0 +1,149 @@
+// Unit tests for exclusive duration / exclusive error (paper §3.2.2).
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "trace/trace.h"
+
+using namespace sleuth;
+using sleuth::testing::figure2Trace;
+using sleuth::testing::makeSpan;
+
+TEST(Exclusive, Figure2Example)
+{
+    // Paper Figure 2: P spans [t0,t5], A spans [t1,t3], B spans [t2,t4].
+    // Exclusive durations: P = (t1-t0)+(t5-t4), A = t3-t1, B = t4-t2.
+    trace::Trace t;
+    const int64_t t0 = 0, t1 = 10, t2 = 30, t3 = 60, t4 = 80, t5 = 100;
+    t.spans.push_back(makeSpan("p", "", "svc-p", "op", t0, t5));
+    t.spans.push_back(makeSpan("a", "p", "svc-a", "op", t1, t3));
+    t.spans.push_back(makeSpan("b", "p", "svc-b", "op", t2, t4));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[0], (t1 - t0) + (t5 - t4));
+    EXPECT_EQ(m.exclusiveUs[1], t3 - t1);
+    EXPECT_EQ(m.exclusiveUs[2], t4 - t2);
+}
+
+TEST(Exclusive, LeafSpanExclusiveEqualsDuration)
+{
+    trace::Trace t = figure2Trace();
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[1], t.spans[1].durationUs());
+    EXPECT_EQ(m.exclusiveUs[2], t.spans[2].durationUs());
+}
+
+TEST(Exclusive, FullyCoveredParentHasZeroExclusive)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 0, 100));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[0], 0);
+}
+
+TEST(Exclusive, OverlappingChildrenNotDoubleCounted)
+{
+    // Two children covering [10,60] and [40,90]: union covers 80us of
+    // the parent's 100us, leaving 20us exclusive.
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 10, 60));
+    t.spans.push_back(makeSpan("b", "p", "b", "op", 40, 90));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[0], 20);
+}
+
+TEST(Exclusive, IdenticalChildIntervals)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 20, 80));
+    t.spans.push_back(makeSpan("b", "p", "b", "op", 20, 80));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[0], 40);
+}
+
+TEST(Exclusive, ChildOutsideParentIsClipped)
+{
+    // A child whose interval extends past the parent (clock skew) must
+    // not drive the parent's exclusive duration negative.
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 50));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 40, 120));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_EQ(m.exclusiveUs[0], 40);
+    EXPECT_EQ(m.exclusiveUs[1], 80);
+}
+
+TEST(Exclusive, GrandchildrenDoNotAffectGrandparent)
+{
+    // Exclusive duration subtracts only direct children.
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 20, 40));
+    t.spans.push_back(makeSpan("g", "a", "g", "op", 50, 90));
+    trace::TraceGraph gr = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, gr);
+    EXPECT_EQ(m.exclusiveUs[0], 80);  // only [20,40] subtracted
+}
+
+TEST(Exclusive, ErrorOwnVersusInherited)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100,
+                               trace::SpanKind::Server,
+                               trace::StatusCode::Error));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 10, 60,
+                               trace::SpanKind::Server,
+                               trace::StatusCode::Error));
+    t.spans.push_back(makeSpan("b", "p", "b", "op", 30, 80));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    // Parent's error is explained by child a => not exclusive.
+    EXPECT_FALSE(m.exclusiveError[0]);
+    // Child a errors with no erroring children => exclusive.
+    EXPECT_TRUE(m.exclusiveError[1]);
+    EXPECT_FALSE(m.exclusiveError[2]);
+}
+
+TEST(Exclusive, ErrorWithoutChildrenIsExclusive)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 10,
+                               trace::SpanKind::Server,
+                               trace::StatusCode::Error));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    EXPECT_TRUE(m.exclusiveError[0]);
+}
+
+TEST(Exclusive, NoErrorNoExclusiveError)
+{
+    trace::Trace t = figure2Trace();
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    for (bool e : m.exclusiveError)
+        EXPECT_FALSE(e);
+}
+
+TEST(Exclusive, SumOfExclusiveEqualsRootDurationForSequentialTree)
+{
+    // When children run strictly sequentially inside the parent, the
+    // exclusive durations partition the root duration exactly.
+    trace::Trace t;
+    t.spans.push_back(makeSpan("p", "", "p", "op", 0, 100));
+    t.spans.push_back(makeSpan("a", "p", "a", "op", 10, 30));
+    t.spans.push_back(makeSpan("b", "p", "b", "op", 40, 90));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    trace::ExclusiveMetrics m = trace::computeExclusive(t, g);
+    int64_t total = 0;
+    for (int64_t x : m.exclusiveUs)
+        total += x;
+    EXPECT_EQ(total, t.rootDurationUs());
+}

@@ -1,0 +1,169 @@
+// Unit tests for RPC dependency graph reconstruction and validation.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "trace/trace.h"
+
+using namespace sleuth;
+using sleuth::testing::figure2Trace;
+using sleuth::testing::makeSpan;
+
+TEST(TraceGraph, BuildsSimpleTree)
+{
+    trace::Trace t = figure2Trace();
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.root(), 0);
+    EXPECT_EQ(g.parent(0), -1);
+    EXPECT_EQ(g.parent(1), 0);
+    EXPECT_EQ(g.parent(2), 0);
+    ASSERT_EQ(g.children(0).size(), 2u);
+    EXPECT_TRUE(g.children(1).empty());
+    EXPECT_EQ(g.depth(0), 1);
+    EXPECT_EQ(g.depth(1), 2);
+    EXPECT_EQ(g.maxDepth(), 2);
+    EXPECT_EQ(g.maxOutDegree(), 2);
+}
+
+TEST(TraceGraph, BottomUpOrderPutsChildrenFirst)
+{
+    trace::Trace t;
+    t.traceId = "chain";
+    t.spans.push_back(makeSpan("r", "", "s0", "op", 0, 100));
+    t.spans.push_back(makeSpan("m", "r", "s1", "op", 10, 90));
+    t.spans.push_back(makeSpan("l", "m", "s2", "op", 20, 80));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    const auto &order = g.bottomUpOrder();
+    ASSERT_EQ(order.size(), 3u);
+    std::vector<int> pos(3);
+    for (int i = 0; i < 3; ++i)
+        pos[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+    // Every child must appear before its parent.
+    for (size_t i = 0; i < t.spans.size(); ++i) {
+        int p = g.parent(static_cast<int>(i));
+        if (p >= 0) {
+            EXPECT_LT(pos[i], pos[static_cast<size_t>(p)]);
+        }
+    }
+}
+
+TEST(TraceGraph, RejectsEmptyTrace)
+{
+    trace::Trace t;
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("no spans"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsMultipleRoots)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("b", "", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("multiple root"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsMissingRoot)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "b", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("b", "a", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("no root"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsDanglingParent)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("b", "ghost", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("unresolved"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsDuplicateSpanIds)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("a", "", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("a", "a", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsSelfParent)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("a", "a", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("own parent"), std::string::npos);
+}
+
+TEST(TraceGraph, RejectsCycleDisconnectedFromRoot)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("r", "", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("a", "b", "s", "op", 0, 10));
+    t.spans.push_back(makeSpan("b", "a", "s", "op", 0, 10));
+    trace::TraceGraph g;
+    std::string err;
+    EXPECT_FALSE(trace::TraceGraph::tryBuild(t, &g, &err));
+    EXPECT_NE(err.find("unreachable"), std::string::npos);
+}
+
+TEST(TraceGraph, SingleSpanTrace)
+{
+    trace::Trace t;
+    t.spans.push_back(makeSpan("only", "", "s", "op", 5, 25));
+    trace::TraceGraph g = trace::TraceGraph::build(t);
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.root(), 0);
+    EXPECT_EQ(g.maxDepth(), 1);
+    EXPECT_EQ(g.maxOutDegree(), 0);
+    EXPECT_EQ(t.rootDurationUs(), 20);
+}
+
+TEST(TraceStruct, HasErrorAndRootDuration)
+{
+    trace::Trace t = figure2Trace();
+    EXPECT_FALSE(t.hasError());
+    EXPECT_EQ(t.rootDurationUs(), 100);
+    t.spans[2].status = trace::StatusCode::Error;
+    EXPECT_TRUE(t.hasError());
+}
+
+TEST(TraceSummarize, ComputesCorpusShape)
+{
+    std::vector<trace::Trace> corpus = {figure2Trace(), figure2Trace()};
+    trace::CorpusStats st = trace::summarize(corpus);
+    EXPECT_EQ(st.services, 3u);
+    EXPECT_EQ(st.operations, 3u);
+    EXPECT_EQ(st.maxSpans, 3u);
+    EXPECT_EQ(st.maxDepth, 2);
+    EXPECT_EQ(st.maxOutDegree, 2);
+}
+
+TEST(SpanEnums, RoundTripStrings)
+{
+    using namespace sleuth::trace;
+    for (SpanKind k : {SpanKind::Client, SpanKind::Server,
+                       SpanKind::Producer, SpanKind::Consumer,
+                       SpanKind::Local})
+        EXPECT_EQ(spanKindFromString(toString(k)), k);
+    for (StatusCode c :
+         {StatusCode::Unset, StatusCode::Ok, StatusCode::Error})
+        EXPECT_EQ(statusCodeFromString(toString(c)), c);
+}

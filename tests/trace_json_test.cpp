@@ -1,0 +1,73 @@
+// Unit tests for trace JSON import/export.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "trace/trace_json.h"
+
+using namespace sleuth;
+using sleuth::testing::figure2Trace;
+
+TEST(TraceJson, RoundTripsSingleTrace)
+{
+    trace::Trace t = figure2Trace();
+    t.spans[1].status = trace::StatusCode::Error;
+    t.spans[1].kind = trace::SpanKind::Client;
+
+    util::Json doc = trace::toJson(t);
+    trace::Trace back = trace::traceFromJson(doc);
+
+    EXPECT_EQ(back.traceId, t.traceId);
+    ASSERT_EQ(back.spans.size(), t.spans.size());
+    for (size_t i = 0; i < t.spans.size(); ++i) {
+        EXPECT_EQ(back.spans[i].spanId, t.spans[i].spanId);
+        EXPECT_EQ(back.spans[i].parentSpanId, t.spans[i].parentSpanId);
+        EXPECT_EQ(back.spans[i].service, t.spans[i].service);
+        EXPECT_EQ(back.spans[i].name, t.spans[i].name);
+        EXPECT_EQ(back.spans[i].kind, t.spans[i].kind);
+        EXPECT_EQ(back.spans[i].startUs, t.spans[i].startUs);
+        EXPECT_EQ(back.spans[i].endUs, t.spans[i].endUs);
+        EXPECT_EQ(back.spans[i].status, t.spans[i].status);
+        EXPECT_EQ(back.spans[i].container, t.spans[i].container);
+        EXPECT_EQ(back.spans[i].pod, t.spans[i].pod);
+        EXPECT_EQ(back.spans[i].node, t.spans[i].node);
+    }
+}
+
+TEST(TraceJson, RoundTripsThroughText)
+{
+    trace::Trace t = figure2Trace();
+    std::string text = trace::toJson(t).dump(2);
+    std::string err;
+    util::Json doc = util::Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    trace::Trace back = trace::traceFromJson(doc);
+    EXPECT_EQ(back.spans.size(), t.spans.size());
+    EXPECT_EQ(back.rootDurationUs(), t.rootDurationUs());
+}
+
+TEST(TraceJson, CorpusRoundTrip)
+{
+    std::vector<trace::Trace> corpus = {figure2Trace(), figure2Trace()};
+    corpus[1].traceId = "fig2-b";
+    util::Json arr = trace::toJson(corpus);
+    std::vector<trace::Trace> back = trace::tracesFromJson(arr);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].traceId, "fig2");
+    EXPECT_EQ(back[1].traceId, "fig2-b");
+}
+
+TEST(TraceJson, MissingResourceAttributesDefaultEmpty)
+{
+    std::string text = R"({"traceId":"t","spans":[{
+        "spanId":"a","parentSpanId":"","service":"s","name":"op",
+        "kind":"server","startUs":0,"endUs":5,"status":"ok"}]})";
+    std::string err;
+    util::Json doc = util::Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    trace::Trace t = trace::traceFromJson(doc);
+    ASSERT_EQ(t.spans.size(), 1u);
+    EXPECT_TRUE(t.spans[0].container.empty());
+    EXPECT_TRUE(t.spans[0].pod.empty());
+    EXPECT_TRUE(t.spans[0].node.empty());
+}

@@ -1,0 +1,101 @@
+// Unit tests for the minimal JSON reader/writer.
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+using sleuth::util::Json;
+
+TEST(Json, ParsesScalars)
+{
+    std::string err;
+    EXPECT_TRUE(Json::parse("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(Json::parse("true", &err).asBool(), true);
+    EXPECT_EQ(Json::parse("false", &err).asBool(), false);
+    EXPECT_DOUBLE_EQ(Json::parse("3.5", &err).asNumber(), 3.5);
+    EXPECT_EQ(Json::parse("-17", &err).asInt(), -17);
+    EXPECT_EQ(Json::parse("\"hi\"", &err).asString(), "hi");
+}
+
+TEST(Json, ParsesNested)
+{
+    std::string err;
+    Json v = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": null})", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.at("a").asArray().size(), 3u);
+    EXPECT_EQ(v.at("a").asArray()[2].at("b").asString(), "c");
+    EXPECT_TRUE(v.at("d").isNull());
+}
+
+TEST(Json, ParsesEscapes)
+{
+    std::string err;
+    Json v = Json::parse(R"("line\nbreak\t\"q\" \\ A")", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "line\nbreak\t\"q\" \\ A");
+}
+
+TEST(Json, ParsesUnicodeEscapesToUtf8)
+{
+    std::string err;
+    Json v = Json::parse(R"("é中")", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, ReportsErrors)
+{
+    std::string err;
+    Json::parse("{", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("[1,]", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("tru", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("1 2", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("\"unterminated", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, RoundTripsCompact)
+{
+    std::string text =
+        R"({"arr":[1,2.5,true,null],"num":-3,"obj":{"k":"v"},"s":"x"})";
+    std::string err;
+    Json v = Json::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.dump(), text);
+}
+
+TEST(Json, RoundTripsThroughPrettyPrint)
+{
+    std::string err;
+    Json v = Json::parse(R"({"a":[1,{"b":[]}],"c":{}})", &err);
+    ASSERT_TRUE(err.empty());
+    Json again = Json::parse(v.dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, BuilderApi)
+{
+    Json obj = Json::object();
+    obj.set("k", 1);
+    obj.set("list", Json::array());
+    obj.asObject()["list"].push("a");
+    obj.asObject()["list"].push(2.5);
+    EXPECT_TRUE(obj.has("k"));
+    EXPECT_FALSE(obj.has("missing"));
+    EXPECT_EQ(obj.dump(), R"({"k":1,"list":["a",2.5]})");
+}
+
+TEST(Json, LargeIntegersSurvive)
+{
+    std::string err;
+    Json v = Json::parse("1688888888000000", &err);
+    ASSERT_TRUE(err.empty());
+    EXPECT_EQ(v.asInt(), 1688888888000000LL);
+    EXPECT_EQ(v.dump(), "1688888888000000");
+}

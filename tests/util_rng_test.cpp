@@ -1,0 +1,145 @@
+// Unit tests for the deterministic RNG and its distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+using sleuth::util::Rng;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform() == b.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentAndStable)
+{
+    Rng parent(7);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(1);
+    Rng c3 = parent.fork(2);
+    // Same tag twice gives the same stream; different tag differs.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+    Rng c4 = parent.fork(1);
+    (void)c4;
+    int same = 0;
+    Rng c5 = parent.fork(1);
+    Rng c6 = parent.fork(2);
+    for (int i = 0; i < 100; ++i)
+        same += c5.uniform() == c6.uniform();
+    EXPECT_LT(same, 5);
+    (void)c3;
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng r(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t x = r.uniformInt(0, 3);
+        EXPECT_GE(x, 0);
+        EXPECT_LE(x, 3);
+        saw_lo |= x == 0;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(r.normal(10.0, 2.0));
+    EXPECT_NEAR(sleuth::util::mean(xs), 10.0, 0.1);
+    EXPECT_NEAR(sleuth::util::stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, LogNormalIsHeavyTailed)
+{
+    Rng r(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(r.logNormal(4.0, 1.0));
+    // Median of log-normal is e^mu; the mean greatly exceeds it.
+    EXPECT_NEAR(sleuth::util::median(xs), std::exp(4.0),
+                std::exp(4.0) * 0.1);
+    EXPECT_GT(sleuth::util::mean(xs), sleuth::util::median(xs) * 1.3);
+}
+
+TEST(Rng, BernoulliEdgesAndRate)
+{
+    Rng r(7);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.bernoulli(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ParetoTail)
+{
+    Rng r(8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.pareto(1.0, 2.0), 1.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng r(9);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 10000; ++i)
+        counts[r.weightedIndex(w)]++;
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng r(10);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    r.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng r(11);
+    EXPECT_EQ(r.poisson(0.0), 0);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i)
+        sum += static_cast<double>(r.poisson(4.0));
+    EXPECT_NEAR(sum / 10000.0, 4.0, 0.15);
+}

@@ -1,0 +1,87 @@
+// Unit tests for descriptive statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace su = sleuth::util;
+
+TEST(Stats, MeanVarianceStddev)
+{
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(su::mean(xs), 5.0);
+    EXPECT_NEAR(su::variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(su::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero)
+{
+    EXPECT_DOUBLE_EQ(su::variance({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(su::stddev({5.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(su::percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(su::percentile(xs, 100), 4.0);
+    EXPECT_DOUBLE_EQ(su::percentile(xs, 50), 2.5);
+    EXPECT_DOUBLE_EQ(su::median(xs), 2.5);
+    EXPECT_DOUBLE_EQ(su::percentile(xs, 25), 1.75);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    std::vector<double> xs = {9, 1, 5, 3, 7};
+    EXPECT_DOUBLE_EQ(su::median(xs), 5.0);
+}
+
+TEST(Stats, PercentileSingleton)
+{
+    EXPECT_DOUBLE_EQ(su::percentile({42.0}, 99), 42.0);
+}
+
+TEST(Stats, CdfPointsMonotone)
+{
+    std::vector<double> xs;
+    for (int i = 100; i >= 1; --i)
+        xs.push_back(i);
+    auto pts = su::cdfPoints(xs, 11);
+    ASSERT_EQ(pts.size(), 11u);
+    EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+    EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().first, 100.0);
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+    for (size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_LE(pts[i - 1].first, pts[i].first);
+        EXPECT_LT(pts[i - 1].second, pts[i].second);
+    }
+}
+
+TEST(Stats, OnlineMatchesBatch)
+{
+    std::vector<double> xs = {3.5, -1.0, 2.0, 8.25, 0.0, 4.5};
+    su::OnlineStats os;
+    for (double x : xs)
+        os.add(x);
+    EXPECT_EQ(os.count(), xs.size());
+    EXPECT_NEAR(os.mean(), su::mean(xs), 1e-12);
+    EXPECT_NEAR(os.variance(), su::variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(os.min(), -1.0);
+    EXPECT_DOUBLE_EQ(os.max(), 8.25);
+}
+
+TEST(Stats, OnlineEmptyAndSingle)
+{
+    su::OnlineStats os;
+    EXPECT_EQ(os.count(), 0u);
+    EXPECT_DOUBLE_EQ(os.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(os.variance(), 0.0);
+    os.add(7.0);
+    EXPECT_DOUBLE_EQ(os.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(os.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(os.min(), 7.0);
+    EXPECT_DOUBLE_EQ(os.max(), 7.0);
+}

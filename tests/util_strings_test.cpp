@@ -1,0 +1,91 @@
+// Unit tests for string helpers (identifier splitting feeds the
+// semantic embedder's text pre-processing).
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace su = sleuth::util;
+
+TEST(Strings, SplitAndJoin)
+{
+    auto parts = su::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(su::join(parts, "/"), "a/b//c");
+    EXPECT_EQ(su::split("", ',').size(), 1u);
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(su::toLower("AbC-09"), "abc-09");
+}
+
+TEST(Strings, SplitIdentifierCamelCase)
+{
+    auto w = su::splitIdentifier("GetUserById");
+    ASSERT_EQ(w.size(), 4u);
+    EXPECT_EQ(w[0], "get");
+    EXPECT_EQ(w[1], "user");
+    EXPECT_EQ(w[2], "by");
+    EXPECT_EQ(w[3], "id");
+}
+
+TEST(Strings, SplitIdentifierAcronymRun)
+{
+    auto w = su::splitIdentifier("HTTPServer");
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], "http");
+    EXPECT_EQ(w[1], "server");
+}
+
+TEST(Strings, SplitIdentifierSnakeAndKebab)
+{
+    auto w = su::splitIdentifier("compose_post-service");
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], "compose");
+    EXPECT_EQ(w[1], "post");
+    EXPECT_EQ(w[2], "service");
+}
+
+TEST(Strings, SplitIdentifierDigitsSeparate)
+{
+    auto w = su::splitIdentifier("redis7get");
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], "redis");
+    EXPECT_EQ(w[1], "7");
+    EXPECT_EQ(w[2], "get");
+}
+
+TEST(Strings, SplitIdentifierSlashesAndDots)
+{
+    auto w = su::splitIdentifier("GET /orders/checkout.v2");
+    ASSERT_EQ(w.size(), 5u);
+    EXPECT_EQ(w[0], "get");
+    EXPECT_EQ(w[1], "orders");
+    EXPECT_EQ(w[2], "checkout");
+    EXPECT_EQ(w[3], "v");
+    EXPECT_EQ(w[4], "2");
+}
+
+TEST(Strings, LooksLikeHexId)
+{
+    EXPECT_TRUE(su::looksLikeHexId("deadbeef01"));
+    EXPECT_TRUE(su::looksLikeHexId("123456"));
+    EXPECT_FALSE(su::looksLikeHexId("abcdef"));   // no digit at all
+    EXPECT_FALSE(su::looksLikeHexId("12ab"));     // too short
+    EXPECT_FALSE(su::looksLikeHexId("deadbeefzz"));
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(su::startsWith("sleuth-core", "sleuth"));
+    EXPECT_FALSE(su::startsWith("sle", "sleuth"));
+}
+
+TEST(Strings, FormatDouble)
+{
+    EXPECT_EQ(su::formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(su::formatDouble(2.0, 1), "2.0");
+}

@@ -1,0 +1,42 @@
+// Unit tests for the ASCII table renderer used by the bench harnesses.
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+using sleuth::util::Table;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "f1"});
+    t.addRow({"max", "0.59"});
+    t.addRow({"sleuth-gin", "0.91"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name        f1"), std::string::npos);
+    EXPECT_NE(out.find("sleuth-gin  0.91"), std::string::npos);
+    EXPECT_NE(out.find("max         0.59"), std::string::npos);
+}
+
+TEST(Table, HeaderSeparatorPresent)
+{
+    Table t({"a"});
+    t.addRow({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Table, WideCellGrowsColumn)
+{
+    Table t({"k", "v"});
+    t.addRow({"a-very-long-key", "1"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a-very-long-key"), std::string::npos);
+}
+
+TEST(Table, EmptyBodyRendersHeaderOnly)
+{
+    Table t({"col1", "col2"});
+    std::string out = t.render();
+    // Header plus separator lines only.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}

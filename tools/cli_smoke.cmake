@@ -1,0 +1,21 @@
+# Drives the sleuth CLI through a full generate/simulate/train/analyze
+# cycle and fails on any non-zero exit.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run)
+    execute_process(COMMAND ${SLEUTH_BIN} ${ARGN}
+                    WORKING_DIRECTORY ${WORK_DIR}
+                    RESULT_VARIABLE rc
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "sleuth ${ARGN} failed (${rc}): ${out}${err}")
+    endif()
+endfunction()
+
+run(generate --rpcs 16 --seed 4 --name smoke --out ./smoke)
+run(simulate --config smoke/config.json --count 150 --out normal.json --seed 9)
+run(simulate --config smoke/config.json --count 60 --out incident.json --seed 10 --chaos 2)
+run(train --traces normal.json --out model.json --epochs 4)
+run(analyze --model model.json --traces incident.json --normal normal.json)

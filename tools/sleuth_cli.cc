@@ -1,0 +1,340 @@
+// sleuth — command-line front end over the library's file formats.
+//
+// Subcommands:
+//   generate  --rpcs N [--seed S] [--name NAME] [--out DIR]
+//             Generate a synthetic benchmark; write config.json and the
+//             deployable artifacts (proto / services / k8s / compose).
+//   simulate  --config CONFIG.json --count N [--seed S] [--nodes K]
+//             [--chaos EXPECTED_FAULTS] --out TRACES.json
+//             Simulate traces (optionally under a chaos plan); SLOs are
+//             calibrated and embedded per trace record.
+//   train     --traces TRACES.json [--epochs E] [--embed D]
+//             [--hidden H] --out MODEL.json
+//             Train the Sleuth GNN unsupervised and save it.
+//   analyze   --model MODEL.json --traces TRACES.json
+//             [--normal NORMAL.json]
+//             Run counterfactual RCA on every SLO-violating trace.
+//
+// Trace files are JSON arrays of {"slo": us, "trace": {...}} records
+// (the "records" format) or bare arrays of traces (slo 0).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/anomaly.h"
+#include "core/counterfactual.h"
+#include "core/trainer.h"
+#include "sim/simulator.h"
+#include "synth/codegen.h"
+#include "synth/generator.h"
+#include "trace/trace_json.h"
+#include "util/logging.h"
+
+using namespace sleuth;
+
+namespace {
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int from)
+    {
+        for (int i = from; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                util::fatal("unexpected argument '", key, "'");
+            if (i + 1 >= argc)
+                util::fatal("missing value for ", key);
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        if (it != values_.end())
+            return it->second;
+        if (fallback.empty())
+            util::fatal("missing required option --", key);
+        return fallback;
+    }
+
+    std::string
+    getOptional(const std::string &key,
+                const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    int64_t
+    getInt(const std::string &key, int64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::stoll(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot read ", path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path);
+    if (!out)
+        util::fatal("cannot write ", path);
+    out << contents;
+}
+
+util::Json
+parseFile(const std::string &path)
+{
+    std::string err;
+    util::Json doc = util::Json::parse(readFile(path), &err);
+    if (!err.empty())
+        util::fatal(path, ": ", err);
+    return doc;
+}
+
+struct TraceRecord
+{
+    trace::Trace trace;
+    int64_t sloUs = 0;
+};
+
+std::vector<TraceRecord>
+loadRecords(const std::string &path)
+{
+    util::Json doc = parseFile(path);
+    std::vector<TraceRecord> out;
+    for (const util::Json &j : doc.asArray()) {
+        TraceRecord r;
+        if (j.has("trace")) {
+            r.trace = trace::traceFromJson(j.at("trace"));
+            r.sloUs = j.has("slo") ? j.at("slo").asInt() : 0;
+        } else {
+            r.trace = trace::traceFromJson(j);
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+void
+saveRecords(const std::string &path,
+            const std::vector<TraceRecord> &records)
+{
+    util::Json arr = util::Json::array();
+    for (const TraceRecord &r : records) {
+        util::Json j = util::Json::object();
+        j.set("slo", r.sloUs);
+        j.set("trace", trace::toJson(r.trace));
+        arr.push(std::move(j));
+    }
+    writeFile(path, arr.dump());
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    synth::GeneratorParams params = synth::syntheticParams(
+        static_cast<int>(args.getInt("rpcs", 64)),
+        static_cast<uint64_t>(args.getInt("seed", 1)));
+    params.name = args.getOptional("name", params.name);
+    synth::AppConfig app = synth::generateApp(params);
+    std::string out = args.getOptional("out", "./" + params.name);
+    synth::writeFiles(synth::generateCode(app), out);
+    std::printf("generated '%s' (%zu services, %zu rpcs, %zu flows)"
+                " under %s\n",
+                app.name.c_str(), app.services.size(),
+                app.rpcs.size(), app.flows.size(), out.c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    synth::AppConfig app =
+        synth::appFromJson(parseFile(args.get("config")));
+    uint64_t seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    int nodes = static_cast<int>(args.getInt("nodes", 100));
+    size_t count = static_cast<size_t>(args.getInt("count", 1000));
+
+    sim::ClusterModel cluster(app, nodes, seed);
+    sim::Simulator::calibrateSlos(app, cluster, 300, 99.0, seed);
+
+    chaos::FaultPlan plan;
+    if (args.has("chaos")) {
+        double expected = args.getDouble("chaos", 2.0);
+        util::Rng rng(seed ^ 0xc4a05u);
+        chaos::ChaosParams cp;
+        cp.containerProb = std::min(
+            1.0, expected / static_cast<double>(
+                                cluster.allInstances().size()));
+        plan = chaos::planFaults(cluster.allInstances(), cp, rng);
+        std::printf("chaos plan: %zu faults\n", plan.faults.size());
+        for (const chaos::FaultSpec &f : plan.faults)
+            std::printf("  %s on %s %s\n", toString(f.type),
+                        toString(f.scope), f.target.c_str());
+    }
+
+    sim::Simulator simulator(app, cluster, {.seed = seed ^ 0x515u},
+                             plan);
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    size_t anomalous = 0;
+    for (size_t i = 0; i < count; ++i) {
+        sim::SimResult r = simulator.simulateOne();
+        TraceRecord rec;
+        rec.sloUs =
+            app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+        if (r.violatesSlo(rec.sloUs))
+            ++anomalous;
+        rec.trace = std::move(r.trace);
+        records.push_back(std::move(rec));
+    }
+    saveRecords(args.get("out"), records);
+    std::printf("wrote %zu traces (%zu SLO-violating) to %s\n",
+                records.size(), anomalous,
+                args.get("out").c_str());
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    std::vector<TraceRecord> records =
+        loadRecords(args.get("traces"));
+    std::vector<trace::Trace> corpus;
+    for (TraceRecord &r : records)
+        corpus.push_back(std::move(r.trace));
+
+    core::GnnConfig gc;
+    gc.embedDim = static_cast<size_t>(args.getInt("embed", 8));
+    gc.hidden = static_cast<size_t>(args.getInt("hidden", 16));
+    core::SleuthGnn model(gc);
+    core::FeatureEncoder encoder(gc.embedDim);
+    core::TrainConfig tc;
+    tc.epochs = static_cast<int>(args.getInt("epochs", 10));
+    core::Trainer trainer(model, encoder, tc);
+    double loss = trainer.train(corpus);
+    writeFile(args.get("out"), model.save().dump());
+    std::printf("trained on %zu traces (%d epochs, final loss %.4f);"
+                " model -> %s\n",
+                corpus.size(), tc.epochs, loss,
+                args.get("out").c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    core::SleuthGnn model =
+        core::SleuthGnn::fromJson(parseFile(args.get("model")));
+    core::FeatureEncoder encoder(model.config().embedDim);
+
+    std::vector<TraceRecord> records =
+        loadRecords(args.get("traces"));
+    core::NormalProfile profile;
+    if (args.has("normal")) {
+        for (const TraceRecord &r :
+             loadRecords(args.get("normal")))
+            profile.add(r.trace);
+    } else {
+        // Fall back to profiling the non-violating input traces.
+        for (const TraceRecord &r : records)
+            if (!core::SloDetector::isAnomalous(r.trace, r.sloUs))
+                profile.add(r.trace);
+    }
+    profile.finalize();
+
+    core::CounterfactualRca rca(model, encoder, profile);
+    size_t analyzed = 0;
+    for (const TraceRecord &r : records) {
+        if (!core::SloDetector::isAnomalous(r.trace, r.sloUs))
+            continue;
+        core::RcaResult verdict = rca.analyze(r.trace, r.sloUs);
+        ++analyzed;
+        std::printf("%s (%lld us / SLO %lld us): ",
+                    r.trace.traceId.c_str(),
+                    static_cast<long long>(
+                        r.trace.rootDurationUs()),
+                    static_cast<long long>(r.sloUs));
+        for (const std::string &svc : verdict.services)
+            std::printf("%s ", svc.c_str());
+        std::printf("%s\n",
+                    verdict.resolved ? "" : "(unresolved)");
+    }
+    std::printf("analyzed %zu anomalous traces of %zu\n", analyzed,
+                records.size());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: sleuth <generate|simulate|train|analyze> [--opt"
+        " value]...\n"
+        "  generate --rpcs N [--seed S] [--name NAME] [--out DIR]\n"
+        "  simulate --config CONFIG.json --count N --out OUT.json\n"
+        "           [--seed S] [--nodes K] [--chaos EXPECTED]\n"
+        "  train    --traces IN.json --out MODEL.json [--epochs E]\n"
+        "           [--embed D] [--hidden H]\n"
+        "  analyze  --model MODEL.json --traces IN.json\n"
+        "           [--normal NORMAL.json]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    Args args(argc, argv, 2);
+    if (cmd == "generate")
+        return cmdGenerate(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "train")
+        return cmdTrain(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    usage();
+    return 2;
+}
