@@ -15,15 +15,16 @@ ClusterResult::members(int cluster) const
 }
 
 ClusterResult
-dbscan(size_t n, const DistanceFn &dist, const DbscanParams &params)
+dbscan(const distance::DistanceMatrix &dist, const DbscanParams &params)
 {
+    const size_t n = dist.size();
     ClusterResult res;
     res.labels.assign(n, -2);  // -2 = unvisited, -1 = noise
 
     auto neighbors = [&](size_t i) {
         std::vector<size_t> out;
         for (size_t j = 0; j < n; ++j)
-            if (dist(i, j) <= params.eps)
+            if (dist.at(i, j) <= params.eps)
                 out.push_back(j);
         return out;
     };
@@ -56,6 +57,12 @@ dbscan(size_t n, const DistanceFn &dist, const DbscanParams &params)
     }
     res.numClusters = next_cluster;
     return res;
+}
+
+ClusterResult
+dbscan(size_t n, const DistanceFn &dist, const DbscanParams &params)
+{
+    return dbscan(distance::DistanceMatrix::compute(n, dist), params);
 }
 
 } // namespace sleuth::cluster

@@ -9,6 +9,8 @@
 #include <functional>
 #include <vector>
 
+#include "distance/distance_matrix.h"
+
 namespace sleuth::cluster {
 
 /** Pairwise distance oracle over item indices. */
@@ -34,7 +36,19 @@ struct DbscanParams
 };
 
 /**
- * Run DBSCAN on n items.
+ * Run DBSCAN over a precomputed pairwise distance matrix — the fast
+ * path: neighborhood queries scan the packed array, no oracle calls.
+ *
+ * @param dist pairwise distances (defines the item count)
+ * @param params eps / minPts
+ */
+ClusterResult dbscan(const distance::DistanceMatrix &dist,
+                     const DbscanParams &params);
+
+/**
+ * Run DBSCAN on n items addressed through a distance oracle. Thin
+ * adapter: materializes a DistanceMatrix (exactly n(n-1)/2 oracle
+ * calls) and runs the matrix path.
  *
  * @param n item count
  * @param dist symmetric distance oracle

@@ -103,8 +103,10 @@ nodeSize(const std::vector<DendroNode> &dendro, int node, int n)
 } // namespace
 
 ClusterResult
-hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
+hdbscan(const distance::DistanceMatrix &dist,
+        const HdbscanParams &params)
 {
+    const size_t n = dist.size();
     ClusterResult res;
     res.labels.assign(n, -1);
     if (n == 0)
@@ -113,15 +115,7 @@ hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
     if (n < 2 || n < mcs)
         return res;  // nothing can form a cluster: all noise
 
-    // --- Distances and core distances. ---
-    std::vector<double> d(n * n, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t j = i + 1; j < n; ++j) {
-            double v = dist(i, j);
-            d[i * n + j] = v;
-            d[j * n + i] = v;
-        }
-    }
+    // --- Core distances straight off the memoized matrix. ---
     size_t k = std::max<size_t>(1, params.minSamples);
     std::vector<double> core(n, 0.0);
     {
@@ -130,7 +124,7 @@ hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
             size_t w = 0;
             for (size_t j = 0; j < n; ++j)
                 if (j != i)
-                    row[w++] = d[i * n + j];
+                    row[w++] = dist.at(i, j);
             size_t kk = std::min(k, w) - 1;
             std::nth_element(row.begin(),
                              row.begin() + static_cast<ptrdiff_t>(kk),
@@ -139,7 +133,7 @@ hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
         }
     }
     auto mreach = [&](size_t i, size_t j) {
-        return std::max({core[i], core[j], d[i * n + j]});
+        return std::max({core[i], core[j], dist.at(i, j)});
     };
 
     // --- Prim MST over the mutual-reachability graph. ---
@@ -392,6 +386,12 @@ hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
     }
     res.numClusters = next_label;
     return res;
+}
+
+ClusterResult
+hdbscan(size_t n, const DistanceFn &dist, const HdbscanParams &params)
+{
+    return hdbscan(distance::DistanceMatrix::compute(n, dist), params);
 }
 
 } // namespace sleuth::cluster

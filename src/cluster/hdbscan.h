@@ -11,6 +11,7 @@
  */
 
 #include "cluster/dbscan.h"
+#include "distance/distance_matrix.h"
 
 namespace sleuth::cluster {
 
@@ -29,7 +30,19 @@ struct HdbscanParams
 };
 
 /**
- * Run HDBSCAN on n items.
+ * Run HDBSCAN over a precomputed pairwise distance matrix — the fast
+ * path: every distance is read straight from the packed array.
+ *
+ * @param dist pairwise distances (defines the item count)
+ * @param params algorithm parameters
+ */
+ClusterResult hdbscan(const distance::DistanceMatrix &dist,
+                      const HdbscanParams &params);
+
+/**
+ * Run HDBSCAN on n items addressed through a distance oracle. Thin
+ * adapter: materializes a DistanceMatrix (exactly n(n-1)/2 oracle
+ * calls) and runs the matrix path.
  *
  * @param n item count
  * @param dist symmetric distance oracle

@@ -111,9 +111,13 @@ DeepSvdd::embeddingDistance(const std::vector<double> &a,
     return std::sqrt(sq);
 }
 
+namespace {
+
+/** Geometric-median scan shared by the matrix and oracle overloads. */
+template <typename DistAt>
 std::vector<size_t>
-selectRepresentatives(const std::vector<int> &labels, int num_clusters,
-                      const std::function<double(size_t, size_t)> &dist)
+selectRepresentativesImpl(const std::vector<int> &labels,
+                          int num_clusters, DistAt &&dist)
 {
     std::vector<size_t> reps;
     for (int c = 0; c < num_clusters; ++c) {
@@ -137,6 +141,25 @@ selectRepresentatives(const std::vector<int> &labels, int num_clusters,
         reps.push_back(best);
     }
     return reps;
+}
+
+} // namespace
+
+std::vector<size_t>
+selectRepresentatives(const std::vector<int> &labels, int num_clusters,
+                      const distance::DistanceMatrix &dist)
+{
+    return selectRepresentativesImpl(labels, num_clusters,
+                                     [&dist](size_t i, size_t j) {
+        return dist.at(i, j);
+    });
+}
+
+std::vector<size_t>
+selectRepresentatives(const std::vector<int> &labels, int num_clusters,
+                      const std::function<double(size_t, size_t)> &dist)
+{
+    return selectRepresentativesImpl(labels, num_clusters, dist);
 }
 
 } // namespace sleuth::cluster

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "distance/distance_matrix.h"
 #include "nn/layers.h"
 #include "util/rng.h"
 
@@ -66,11 +67,21 @@ class DeepSvdd
 /**
  * Pick each cluster's geometric-median representative: the member with
  * the minimum total distance to all other members (paper §3.3.2).
+ * Fast path: the O(cluster²) scan reads the memoized matrix instead of
+ * re-invoking a distance oracle per pair.
  *
  * @param labels cluster label per item (-1 = noise, ignored)
  * @param num_clusters number of clusters
- * @param dist distance oracle
+ * @param dist precomputed pairwise distances
  * @return representative item index per cluster
+ */
+std::vector<size_t> selectRepresentatives(
+    const std::vector<int> &labels, int num_clusters,
+    const distance::DistanceMatrix &dist);
+
+/**
+ * As above, addressed through a distance oracle (kept for callers that
+ * never materialize a matrix; each member pair costs one oracle call).
  */
 std::vector<size_t> selectRepresentatives(
     const std::vector<int> &labels, int num_clusters,

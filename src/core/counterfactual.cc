@@ -97,6 +97,7 @@ CounterfactualRca::analyze(const trace::Trace &trace,
         result.services.push_back(ranked[k].first);
 
         std::vector<NodeState> states = observed;
+        std::vector<int> dirty;
         for (size_t i = 0; i < n; ++i) {
             const trace::Span &s = trace.spans[i];
             bool restore = restored.count(s.service) > 0;
@@ -115,10 +116,15 @@ CounterfactualRca::analyze(const trace::Trace &trace,
             states[i].exclusiveUs =
                 std::min(states[i].exclusiveUs, normal);
             states[i].exclusiveErr = 0.0;
+            if (states[i].exclusiveUs != observed[i].exclusiveUs ||
+                states[i].exclusiveErr != observed[i].exclusiveErr)
+                dirty.push_back(static_cast<int>(i));
         }
 
-        TracePrediction pred =
-            model_.propagate(batch, graph, states);
+        TracePrediction pred = params_.incrementalPropagation
+            ? model_.propagateFrom(batch, graph, states, baseline,
+                                   dirty)
+            : model_.propagate(batch, graph, states);
         ++result.iterations;
         bool latency_ok = pred.rootDurationUs <= adjusted_slo;
         // Error check: model-predicted recovery, or — analytically —

@@ -48,6 +48,15 @@ struct RcaParams
      * the trace's SLO.
      */
     double errorWeightUs = 0.0;
+    /**
+     * Answer each counterfactual with SleuthGnn::propagateFrom —
+     * re-evaluating only the restored spans and their ancestor chains
+     * against the memoized baseline — instead of re-running the full
+     * bottom-up pass per candidate. Numerically identical verdicts
+     * (the recomputed closure is exact); kept as a switch for the
+     * perf ablation.
+     */
+    bool incrementalPropagation = true;
 };
 
 /** Output of one RCA query. */

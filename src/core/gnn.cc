@@ -157,6 +157,82 @@ SleuthGnn::reconstruct(const TraceBatch &batch) const
     return out;
 }
 
+void
+SleuthGnn::propagateNode(const TraceBatch &batch,
+                         const trace::TraceGraph &graph,
+                         const std::vector<NodeState> &states, int node,
+                         TracePrediction *out) const
+{
+    const size_t ecol = config_.embedDim;
+    const DurationScale &sc = config_.scale;
+    size_t i = static_cast<size_t>(node);
+    const std::vector<int> &kids = graph.children(node);
+    double dur_us = states[i].exclusiveUs;
+    double err = states[i].exclusiveErr;
+    if (!kids.empty()) {
+        // Edge inputs: parent exclusive features with intervened
+        // values, children with their *predicted* states.
+        const size_t d = ecol + 2;
+        nn::Tensor input(kids.size(), 2 * d);
+        // Sibling sum of child feature rows (predicted values).
+        std::vector<double> sum(d, 0.0);
+        auto child_feature = [&](size_t c, size_t col) {
+            if (col < ecol)
+                return batch.x.at(c, col);
+            if (col == ecol)
+                return sc.scaleUs(out->nodeDurUs[c]);
+            return out->nodeErrProb[c];
+        };
+        for (int kid : kids)
+            for (size_t col = 0; col < d; ++col)
+                sum[col] +=
+                    child_feature(static_cast<size_t>(kid), col);
+        for (size_t k = 0; k < kids.size(); ++k) {
+            size_t c = static_cast<size_t>(kids[k]);
+            for (size_t col = 0; col < ecol; ++col)
+                input.at(k, col) = batch.xExcl.at(i, col);
+            input.at(k, ecol) = sc.scaleUs(states[i].exclusiveUs);
+            input.at(k, ecol + 1) = states[i].exclusiveErr;
+            for (size_t col = 0; col < d; ++col) {
+                double self = child_feature(c, col);
+                double agg;
+                if (config_.aggregator == Aggregator::Gin)
+                    agg = sum[col] + config_.epsilon * self;
+                else
+                    agg = sum[col] /
+                          static_cast<double>(kids.size());
+                input.at(k, d + col) = agg;
+            }
+        }
+        nn::Tensor h =
+            mlp_.forward(nn::constant(std::move(input)))->value();
+        auto unscale_clamped = [&](double v) {
+            double z = std::clamp(sc.sigma * v + sc.mu, kLogLo,
+                                  kLogHi);
+            return std::pow(10.0, z);
+        };
+        for (size_t k = 0; k < kids.size(); ++k) {
+            size_t c = static_cast<size_t>(kids[k]);
+            double hu = unscale_clamped(
+                h.at(k, 0) - config_.thresholdOffset);
+            double hv = hu + unscale_clamped(
+                h.at(k, 1) + config_.thresholdOffset);
+            double dc = out->nodeDurUs[c];
+            dur_us += std::max(0.0, dc - hu) -
+                      std::max(0.0, dc - hv);
+            double sig2 = 1.0 / (1.0 + std::exp(-h.at(k, 2)));
+            double gate_dur =
+                1.0 / (1.0 + std::exp(-(h.at(k, 3) *
+                                            sc.scaleUs(dc) +
+                                        h.at(k, 4))));
+            err = std::max(
+                {err, sig2 * out->nodeErrProb[c], gate_dur});
+        }
+    }
+    out->nodeDurUs[i] = std::max(dur_us, 1.0);
+    out->nodeErrProb[i] = std::clamp(err, 0.0, 1.0);
+}
+
 TracePrediction
 SleuthGnn::propagate(const TraceBatch &batch,
                      const trace::TraceGraph &graph,
@@ -167,81 +243,57 @@ SleuthGnn::propagate(const TraceBatch &batch,
                   "propagate expects a single-trace batch");
     SLEUTH_ASSERT(states.size() == n, "state count mismatch");
     SLEUTH_ASSERT(graph.size() == n, "graph size mismatch");
-    const size_t ecol = config_.embedDim;
-    const DurationScale &sc = config_.scale;
 
     TracePrediction out;
     out.nodeDurUs.assign(n, 0.0);
     out.nodeErrProb.assign(n, 0.0);
 
-    for (int node : graph.bottomUpOrder()) {
-        size_t i = static_cast<size_t>(node);
-        const std::vector<int> &kids = graph.children(node);
-        double dur_us = states[i].exclusiveUs;
-        double err = states[i].exclusiveErr;
-        if (!kids.empty()) {
-            // Edge inputs: parent exclusive features with intervened
-            // values, children with their *predicted* states.
-            const size_t d = ecol + 2;
-            nn::Tensor input(kids.size(), 2 * d);
-            // Sibling sum of child feature rows (predicted values).
-            std::vector<double> sum(d, 0.0);
-            auto child_feature = [&](size_t c, size_t col) {
-                if (col < ecol)
-                    return batch.x.at(c, col);
-                if (col == ecol)
-                    return sc.scaleUs(out.nodeDurUs[c]);
-                return out.nodeErrProb[c];
-            };
-            for (int kid : kids)
-                for (size_t col = 0; col < d; ++col)
-                    sum[col] +=
-                        child_feature(static_cast<size_t>(kid), col);
-            for (size_t k = 0; k < kids.size(); ++k) {
-                size_t c = static_cast<size_t>(kids[k]);
-                for (size_t col = 0; col < ecol; ++col)
-                    input.at(k, col) = batch.xExcl.at(i, col);
-                input.at(k, ecol) = sc.scaleUs(states[i].exclusiveUs);
-                input.at(k, ecol + 1) = states[i].exclusiveErr;
-                for (size_t col = 0; col < d; ++col) {
-                    double self = child_feature(c, col);
-                    double agg;
-                    if (config_.aggregator == Aggregator::Gin)
-                        agg = sum[col] + config_.epsilon * self;
-                    else
-                        agg = sum[col] /
-                              static_cast<double>(kids.size());
-                    input.at(k, d + col) = agg;
-                }
-            }
-            nn::Tensor h =
-                mlp_.forward(nn::constant(std::move(input)))->value();
-            auto unscale_clamped = [&](double v) {
-                double z = std::clamp(sc.sigma * v + sc.mu, kLogLo,
-                                      kLogHi);
-                return std::pow(10.0, z);
-            };
-            for (size_t k = 0; k < kids.size(); ++k) {
-                size_t c = static_cast<size_t>(kids[k]);
-                double hu = unscale_clamped(
-                    h.at(k, 0) - config_.thresholdOffset);
-                double hv = hu + unscale_clamped(
-                    h.at(k, 1) + config_.thresholdOffset);
-                double dc = out.nodeDurUs[c];
-                dur_us += std::max(0.0, dc - hu) -
-                          std::max(0.0, dc - hv);
-                double sig2 = 1.0 / (1.0 + std::exp(-h.at(k, 2)));
-                double gate_dur =
-                    1.0 / (1.0 + std::exp(-(h.at(k, 3) *
-                                                sc.scaleUs(dc) +
-                                            h.at(k, 4))));
-                err = std::max(
-                    {err, sig2 * out.nodeErrProb[c], gate_dur});
-            }
+    for (int node : graph.bottomUpOrder())
+        propagateNode(batch, graph, states, node, &out);
+
+    size_t root = batch.traceRoot[0];
+    out.rootDurationUs = out.nodeDurUs[root];
+    out.rootErrorProb = out.nodeErrProb[root];
+    return out;
+}
+
+TracePrediction
+SleuthGnn::propagateFrom(const TraceBatch &batch,
+                         const trace::TraceGraph &graph,
+                         const std::vector<NodeState> &states,
+                         const TracePrediction &baseline,
+                         const std::vector<int> &dirtyNodes) const
+{
+    const size_t n = batch.numNodes;
+    SLEUTH_ASSERT(batch.traceRoot.size() == 1,
+                  "propagateFrom expects a single-trace batch");
+    SLEUTH_ASSERT(states.size() == n, "state count mismatch");
+    SLEUTH_ASSERT(graph.size() == n, "graph size mismatch");
+    SLEUTH_ASSERT(baseline.nodeDurUs.size() == n &&
+                      baseline.nodeErrProb.size() == n,
+                  "baseline prediction size mismatch");
+
+    // Start from the memoized baseline; only the dirty closure — the
+    // intervened nodes and their root-ward ancestor chains — can
+    // change, since every other node's subtree is untouched.
+    TracePrediction out;
+    out.nodeDurUs = baseline.nodeDurUs;
+    out.nodeErrProb = baseline.nodeErrProb;
+
+    std::vector<bool> recompute(n, false);
+    for (int d : dirtyNodes) {
+        SLEUTH_ASSERT(d >= 0 && static_cast<size_t>(d) < n,
+                      "dirty node index");
+        for (int a = d; a >= 0; a = graph.parent(a)) {
+            if (recompute[static_cast<size_t>(a)])
+                break;  // the rest of this chain is already marked
+            recompute[static_cast<size_t>(a)] = true;
         }
-        out.nodeDurUs[i] = std::max(dur_us, 1.0);
-        out.nodeErrProb[i] = std::clamp(err, 0.0, 1.0);
     }
+
+    for (int node : graph.bottomUpOrder())
+        if (recompute[static_cast<size_t>(node)])
+            propagateNode(batch, graph, states, node, &out);
 
     size_t root = batch.traceRoot[0];
     out.rootDurationUs = out.nodeDurUs[root];

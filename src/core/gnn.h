@@ -127,6 +127,33 @@ class SleuthGnn
                               const trace::TraceGraph &graph,
                               const std::vector<NodeState> &states) const;
 
+    /**
+     * Incremental counterfactual propagation: recompute only the nodes
+     * whose predictions can change under the given intervention and
+     * reuse the memoized baseline for everything else.
+     *
+     * An intervention on node i can only alter the predictions of i
+     * and its ancestors (a sibling subtree's inputs are untouched), so
+     * each counterfactual candidate costs O(depth · fanout) MLP
+     * forwards instead of re-running the whole trace. The result is
+     * bitwise identical to propagate(batch, graph, states) because
+     * clean nodes' predictions are a deterministic function of their
+     * unchanged subtrees.
+     *
+     * @param batch single-trace encoding (node order = span order)
+     * @param graph the trace's dependency graph
+     * @param states per-node exclusive states, already intervened
+     * @param baseline propagate() output for the pre-intervention
+     *        states (every node's memoized prediction)
+     * @param dirtyNodes indices whose NodeState differs from the
+     *        baseline's states (callers must list every changed node)
+     */
+    TracePrediction propagateFrom(
+        const TraceBatch &batch, const trace::TraceGraph &graph,
+        const std::vector<NodeState> &states,
+        const TracePrediction &baseline,
+        const std::vector<int> &dirtyNodes) const;
+
     /** Trainable parameters. */
     std::vector<nn::Var> parameters() const { return mlp_.parameters(); }
 
@@ -153,6 +180,16 @@ class SleuthGnn
     };
 
     Forward forward(const TraceBatch &batch) const;
+
+    /**
+     * Recompute one node's propagated prediction from its children's
+     * already-propagated values in out->nodeDurUs / out->nodeErrProb
+     * (bottom-up invariant: children are finalized before parents).
+     */
+    void propagateNode(const TraceBatch &batch,
+                       const trace::TraceGraph &graph,
+                       const std::vector<NodeState> &states, int node,
+                       TracePrediction *out) const;
 
     /** Clamp-then-unscale: 10^(clamp(sigma*x + mu)). */
     nn::Var unscaleVar(const nn::Var &scaled) const;

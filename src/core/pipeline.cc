@@ -17,8 +17,11 @@ PipelineResult
 SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
                         const std::vector<int64_t> &slos) const
 {
+    if (!config_.clustering)
+        return analyzeIndividually(traces, slos);
     // Default distance: weighted-Jaccard over encoded span sets,
-    // pre-encoded once per trace (O(m) per pair, paper Eq. 1).
+    // pre-encoded once per trace, then memoized into one packed matrix
+    // per batch (n(n-1)/2 merge passes, paper Eq. 1).
     std::vector<distance::WeightedSpanSet> sets;
     sets.reserve(traces.size());
     for (const trace::Trace &t : traces) {
@@ -26,10 +29,8 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
         sets.push_back(
             distance::encodeSpanSet(t, g, config_.distanceOpts));
     }
-    return analyzeWithDistance(traces, slos, [&sets](size_t a,
-                                                     size_t b) {
-        return distance::jaccardDistance(sets[a], sets[b]);
-    });
+    return analyzeWithMatrix(traces, slos,
+                             distance::DistanceMatrix::fromSpanSets(sets));
 }
 
 PipelineResult
@@ -38,28 +39,54 @@ SleuthPipeline::analyzeWithDistance(
     const std::vector<int64_t> &slos,
     const std::function<double(size_t, size_t)> &dist) const
 {
+    if (!config_.clustering)
+        return analyzeIndividually(traces, slos);
+    return analyzeWithMatrix(
+        traces, slos,
+        distance::DistanceMatrix::compute(traces.size(), dist));
+}
+
+PipelineResult
+SleuthPipeline::analyzeIndividually(
+    const std::vector<trace::Trace> &traces,
+    const std::vector<int64_t> &slos) const
+{
     SLEUTH_ASSERT(traces.size() == slos.size(),
                   "trace/slo count mismatch");
     PipelineResult out;
     out.perTrace.resize(traces.size());
     out.clusterLabels.assign(traces.size(), -1);
+    CounterfactualRca rca(model_, encoder_, profile_, config_.rca);
+    for (size_t i = 0; i < traces.size(); ++i) {
+        out.perTrace[i] = rca.analyze(traces[i], slos[i]);
+        ++out.rcaInvocations;
+    }
+    return out;
+}
+
+PipelineResult
+SleuthPipeline::analyzeWithMatrix(
+    const std::vector<trace::Trace> &traces,
+    const std::vector<int64_t> &slos,
+    const distance::DistanceMatrix &dist) const
+{
+    SLEUTH_ASSERT(traces.size() == slos.size(),
+                  "trace/slo count mismatch");
+    SLEUTH_ASSERT(dist.size() == traces.size(),
+                  "distance matrix / trace count mismatch");
+    PipelineResult out;
+    out.perTrace.resize(traces.size());
+    out.clusterLabels.assign(traces.size(), -1);
     if (traces.empty())
         return out;
+    out.distanceEvaluations = traces.size() * (traces.size() - 1) / 2;
 
     CounterfactualRca rca(model_, encoder_, profile_, config_.rca);
 
-    if (!config_.clustering) {
-        for (size_t i = 0; i < traces.size(); ++i) {
-            out.perTrace[i] = rca.analyze(traces[i], slos[i]);
-            ++out.rcaInvocations;
-        }
-        return out;
-    }
-
     cluster::ClusterResult clusters =
         config_.algorithm == PipelineConfig::Algorithm::Hdbscan
-            ? cluster::hdbscan(traces.size(), dist, config_.hdbscan)
-            : cluster::dbscan(traces.size(), dist, config_.dbscan);
+            ? cluster::hdbscan(dist, config_.hdbscan)
+            : cluster::dbscan(dist, config_.dbscan);
     out.clusterLabels = clusters.labels;
     out.numClusters = clusters.numClusters;
 
@@ -78,7 +105,7 @@ SleuthPipeline::analyzeWithDistance(
             // Far-from-representative members do not inherit the
             // verdict; they fall through to individual analysis.
             if (config_.maxRepresentativeDistance > 0.0 && i != rep &&
-                dist(i, rep) > config_.maxRepresentativeDistance)
+                dist.at(i, rep) > config_.maxRepresentativeDistance)
                 continue;
             out.perTrace[i] = verdict;
             assigned[i] = true;

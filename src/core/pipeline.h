@@ -14,6 +14,7 @@
 
 #include "cluster/hdbscan.h"
 #include "core/counterfactual.h"
+#include "distance/distance_matrix.h"
 #include "distance/trace_distance.h"
 
 namespace sleuth::core {
@@ -55,6 +56,12 @@ struct PipelineResult
     int numClusters = 0;
     /** Counterfactual RCA invocations actually executed. */
     size_t rcaInvocations = 0;
+    /**
+     * Pairwise distance evaluations performed for this batch: exactly
+     * n(n-1)/2 when clustering ran (the matrix is computed once and
+     * memoized), 0 when clustering was disabled.
+     */
+    size_t distanceEvaluations = 0;
 };
 
 /** The trace-storm-scale RCA front end. */
@@ -77,13 +84,30 @@ class SleuthPipeline
     /**
      * As analyze(), but clustering uses a caller-provided distance
      * (e.g. the DeepTraLog SVDD embedding distance for comparison).
+     * The oracle is invoked exactly n(n-1)/2 times to memoize a
+     * DistanceMatrix; every downstream consumer reads the matrix.
      */
     PipelineResult analyzeWithDistance(
         const std::vector<trace::Trace> &traces,
         const std::vector<int64_t> &slos,
         const std::function<double(size_t, size_t)> &dist) const;
 
+    /**
+     * As analyze(), over an already-materialized distance matrix
+     * (clustering, representative selection, and the far-member guard
+     * all read it directly; no distance is ever recomputed).
+     */
+    PipelineResult analyzeWithMatrix(
+        const std::vector<trace::Trace> &traces,
+        const std::vector<int64_t> &slos,
+        const distance::DistanceMatrix &dist) const;
+
   private:
+    /** Per-trace RCA for every input (the clustering-off path). */
+    PipelineResult analyzeIndividually(
+        const std::vector<trace::Trace> &traces,
+        const std::vector<int64_t> &slos) const;
+
     const SleuthGnn &model_;
     FeatureEncoder &encoder_;
     const NormalProfile &profile_;

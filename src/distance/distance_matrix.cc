@@ -1,0 +1,29 @@
+#include "distance_matrix.h"
+
+namespace sleuth::distance {
+
+DistanceMatrix
+DistanceMatrix::compute(size_t n,
+                        const std::function<double(size_t, size_t)> &dist)
+{
+    DistanceMatrix m(n);
+    for (size_t i = 1; i < n; ++i)
+        for (size_t j = 0; j < i; ++j)
+            m.d_[i * (i - 1) / 2 + j] = dist(i, j);
+    return m;
+}
+
+DistanceMatrix
+DistanceMatrix::fromSpanSets(const std::vector<WeightedSpanSet> &sets)
+{
+    const size_t n = sets.size();
+    DistanceMatrix m(n);
+    for (size_t i = 1; i < n; ++i) {
+        double *row = m.d_.data() + i * (i - 1) / 2;
+        for (size_t j = 0; j < i; ++j)
+            row[j] = jaccardDistance(sets[i], sets[j]);
+    }
+    return m;
+}
+
+} // namespace sleuth::distance

@@ -22,11 +22,30 @@ fnv1aAppend(uint64_t h, const std::string &s)
 } // namespace
 
 WeightedSpanSet
+makeSpanSet(std::vector<std::pair<uint64_t, double>> entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    });
+    // Merge duplicate identifiers in place with summed weights.
+    size_t w = 0;
+    for (size_t r = 0; r < entries.size(); ++r) {
+        if (w > 0 && entries[w - 1].first == entries[r].first)
+            entries[w - 1].second += entries[r].second;
+        else
+            entries[w++] = entries[r];
+    }
+    entries.resize(w);
+    return entries;
+}
+
+WeightedSpanSet
 encodeSpanSet(const trace::Trace &trace, const trace::TraceGraph &graph,
               const SpanSetOptions &opts)
 {
-    WeightedSpanSet set;
-    set.reserve(trace.spans.size());
+    std::vector<std::pair<uint64_t, double>> entries;
+    entries.reserve(trace.spans.size());
     for (size_t i = 0; i < trace.spans.size(); ++i) {
         const trace::Span &s = trace.spans[i];
         uint64_t h = 1469598103934665603ull;
@@ -44,28 +63,39 @@ encodeSpanSet(const trace::Trace &trace, const trace::TraceGraph &graph,
             h = fnv1aAppend(h, anc.service);
             h = fnv1aAppend(h, anc.name);
         }
-        set[h] += static_cast<double>(s.durationUs());
+        entries.emplace_back(h, static_cast<double>(s.durationUs()));
     }
-    return set;
+    return makeSpanSet(std::move(entries));
 }
 
 double
 jaccardDistance(const WeightedSpanSet &a, const WeightedSpanSet &b)
 {
     // |A ∩ B| = Σ min(w_a, w_b); |A ∪ B| = Σ max(w_a, w_b), with missing
-    // identifiers treated as weight 0.
+    // identifiers treated as weight 0. Both sets are sorted by
+    // identifier, so one two-pointer merge covers the union.
     double inter = 0.0;
     double uni = 0.0;
-    for (const auto &[id, wa] : a) {
-        auto it = b.find(id);
-        double wb = it == b.end() ? 0.0 : it->second;
-        inter += std::min(wa, wb);
-        uni += std::max(wa, wb);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].first < b[j].first) {
+            uni += a[i].second;
+            ++i;
+        } else if (b[j].first < a[i].first) {
+            uni += b[j].second;
+            ++j;
+        } else {
+            inter += std::min(a[i].second, b[j].second);
+            uni += std::max(a[i].second, b[j].second);
+            ++i;
+            ++j;
+        }
     }
-    for (const auto &[id, wb] : b) {
-        if (!a.count(id))
-            uni += wb;
-    }
+    for (; i < a.size(); ++i)
+        uni += a[i].second;
+    for (; j < b.size(); ++j)
+        uni += b[j].second;
     if (uni <= 0.0)
         return 0.0;
     return 1.0 - inter / uni;

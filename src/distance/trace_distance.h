@@ -9,18 +9,28 @@
  * all ancestors within distance d_max) and the weight is the span
  * duration; spans sharing an identifier merge with summed weights. The
  * distance between two traces is the extended (weighted) Jaccard
- * distance between their sets — O(m) per pair via hashing.
+ * distance between their sets.
+ *
+ * The set is stored as a vector of (identifier, weight) pairs sorted by
+ * identifier, so jaccardDistance is a linear two-pointer merge over two
+ * contiguous arrays — cache-friendly and allocation-free, which matters
+ * on the O(n²) pairwise path of storm clustering.
  */
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "trace/trace.h"
 
 namespace sleuth::distance {
 
-/** A trace encoded as a weighted set keyed by hashed span identifier. */
-using WeightedSpanSet = std::unordered_map<uint64_t, double>;
+/**
+ * A trace encoded as a weighted set keyed by hashed span identifier:
+ * (identifier, weight) pairs sorted ascending by identifier, keys
+ * unique. Build with encodeSpanSet() or makeSpanSet().
+ */
+using WeightedSpanSet = std::vector<std::pair<uint64_t, double>>;
 
 /** Options controlling span-identifier construction. */
 struct SpanSetOptions
@@ -30,6 +40,13 @@ struct SpanSetOptions
     /** Include the span's error status in the identifier. */
     bool includeErrorStatus = true;
 };
+
+/**
+ * Normalize raw (identifier, weight) entries into a WeightedSpanSet:
+ * sorts by identifier and merges duplicate keys with summed weights.
+ */
+WeightedSpanSet makeSpanSet(
+    std::vector<std::pair<uint64_t, double>> entries);
 
 /**
  * Encode a trace as a weighted span set.

@@ -203,12 +203,14 @@ matmul(const Var &a, const Var &b)
     return makeNode(std::move(out), anyRequiresGrad({a, b}), {a, b},
                     [a, b](Node &self) {
         const Tensor &g = self.grad();
+        // Transpose-free kernels: gA = g·Bᵀ and gB = Aᵀ·g without
+        // materializing either transposed operand.
         if (a->requiresGrad())
             GradAccess::grad(*a).addInPlace(
-                g.matmul(b->value().transposed()));
+                g.matmulTransposedB(b->value()));
         if (b->requiresGrad())
             GradAccess::grad(*b).addInPlace(
-                a->value().transposed().matmul(g));
+                a->value().matmulTransposedA(g));
     });
 }
 

@@ -76,6 +76,49 @@ Tensor::matmul(const Tensor &other) const
 }
 
 Tensor
+Tensor::matmulTransposedA(const Tensor &other) const
+{
+    SLEUTH_ASSERT(rows_ == other.rows_,
+                  "matmulTransposedA shape mismatch: ", rows_, "x",
+                  cols_, "ᵀ * ", other.rows_, "x", other.cols_);
+    Tensor out(cols_, other.cols_);
+    for (size_t k = 0; k < rows_; ++k) {
+        const double *arow = &data_[k * cols_];
+        const double *brow = &other.data_[k * other.cols_];
+        for (size_t i = 0; i < cols_; ++i) {
+            double a = arow[i];
+            if (a == 0.0)
+                continue;
+            double *orow = &out.data_[i * other.cols_];
+            for (size_t j = 0; j < other.cols_; ++j)
+                orow[j] += a * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+Tensor::matmulTransposedB(const Tensor &other) const
+{
+    SLEUTH_ASSERT(cols_ == other.cols_,
+                  "matmulTransposedB shape mismatch: ", rows_, "x",
+                  cols_, " * ", other.rows_, "x", other.cols_, "ᵀ");
+    Tensor out(rows_, other.rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+        const double *arow = &data_[i * cols_];
+        double *orow = &out.data_[i * other.rows_];
+        for (size_t j = 0; j < other.rows_; ++j) {
+            const double *brow = &other.data_[j * other.cols_];
+            double dot = 0.0;
+            for (size_t t = 0; t < cols_; ++t)
+                dot += arow[t] * brow[t];
+            orow[j] = dot;
+        }
+    }
+    return out;
+}
+
+Tensor
 Tensor::transposed() const
 {
     Tensor out(cols_, rows_);

@@ -91,6 +91,20 @@ class Tensor
     /** Matrix product this x other. */
     Tensor matmul(const Tensor &other) const;
 
+    /**
+     * Matrix product thisᵀ x other without materializing the
+     * transpose (rank-1 row accumulation; both operands are walked
+     * row-contiguously). this is k x m, other k x n, result m x n.
+     */
+    Tensor matmulTransposedA(const Tensor &other) const;
+
+    /**
+     * Matrix product this x otherᵀ without materializing the
+     * transpose (each output element is a dot product of two
+     * contiguous rows). this is m x n, other p x n, result m x p.
+     */
+    Tensor matmulTransposedB(const Tensor &other) const;
+
     /** Transpose. */
     Tensor transposed() const;
 

@@ -1,0 +1,174 @@
+// Tests for the memoized DistanceMatrix and the merge-based weighted
+// Jaccard: the sorted-vector merge must agree with a hash-map reference
+// implementation, and the matrix must invoke its oracle exactly
+// n(n-1)/2 times while reproducing every pairwise value.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "distance/distance_matrix.h"
+#include "distance/trace_distance.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using namespace sleuth::distance;
+
+namespace {
+
+/** The pre-optimization hash-map formulation of Eq. 1, kept as the
+ *  reference the merge-based implementation is pinned to. */
+double
+referenceJaccard(const WeightedSpanSet &a, const WeightedSpanSet &b)
+{
+    std::unordered_map<uint64_t, double> am(a.begin(), a.end());
+    std::unordered_map<uint64_t, double> bm(b.begin(), b.end());
+    double inter = 0.0, uni = 0.0;
+    for (const auto &[k, w] : am) {
+        auto it = bm.find(k);
+        if (it != bm.end()) {
+            inter += std::min(w, it->second);
+            uni += std::max(w, it->second);
+        } else {
+            uni += w;
+        }
+    }
+    for (const auto &[k, w] : bm)
+        if (!am.count(k))
+            uni += w;
+    if (uni <= 0.0)
+        return 0.0;
+    return 1.0 - inter / uni;
+}
+
+WeightedSpanSet
+randomSet(util::Rng &rng, size_t universe, size_t max_entries)
+{
+    std::vector<std::pair<uint64_t, double>> entries;
+    size_t n = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(max_entries)));
+    for (size_t i = 0; i < n; ++i)
+        entries.emplace_back(
+            static_cast<uint64_t>(
+                rng.uniformInt(0, static_cast<int64_t>(universe))),
+            rng.uniform(0.5, 5000.0));
+    return makeSpanSet(std::move(entries));
+}
+
+} // namespace
+
+TEST(MakeSpanSet, SortsAndMergesDuplicates)
+{
+    WeightedSpanSet s =
+        makeSpanSet({{9, 1.0}, {3, 2.0}, {9, 4.0}, {1, 0.5}, {3, 1.0}});
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0].first, 1u);
+    EXPECT_DOUBLE_EQ(s[0].second, 0.5);
+    EXPECT_EQ(s[1].first, 3u);
+    EXPECT_DOUBLE_EQ(s[1].second, 3.0);
+    EXPECT_EQ(s[2].first, 9u);
+    EXPECT_DOUBLE_EQ(s[2].second, 5.0);
+}
+
+TEST(MergeJaccard, EdgeCases)
+{
+    WeightedSpanSet empty;
+    WeightedSpanSet a = makeSpanSet({{1, 2.0}, {5, 3.0}});
+    WeightedSpanSet disjoint = makeSpanSet({{2, 1.0}, {7, 4.0}});
+    EXPECT_DOUBLE_EQ(jaccardDistance(empty, empty), 0.0);
+    EXPECT_DOUBLE_EQ(jaccardDistance(a, empty), 1.0);
+    EXPECT_DOUBLE_EQ(jaccardDistance(empty, a), 1.0);
+    EXPECT_DOUBLE_EQ(jaccardDistance(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(jaccardDistance(a, disjoint), 1.0);
+}
+
+TEST(MergeJaccard, MatchesHashMapReference)
+{
+    util::Rng rng(7);
+    for (int it = 0; it < 400; ++it) {
+        WeightedSpanSet a = randomSet(rng, 30, 40);
+        WeightedSpanSet b = randomSet(rng, 30, 40);
+        EXPECT_NEAR(jaccardDistance(a, b), referenceJaccard(a, b),
+                    1e-12);
+        EXPECT_NEAR(jaccardDistance(b, a), referenceJaccard(a, b),
+                    1e-12);
+    }
+}
+
+TEST(DistanceMatrix, EmptyAndSingleton)
+{
+    size_t calls = 0;
+    auto oracle = [&](size_t, size_t) {
+        ++calls;
+        return 0.5;
+    };
+    EXPECT_EQ(DistanceMatrix::compute(0, oracle).size(), 0u);
+    EXPECT_EQ(DistanceMatrix::compute(1, oracle).size(), 1u);
+    EXPECT_EQ(calls, 0u);
+}
+
+TEST(DistanceMatrix, OracleInvokedExactlyOncePerPair)
+{
+    const size_t n = 37;
+    std::vector<std::vector<int>> seen(n, std::vector<int>(n, 0));
+    size_t calls = 0;
+    auto oracle = [&](size_t i, size_t j) {
+        ++calls;
+        ++seen[i][j];
+        ++seen[j][i];
+        return static_cast<double>(i * n + j);
+    };
+    DistanceMatrix m = DistanceMatrix::compute(n, oracle);
+    EXPECT_EQ(calls, n * (n - 1) / 2);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i][i], 0) << "diagonal evaluated at " << i;
+        for (size_t j = 0; j < i; ++j)
+            EXPECT_EQ(seen[i][j], 1)
+                << "pair (" << i << "," << j << ")";
+    }
+    EXPECT_EQ(m.packed().size(), n * (n - 1) / 2);
+}
+
+TEST(DistanceMatrix, StoresOracleValuesSymmetrically)
+{
+    const size_t n = 12;
+    auto oracle = [](size_t i, size_t j) {
+        return 1.0 / static_cast<double>(1 + i + 2 * j);
+    };
+    DistanceMatrix m = DistanceMatrix::compute(n, oracle);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+        for (size_t j = 0; j < i; ++j) {
+            EXPECT_DOUBLE_EQ(m.at(i, j), oracle(i, j));
+            EXPECT_DOUBLE_EQ(m.at(j, i), m.at(i, j));
+        }
+    }
+}
+
+TEST(DistanceMatrix, SetAndAtRoundTrip)
+{
+    DistanceMatrix m(5);
+    m.set(3, 1, 0.25);
+    m.set(0, 4, 0.75);
+    EXPECT_DOUBLE_EQ(m.at(1, 3), 0.25);
+    EXPECT_DOUBLE_EQ(m.at(3, 1), 0.25);
+    EXPECT_DOUBLE_EQ(m.at(4, 0), 0.75);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 0.0);
+}
+
+TEST(DistanceMatrix, FromSpanSetsMatchesPairwiseJaccard)
+{
+    util::Rng rng(13);
+    std::vector<WeightedSpanSet> sets;
+    for (int i = 0; i < 24; ++i)
+        sets.push_back(randomSet(rng, 25, 30));
+    sets.push_back({});  // degenerate member
+    DistanceMatrix m = DistanceMatrix::fromSpanSets(sets);
+    ASSERT_EQ(m.size(), sets.size());
+    for (size_t i = 0; i < sets.size(); ++i)
+        for (size_t j = 0; j < i; ++j)
+            EXPECT_DOUBLE_EQ(m.at(i, j),
+                             jaccardDistance(sets[i], sets[j]))
+                << "pair (" << i << "," << j << ")";
+}

@@ -79,6 +79,42 @@ TEST(Tensor, MatmulIdentity)
             EXPECT_DOUBLE_EQ(c.at(i, j), a.at(i, j));
 }
 
+TEST(Tensor, MatmulTransposedAMatchesExplicitTranspose)
+{
+    sleuth::util::Rng rng(5);
+    for (int it = 0; it < 10; ++it) {
+        size_t k = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        size_t m = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        size_t n = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        Tensor a = Tensor::randn(k, m, 1.0, rng);
+        Tensor b = Tensor::randn(k, n, 1.0, rng);
+        Tensor fast = a.matmulTransposedA(b);
+        Tensor ref = a.transposed().matmul(b);
+        ASSERT_TRUE(fast.sameShape(ref));
+        for (size_t i = 0; i < fast.rows(); ++i)
+            for (size_t j = 0; j < fast.cols(); ++j)
+                EXPECT_NEAR(fast.at(i, j), ref.at(i, j), 1e-12);
+    }
+}
+
+TEST(Tensor, MatmulTransposedBMatchesExplicitTranspose)
+{
+    sleuth::util::Rng rng(6);
+    for (int it = 0; it < 10; ++it) {
+        size_t m = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        size_t n = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        size_t p = 1 + static_cast<size_t>(rng.uniformInt(0, 6));
+        Tensor a = Tensor::randn(m, n, 1.0, rng);
+        Tensor b = Tensor::randn(p, n, 1.0, rng);
+        Tensor fast = a.matmulTransposedB(b);
+        Tensor ref = a.matmul(b.transposed());
+        ASSERT_TRUE(fast.sameShape(ref));
+        for (size_t i = 0; i < fast.rows(); ++i)
+            for (size_t j = 0; j < fast.cols(); ++j)
+                EXPECT_NEAR(fast.at(i, j), ref.at(i, j), 1e-12);
+    }
+}
+
 TEST(Tensor, Transposed)
 {
     Tensor a(2, 3, {1, 2, 3, 4, 5, 6});

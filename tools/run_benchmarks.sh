@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Build the pipeline perf suite in Release mode and write the
+# machine-readable results to BENCH_pipeline.json at the repo root.
+#
+# Usage: tools/run_benchmarks.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-release}"
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target perf_suite -j "$(nproc)"
+
+"$build_dir/bench/perf_suite" "$repo_root/BENCH_pipeline.json"
