@@ -19,6 +19,7 @@
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -336,6 +337,52 @@ main(int argc, char **argv)
             "%d clusters, %zu rca invocations\n",
             new_ms, legacy_ms, legacy_ms / new_ms, res.numClusters,
             res.rcaInvocations);
+    }
+
+    // --- (e) Thread-pool scaling on the 256-trace storm. ---
+    // The parallel engine is deterministic: every row set below is
+    // produced from bitwise-identical results (asserted), only the
+    // wall time varies with the worker count. On a single-core host
+    // the speedup is bounded at ~1x; the hardware_concurrency row
+    // records what this machine could exploit.
+    {
+        std::vector<int64_t> slos(storm256.size(),
+                                  stormSlo(storm256));
+        PipelineResult ref;
+        double t1_ms = 0.0;
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+            PipelineConfig cfg;
+            cfg.numThreads = threads;
+            SleuthPipeline pipeline(model, encoder, profile, cfg);
+            PipelineResult res;
+            double ms = bestOfMs(
+                3, [&] { res = pipeline.analyze(storm256, slos); });
+            if (threads == 1) {
+                ref = res;
+                t1_ms = ms;
+            } else {
+                SLEUTH_ASSERT(res.clusterLabels == ref.clusterLabels,
+                              "thread-count determinism: labels");
+                SLEUTH_ASSERT(res.rcaInvocations == ref.rcaInvocations,
+                              "thread-count determinism: invocations");
+                for (size_t i = 0; i < res.perTrace.size(); ++i)
+                    SLEUTH_ASSERT(res.perTrace[i].services ==
+                                      ref.perTrace[i].services,
+                                  "thread-count determinism at ", i);
+            }
+            rows.push_back({"e2e_analyze_256_t" +
+                                std::to_string(threads) + "_ms",
+                            ms, "ms"});
+            if (threads == 4)
+                rows.push_back({"e2e_analyze_256_parallel_speedup_4t",
+                                t1_ms / ms, "x"});
+            std::printf("e2e analyze n=256 threads=%zu: %.1f ms\n",
+                        threads, ms);
+        }
+        rows.push_back(
+            {"hardware_concurrency",
+             static_cast<double>(std::thread::hardware_concurrency()),
+             "cores"});
     }
 
     // --- (c) Counterfactual RCA throughput. ---

@@ -74,6 +74,12 @@ struct RcaResult
     size_t iterations = 0;
     /** True when restoring the services made the trace normal. */
     bool resolved = false;
+    /**
+     * Non-empty when the trace could not be analyzed at all (malformed
+     * input skipped by the pipeline: cycle, missing root, unresolved
+     * parentSpanId, ...). All other fields are empty/false then.
+     */
+    std::string error;
 };
 
 /** Counterfactual root cause analyzer. */

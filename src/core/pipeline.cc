@@ -1,8 +1,87 @@
 #include "pipeline.h"
 
+#include <memory>
+
 #include "cluster/svdd.h"
+#include "util/thread_pool.h"
 
 namespace sleuth::core {
+
+namespace {
+
+/** The verdict recorded for a trace the graph builder rejected. */
+RcaResult
+errorVerdict(const std::string &why)
+{
+    RcaResult r;
+    r.error = "malformed trace: " + why;
+    return r;
+}
+
+/**
+ * Validate every trace with TraceGraph::tryBuild; errors[i] is empty
+ * for well-formed traces and holds the first defect otherwise.
+ */
+std::vector<std::string>
+validateTraces(const std::vector<trace::Trace> &traces,
+               util::ThreadPool &pool)
+{
+    std::vector<std::string> errors(traces.size());
+    pool.parallelFor(traces.size(), [&](size_t i, size_t) {
+        trace::TraceGraph g;
+        std::string err;
+        if (!trace::TraceGraph::tryBuild(traces[i], &g, &err))
+            errors[i] = err;
+    });
+    return errors;
+}
+
+} // namespace
+
+/**
+ * Per-batch parallel engine. Worker 0 (the calling thread) reuses the
+ * pipeline's shared FeatureEncoder so its embedding cache stays warm
+ * across batches; every additional worker owns a private encoder —
+ * the token-hash embedding is a pure function of the input string, so
+ * a cold cache changes cost, never results — because the cache inside
+ * TextEmbedder is the one piece of shared mutable state the
+ * const-correctness audit found on the RCA path (NormalProfile and
+ * SleuthGnn are read-only after construction and safely shared).
+ */
+struct SleuthPipeline::Engine
+{
+    /** Private encoder + RCA for one spawned worker. */
+    struct PerWorker
+    {
+        FeatureEncoder encoder;
+        CounterfactualRca rca;
+
+        explicit PerWorker(const SleuthPipeline &p)
+            : encoder(p.encoder_.embedder().dim(), p.encoder_.scale()),
+              rca(p.model_, encoder, p.profile_, p.config_.rca)
+        {
+        }
+    };
+
+    util::ThreadPool pool;
+    CounterfactualRca rca0;
+    std::vector<std::unique_ptr<PerWorker>> extra;
+
+    explicit Engine(const SleuthPipeline &p)
+        : pool(util::ThreadPool::resolveThreads(p.config_.numThreads)),
+          rca0(p.model_, p.encoder_, p.profile_, p.config_.rca)
+    {
+        extra.reserve(pool.size() - 1);
+        for (size_t w = 1; w < pool.size(); ++w)
+            extra.push_back(std::make_unique<PerWorker>(p));
+    }
+
+    CounterfactualRca &
+    rcaFor(size_t worker)
+    {
+        return worker == 0 ? rca0 : extra[worker - 1]->rca;
+    }
+};
 
 SleuthPipeline::SleuthPipeline(const SleuthGnn &model,
                                FeatureEncoder &encoder,
@@ -19,18 +98,76 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
 {
     if (!config_.clustering)
         return analyzeIndividually(traces, slos);
+    SLEUTH_ASSERT(traces.size() == slos.size(),
+                  "trace/slo count mismatch");
+    Engine engine(*this);
+    const size_t n = traces.size();
+
     // Default distance: weighted-Jaccard over encoded span sets,
     // pre-encoded once per trace, then memoized into one packed matrix
-    // per batch (n(n-1)/2 merge passes, paper Eq. 1).
-    std::vector<distance::WeightedSpanSet> sets;
-    sets.reserve(traces.size());
-    for (const trace::Trace &t : traces) {
-        trace::TraceGraph g = trace::TraceGraph::build(t);
-        sets.push_back(
-            distance::encodeSpanSet(t, g, config_.distanceOpts));
+    // per batch (paper Eq. 1). Encoding validates each trace;
+    // malformed ones are compacted out so they neither crash the batch
+    // nor distort clustering.
+    std::vector<std::string> errors(n);
+    std::vector<distance::WeightedSpanSet> sets(n);
+    engine.pool.parallelFor(n, [&](size_t i, size_t) {
+        trace::TraceGraph g;
+        std::string err;
+        if (trace::TraceGraph::tryBuild(traces[i], &g, &err))
+            sets[i] = distance::encodeSpanSet(traces[i], g,
+                                              config_.distanceOpts);
+        else
+            errors[i] = err;
+    });
+
+    std::vector<size_t> valid;
+    valid.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        if (errors[i].empty())
+            valid.push_back(i);
+
+    if (valid.size() == n) {
+        std::vector<const trace::Trace *> ptrs(n);
+        for (size_t i = 0; i < n; ++i)
+            ptrs[i] = &traces[i];
+        return analyzeCore(
+            ptrs, slos,
+            distance::DistanceMatrix::fromSpanSets(sets, &engine.pool),
+            errors, engine);
     }
-    return analyzeWithMatrix(traces, slos,
-                             distance::DistanceMatrix::fromSpanSets(sets));
+
+    // Compact the well-formed subset, analyze it, scatter back.
+    std::vector<const trace::Trace *> ptrs;
+    std::vector<int64_t> sub_slos;
+    std::vector<distance::WeightedSpanSet> sub_sets;
+    ptrs.reserve(valid.size());
+    sub_slos.reserve(valid.size());
+    sub_sets.reserve(valid.size());
+    for (size_t i : valid) {
+        ptrs.push_back(&traces[i]);
+        sub_slos.push_back(slos[i]);
+        sub_sets.push_back(std::move(sets[i]));
+    }
+    PipelineResult sub = analyzeCore(
+        ptrs, sub_slos,
+        distance::DistanceMatrix::fromSpanSets(sub_sets, &engine.pool),
+        std::vector<std::string>(valid.size()), engine);
+
+    PipelineResult out;
+    out.perTrace.resize(n);
+    out.clusterLabels.assign(n, -1);
+    out.numClusters = sub.numClusters;
+    out.rcaInvocations = sub.rcaInvocations;
+    out.distanceEvaluations = sub.distanceEvaluations;
+    out.skippedTraces = n - valid.size();
+    for (size_t k = 0; k < valid.size(); ++k) {
+        out.perTrace[valid[k]] = std::move(sub.perTrace[k]);
+        out.clusterLabels[valid[k]] = sub.clusterLabels[k];
+    }
+    for (size_t i = 0; i < n; ++i)
+        if (!errors[i].empty())
+            out.perTrace[i] = errorVerdict(errors[i]);
+    return out;
 }
 
 PipelineResult
@@ -54,13 +191,26 @@ SleuthPipeline::analyzeIndividually(
     SLEUTH_ASSERT(traces.size() == slos.size(),
                   "trace/slo count mismatch");
     PipelineResult out;
-    out.perTrace.resize(traces.size());
-    out.clusterLabels.assign(traces.size(), -1);
-    CounterfactualRca rca(model_, encoder_, profile_, config_.rca);
-    for (size_t i = 0; i < traces.size(); ++i) {
-        out.perTrace[i] = rca.analyze(traces[i], slos[i]);
-        ++out.rcaInvocations;
+    const size_t n = traces.size();
+    out.perTrace.resize(n);
+    out.clusterLabels.assign(n, -1);
+    Engine engine(*this);
+    std::vector<std::string> errors =
+        validateTraces(traces, engine.pool);
+    std::vector<size_t> valid;
+    valid.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (errors[i].empty())
+            valid.push_back(i);
+        else
+            out.perTrace[i] = errorVerdict(errors[i]);
     }
+    engine.pool.parallelFor(valid.size(), [&](size_t k, size_t w) {
+        size_t i = valid[k];
+        out.perTrace[i] = engine.rcaFor(w).analyze(traces[i], slos[i]);
+    });
+    out.rcaInvocations = valid.size();
+    out.skippedTraces = n - valid.size();
     return out;
 }
 
@@ -74,32 +224,82 @@ SleuthPipeline::analyzeWithMatrix(
                   "trace/slo count mismatch");
     SLEUTH_ASSERT(dist.size() == traces.size(),
                   "distance matrix / trace count mismatch");
-    PipelineResult out;
-    out.perTrace.resize(traces.size());
-    out.clusterLabels.assign(traces.size(), -1);
-    if (traces.empty())
-        return out;
-    out.distanceEvaluations = traces.size() * (traces.size() - 1) / 2;
+    Engine engine(*this);
+    std::vector<const trace::Trace *> ptrs(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i)
+        ptrs[i] = &traces[i];
+    return analyzeCore(ptrs, slos, dist,
+                       validateTraces(traces, engine.pool), engine);
+}
 
-    CounterfactualRca rca(model_, encoder_, profile_, config_.rca);
+PipelineResult
+SleuthPipeline::analyzeCore(
+    const std::vector<const trace::Trace *> &traces,
+    const std::vector<int64_t> &slos,
+    const distance::DistanceMatrix &dist,
+    const std::vector<std::string> &errors, Engine &engine) const
+{
+    SLEUTH_ASSERT(dist.size() == traces.size(),
+                  "distance matrix / trace count mismatch");
+    const size_t n = traces.size();
+    PipelineResult out;
+    out.perTrace.resize(n);
+    out.clusterLabels.assign(n, -1);
+    if (n == 0)
+        return out;
+    out.distanceEvaluations = n * (n - 1) / 2;
 
     cluster::ClusterResult clusters =
         config_.algorithm == PipelineConfig::Algorithm::Hdbscan
             ? cluster::hdbscan(dist, config_.hdbscan)
             : cluster::dbscan(dist, config_.dbscan);
+
+    // Malformed traces (analyzeWithMatrix path: the caller's matrix
+    // covers them) are forced out of their clusters; cluster IDs are
+    // then compacted so no cluster is left empty.
+    std::vector<bool> assigned(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        if (!errors[i].empty()) {
+            clusters.labels[i] = -1;
+            out.perTrace[i] = errorVerdict(errors[i]);
+            assigned[i] = true;
+            ++out.skippedTraces;
+        }
+    }
+    if (out.skippedTraces > 0) {
+        std::vector<int> remap(
+            static_cast<size_t>(clusters.numClusters), -1);
+        int next = 0;
+        for (size_t i = 0; i < n; ++i) {
+            int c = clusters.labels[i];
+            if (c < 0)
+                continue;
+            if (remap[static_cast<size_t>(c)] < 0)
+                remap[static_cast<size_t>(c)] = next++;
+            clusters.labels[i] = remap[static_cast<size_t>(c)];
+        }
+        clusters.numClusters = next;
+    }
     out.clusterLabels = clusters.labels;
     out.numClusters = clusters.numClusters;
 
-    // One RCA per cluster representative (geometric median), then the
-    // verdict generalizes to every member.
+    // One RCA per cluster representative (geometric median), run in
+    // parallel — one verdict slot per cluster is preallocated and each
+    // worker writes only its own clusters, so the output is identical
+    // at any thread count. The verdict then generalizes to every
+    // member.
     std::vector<size_t> reps = cluster::selectRepresentatives(
         clusters.labels, clusters.numClusters, dist);
-    std::vector<bool> assigned(traces.size(), false);
+    const size_t num_clusters = static_cast<size_t>(clusters.numClusters);
+    std::vector<RcaResult> verdicts(num_clusters);
+    engine.pool.parallelFor(num_clusters, [&](size_t c, size_t w) {
+        verdicts[c] =
+            engine.rcaFor(w).analyze(*traces[reps[c]], slos[reps[c]]);
+    });
+    out.rcaInvocations += num_clusters;
     for (int c = 0; c < clusters.numClusters; ++c) {
         size_t rep = reps[static_cast<size_t>(c)];
-        RcaResult verdict = rca.analyze(traces[rep], slos[rep]);
-        ++out.rcaInvocations;
-        for (size_t i = 0; i < traces.size(); ++i) {
+        for (size_t i = 0; i < n; ++i) {
             if (clusters.labels[i] != c)
                 continue;
             // Far-from-representative members do not inherit the
@@ -107,17 +307,22 @@ SleuthPipeline::analyzeWithMatrix(
             if (config_.maxRepresentativeDistance > 0.0 && i != rep &&
                 dist.at(i, rep) > config_.maxRepresentativeDistance)
                 continue;
-            out.perTrace[i] = verdict;
+            out.perTrace[i] = verdicts[static_cast<size_t>(c)];
             assigned[i] = true;
         }
     }
-    // Noise traces and far members are analyzed individually.
-    for (size_t i = 0; i < traces.size(); ++i) {
-        if (!assigned[i]) {
-            out.perTrace[i] = rca.analyze(traces[i], slos[i]);
-            ++out.rcaInvocations;
-        }
-    }
+    // Noise traces and far members are analyzed individually, again
+    // into preallocated per-trace slots.
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < n; ++i)
+        if (!assigned[i])
+            rest.push_back(i);
+    engine.pool.parallelFor(rest.size(), [&](size_t k, size_t w) {
+        size_t i = rest[k];
+        out.perTrace[i] =
+            engine.rcaFor(w).analyze(*traces[i], slos[i]);
+    });
+    out.rcaInvocations += rest.size();
     return out;
 }
 

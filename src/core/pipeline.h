@@ -43,6 +43,13 @@ struct PipelineConfig
      * (bounds the damage of an impure cluster; 0 disables).
      */
     double maxRepresentativeDistance = 0.6;
+    /**
+     * Worker threads for span-set encoding, distance-matrix
+     * construction, and the RCA loops. 0 = hardware concurrency,
+     * 1 = fully serial (no threads spawned). Results are bitwise
+     * identical at every setting (DESIGN.md §3.8).
+     */
+    size_t numThreads = 1;
 };
 
 /** Result of a pipeline run over a batch of anomalous traces. */
@@ -58,10 +65,18 @@ struct PipelineResult
     size_t rcaInvocations = 0;
     /**
      * Pairwise distance evaluations performed for this batch: exactly
-     * n(n-1)/2 when clustering ran (the matrix is computed once and
-     * memoized), 0 when clustering was disabled.
+     * m(m-1)/2 over the m well-formed traces when clustering ran (the
+     * matrix is computed once and memoized), 0 when clustering was
+     * disabled.
      */
     size_t distanceEvaluations = 0;
+    /**
+     * Traces skipped because TraceGraph::tryBuild rejected them
+     * (cycle, missing/duplicate root, unresolved parentSpanId, ...).
+     * Each carries an RcaResult with a non-empty error and cluster
+     * label -1; well-formed traces in the same batch are unaffected.
+     */
+    size_t skippedTraces = 0;
 };
 
 /** The trace-storm-scale RCA front end. */
@@ -103,10 +118,30 @@ class SleuthPipeline
         const distance::DistanceMatrix &dist) const;
 
   private:
+    /**
+     * Per-batch parallel engine: a thread pool plus one
+     * CounterfactualRca (and FeatureEncoder, whose embedding cache is
+     * the only shared mutable state) per worker. Defined in the .cc.
+     */
+    struct Engine;
+
     /** Per-trace RCA for every input (the clustering-off path). */
     PipelineResult analyzeIndividually(
         const std::vector<trace::Trace> &traces,
         const std::vector<int64_t> &slos) const;
+
+    /**
+     * Clustered analysis over a batch addressed by pointer, with
+     * malformed traces pre-marked (errors[i] non-empty): they get an
+     * error verdict, label -1, and never reach the RCA. dist must
+     * cover all of traces (malformed rows included, as provided by
+     * the caller of analyzeWithMatrix).
+     */
+    PipelineResult analyzeCore(
+        const std::vector<const trace::Trace *> &traces,
+        const std::vector<int64_t> &slos,
+        const distance::DistanceMatrix &dist,
+        const std::vector<std::string> &errors, Engine &engine) const;
 
     const SleuthGnn &model_;
     FeatureEncoder &encoder_;

@@ -2,6 +2,20 @@
 
 namespace sleuth::distance {
 
+namespace {
+
+/** Weighted-Jaccard row i of the packed matrix (pairs (i, j<i)). */
+void
+jaccardRow(const std::vector<WeightedSpanSet> &sets, size_t i,
+           std::vector<double> &d)
+{
+    double *row = d.data() + i * (i - 1) / 2;
+    for (size_t j = 0; j < i; ++j)
+        row[j] = jaccardDistance(sets[i], sets[j]);
+}
+
+} // namespace
+
 DistanceMatrix
 DistanceMatrix::compute(size_t n,
                         const std::function<double(size_t, size_t)> &dist)
@@ -14,15 +28,27 @@ DistanceMatrix::compute(size_t n,
 }
 
 DistanceMatrix
-DistanceMatrix::fromSpanSets(const std::vector<WeightedSpanSet> &sets)
+DistanceMatrix::fromSpanSets(const std::vector<WeightedSpanSet> &sets,
+                             util::ThreadPool *pool)
 {
     const size_t n = sets.size();
     DistanceMatrix m(n);
-    for (size_t i = 1; i < n; ++i) {
-        double *row = m.d_.data() + i * (i - 1) / 2;
-        for (size_t j = 0; j < i; ++j)
-            row[j] = jaccardDistance(sets[i], sets[j]);
+    if (n < 2)
+        return m;
+    if (!pool || pool->size() == 1) {
+        for (size_t i = 1; i < n; ++i)
+            jaccardRow(sets, i, m.d_);
+        return m;
     }
+    // Row i costs i merge passes, so contiguous row chunks would load
+    // the last worker quadratically. Pair cheap and expensive rows
+    // (k <-> n-1-k) so every contiguous index chunk carries ~equal
+    // work; each row writes a disjoint packed slice, so the matrix is
+    // identical for any thread count.
+    pool->parallelFor(n - 1, [&](size_t idx, size_t) {
+        size_t i = (idx % 2 == 0) ? 1 + idx / 2 : n - 1 - idx / 2;
+        jaccardRow(sets, i, m.d_);
+    });
     return m;
 }
 

@@ -20,6 +20,7 @@
 
 #include "distance/trace_distance.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sleuth::distance {
 
@@ -47,9 +48,15 @@ class DistanceMatrix
      * Pairwise weighted-Jaccard distances over pre-encoded span sets —
      * the default storm-batch path (one merge pass per pair, no oracle
      * indirection).
+     *
+     * @param pool optional worker pool; rows are computed in parallel
+     *        (each row i writes the disjoint packed slice i(i-1)/2 ..
+     *        i(i+1)/2, so the result is identical for any thread
+     *        count). nullptr = serial.
      */
     static DistanceMatrix fromSpanSets(
-        const std::vector<WeightedSpanSet> &sets);
+        const std::vector<WeightedSpanSet> &sets,
+        util::ThreadPool *pool = nullptr);
 
     /** Item count. */
     size_t size() const { return n_; }

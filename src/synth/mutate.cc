@@ -214,12 +214,14 @@ addServiceChains(AppConfig &app, int num_chains, int chain_len,
     int mid = std::max(1, max_depth / 2);
 
     for (int c = 0; c < num_chains; ++c) {
+        // depths covers only the pre-existing nodes; chain nodes
+        // appended by earlier iterations are not attachment points.
         std::vector<int> candidates;
-        for (size_t i = 0; i < f.nodes.size(); ++i)
+        for (size_t i = 0; i < depths.size(); ++i)
             if (depths[i] == mid)
                 candidates.push_back(static_cast<int>(i));
         if (candidates.empty())
-            for (size_t i = 0; i < f.nodes.size(); ++i)
+            for (size_t i = 0; i < depths.size(); ++i)
                 if (depths[i] == 1)
                     candidates.push_back(static_cast<int>(i));
         int parent = candidates[static_cast<size_t>(rng.uniformInt(

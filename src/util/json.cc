@@ -319,6 +319,33 @@ class Parser
         return Json(v);
     }
 
+    /** Consume 4 hex digits into *code; fail()s on malformed input. */
+    bool
+    hex4(unsigned *code)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("bad unicode escape");
+            return false;
+        }
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9')
+                v += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                v += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                v += static_cast<unsigned>(h - 'A' + 10);
+            else {
+                fail("bad unicode escape");
+                return false;
+            }
+        }
+        *code = v;
+        return true;
+    }
+
     std::string
     string()
     {
@@ -345,34 +372,53 @@ class Parser
                   case 'b': out.push_back('\b'); break;
                   case 'f': out.push_back('\f'); break;
                   case 'u': {
-                    if (pos_ + 4 > text_.size()) {
-                        fail("bad unicode escape");
-                        return out;
-                    }
                     unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = text_[pos_++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9')
-                            code += static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            code += static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F')
-                            code += static_cast<unsigned>(h - 'A' + 10);
-                        else {
-                            fail("bad unicode escape");
+                    if (!hex4(&code))
+                        return out;
+                    // UTF-16 surrogate pairs: a high surrogate must be
+                    // followed by an escaped low surrogate; the pair
+                    // combines into one supplementary code point
+                    // (emitting the halves separately would be invalid
+                    // CESU-8, not UTF-8). Lone surrogates of either
+                    // kind are parse errors.
+                    if (code >= 0xd800 && code <= 0xdbff) {
+                        if (pos_ + 2 > text_.size() ||
+                            text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            fail("lone high surrogate");
                             return out;
                         }
+                        pos_ += 2;
+                        unsigned low = 0;
+                        if (!hex4(&low))
+                            return out;
+                        if (low < 0xdc00 || low > 0xdfff) {
+                            fail("bad low surrogate");
+                            return out;
+                        }
+                        code = 0x10000 + ((code - 0xd800) << 10) +
+                               (low - 0xdc00);
+                    } else if (code >= 0xdc00 && code <= 0xdfff) {
+                        fail("lone low surrogate");
+                        return out;
                     }
-                    // Encode BMP code points as UTF-8.
+                    // Encode the code point as UTF-8 (1-4 bytes).
                     if (code < 0x80) {
                         out.push_back(static_cast<char>(code));
                     } else if (code < 0x800) {
                         out.push_back(static_cast<char>(0xc0 | (code >> 6)));
                         out.push_back(
                             static_cast<char>(0x80 | (code & 0x3f)));
-                    } else {
+                    } else if (code < 0x10000) {
                         out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((code >> 12) & 0x3f)));
                         out.push_back(static_cast<char>(
                             0x80 | ((code >> 6) & 0x3f)));
                         out.push_back(

@@ -1,0 +1,102 @@
+#include "thread_pool.h"
+
+#include "logging.h"
+
+namespace sleuth::util {
+
+size_t
+ThreadPool::resolveThreads(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    size_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t threads)
+    : threads_(resolveThreads(threads))
+{
+    // Worker 0 is the calling thread; only 1..threads_-1 are spawned.
+    workers_.reserve(threads_ - 1);
+    for (size_t w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerMain(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunk(const std::function<void(size_t, size_t)> &fn,
+                     size_t n, size_t worker, size_t threads)
+{
+    size_t begin = worker * n / threads;
+    size_t end = (worker + 1) * n / threads;
+    for (size_t i = begin; i < end; ++i)
+        fn(i, worker);
+}
+
+void
+ThreadPool::workerMain(size_t worker)
+{
+    uint64_t seen = 0;
+    while (true) {
+        const std::function<void(size_t, size_t)> *fn = nullptr;
+        size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ || job_generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = job_generation_;
+            fn = job_fn_;
+            n = job_n_;
+        }
+        runChunk(*fn, n, worker, threads_);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--job_pending_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_ == 1 || n == 1) {
+        // Inline fast path: no synchronization, the plain serial loop.
+        for (size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        SLEUTH_ASSERT(job_pending_ == 0,
+                      "parallelFor is not reentrant");
+        job_fn_ = &fn;
+        job_n_ = n;
+        job_pending_ = threads_ - 1;
+        ++job_generation_;
+    }
+    start_cv_.notify_all();
+    // The calling thread works its own chunk as worker 0.
+    runChunk(fn, n, /*worker=*/0, threads_);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job_pending_ == 0; });
+    job_fn_ = nullptr;
+}
+
+} // namespace sleuth::util

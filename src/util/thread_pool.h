@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * A deterministic fixed-size thread pool for data-parallel loops.
+ *
+ * The storm pipeline fans the same computation over many independent
+ * items (trace encodings, distance-matrix rows, per-cluster RCA). The
+ * pool's single primitive, parallelFor(), partitions the index range
+ * [0, n) into one contiguous static chunk per worker — no work
+ * stealing, no dynamic scheduling — so the item-to-worker assignment
+ * is a pure function of (n, worker count). Combined with callers that
+ * preallocate one output slot per item, every run produces bitwise
+ * identical results regardless of thread count or scheduling order
+ * (the determinism contract DESIGN.md §3.8 documents).
+ *
+ * The calling thread participates as worker 0; a pool of size 1 runs
+ * entirely inline and spawns no threads, so the serial path stays the
+ * plain loop it always was.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sleuth::util {
+
+/** Fixed-size pool executing static-partitioned parallel loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 = std::thread::hardware_concurrency
+     *        (itself clamped to at least 1)
+     */
+    explicit ThreadPool(size_t threads = 0);
+
+    /** Joins all workers (any in-flight parallelFor has completed). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (>= 1; includes the calling thread). */
+    size_t size() const { return threads_; }
+
+    /**
+     * Invoke fn(index, worker) for every index in [0, n), partitioned
+     * into size() contiguous chunks: worker w handles
+     * [w*n/size(), (w+1)*n/size()). Blocks until every index has run.
+     * `worker` in [0, size()) indexes per-worker scratch state. Not
+     * reentrant: fn must not call parallelFor on the same pool.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t, size_t)> &fn);
+
+    /** Resolve a requested thread count (0 = hardware concurrency). */
+    static size_t resolveThreads(size_t requested);
+
+  private:
+    void workerMain(size_t worker);
+
+    /** Chunk [begin, end) of [0, n) assigned to one worker. */
+    static void runChunk(const std::function<void(size_t, size_t)> &fn,
+                         size_t n, size_t worker, size_t threads);
+
+    size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    /** Generation counter: bumped once per parallelFor call. */
+    uint64_t job_generation_ = 0;
+    /** Workers still running the current generation. */
+    size_t job_pending_ = 0;
+    size_t job_n_ = 0;
+    const std::function<void(size_t, size_t)> *job_fn_ = nullptr;
+    bool shutdown_ = false;
+};
+
+} // namespace sleuth::util

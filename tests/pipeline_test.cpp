@@ -161,6 +161,147 @@ TEST(PipelineMechanics, DeterministicAcrossRuns)
         EXPECT_EQ(a.perTrace[i].services, b.perTrace[i].services);
 }
 
+TEST(PipelineMechanics, MalformedTraceInBatchIsSkippedNotFatal)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 10, 7);
+    // Inject two malformed traces mid-batch: an unresolved
+    // parentSpanId and a parent cycle. Before the fix either one
+    // aborted the whole batch inside TraceGraph::build.
+    trace::Trace orphan;
+    orphan.traceId = "orphan";
+    orphan.spans.push_back(
+        makeSpan("r", "", "frontend", "Handle", 0, 100));
+    orphan.spans.push_back(
+        makeSpan("x", "nosuchspan", "backend", "Get", 10, 60));
+    traces.insert(traces.begin() + 3, orphan);
+    trace::Trace cyclic;
+    cyclic.traceId = "cyclic";
+    cyclic.spans.push_back(
+        makeSpan("r", "", "frontend", "Handle", 0, 100));
+    cyclic.spans.push_back(makeSpan("a", "b", "backend", "Get", 5, 50));
+    cyclic.spans.push_back(makeSpan("b", "a", "backend", "Put", 6, 40));
+    traces.push_back(cyclic);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+    PipelineResult res = pipeline.analyze(traces, slos);
+
+    EXPECT_EQ(res.skippedTraces, 2u);
+    // The malformed traces carry error verdicts and no cluster.
+    EXPECT_FALSE(res.perTrace[3].error.empty());
+    EXPECT_NE(res.perTrace[3].error.find("parentSpanId"),
+              std::string::npos);
+    EXPECT_EQ(res.clusterLabels[3], -1);
+    EXPECT_TRUE(res.perTrace[3].services.empty());
+    EXPECT_FALSE(res.perTrace.back().error.empty());
+    EXPECT_EQ(res.clusterLabels.back(), -1);
+    // Every well-formed trace still gets its verdict.
+    for (size_t i = 0; i < traces.size(); ++i) {
+        if (i == 3 || i + 1 == traces.size())
+            continue;
+        ASSERT_TRUE(res.perTrace[i].error.empty()) << i;
+        ASSERT_FALSE(res.perTrace[i].services.empty()) << i;
+        EXPECT_EQ(res.perTrace[i].services[0], "backend");
+    }
+    // The distance matrix covered only the well-formed subset.
+    size_t m = traces.size() - 2;
+    EXPECT_EQ(res.distanceEvaluations, m * (m - 1) / 2);
+}
+
+TEST(PipelineMechanics, MalformedTraceSkippedOnIndividualPath)
+{
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 4, 8);
+    trace::Trace rootless;
+    rootless.traceId = "rootless";
+    rootless.spans.push_back(
+        makeSpan("a", "a", "backend", "Get", 0, 10));
+    traces.push_back(rootless);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.clustering = false;
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+    PipelineResult res = pipeline.analyze(traces, slos);
+    EXPECT_EQ(res.skippedTraces, 1u);
+    EXPECT_EQ(res.rcaInvocations, traces.size() - 1);
+    EXPECT_FALSE(res.perTrace.back().error.empty());
+    for (size_t i = 0; i + 1 < traces.size(); ++i)
+        EXPECT_TRUE(res.perTrace[i].error.empty()) << i;
+}
+
+namespace {
+
+/** Full structural equality of two pipeline results. */
+void
+expectSameResult(const PipelineResult &a, const PipelineResult &b)
+{
+    EXPECT_EQ(a.clusterLabels, b.clusterLabels);
+    EXPECT_EQ(a.numClusters, b.numClusters);
+    EXPECT_EQ(a.rcaInvocations, b.rcaInvocations);
+    EXPECT_EQ(a.distanceEvaluations, b.distanceEvaluations);
+    EXPECT_EQ(a.skippedTraces, b.skippedTraces);
+    ASSERT_EQ(a.perTrace.size(), b.perTrace.size());
+    for (size_t i = 0; i < a.perTrace.size(); ++i) {
+        EXPECT_EQ(a.perTrace[i].services, b.perTrace[i].services) << i;
+        EXPECT_EQ(a.perTrace[i].pods, b.perTrace[i].pods) << i;
+        EXPECT_EQ(a.perTrace[i].nodes, b.perTrace[i].nodes) << i;
+        EXPECT_EQ(a.perTrace[i].containers, b.perTrace[i].containers)
+            << i;
+        EXPECT_EQ(a.perTrace[i].iterations, b.perTrace[i].iterations)
+            << i;
+        EXPECT_EQ(a.perTrace[i].resolved, b.perTrace[i].resolved) << i;
+        EXPECT_EQ(a.perTrace[i].error, b.perTrace[i].error) << i;
+    }
+}
+
+} // namespace
+
+TEST(PipelineMechanics, ParallelAnalyzeIsBitwiseIdenticalToSerial)
+{
+    PipeFixture &f = pipeFixture();
+    // A mixed storm with noise, two failure modes, and one malformed
+    // trace, so representatives, the far-member guard, the individual
+    // fallback, and the skip path all execute.
+    std::vector<trace::Trace> traces = storm("backend", 9, 9);
+    std::vector<trace::Trace> other = storm("cache", 9, 10);
+    traces.insert(traces.end(), other.begin(), other.end());
+    trace::Trace bad;
+    bad.traceId = "bad";
+    bad.spans.push_back(
+        makeSpan("x", "missing", "backend", "Get", 0, 10));
+    traces.insert(traces.begin() + 5, bad);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    cfg.numThreads = 1;
+    SleuthPipeline serial(f.model, f.encoder, f.profile, cfg);
+    PipelineResult base = serial.analyze(traces, slos);
+    EXPECT_EQ(base.skippedTraces, 1u);
+
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        cfg.numThreads = threads;
+        SleuthPipeline parallel(f.model, f.encoder, f.profile, cfg);
+        PipelineResult res = parallel.analyze(traces, slos);
+        expectSameResult(base, res);
+        // The clustering-off path must be thread-count-invariant too.
+        PipelineConfig indiv = cfg;
+        indiv.clustering = false;
+        PipelineConfig indiv1 = indiv;
+        indiv1.numThreads = 1;
+        SleuthPipeline pi(f.model, f.encoder, f.profile, indiv);
+        SleuthPipeline pi1(f.model, f.encoder, f.profile, indiv1);
+        expectSameResult(pi1.analyze(traces, slos),
+                         pi.analyze(traces, slos));
+    }
+}
+
 TEST(PipelineMechanics, EmptyInput)
 {
     PipeFixture &f = pipeFixture();

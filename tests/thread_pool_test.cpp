@@ -1,0 +1,95 @@
+// Unit tests for util::ThreadPool: full index coverage, static
+// chunk/worker assignment, inline single-thread execution, and reuse
+// across successive parallelFor calls.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+using sleuth::util::ThreadPool;
+
+TEST(ThreadPool, ResolveThreads)
+{
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        const size_t n = 1000;
+        // One slot per index: disjoint writes, no synchronization
+        // needed; a double write would show as touched[i] != 1.
+        std::vector<int> touched(n, 0);
+        pool.parallelFor(n, [&](size_t i, size_t worker) {
+            ASSERT_LT(i, n);
+            ASSERT_LT(worker, threads);
+            ++touched[i];
+        });
+        EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0),
+                  static_cast<int>(n));
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(touched[i], 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, StaticPartitionIsContiguousPerWorker)
+{
+    ThreadPool pool(4);
+    const size_t n = 103;
+    std::vector<size_t> owner(n, 99);
+    pool.parallelFor(n, [&](size_t i, size_t worker) {
+        owner[i] = worker;
+    });
+    // Worker w owns exactly the contiguous block [w*n/4, (w+1)*n/4).
+    for (size_t w = 0; w < 4; ++w)
+        for (size_t i = w * n / 4; i < (w + 1) * n / 4; ++i)
+            EXPECT_EQ(owner[i], w) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroAndTinyRanges)
+{
+    ThreadPool pool(8);
+    int calls = 0;
+    std::atomic<int> atomic_calls{0};
+    pool.parallelFor(0, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    // n == 1 runs inline on the calling thread (worker 0).
+    pool.parallelFor(1, [&](size_t i, size_t worker) {
+        EXPECT_EQ(i, 0u);
+        EXPECT_EQ(worker, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+    // Fewer items than workers: every index still runs exactly once.
+    pool.parallelFor(3, [&](size_t, size_t) { ++atomic_calls; });
+    EXPECT_EQ(atomic_calls.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls)
+{
+    ThreadPool pool(4);
+    const size_t n = 64;
+    std::vector<long> acc(n, 0);
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(n, [&](size_t i, size_t) { acc[i] += i; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(acc[i], 50 * static_cast<long>(i));
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsInline)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(16, [&](size_t, size_t worker) {
+        EXPECT_EQ(worker, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}

@@ -44,6 +44,79 @@ TEST(Json, ParsesUnicodeEscapesToUtf8)
     EXPECT_EQ(v.asString(), "\xc3\xa9\xe4\xb8\xad");
 }
 
+TEST(Json, SurrogatePairsDecodeToUtf8)
+{
+    std::string err;
+    // U+1F600 GRINNING FACE -> one 4-byte sequence.
+    Json v = Json::parse(R"("\ud83d\ude00")", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "\xf0\x9f\x98\x80");
+    // Uppercase hex and surrounding text.
+    v = Json::parse(R"("a\uD83D\uDE00z")", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "a\xf0\x9f\x98\x80z");
+    // Highest code point U+10FFFF.
+    v = Json::parse(R"("\udbff\udfff")", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.asString(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Json, SurrogatePairRoundTripsThroughWriter)
+{
+    std::string err;
+    Json v = Json::parse(R"({"emoji":"\ud83d\ude00"})", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    // The writer emits the raw UTF-8 bytes; re-parsing them yields the
+    // same string, so parse(dump(x)) == x.
+    Json again = Json::parse(v.dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(again.at("emoji").asString(), "\xf0\x9f\x98\x80");
+    EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, LoneSurrogatesAreRejected)
+{
+    std::string err;
+    Json::parse(R"("\ud83d")", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse(R"("\ud83dx")", &err);
+    EXPECT_FALSE(err.empty());
+    // High surrogate followed by a non-surrogate escape.
+    Json::parse(R"("\ud83d\u0041")", &err);
+    EXPECT_FALSE(err.empty());
+    // Low surrogate with no preceding high surrogate.
+    Json::parse(R"("\ude00")", &err);
+    EXPECT_FALSE(err.empty());
+    // Two high surrogates in a row.
+    Json::parse(R"("\ud83d\ud83d")", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, ControlCharacterEscapesRoundTrip)
+{
+    // The writer escapes control characters as \u00XX; the parser must
+    // decode them back to the identical byte.
+    Json v(std::string("a\x01" "b\x1f"));
+    std::string err;
+    Json again = Json::parse(v.dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(again.asString(), "a\x01" "b\x1f");
+}
+
+TEST(Json, TrailingBackslashAtEofIsUnterminated)
+{
+    std::string err;
+    Json::parse("\"abc\\", &err);
+    EXPECT_NE(err.find("unterminated string"), std::string::npos)
+        << err;
+    Json::parse("\"\\", &err);
+    EXPECT_NE(err.find("unterminated string"), std::string::npos)
+        << err;
+    // A truncated \u escape at EOF must also error, not truncate.
+    Json::parse("\"\\u12", &err);
+    EXPECT_FALSE(err.empty());
+}
+
 TEST(Json, ReportsErrors)
 {
     std::string err;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: tools/run_sanitized_tests.sh [build-dir] [sanitizer]
+#   build-dir  defaults to <repo>/build-sanitize
+#   sanitizer  ON (ASan+UBSan, default) or THREAD (TSan). TSan is the
+#              opt-in job for exercising the thread-pool engine; it
+#              cannot be combined with ASan in one build.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+sanitizer="${2:-ON}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSLEUTH_SANITIZE="$sanitizer"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test run instead of
+# printing and continuing.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -12,8 +12,10 @@
 //             [--hidden H] --out MODEL.json
 //             Train the Sleuth GNN unsupervised and save it.
 //   analyze   --model MODEL.json --traces TRACES.json
-//             [--normal NORMAL.json]
-//             Run counterfactual RCA on every SLO-violating trace.
+//             [--normal NORMAL.json] [--threads N]
+//             Run counterfactual RCA on every SLO-violating trace
+//             (N worker threads; 0 = hardware concurrency; results
+//             are identical at any thread count).
 //
 // Trace files are JSON arrays of {"slo": us, "trace": {...}} records
 // (the "records" format) or bare arrays of traces (slo 0).
@@ -27,6 +29,7 @@
 
 #include "core/anomaly.h"
 #include "core/counterfactual.h"
+#include "core/pipeline.h"
 #include "core/trainer.h"
 #include "sim/simulator.h"
 #include "synth/codegen.h"
@@ -279,25 +282,44 @@ cmdAnalyze(const Args &args)
     }
     profile.finalize();
 
-    core::CounterfactualRca rca(model, encoder, profile);
-    size_t analyzed = 0;
+    // Per-trace RCA through the pipeline's clustering-off path: the
+    // verdicts match a direct CounterfactualRca loop exactly, but the
+    // batch fans out over --threads workers and malformed traces
+    // degrade to per-trace error verdicts instead of killing the run.
+    std::vector<trace::Trace> anomalous;
+    std::vector<int64_t> slos;
     for (const TraceRecord &r : records) {
         if (!core::SloDetector::isAnomalous(r.trace, r.sloUs))
             continue;
-        core::RcaResult verdict = rca.analyze(r.trace, r.sloUs);
-        ++analyzed;
+        anomalous.push_back(r.trace);
+        slos.push_back(r.sloUs);
+    }
+    core::PipelineConfig cfg;
+    cfg.clustering = false;
+    cfg.numThreads =
+        static_cast<size_t>(args.getInt("threads", 1));
+    core::SleuthPipeline pipeline(model, encoder, profile, cfg);
+    core::PipelineResult res = pipeline.analyze(anomalous, slos);
+    for (size_t i = 0; i < anomalous.size(); ++i) {
+        const core::RcaResult &verdict = res.perTrace[i];
         std::printf("%s (%lld us / SLO %lld us): ",
-                    r.trace.traceId.c_str(),
+                    anomalous[i].traceId.c_str(),
                     static_cast<long long>(
-                        r.trace.rootDurationUs()),
-                    static_cast<long long>(r.sloUs));
+                        anomalous[i].rootDurationUs()),
+                    static_cast<long long>(slos[i]));
+        if (!verdict.error.empty()) {
+            std::printf("(skipped: %s)\n", verdict.error.c_str());
+            continue;
+        }
         for (const std::string &svc : verdict.services)
             std::printf("%s ", svc.c_str());
         std::printf("%s\n",
                     verdict.resolved ? "" : "(unresolved)");
     }
-    std::printf("analyzed %zu anomalous traces of %zu\n", analyzed,
-                records.size());
+    std::printf("analyzed %zu anomalous traces of %zu"
+                " (%zu skipped as malformed)\n",
+                anomalous.size() - res.skippedTraces, records.size(),
+                res.skippedTraces);
     return 0;
 }
 
@@ -313,7 +335,7 @@ usage()
         "  train    --traces IN.json --out MODEL.json [--epochs E]\n"
         "           [--embed D] [--hidden H]\n"
         "  analyze  --model MODEL.json --traces IN.json\n"
-        "           [--normal NORMAL.json]\n");
+        "           [--normal NORMAL.json] [--threads N]\n");
 }
 
 } // namespace
