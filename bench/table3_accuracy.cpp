@@ -106,8 +106,15 @@ main()
         core::PipelineConfig pc;
         pc.hdbscan = {.minClusterSize = 4, .minSamples = 2,
                       .clusterSelectionEpsilon = 0.0};
-        row("sleuth-gin storm (jaccard clustering)",
-            eval::evaluatePipeline(gin, storm, pc));
+        // Service-scope truth plus the stricter container-scope
+        // comparison the scope-aware AnomalyQuery ground truth enables
+        // (predicted containers vs materially-perturbing containers).
+        eval::Scores container_scores;
+        eval::Scores jaccard_scores = eval::evaluatePipeline(
+            gin, storm, pc, nullptr, nullptr, &container_scores);
+        row("sleuth-gin storm (jaccard clustering)", jaccard_scores);
+        row("sleuth-gin storm (jaccard, container truth)",
+            container_scores);
 
         baselines::DeepTraLogDistance::Config dt_cfg;
         dt_cfg.epochs = 80;

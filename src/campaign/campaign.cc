@@ -1,0 +1,153 @@
+#include "campaign.h"
+
+#include "util/logging.h"
+
+namespace sleuth::campaign {
+
+bool
+ScenarioOutcome::allPassed() const
+{
+    for (const InvariantOutcome &c : checks)
+        if (!c.pass)
+            return false;
+    return true;
+}
+
+bool
+CampaignReport::allPassed() const
+{
+    for (const ScenarioOutcome &o : outcomes)
+        if (!o.allPassed())
+            return false;
+    return true;
+}
+
+size_t
+CampaignReport::checksRun() const
+{
+    size_t n = 0;
+    for (const ScenarioOutcome &o : outcomes)
+        n += o.checks.size();
+    return n;
+}
+
+size_t
+CampaignReport::failures() const
+{
+    size_t n = 0;
+    for (const ScenarioOutcome &o : outcomes)
+        for (const InvariantOutcome &c : o.checks)
+            if (!c.pass)
+                ++n;
+    return n;
+}
+
+size_t
+CampaignReport::degenerateScenarios() const
+{
+    size_t n = 0;
+    for (const ScenarioOutcome &o : outcomes)
+        if (o.degenerate)
+            ++n;
+    return n;
+}
+
+std::map<std::string, std::pair<size_t, size_t>>
+CampaignReport::perInvariant() const
+{
+    std::map<std::string, std::pair<size_t, size_t>> counts;
+    for (const ScenarioOutcome &o : outcomes) {
+        for (const InvariantOutcome &c : o.checks) {
+            auto &[passed, failed] = counts[c.invariant];
+            (c.pass ? passed : failed) += 1;
+        }
+    }
+    return counts;
+}
+
+util::Json
+CampaignReport::benchJson(double elapsed_seconds) const
+{
+    auto row = [](const std::string &metric, double value,
+                  const std::string &unit) {
+        util::Json r = util::Json::object();
+        r.set("metric", metric);
+        r.set("value", value);
+        r.set("unit", unit);
+        return r;
+    };
+    util::Json rows = util::Json::array();
+    rows.push(row("campaign_scenarios",
+                  static_cast<double>(outcomes.size()), "count"));
+    rows.push(row("campaign_checks",
+                  static_cast<double>(checksRun()), "count"));
+    rows.push(row("campaign_failures",
+                  static_cast<double>(failures()), "count"));
+    rows.push(row("campaign_degenerate",
+                  static_cast<double>(degenerateScenarios()),
+                  "count"));
+    rows.push(row("campaign_elapsed", elapsed_seconds, "s"));
+    if (!outcomes.empty())
+        rows.push(row("campaign_scenario_mean",
+                      elapsed_seconds /
+                          static_cast<double>(outcomes.size()),
+                      "s"));
+    return rows;
+}
+
+CampaignReport
+runCampaign(const CampaignParams &params)
+{
+    CampaignReport report;
+    report.params = params;
+    util::Rng rng(params.seed);
+    for (size_t s = 0; s < params.scenarios; ++s) {
+        util::Rng scenario_rng = rng.fork(s);
+        ScenarioOutcome outcome;
+        outcome.scenario = drawScenario(scenario_rng);
+        std::unique_ptr<ScenarioRun> run =
+            buildScenario(outcome.scenario);
+        if (run->degenerate) {
+            outcome.degenerate = true;
+            outcome.degenerateReason = run->degenerateReason;
+            report.outcomes.push_back(std::move(outcome));
+            continue;
+        }
+        CheckContext ctx{params.mutation};
+        for (const Invariant &inv : invariantRegistry()) {
+            InvariantResult r = inv.check(*run, ctx);
+            outcome.checks.push_back(
+                {inv.name, r.pass, r.detail});
+            if (r.pass)
+                continue;
+            util::warn("campaign: scenario ", s, " (seed ",
+                       outcome.scenario.seed, ") failed ", inv.name,
+                       ": ", r.detail);
+            if (!params.shrink)
+                continue;
+            ShrinkStats stats;
+            ReproCase repro;
+            repro.invariant = inv.name;
+            repro.mutation = params.mutation;
+            repro.scenario =
+                shrinkScenario(outcome.scenario, inv.name,
+                               params.mutation, params.maxShrinkRuns,
+                               &stats);
+            repro.note = r.detail + " (shrunk in " +
+                         std::to_string(stats.runs) + " runs, " +
+                         std::to_string(stats.accepted) +
+                         " edits accepted)";
+            report.repros.push_back(std::move(repro));
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+InvariantResult
+replayCase(const ReproCase &c)
+{
+    return runInvariantOnScenario(c.scenario, c.invariant, c.mutation);
+}
+
+} // namespace sleuth::campaign

@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * The seeded chaos-campaign engine. A campaign draws N randomized
+ * scenarios from one master seed, materializes each into an end-to-end
+ * incident (application → chaos plan → storm → fitted pipeline), and
+ * checks every registered metamorphic invariant. Failing scenarios are
+ * shrunk to minimal repro cases. Identical (seed, scenarios) inputs
+ * replay identical campaigns on every platform the simulator is
+ * deterministic on.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/shrink.h"
+
+namespace sleuth::campaign {
+
+/** Campaign knobs. */
+struct CampaignParams
+{
+    /** Master seed; scenario s derives from fork(s). */
+    uint64_t seed = 1;
+    /** Scenarios to draw and check. */
+    size_t scenarios = 20;
+    /**
+     * Test-only mutation injected into every invariant check (see
+     * CheckContext); empty in production campaigns.
+     */
+    std::string mutation;
+    /** Shrink failing scenarios to minimal repros. */
+    bool shrink = true;
+    /** Per-failure shrink budget (scenario re-executions). */
+    size_t maxShrinkRuns = 140;
+};
+
+/** One invariant's outcome on one scenario. */
+struct InvariantOutcome
+{
+    std::string invariant;
+    bool pass = true;
+    std::string detail;
+};
+
+/** One scenario's outcomes. */
+struct ScenarioOutcome
+{
+    Scenario scenario;
+    /** True when the scenario produced no storm (checks skipped). */
+    bool degenerate = false;
+    std::string degenerateReason;
+    std::vector<InvariantOutcome> checks;
+
+    /** True when every executed check passed. */
+    bool allPassed() const;
+};
+
+/** Aggregated campaign result. */
+struct CampaignReport
+{
+    CampaignParams params;
+    std::vector<ScenarioOutcome> outcomes;
+    /** Shrunk repros, one per failing (scenario, invariant) pair. */
+    std::vector<ReproCase> repros;
+
+    /** True when every scenario passed every invariant. */
+    bool allPassed() const;
+    /** Total invariant checks executed. */
+    size_t checksRun() const;
+    /** Total failing checks. */
+    size_t failures() const;
+    /** Scenarios skipped as degenerate. */
+    size_t degenerateScenarios() const;
+    /** invariant name -> (pass count, fail count). */
+    std::map<std::string, std::pair<size_t, size_t>>
+    perInvariant() const;
+
+    /**
+     * BENCH-format rows ({"metric", "value", "unit"}) summarizing the
+     * campaign, matching the perf-suite emission convention.
+     *
+     * @param elapsed_seconds wall-clock time measured by the caller
+     */
+    util::Json benchJson(double elapsed_seconds) const;
+};
+
+/** Run a campaign. */
+CampaignReport runCampaign(const CampaignParams &params);
+
+/**
+ * Re-execute a repro case: build its scenario and check its invariant
+ * under its mutation. Returns the invariant's result (the caller
+ * compares against the case's `expect`).
+ */
+InvariantResult replayCase(const ReproCase &c);
+
+} // namespace sleuth::campaign

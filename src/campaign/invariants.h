@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * The campaign's metamorphic-invariant registry. Every invariant is a
+ * named predicate over a materialized ScenarioRun: it re-analyzes the
+ * scenario's incident storm under some transformation (more threads, a
+ * permuted batch, a serialize→parse round trip, injected malformed
+ * spans, ...) and checks that the pipeline's answer is preserved — or
+ * that an absolute property (accuracy floor, baseline differential)
+ * holds. Invariants must be deterministic functions of the run: the
+ * campaign replays failing cases bit-for-bit.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+
+namespace sleuth::campaign {
+
+/** Outcome of one invariant check. */
+struct InvariantResult
+{
+    bool pass = true;
+    /** Human-readable failure description (empty on pass). */
+    std::string detail;
+};
+
+/**
+ * Test-only fault injection: a named mutation deliberately breaking
+ * one invariant so the shrink → serialize → replay loop can be
+ * exercised end-to-end (the campaign_test mutation smoke check).
+ * Production campaigns run with an empty mutation.
+ */
+struct CheckContext
+{
+    std::string mutation;
+};
+
+/** One registered invariant. */
+struct Invariant
+{
+    std::string name;
+    /** One-line description shown by campaign_run --list. */
+    std::string description;
+    std::function<InvariantResult(const ScenarioRun &,
+                                  const CheckContext &)>
+        check;
+};
+
+/** The registry (construct-on-first-use; order is the check order). */
+const std::vector<Invariant> &invariantRegistry();
+
+/** Look up an invariant by name; fatal() when unknown. */
+const Invariant &findInvariant(const std::string &name);
+
+/** Mutation names understood by CheckContext (for validation). */
+const std::vector<std::string> &knownMutations();
+
+} // namespace sleuth::campaign

@@ -1,0 +1,341 @@
+#include "scenario.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "util/logging.h"
+
+namespace sleuth::campaign {
+
+namespace {
+
+const char *
+scopeName(chaos::FaultScope s)
+{
+    return chaos::toString(s);
+}
+
+chaos::FaultScope
+scopeFromString(const std::string &s)
+{
+    if (s == "container")
+        return chaos::FaultScope::Container;
+    if (s == "pod")
+        return chaos::FaultScope::Pod;
+    if (s == "node")
+        return chaos::FaultScope::Node;
+    util::fatal("unknown fault scope '", s, "'");
+}
+
+util::Json
+indicesToJson(const std::vector<size_t> &xs)
+{
+    util::Json arr = util::Json::array();
+    for (size_t x : xs)
+        arr.push(util::Json(x));
+    return arr;
+}
+
+std::vector<size_t>
+indicesFromJson(const util::Json &doc)
+{
+    std::vector<size_t> out;
+    for (const util::Json &x : doc.asArray())
+        out.push_back(static_cast<size_t>(x.asInt()));
+    return out;
+}
+
+} // namespace
+
+core::PipelineConfig
+Scenario::pipelineConfig() const
+{
+    core::PipelineConfig cfg;
+    cfg.clustering = clustering;
+    cfg.algorithm = algorithm;
+    cfg.hdbscan = {static_cast<size_t>(minClusterSize),
+                   static_cast<size_t>(minSamples),
+                   clusterSelectionEpsilon};
+    cfg.dbscan = {dbscanEps, static_cast<size_t>(dbscanMinPts)};
+    cfg.maxRepresentativeDistance = maxRepresentativeDistance;
+    cfg.numThreads = 1;
+    return cfg;
+}
+
+bool
+Scenario::operator==(const Scenario &other) const
+{
+    return seed == other.seed && numRpcs == other.numRpcs &&
+           clusterNodes == other.clusterNodes &&
+           trainTraces == other.trainTraces &&
+           trainEpochs == other.trainEpochs &&
+           faultCount == other.faultCount &&
+           faultScope == other.faultScope &&
+           numQueries == other.numQueries &&
+           clustering == other.clustering &&
+           algorithm == other.algorithm &&
+           minClusterSize == other.minClusterSize &&
+           minSamples == other.minSamples &&
+           clusterSelectionEpsilon == other.clusterSelectionEpsilon &&
+           dbscanEps == other.dbscanEps &&
+           dbscanMinPts == other.dbscanMinPts &&
+           maxRepresentativeDistance ==
+               other.maxRepresentativeDistance &&
+           keptTraces == other.keptTraces &&
+           droppedFaults == other.droppedFaults;
+}
+
+Scenario
+drawScenario(util::Rng &rng)
+{
+    Scenario s;
+    s.seed = static_cast<uint64_t>(rng.uniformInt(1, 1 << 30));
+    // Small tiers keep a 20-scenario campaign inside tier-1 budgets;
+    // the nightly mode sweeps more seeds rather than bigger apps.
+    static const int kRpcTiers[] = {12, 16, 24, 32};
+    s.numRpcs = kRpcTiers[rng.uniformInt(0, 3)];
+    s.clusterNodes = static_cast<int>(rng.uniformInt(4, 10));
+    s.trainTraces = static_cast<size_t>(rng.uniformInt(48, 80));
+    s.trainEpochs = static_cast<int>(rng.uniformInt(2, 3));
+    s.faultCount = static_cast<size_t>(rng.uniformInt(1, 3));
+    switch (rng.uniformInt(0, 2)) {
+      case 0: s.faultScope = chaos::FaultScope::Container; break;
+      case 1: s.faultScope = chaos::FaultScope::Pod; break;
+      default: s.faultScope = chaos::FaultScope::Node; break;
+    }
+    s.numQueries = static_cast<size_t>(rng.uniformInt(8, 16));
+    s.clustering = !rng.bernoulli(0.1);
+    s.algorithm = rng.bernoulli(0.25)
+        ? core::PipelineConfig::Algorithm::Dbscan
+        : core::PipelineConfig::Algorithm::Hdbscan;
+    s.minClusterSize = static_cast<int>(rng.uniformInt(3, 5));
+    s.minSamples = 2;
+    s.clusterSelectionEpsilon = rng.bernoulli(0.3) ? 0.05 : 0.0;
+    s.dbscanEps = rng.uniform(0.3, 0.5);
+    s.dbscanMinPts = 3;
+    s.maxRepresentativeDistance = rng.bernoulli(0.2) ? 0.0 : 0.6;
+    return s;
+}
+
+util::Json
+toJson(const Scenario &s)
+{
+    util::Json doc = util::Json::object();
+    doc.set("seed", s.seed);
+    doc.set("numRpcs", s.numRpcs);
+    doc.set("clusterNodes", s.clusterNodes);
+    doc.set("trainTraces", s.trainTraces);
+    doc.set("trainEpochs", s.trainEpochs);
+    doc.set("faultCount", s.faultCount);
+    doc.set("faultScope", scopeName(s.faultScope));
+    doc.set("numQueries", s.numQueries);
+    doc.set("clustering", s.clustering);
+    doc.set("algorithm",
+            s.algorithm == core::PipelineConfig::Algorithm::Hdbscan
+                ? "hdbscan"
+                : "dbscan");
+    doc.set("minClusterSize", s.minClusterSize);
+    doc.set("minSamples", s.minSamples);
+    doc.set("clusterSelectionEpsilon", s.clusterSelectionEpsilon);
+    doc.set("dbscanEps", s.dbscanEps);
+    doc.set("dbscanMinPts", s.dbscanMinPts);
+    doc.set("maxRepresentativeDistance", s.maxRepresentativeDistance);
+    if (!s.keptTraces.empty())
+        doc.set("keptTraces", indicesToJson(s.keptTraces));
+    if (!s.droppedFaults.empty())
+        doc.set("droppedFaults", indicesToJson(s.droppedFaults));
+    return doc;
+}
+
+Scenario
+scenarioFromJson(const util::Json &doc)
+{
+    Scenario s;
+    s.seed = static_cast<uint64_t>(doc.at("seed").asInt());
+    s.numRpcs = static_cast<int>(doc.at("numRpcs").asInt());
+    s.clusterNodes = static_cast<int>(doc.at("clusterNodes").asInt());
+    s.trainTraces = static_cast<size_t>(doc.at("trainTraces").asInt());
+    s.trainEpochs = static_cast<int>(doc.at("trainEpochs").asInt());
+    s.faultCount = static_cast<size_t>(doc.at("faultCount").asInt());
+    s.faultScope = scopeFromString(doc.at("faultScope").asString());
+    s.numQueries = static_cast<size_t>(doc.at("numQueries").asInt());
+    s.clustering = doc.at("clustering").asBool();
+    const std::string &algo = doc.at("algorithm").asString();
+    if (algo == "hdbscan")
+        s.algorithm = core::PipelineConfig::Algorithm::Hdbscan;
+    else if (algo == "dbscan")
+        s.algorithm = core::PipelineConfig::Algorithm::Dbscan;
+    else
+        util::fatal("unknown algorithm '", algo, "'");
+    s.minClusterSize =
+        static_cast<int>(doc.at("minClusterSize").asInt());
+    s.minSamples = static_cast<int>(doc.at("minSamples").asInt());
+    s.clusterSelectionEpsilon =
+        doc.at("clusterSelectionEpsilon").asNumber();
+    s.dbscanEps = doc.at("dbscanEps").asNumber();
+    s.dbscanMinPts = static_cast<int>(doc.at("dbscanMinPts").asInt());
+    s.maxRepresentativeDistance =
+        doc.at("maxRepresentativeDistance").asNumber();
+    if (doc.has("keptTraces"))
+        s.keptTraces = indicesFromJson(doc.at("keptTraces"));
+    if (doc.has("droppedFaults"))
+        s.droppedFaults = indicesFromJson(doc.at("droppedFaults"));
+    return s;
+}
+
+core::PipelineResult
+ScenarioRun::analyze(const core::PipelineConfig &config) const
+{
+    return analyzeBatch(config, traces, slos);
+}
+
+core::PipelineResult
+ScenarioRun::analyzeBatch(
+    const core::PipelineConfig &config,
+    const std::vector<trace::Trace> &batch,
+    const std::vector<int64_t> &batch_slos) const
+{
+    core::SleuthPipeline pipeline(adapter->model(), adapter->encoder(),
+                                  adapter->profile(), config);
+    return pipeline.analyze(batch, batch_slos);
+}
+
+std::set<std::string>
+ScenarioRun::serviceNames() const
+{
+    std::set<std::string> names;
+    for (const synth::ServiceConfig &svc : app.services)
+        names.insert(svc.name);
+    return names;
+}
+
+std::unique_ptr<ScenarioRun>
+buildScenario(const Scenario &s)
+{
+    auto run = std::make_unique<ScenarioRun>();
+    run->scenario = s;
+    run->app = synth::generateApp(
+        synth::syntheticParams(s.numRpcs, s.seed));
+    run->cluster = std::make_unique<sim::ClusterModel>(
+        run->app, s.clusterNodes, s.seed ^ 0xc1u);
+    sim::Simulator::calibrateSlos(run->app, *run->cluster, 120, 99.0,
+                                  s.seed ^ 0xca1u);
+
+    // Mostly-healthy training corpus with a faulty slice so the model
+    // sees abnormal durations (mirrors eval::prepareExperiment; the
+    // labels are never used).
+    util::Rng rng(s.seed);
+    size_t faulty_count = s.trainTraces / 7;
+    sim::Simulator healthy(run->app, *run->cluster,
+                           {.seed = s.seed ^ 0x41ee7u});
+    run->trainCorpus.reserve(s.trainTraces);
+    for (size_t i = faulty_count; i < s.trainTraces; ++i)
+        run->trainCorpus.push_back(healthy.simulateOne().trace);
+    if (faulty_count > 0) {
+        util::Rng train_rng = rng.fork(0x7a11u);
+        chaos::FaultPlan train_plan = chaos::planFixedFaults(
+            run->cluster->allInstances(), 1,
+            chaos::FaultScope::Container, {}, train_rng);
+        sim::Simulator faulty(run->app, *run->cluster,
+                              {.seed = s.seed ^ 0x8f00u}, train_plan);
+        for (size_t i = 0; i < faulty_count; ++i)
+            run->trainCorpus.push_back(faulty.simulateOne().trace);
+    }
+
+    eval::SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.gnn.seed = s.seed ^ 0x6e5eedu;
+    cfg.train.epochs = s.trainEpochs;
+    cfg.train.seed = s.seed ^ 0x7a41u;
+    run->adapter = std::make_unique<eval::SleuthAdapter>(cfg);
+    run->adapter->fit(run->trainCorpus);
+
+    // Chaos plan: exactly faultCount faults at the scenario's scope,
+    // minus whatever the shrinker dropped.
+    util::Rng plan_rng = rng.fork(0xfau);
+    size_t targets = 0;
+    {
+        std::set<std::string> uniq;
+        for (const chaos::Instance &i :
+             run->cluster->allInstances()) {
+            switch (s.faultScope) {
+              case chaos::FaultScope::Container:
+                uniq.insert(i.container);
+                break;
+              case chaos::FaultScope::Pod: uniq.insert(i.pod); break;
+              case chaos::FaultScope::Node: uniq.insert(i.node); break;
+            }
+        }
+        targets = uniq.size();
+    }
+    size_t count = std::min(s.faultCount, targets);
+    run->plan = chaos::planFixedFaults(run->cluster->allInstances(),
+                                       count, s.faultScope, {},
+                                       plan_rng);
+    std::vector<size_t> dropped = s.droppedFaults;
+    std::sort(dropped.begin(), dropped.end(),
+              std::greater<size_t>());
+    dropped.erase(std::unique(dropped.begin(), dropped.end()),
+                  dropped.end());
+    for (size_t idx : dropped)
+        if (idx < run->plan.faults.size())
+            run->plan.faults.erase(
+                run->plan.faults.begin() +
+                static_cast<long>(idx));
+
+    // Harvest the storm: SLO-violating traces the plan materially
+    // touched, with scope-aware ground truth.
+    sim::Simulator storm(run->app, *run->cluster,
+                         {.seed = s.seed ^ 0x57a2u}, run->plan);
+    std::vector<trace::Trace> harvested;
+    std::vector<int64_t> harvested_slos;
+    std::vector<std::set<std::string>> harvested_truth;
+    std::vector<std::set<std::string>> harvested_containers;
+    size_t budget = s.numQueries * 80 + 200;
+    for (size_t attempt = 0;
+         attempt < budget && harvested.size() < s.numQueries;
+         ++attempt) {
+        sim::SimResult r = storm.simulateOne();
+        int64_t slo =
+            run->app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+        if (!r.faultTouched() || !r.violatesSlo(slo))
+            continue;
+        harvested.push_back(std::move(r.trace));
+        harvested_slos.push_back(slo);
+        harvested_truth.push_back(std::move(r.rootCauseServices));
+        harvested_containers.push_back(
+            std::move(r.rootCauseContainers));
+    }
+
+    // Apply the shrinker's trace mask.
+    std::vector<size_t> kept = s.keptTraces;
+    if (kept.empty()) {
+        kept.resize(harvested.size());
+        for (size_t i = 0; i < harvested.size(); ++i)
+            kept[i] = i;
+    } else {
+        std::sort(kept.begin(), kept.end());
+        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    }
+    for (size_t idx : kept) {
+        if (idx >= harvested.size())
+            continue;
+        run->traces.push_back(std::move(harvested[idx]));
+        run->slos.push_back(harvested_slos[idx]);
+        run->truthServices.push_back(std::move(harvested_truth[idx]));
+        run->truthContainers.push_back(
+            std::move(harvested_containers[idx]));
+    }
+
+    if (run->traces.empty()) {
+        run->degenerate = true;
+        run->degenerateReason = run->plan.faults.empty()
+            ? "no faults left in the plan"
+            : "no anomalous traces harvested";
+    }
+    return run;
+}
+
+} // namespace sleuth::campaign

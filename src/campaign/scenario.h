@@ -1,0 +1,140 @@
+#pragma once
+
+/**
+ * @file
+ * Campaign scenarios: the generative parameters of one randomized
+ * end-to-end incident (application, deployment, chaos fault plan,
+ * pipeline configuration) plus the shrink masks the failing-scenario
+ * minimizer edits. A Scenario is pure data — fully serializable to
+ * JSON and deterministically expandable into a ScenarioRun — so a
+ * failing case can be shipped as a self-contained repro file and
+ * re-executed bit-for-bit by the campaign_replay target.
+ */
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "core/pipeline.h"
+#include "eval/harness.h"
+#include "sim/cluster_model.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace sleuth::campaign {
+
+/** Generative parameters of one campaign scenario. */
+struct Scenario
+{
+    /** Master seed; every stochastic stage forks from it. */
+    uint64_t seed = 1;
+
+    // --- Application + deployment ---
+    /** Synthetic application size (total RPCs). */
+    int numRpcs = 24;
+    /** Cluster nodes the replicas are placed on. */
+    int clusterNodes = 8;
+
+    // --- Training ---
+    /** Fault-free + faulty traces the model is fitted on. */
+    size_t trainTraces = 64;
+    /** Training epochs (small: campaign scenarios must stay cheap). */
+    int trainEpochs = 3;
+
+    // --- Chaos + storm ---
+    /** Concurrent faults injected by the plan. */
+    size_t faultCount = 2;
+    /** Blast radius of every fault in the plan. */
+    chaos::FaultScope faultScope = chaos::FaultScope::Container;
+    /** Anomalous traces harvested for the incident storm. */
+    size_t numQueries = 12;
+
+    // --- Pipeline configuration under test ---
+    bool clustering = true;
+    core::PipelineConfig::Algorithm algorithm =
+        core::PipelineConfig::Algorithm::Hdbscan;
+    int minClusterSize = 4;
+    int minSamples = 2;
+    double clusterSelectionEpsilon = 0.0;
+    double dbscanEps = 0.4;
+    int dbscanMinPts = 3;
+    double maxRepresentativeDistance = 0.6;
+
+    // --- Shrink masks (empty = untouched) ---
+    /** Harvested-trace indices kept by the shrinker (empty = all). */
+    std::vector<size_t> keptTraces;
+    /** Planned-fault indices dropped by the shrinker. */
+    std::vector<size_t> droppedFaults;
+
+    /** The PipelineConfig this scenario runs under. */
+    core::PipelineConfig pipelineConfig() const;
+
+    /** Structural equality (used by serialization tests). */
+    bool operator==(const Scenario &other) const;
+};
+
+/** Draw a randomized scenario from a seeded stream. */
+Scenario drawScenario(util::Rng &rng);
+
+/** Serialize a scenario. */
+util::Json toJson(const Scenario &s);
+
+/** Deserialize a scenario; fatal() on malformed input. */
+Scenario scenarioFromJson(const util::Json &doc);
+
+/**
+ * A fully materialized scenario: the simulated incident storm, its
+ * scope-aware ground truth, and a fitted Sleuth adapter, ready for
+ * invariant checks. Expensive to build (simulation + training), cheap
+ * to analyze repeatedly.
+ */
+struct ScenarioRun
+{
+    Scenario scenario;
+    synth::AppConfig app;
+    std::unique_ptr<sim::ClusterModel> cluster;
+    chaos::FaultPlan plan;
+    std::vector<trace::Trace> trainCorpus;
+
+    /** The storm: anomalous traces with per-trace SLOs and truth. */
+    std::vector<trace::Trace> traces;
+    std::vector<int64_t> slos;
+    std::vector<std::set<std::string>> truthServices;
+    std::vector<std::set<std::string>> truthContainers;
+
+    /** Fitted model + encoder + profile behind the pipeline. */
+    std::unique_ptr<eval::SleuthAdapter> adapter;
+
+    /**
+     * True when the scenario could not produce a single anomalous
+     * trace (e.g. the shrinker dropped every fault); invariants are
+     * vacuous then and the campaign skips the scenario.
+     */
+    bool degenerate = false;
+    std::string degenerateReason;
+
+    /** Run the pipeline over the storm with an explicit config. */
+    core::PipelineResult
+    analyze(const core::PipelineConfig &config) const;
+
+    /** As analyze(), over a caller-supplied batch (same model). */
+    core::PipelineResult
+    analyzeBatch(const core::PipelineConfig &config,
+                 const std::vector<trace::Trace> &batch,
+                 const std::vector<int64_t> &batch_slos) const;
+
+    /** Service names of the application (prediction sanity checks). */
+    std::set<std::string> serviceNames() const;
+};
+
+/**
+ * Expand a scenario deterministically: generate the application,
+ * place it, calibrate SLOs, fit the adapter on a mostly-healthy
+ * corpus, plan the faults, and harvest the storm. Identical scenarios
+ * always produce identical runs.
+ */
+std::unique_ptr<ScenarioRun> buildScenario(const Scenario &s);
+
+} // namespace sleuth::campaign

@@ -1,0 +1,256 @@
+#include "shrink.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sleuth::campaign {
+
+util::Json
+toJson(const ReproCase &c)
+{
+    util::Json doc = util::Json::object();
+    doc.set("version", c.version);
+    doc.set("invariant", c.invariant);
+    if (!c.mutation.empty())
+        doc.set("mutation", c.mutation);
+    doc.set("expect", c.expect);
+    doc.set("scenario", toJson(c.scenario));
+    if (!c.note.empty())
+        doc.set("note", c.note);
+    return doc;
+}
+
+ReproCase
+reproFromJson(const util::Json &doc)
+{
+    ReproCase c;
+    c.version = static_cast<int>(doc.at("version").asInt());
+    if (c.version != 1)
+        util::fatal("unsupported repro version ", c.version);
+    c.invariant = doc.at("invariant").asString();
+    findInvariant(c.invariant); // validate early, fatal() when unknown
+    if (doc.has("mutation"))
+        c.mutation = doc.at("mutation").asString();
+    c.expect = doc.has("expect") ? doc.at("expect").asString() : "fail";
+    if (c.expect != "pass" && c.expect != "fail")
+        util::fatal("repro expect must be pass or fail, got '",
+                    c.expect, "'");
+    c.scenario = scenarioFromJson(doc.at("scenario"));
+    if (doc.has("note"))
+        c.note = doc.at("note").asString();
+    return c;
+}
+
+InvariantResult
+runInvariantOnScenario(const Scenario &s, const std::string &invariant,
+                       const std::string &mutation)
+{
+    const Invariant &inv = findInvariant(invariant);
+    std::unique_ptr<ScenarioRun> run = buildScenario(s);
+    if (run->degenerate)
+        return {true, "degenerate: " + run->degenerateReason};
+    return inv.check(*run, CheckContext{mutation});
+}
+
+namespace {
+
+/**
+ * Shared shrink state: the current (still-failing) scenario plus the
+ * run budget. accept() commits a candidate edit when the invariant
+ * still fails on it.
+ */
+struct Shrinker
+{
+    Scenario current;
+    std::string invariant;
+    std::string mutation;
+    size_t max_runs;
+    ShrinkStats stats;
+
+    bool
+    budgetLeft() const
+    {
+        return stats.runs < max_runs;
+    }
+
+    /** True (and commits) when the candidate still fails. */
+    bool
+    accept(const Scenario &candidate)
+    {
+        if (!budgetLeft())
+            return false;
+        ++stats.runs;
+        InvariantResult r =
+            runInvariantOnScenario(candidate, invariant, mutation);
+        if (r.pass)
+            return false;
+        current = candidate;
+        ++stats.accepted;
+        return true;
+    }
+};
+
+/** Drop planned faults one at a time (highest leverage first). */
+bool
+shrinkFaults(Shrinker &sh)
+{
+    bool progress = false;
+    for (size_t idx = 0; idx < sh.current.faultCount; ++idx) {
+        const std::vector<size_t> &dropped = sh.current.droppedFaults;
+        if (std::find(dropped.begin(), dropped.end(), idx) !=
+            dropped.end())
+            continue;
+        Scenario candidate = sh.current;
+        candidate.droppedFaults.push_back(idx);
+        progress |= sh.accept(candidate);
+    }
+    return progress;
+}
+
+/** Shrink the generative size knobs toward their floors. */
+bool
+shrinkSizes(Shrinker &sh)
+{
+    bool progress = false;
+    static const int kRpcTiers[] = {12, 16, 24, 32};
+    for (int tier : kRpcTiers) {
+        if (tier >= sh.current.numRpcs)
+            break;
+        Scenario candidate = sh.current;
+        candidate.numRpcs = tier;
+        // The harvested storm is regenerated from scratch for a new
+        // application; the old trace mask is meaningless.
+        candidate.keptTraces.clear();
+        if (sh.accept(candidate)) {
+            progress = true;
+            break;
+        }
+    }
+    struct SizeEdit
+    {
+        size_t Scenario::*field;
+        size_t floor;
+        bool clearsMask;
+    };
+    static const SizeEdit kSizeEdits[] = {
+        {&Scenario::trainTraces, 48, false},
+        {&Scenario::numQueries, 4, true},
+    };
+    for (const SizeEdit &edit : kSizeEdits) {
+        while (sh.current.*edit.field > edit.floor &&
+               sh.budgetLeft()) {
+            Scenario candidate = sh.current;
+            size_t next = std::max(edit.floor,
+                                   (sh.current.*edit.field) / 2);
+            candidate.*edit.field = next;
+            if (edit.clearsMask)
+                candidate.keptTraces.clear();
+            if (!sh.accept(candidate))
+                break;
+            progress = true;
+        }
+    }
+    return progress;
+}
+
+/** Bisect the remaining config fields toward scenario defaults. */
+bool
+shrinkConfig(Shrinker &sh)
+{
+    bool progress = false;
+    const Scenario defaults;
+    auto tryEdit = [&](auto field, auto value) {
+        if (sh.current.*field == value)
+            return;
+        Scenario candidate = sh.current;
+        candidate.*field = value;
+        progress |= sh.accept(candidate);
+    };
+    tryEdit(&Scenario::clusterNodes, defaults.clusterNodes);
+    tryEdit(&Scenario::trainEpochs, 2);
+    tryEdit(&Scenario::faultScope, chaos::FaultScope::Container);
+    tryEdit(&Scenario::clustering, defaults.clustering);
+    tryEdit(&Scenario::algorithm, defaults.algorithm);
+    tryEdit(&Scenario::minClusterSize, defaults.minClusterSize);
+    tryEdit(&Scenario::clusterSelectionEpsilon,
+            defaults.clusterSelectionEpsilon);
+    tryEdit(&Scenario::dbscanEps, defaults.dbscanEps);
+    tryEdit(&Scenario::maxRepresentativeDistance,
+            defaults.maxRepresentativeDistance);
+    return progress;
+}
+
+/**
+ * Delta-debug the harvested-trace mask: try dropping chunks of the
+ * kept traces, halving the chunk size down to single traces.
+ */
+bool
+shrinkTraces(Shrinker &sh)
+{
+    // Materialize the effective kept list.
+    std::vector<size_t> kept = sh.current.keptTraces;
+    if (kept.empty()) {
+        if (!sh.budgetLeft())
+            return false;
+        std::unique_ptr<ScenarioRun> run = buildScenario(sh.current);
+        ++sh.stats.runs;
+        kept.resize(run->traces.size());
+        for (size_t i = 0; i < kept.size(); ++i)
+            kept[i] = i;
+    }
+    bool progress = false;
+    for (size_t chunk = std::max<size_t>(kept.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        for (size_t start = 0;
+             start < kept.size() && kept.size() > 1;) {
+            if (!sh.budgetLeft())
+                return progress;
+            std::vector<size_t> reduced;
+            for (size_t i = 0; i < kept.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    reduced.push_back(kept[i]);
+            if (reduced.empty()) {
+                start += chunk;
+                continue;
+            }
+            Scenario candidate = sh.current;
+            candidate.keptTraces = reduced;
+            if (sh.accept(candidate)) {
+                kept = std::move(reduced);
+                progress = true;
+                // Re-test the same offset: a new chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return progress;
+}
+
+} // namespace
+
+Scenario
+shrinkScenario(const Scenario &failing, const std::string &invariant,
+               const std::string &mutation, size_t max_runs,
+               ShrinkStats *stats)
+{
+    Shrinker sh{failing, invariant, mutation, max_runs, {}};
+    // Greedy fixpoint: every pass order-dependently simplifies; repeat
+    // until a full sweep makes no progress or the budget is spent.
+    bool progress = true;
+    while (progress && sh.budgetLeft()) {
+        progress = false;
+        progress |= shrinkFaults(sh);
+        progress |= shrinkSizes(sh);
+        progress |= shrinkConfig(sh);
+        progress |= shrinkTraces(sh);
+    }
+    if (stats)
+        *stats = sh.stats;
+    return sh.current;
+}
+
+} // namespace sleuth::campaign

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Failing-scenario minimization. When an invariant fails, the shrinker
+ * greedily simplifies the scenario — dropping planned faults, shrinking
+ * the application, bisecting pipeline-config fields toward defaults,
+ * and delta-debugging the harvested-trace mask — re-checking the
+ * invariant after every candidate edit and keeping edits that still
+ * fail. The result is a minimal ReproCase: a self-contained JSON file
+ * the campaign_replay target re-executes bit-for-bit.
+ */
+
+#include <string>
+
+#include "campaign/invariants.h"
+#include "campaign/scenario.h"
+
+namespace sleuth::campaign {
+
+/** A serialized failing (or curated passing) campaign case. */
+struct ReproCase
+{
+    /** Repro file format version. */
+    int version = 1;
+    /** Name of the invariant this case exercises. */
+    std::string invariant;
+    /** Test-only mutation active when the case was captured. */
+    std::string mutation;
+    /** Expected replay outcome: "fail" for repros, "pass" for corpus. */
+    std::string expect = "fail";
+    /** The (usually shrunk) scenario. */
+    Scenario scenario;
+    /** Human-readable context (the failure detail at capture time). */
+    std::string note;
+};
+
+/** Serialize a repro case. */
+util::Json toJson(const ReproCase &c);
+
+/** Deserialize a repro case; fatal() on malformed input. */
+ReproCase reproFromJson(const util::Json &doc);
+
+/**
+ * Build the scenario and check one invariant. Degenerate scenarios
+ * (no anomalous traces) vacuously pass — the shrinker can therefore
+ * never minimize into an empty incident.
+ */
+InvariantResult runInvariantOnScenario(const Scenario &s,
+                                       const std::string &invariant,
+                                       const std::string &mutation);
+
+/** Shrink accounting. */
+struct ShrinkStats
+{
+    /** Scenario builds + invariant checks executed. */
+    size_t runs = 0;
+    /** Candidate edits that kept the failure and were accepted. */
+    size_t accepted = 0;
+};
+
+/**
+ * Greedy fixpoint minimization of a failing scenario. The returned
+ * scenario still fails `invariant` (under `mutation`), is no larger
+ * than the input, and is typically much smaller. `max_runs` bounds the
+ * number of scenario re-executions.
+ */
+Scenario shrinkScenario(const Scenario &failing,
+                        const std::string &invariant,
+                        const std::string &mutation,
+                        size_t max_runs = 140,
+                        ShrinkStats *stats = nullptr);
+
+} // namespace sleuth::campaign

@@ -247,7 +247,16 @@ SleuthPipeline::analyzeCore(
     out.clusterLabels.assign(n, -1);
     if (n == 0)
         return out;
-    out.distanceEvaluations = n * (n - 1) / 2;
+    // Distance work is accounted over the well-formed traces only, so
+    // the analyzeWithMatrix path (whose caller-provided matrix covers
+    // malformed rows too) reports the same m(m-1)/2 the compacted
+    // analyze() path does for the same batch.
+    size_t well_formed = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (errors[i].empty())
+            ++well_formed;
+    out.distanceEvaluations =
+        well_formed * (well_formed > 0 ? well_formed - 1 : 0) / 2;
 
     cluster::ClusterResult clusters =
         config_.algorithm == PipelineConfig::Algorithm::Hdbscan

@@ -67,7 +67,9 @@ struct PipelineResult
      * Pairwise distance evaluations performed for this batch: exactly
      * m(m-1)/2 over the m well-formed traces when clustering ran (the
      * matrix is computed once and memoized), 0 when clustering was
-     * disabled.
+     * disabled. Malformed traces never count, on any analyze path —
+     * including analyzeWithMatrix, whose caller-provided matrix covers
+     * their rows.
      */
     size_t distanceEvaluations = 0;
     /**

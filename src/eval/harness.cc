@@ -139,6 +139,9 @@ prepareExperiment(synth::AppConfig app, const ExperimentParams &raw)
             q.trace = std::move(r.trace);
             q.sloUs = slo;
             q.truthServices = std::move(r.rootCauseServices);
+            q.truthContainers = std::move(r.rootCauseContainers);
+            q.truthPods = std::move(r.rootCausePods);
+            q.truthNodes = std::move(r.rootCauseNodes);
             data.queries.push_back(std::move(q));
             ++harvested;
         }
@@ -238,7 +241,7 @@ evaluatePipeline(SleuthAdapter &adapter, const ExperimentData &data,
                  const core::PipelineConfig &pipeline,
                  const std::function<double(size_t, size_t)>
                      *custom_distance,
-                 size_t *rca_invocations)
+                 size_t *rca_invocations, Scores *container_scores)
 {
     core::SleuthPipeline pipe(adapter.model(), adapter.encoder(),
                               adapter.profile(), pipeline);
@@ -258,6 +261,13 @@ evaluatePipeline(SleuthAdapter &adapter, const ExperimentData &data,
     for (size_t i = 0; i < data.queries.size(); ++i)
         ev.addQuery(toSet(res.perTrace[i].services),
                     data.queries[i].truthServices);
+    if (container_scores) {
+        RcaEvaluator cev;
+        for (size_t i = 0; i < data.queries.size(); ++i)
+            cev.addQuery(res.perTrace[i].containers,
+                         data.queries[i].truthContainers);
+        *container_scores = {cev.f1(), cev.accuracy()};
+    }
     return {ev.f1(), ev.accuracy()};
 }
 

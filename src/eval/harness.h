@@ -36,12 +36,21 @@ std::string toString(BenchmarkApp app);
 /** Build the application config of a benchmark. */
 synth::AppConfig makeApp(BenchmarkApp app, uint64_t seed = 1);
 
-/** One RCA query: an anomalous trace with chaos ground truth. */
+/**
+ * One RCA query: an anomalous trace with chaos ground truth at every
+ * blast-radius scope. Service names alone cannot distinguish a
+ * container-scoped fault from a node-scoped one, so the simulator's
+ * materially-perturbing containers/pods/nodes ride along for
+ * scope-aware evaluation (campaign invariants, container-truth rows).
+ */
 struct AnomalyQuery
 {
     trace::Trace trace;
     int64_t sloUs = 0;
     std::set<std::string> truthServices;
+    std::set<std::string> truthContainers;
+    std::set<std::string> truthPods;
+    std::set<std::string> truthNodes;
 };
 
 /** Experiment generation knobs (paper §6.2: 144k traces, 100 queries). */
@@ -171,12 +180,15 @@ class SleuthAdapter : public baselines::RcaAlgorithm
  * @param custom_distance optional distance override (e.g. DeepTraLog);
  *        null uses the weighted-Jaccard default
  * @param rca_invocations optional out-param: RCA calls executed
+ * @param container_scores optional out-param: F1/ACC of the predicted
+ *        container set against the scope-aware container ground truth
  */
 Scores evaluatePipeline(
     SleuthAdapter &adapter, const ExperimentData &data,
     const core::PipelineConfig &pipeline,
     const std::function<double(size_t, size_t)> *custom_distance =
         nullptr,
-    size_t *rca_invocations = nullptr);
+    size_t *rca_invocations = nullptr,
+    Scores *container_scores = nullptr);
 
 } // namespace sleuth::eval

@@ -278,8 +278,33 @@ generateApp(const GeneratorParams &params)
                 weights.push_back(1.0);
             }
         }
-        SLEUTH_ASSERT(!candidates.empty(), "cannot grow call tree: ",
-                      "depth/out-degree limits too tight");
+        if (candidates.empty()) {
+            // The tree is saturated under the depth/fan-out limits
+            // (small apps hit this on rare seeds: every non-leaf-tier
+            // node is at maxDepth or full fan-out). Generation must
+            // stay total, so over-fill deterministically: attach under
+            // the non-leaf-tier node with the smallest fan-out,
+            // shallowest and lowest-index among equals.
+            int best = -1;
+            for (size_t i = 0; i < tb.flow.nodes.size(); ++i) {
+                if (tb.rank[i] >= 3)
+                    continue;
+                if (best < 0)
+                    best = static_cast<int>(i);
+                auto load = [&](size_t x) {
+                    return std::make_pair(
+                        tb.flow.nodes[x].children.size(),
+                        tb.depth[x]);
+                };
+                if (load(i) < load(static_cast<size_t>(best)))
+                    best = static_cast<int>(i);
+            }
+            // Every flow is rooted at a frontend (rank 0) node, so a
+            // non-leaf-tier node always exists.
+            SLEUTH_ASSERT(best >= 0, "call tree has no attachable node");
+            candidates.push_back(best);
+            weights.push_back(1.0);
+        }
         int parent = candidates[rng.weightedIndex(weights)];
         return tb.addNode(rpc_id, rk, parent,
                           tb.depth[static_cast<size_t>(parent)] + 1);

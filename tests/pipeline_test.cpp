@@ -212,6 +212,53 @@ TEST(PipelineMechanics, MalformedTraceInBatchIsSkippedNotFatal)
     EXPECT_EQ(res.distanceEvaluations, m * (m - 1) / 2);
 }
 
+TEST(PipelineMechanics, MatrixPathAccountsMalformedLikeAnalyze)
+{
+    // Regression: analyzeCore used to charge n(n-1)/2 distance
+    // evaluations on the analyzeWithMatrix path even when the batch
+    // contained malformed traces, while analyze() (which compacts them
+    // out before building its matrix) reported m(m-1)/2 over the m
+    // well-formed traces. The two paths must agree on the accounting.
+    PipeFixture &f = pipeFixture();
+    std::vector<trace::Trace> traces = storm("backend", 8, 21);
+    trace::Trace orphan;
+    orphan.traceId = "orphan";
+    orphan.spans.push_back(
+        makeSpan("r", "", "frontend", "Handle", 0, 100));
+    orphan.spans.push_back(
+        makeSpan("x", "nosuchspan", "backend", "Get", 10, 60));
+    traces.insert(traces.begin() + 2, orphan);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+    SleuthPipeline pipeline(f.model, f.encoder, f.profile, cfg);
+
+    // A caller-provided distance covering every row, malformed
+    // included (as analyzeWithMatrix documents the matrix must).
+    std::function<double(size_t, size_t)> flat = [](size_t, size_t) {
+        return 0.1;
+    };
+    PipelineResult res =
+        pipeline.analyzeWithDistance(traces, slos, flat);
+
+    const size_t m = traces.size() - 1;
+    EXPECT_EQ(res.skippedTraces, 1u);
+    EXPECT_EQ(res.distanceEvaluations, m * (m - 1) / 2);
+    EXPECT_FALSE(res.perTrace[2].error.empty());
+    EXPECT_EQ(res.clusterLabels[2], -1);
+    // Cluster ids stay compacted: every id below numClusters occurs.
+    std::vector<bool> seen(static_cast<size_t>(res.numClusters), false);
+    for (int c : res.clusterLabels)
+        if (c >= 0) {
+            ASSERT_LT(c, res.numClusters);
+            seen[static_cast<size_t>(c)] = true;
+        }
+    for (size_t c = 0; c < seen.size(); ++c)
+        EXPECT_TRUE(seen[c]) << "empty cluster id " << c;
+}
+
 TEST(PipelineMechanics, MalformedTraceSkippedOnIndividualPath)
 {
     PipeFixture &f = pipeFixture();

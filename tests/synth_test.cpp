@@ -64,6 +64,27 @@ TEST(Generator, DeterministicForSeed)
     EXPECT_NE(toJson(a).dump(), toJson(c).dump());
 }
 
+TEST(Generator, SurvivesTightAttachmentSeeds)
+{
+    // These (numRpcs, seed) pairs used to hit "cannot grow call tree"
+    // when every candidate parent was saturated; attach() now over-fills
+    // the least-loaded node instead of aborting. Found by the chaos
+    // campaign (src/campaign).
+    for (auto [n, seed] : {std::pair<int, uint64_t>{16, 12},
+                           {12, 375}}) {
+        AppConfig app = generateApp(syntheticParams(n, seed));
+        app.validate();
+        EXPECT_EQ(app.rpcs.size(), static_cast<size_t>(n));
+        EXPECT_EQ(app.flows[0].nodes.size(), app.rpcs.size());
+        // The fallback relaxes whichever limit blocked attachment, so
+        // either bound may be exceeded — but only by the over-filled
+        // node itself.
+        GeneratorParams p = syntheticParams(n, seed);
+        EXPECT_LE(app.maxFlowDepth(), p.maxDepth + 1);
+        EXPECT_LE(app.maxFanout(), p.maxOutDegree + 1);
+    }
+}
+
 TEST(Generator, VocabulariesAreDisjoint)
 {
     AppConfig a = generateApp(syntheticParams(32, 1));

@@ -47,6 +47,42 @@ TEST(Rng, ForkIsIndependentAndStable)
     (void)c3;
 }
 
+TEST(Rng, SeedStabilityAcrossConstructionsAndForks)
+{
+    // The campaign serializes scenarios as (seed, params) and replays
+    // them later, possibly on another machine: the raw engine stream
+    // behind a seed must be stable across Rng instances, and fork()
+    // must not consume parent state.
+    Rng a(0xc0ffee), b(0xc0ffee);
+    std::vector<uint64_t> sa, sb;
+    for (int i = 0; i < 64; ++i) {
+        sa.push_back(a.engine()());
+        sb.push_back(b.engine()());
+    }
+    EXPECT_EQ(sa, sb);
+
+    Rng parent(0xc0ffee);
+    Rng child_before = parent.fork(9);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(parent.engine()(), sa[static_cast<size_t>(i)])
+            << "fork() consumed parent state";
+    // A fork taken before and after unrelated forks is the same
+    // stream (fork depends only on parent state and tag).
+    Rng parent2(0xc0ffee);
+    (void)parent2.fork(1);
+    (void)parent2.fork(2);
+    Rng child_after = parent2.fork(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(child_before.engine()(), child_after.engine()());
+
+    // The engine itself is the standard-mandated mt19937_64: the
+    // 10000th draw of the default-seeded engine is fixed by C++11
+    // [rand.predef], anchoring cross-platform replayability.
+    std::mt19937_64 reference(5489u);
+    reference.discard(9999);
+    EXPECT_EQ(reference(), 9981545732273789042ull);
+}
+
 TEST(Rng, UniformRange)
 {
     Rng r(3);

@@ -1,0 +1,48 @@
+// Repro replayer: load campaign repro/corpus JSON files, rebuild each
+// scenario deterministically, re-check its invariant, and verify the
+// outcome matches the case's `expect` field ("fail" for shrunk repros,
+// "pass" for curated corpus cases).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "util/logging.h"
+
+using namespace sleuth;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("usage: campaign_replay repro.json...\n");
+        return 2;
+    }
+    int mismatches = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i]);
+        if (!in)
+            util::fatal("cannot read ", argv[i]);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string err;
+        util::Json doc = util::Json::parse(buf.str(), &err);
+        if (!err.empty())
+            util::fatal(argv[i], ": ", err);
+        campaign::ReproCase c = campaign::reproFromJson(doc);
+        campaign::InvariantResult r = campaign::replayCase(c);
+        bool expected_pass = c.expect == "pass";
+        bool matched = r.pass == expected_pass;
+        std::printf("%-8s %s: %s (%s)%s%s\n",
+                    matched ? "ok" : "MISMATCH", argv[i],
+                    c.invariant.c_str(),
+                    r.pass ? "passed" : "failed",
+                    r.detail.empty() ? "" : " — ",
+                    r.detail.c_str());
+        if (!matched)
+            ++mismatches;
+    }
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Nightly chaos-campaign driver: build, run a (larger) seeded campaign,
+# collect shrunk repros and a BENCH-format summary.
+#
+#   tools/run_campaign.sh [--scenarios N] [--seed S] [--sanitize]
+#
+# --sanitize builds with -DSLEUTH_SANITIZE=ON (ASan+UBSan) in a
+# separate build directory so instrumented campaigns do not pollute the
+# regular build. Results land in campaign-results/: repro-*.json for
+# every failing scenario (minimal, self-contained, replayable with
+# `campaign_replay`) plus BENCH_campaign.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCENARIOS=100
+SEED=1
+SANITIZE=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --scenarios) SCENARIOS="$2"; shift 2 ;;
+        --seed) SEED="$2"; shift 2 ;;
+        --sanitize) SANITIZE=1; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$SANITIZE" = 1 ]; then
+    BUILD=build-sanitize
+    cmake -B "$BUILD" -S . -DSLEUTH_SANITIZE=ON > /dev/null
+else
+    BUILD=build-release
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target campaign_run > /dev/null
+
+OUT=campaign-results
+mkdir -p "$OUT"
+echo "== campaign: $SCENARIOS scenarios, seed $SEED =="
+"$BUILD/tools/campaign_run" \
+    --scenarios "$SCENARIOS" --seed "$SEED" \
+    --repro-dir "$OUT" --bench-out "$OUT/BENCH_campaign.json"
+echo "== summary written to $OUT/BENCH_campaign.json =="
