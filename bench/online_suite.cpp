@@ -1,0 +1,167 @@
+// Serving benchmark for the online layer: streaming span ingestion
+// throughput, storm-detection latency, and incident-scoped RCA latency.
+//
+// The suite trains the model on a healthy warmup corpus, then replays
+// a Poisson span stream (out-of-order, jittered, duplicated deliveries)
+// through the OnlineService under a chaos schedule that phases faults
+// in and out twice, producing two full incident lifecycles. Reported
+// rows ({metric, value, unit}, written to BENCH_online.json or
+// argv[1]):
+//
+//   ingest_spans_per_sec   delivery throughput of the ingest+poll loop
+//   detection_latency_p50/p99_ms
+//                          storm-onset watermark minus fault-phase
+//                          start, across incidents (event time)
+//   incident_rca_ms        mean wall time of incident-scoped pipeline
+//                          runs
+//   assembly_drop_fraction spans dropped / spans delivered
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "eval/harness.h"
+#include "online/live_source.h"
+#include "online/service.h"
+#include "sim/cluster_model.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+
+namespace {
+
+struct Row
+{
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+};
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double rank = p * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_online.json";
+    std::vector<Row> rows;
+
+    // --- Fixture: application, deployment, SLOs, trained model. ---
+    synth::AppConfig app =
+        synth::generateApp(synth::syntheticParams(24, 7));
+    sim::ClusterModel cluster(app, 10, 7);
+    sim::Simulator::calibrateSlos(app, cluster, 300, 99.0, 7);
+    sim::Simulator warmup(app, cluster, {.seed = 0x9a17});
+    std::vector<trace::Trace> corpus;
+    for (int i = 0; i < 400; ++i)
+        corpus.push_back(warmup.simulateOne().trace);
+    eval::SleuthAdapter adapter;
+    adapter.fit(corpus);
+
+    // --- Chaos schedule: two separated fault phases -> two incident
+    // lifecycles within one 12-second stream. ---
+    util::Rng chaos_rng(0xc4a05);
+    chaos::FaultPlan plan = chaos::planFixedFaults(
+        cluster.allInstances(), 2, chaos::FaultScope::Container, {},
+        chaos_rng);
+    chaos::FaultSchedule schedule;
+    schedule.phases.push_back({0, {}});
+    schedule.phases.push_back({2'000'000, plan});
+    schedule.phases.push_back({3'500'000, {}});
+    schedule.phases.push_back({7'000'000, plan});
+    schedule.phases.push_back({8'500'000, {}});
+
+    online::OnlineConfig cfg;
+    cfg.endpoints = online::endpointProfiles(app);
+    cfg.retention.maxSpans = 500'000;
+    cfg.detector.bucketUs = 250'000;
+    cfg.detector.windowBuckets = 8;
+
+    online::OnlineService service(adapter.model(), adapter.encoder(),
+                                  adapter.profile(), cfg);
+    online::LiveSourceConfig live;
+    live.seed = 7;
+    live.requests = 4800;
+    live.arrivalRatePerSec = 400.0;
+    live.ingestThreads = 2;
+    live.pollIntervalUs = 250'000;
+    live.duplicateProb = 0.02;
+    live.schedule = schedule;
+
+    online::LiveRunResult run = online::runLiveLoad(
+        app, cluster, {.seed = 0x515}, live, &service);
+
+    rows.push_back(
+        {"ingest_spans_per_sec", run.spansPerSec, "spans/s"});
+    std::printf("ingest: %zu spans in %.1f ms (%.0f spans/s)\n",
+                run.spansDelivered, run.ingestWallMillis,
+                run.spansPerSec);
+
+    std::vector<double> detect_ms;
+    for (int64_t us : run.detectionLatenciesUs)
+        detect_ms.push_back(static_cast<double>(us) / 1000.0);
+    rows.push_back(
+        {"detection_latency_p50_ms", percentile(detect_ms, 0.50), "ms"});
+    rows.push_back(
+        {"detection_latency_p99_ms", percentile(detect_ms, 0.99), "ms"});
+
+    double rca_ms = 0.0;
+    size_t analyzed = 0;
+    for (const online::Incident &incident : service.incidents()) {
+        if (incident.state == online::Incident::State::Open)
+            continue;
+        rca_ms += incident.rcaMillis;
+        ++analyzed;
+    }
+    rows.push_back({"incident_rca_ms",
+                    analyzed > 0 ? rca_ms / static_cast<double>(analyzed)
+                                 : 0.0,
+                    "ms"});
+
+    online::OnlineStats stats = service.stats();
+    double drop_fraction =
+        run.spansDelivered > 0
+            ? static_cast<double>(stats.assembly.spansRejected) /
+                  static_cast<double>(run.spansDelivered)
+            : 0.0;
+    rows.push_back(
+        {"assembly_drop_fraction", drop_fraction, "fraction"});
+
+    std::printf("incidents: %zu opened, %zu analyzed, %zu resolved;"
+                " detection p50 %.0f ms, RCA %.1f ms\n",
+                stats.incidentsOpened, stats.incidentsAnalyzed,
+                stats.incidentsResolved, percentile(detect_ms, 0.50),
+                analyzed > 0 ? rca_ms / static_cast<double>(analyzed)
+                             : 0.0);
+
+    util::Json doc = util::Json::array();
+    for (const Row &r : rows) {
+        util::Json row = util::Json::object();
+        row.set("metric", r.metric);
+        row.set("value", r.value);
+        row.set("unit", r.unit);
+        doc.push(std::move(row));
+    }
+    std::ofstream out(out_path);
+    out << doc.dump();
+    std::printf("results -> %s\n", out_path);
+    return 0;
+}

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "baselines/simple_rules.h"
 #include "cluster/hdbscan.h"
 #include "collector/collector.h"
 #include "distance/trace_distance.h"
+#include "online/service.h"
 #include "storage/trace_store.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
@@ -667,6 +669,190 @@ checkStorageRoundTrip(const ScenarioRun &run, const CheckContext &)
     return pass();
 }
 
+/**
+ * The fields of an incident that must be identical across ingest
+ * thread counts (wall-clock timing excluded by construction).
+ */
+std::string
+incidentFingerprint(const online::Incident &incident)
+{
+    std::ostringstream os;
+    os << incident.id << "|" << online::toString(incident.state) << "|"
+       << incident.openedAtUs << "|" << incident.windowStartUs << "|"
+       << incident.windowEndUs << "|" << incident.snapshotMaxRecordId
+       << "\n";
+    for (const std::string &e : incident.endpoints)
+        os << "ep " << e << "\n";
+    for (size_t i = 0; i < incident.anomalousTraces.size(); ++i) {
+        os << incident.anomalousTraces[i].traceId << " slo "
+           << incident.slos[i];
+        if (i < incident.rca.perTrace.size())
+            os << " -> "
+               << joinServices(incident.rca.perTrace[i].services);
+        os << "\n";
+    }
+    for (const trace::Trace &t : incident.normalSample)
+        os << "normal " << t.traceId << "\n";
+    for (const auto &[svc, votes] : incident.rankedRootCauses)
+        os << "rank " << svc << "=" << votes << "\n";
+    return os.str();
+}
+
+InvariantResult
+checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
+{
+    // Route the scenario's storm through the online serving layer as a
+    // span stream and require (a) the same incident — snapshot, every
+    // verdict, the root-cause ranking — at 1/2/8 ingest threads,
+    // (b) that the snapshot reproduces from the trace store via the
+    // recorded high-water mark, and (c) that the incident-scoped RCA
+    // is bitwise equal to the batch pipeline over that snapshot.
+    online::OnlineConfig cfg;
+    cfg.pipeline = run.scenario.pipelineConfig();
+    // One detection window comfortably spanning the whole staggered
+    // storm, firing on the first anomalous trace.
+    cfg.detector.bucketUs = 1'000'000;
+    cfg.detector.windowBuckets = 64;
+    cfg.detector.minWindowCount = 1;
+    cfg.detector.minAnomalous = 1;
+    cfg.detector.onsetFraction = 0.01;
+    cfg.detector.clearFraction = 0.0;
+    cfg.assembler.latenessUs = 10'000;
+    cfg.assembler.quietGapUs = 10'000;
+    // Judge each endpoint by the tightest SLO seen at it: every
+    // harvested storm trace violates its own flow's SLO (or errors at
+    // the root), so all of them stay anomalous under the minimum.
+    for (size_t i = 0; i < run.traces.size(); ++i) {
+        const trace::Span *root = nullptr;
+        for (const trace::Span &s : run.traces[i].spans)
+            if (s.parentSpanId.empty()) {
+                root = &s;
+                break;
+            }
+        if (root == nullptr)
+            continue;
+        auto [it, inserted] = cfg.endpoints.try_emplace(
+            root->service + "/" + root->name,
+            online::EndpointProfile{run.slos[i], -1});
+        if (!inserted && run.slos[i] < it->second.sloUs)
+            it->second.sloUs = run.slos[i];
+    }
+
+    // Explode the storm into span events on a staggered timeline,
+    // delivered at span end in one canonical order (the thread count
+    // only changes which thread performs a delivery).
+    struct Delivery
+    {
+        int64_t atUs = 0;
+        online::SpanEvent event;
+    };
+    std::vector<Delivery> deliveries;
+    int64_t last_end = 0;
+    for (size_t i = 0; i < run.traces.size(); ++i) {
+        int64_t shift = static_cast<int64_t>(i) * 10'000;
+        for (trace::Span span : run.traces[i].spans) {
+            span.startUs += shift;
+            span.endUs += shift;
+            last_end = std::max(last_end, span.endUs);
+            deliveries.push_back(
+                {span.endUs,
+                 online::SpanEvent{run.traces[i].traceId, span}});
+        }
+    }
+    std::sort(deliveries.begin(), deliveries.end(),
+              [](const Delivery &a, const Delivery &b) {
+                  if (a.atUs != b.atUs)
+                      return a.atUs < b.atUs;
+                  if (a.event.traceId != b.event.traceId)
+                      return a.event.traceId < b.event.traceId;
+                  return a.event.span.spanId < b.event.span.spanId;
+              });
+    int64_t poll_at = last_end + cfg.assembler.quietGapUs +
+                      cfg.assembler.latenessUs + 1;
+
+    std::string reference;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        online::OnlineService service(run.adapter->model(),
+                                      run.adapter->encoder(),
+                                      run.adapter->profile(), cfg);
+        if (threads == 1) {
+            for (const Delivery &d : deliveries)
+                service.ingest(d.event);
+        } else {
+            std::vector<std::thread> workers;
+            for (size_t t = 0; t < threads; ++t)
+                workers.emplace_back([&, t] {
+                    for (size_t i = t; i < deliveries.size();
+                         i += threads)
+                        service.ingest(deliveries[i].event);
+                });
+            for (std::thread &w : workers)
+                w.join();
+        }
+        service.poll(poll_at);
+        if (service.incidents().empty())
+            return fail("online layer opened no incident over the "
+                        "storm at ingestThreads=" +
+                        std::to_string(threads));
+        const online::Incident &incident = service.incidents()[0];
+        std::string fp = incidentFingerprint(incident);
+        if (reference.empty())
+            reference = fp;
+        else if (fp != reference)
+            return fail("incident diverges at ingestThreads=" +
+                        std::to_string(threads));
+        if (threads != 1)
+            continue;
+
+        // Batch side of the differential, over the snapshot
+        // reconstructed independently from the store.
+        storage::Query q;
+        q.minStartUs = incident.windowStartUs;
+        q.maxStartUs = incident.windowEndUs;
+        q.onlyAnomalous = true;
+        std::vector<const storage::Record *> window =
+            service.store().query(q);
+        std::vector<const storage::Record *> rows;
+        for (const storage::Record *r : window)
+            if (r->id <= incident.snapshotMaxRecordId)
+                rows.push_back(r);
+        std::sort(rows.begin(), rows.end(),
+                  [](const storage::Record *a,
+                     const storage::Record *b) {
+                      if (a->startUs() != b->startUs())
+                          return a->startUs() < b->startUs();
+                      return a->trace.traceId < b->trace.traceId;
+                  });
+        if (rows.size() != incident.anomalousTraces.size())
+            return fail(
+                "snapshot not reproducible from the store: " +
+                std::to_string(rows.size()) + " records vs " +
+                std::to_string(incident.anomalousTraces.size()) +
+                " snapshot traces");
+        std::vector<trace::Trace> batch;
+        std::vector<int64_t> batch_slos;
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i]->trace.traceId !=
+                incident.anomalousTraces[i].traceId)
+                return fail("snapshot order diverges from the store "
+                            "at position " + std::to_string(i));
+            batch.push_back(rows[i]->trace);
+            batch_slos.push_back(rows[i]->sloUs);
+        }
+        std::string diff = diffResults(
+            incident.rca,
+            run.analyzeBatch(cfg.pipeline, batch, batch_slos));
+        if (!diff.empty())
+            return fail("online incident RCA diverges from the batch "
+                        "pipeline over the same snapshot: " + diff);
+        if (core::aggregateRootCauses(incident.rca) !=
+            incident.rankedRootCauses)
+            return fail("incident root-cause ranking is not the "
+                        "aggregation of its per-trace verdicts");
+    }
+    return pass();
+}
+
 } // namespace
 
 const std::vector<Invariant> &
@@ -695,6 +881,10 @@ invariantRegistry()
         {"storage-roundtrip",
          "collector ingest → store → reload → bitwise-equal analysis",
          checkStorageRoundTrip},
+        {"online-differential",
+         "streaming the storm through the online layer reproduces the "
+         "batch pipeline at 1/2/8 ingest threads",
+         checkOnlineDifferential},
     };
     return registry;
 }

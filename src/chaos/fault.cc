@@ -161,4 +161,26 @@ FaultIndex::faultsOn(const Instance &inst) const
     return out;
 }
 
+const FaultPlan &
+FaultSchedule::activeAt(int64_t t_us) const
+{
+    static const FaultPlan kNone;
+    const FaultPlan *active = &kNone;
+    for (const FaultPhase &phase : phases) {
+        if (phase.startUs > t_us)
+            break;
+        active = &phase.plan;
+    }
+    return *active;
+}
+
+bool
+FaultSchedule::empty() const
+{
+    for (const FaultPhase &phase : phases)
+        if (!phase.plan.empty())
+            return false;
+    return true;
+}
+
 } // namespace sleuth::chaos

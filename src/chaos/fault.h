@@ -103,6 +103,31 @@ FaultPlan planFixedFaults(const std::vector<Instance> &instances,
                           const ChaosParams &params, util::Rng &rng);
 
 /**
+ * A timed chaos schedule: phases of fault activity over event time,
+ * e.g. healthy → faulty → healthy. Drives the online serving layer's
+ * live load (sleuth_serviced, BENCH_online) where storms must start
+ * and stop mid-run.
+ */
+struct FaultPhase
+{
+    /** Event time at which this phase becomes active (inclusive). */
+    int64_t startUs = 0;
+    FaultPlan plan;
+};
+
+/** Phases sorted by start time; before the first phase, no faults. */
+struct FaultSchedule
+{
+    std::vector<FaultPhase> phases;
+
+    /** Active plan at t: the latest phase with startUs <= t. */
+    const FaultPlan &activeAt(int64_t t_us) const;
+
+    /** True when no phase carries any fault. */
+    bool empty() const;
+};
+
+/**
  * Fast lookup from instance coordinates to the faults affecting them.
  */
 class FaultIndex

@@ -1,6 +1,7 @@
 #include "collector.h"
 
 #include <map>
+#include <set>
 
 #include "trace/trace_json.h"
 #include "util/logging.h"
@@ -17,6 +18,64 @@ toString(Protocol p)
       case Protocol::Jaeger: return "jaeger";
     }
     util::panic("invalid protocol");
+}
+
+const char *
+toString(DropReason r)
+{
+    switch (r) {
+      case DropReason::Orphan: return "orphan";
+      case DropReason::Duplicate: return "duplicate";
+      case DropReason::LateAfterEviction: return "late-after-eviction";
+      case DropReason::Malformed: return "malformed";
+      case DropReason::Backpressure: return "backpressure";
+    }
+    util::panic("invalid drop reason");
+}
+
+DropReason
+classifyDefect(const trace::Trace &t)
+{
+    if (t.spans.empty())
+        return DropReason::Malformed;
+    std::set<std::string> ids;
+    for (const trace::Span &s : t.spans)
+        if (!ids.insert(s.spanId).second)
+            return DropReason::Duplicate;
+    for (const trace::Span &s : t.spans)
+        if (!s.parentSpanId.empty() && !ids.count(s.parentSpanId))
+            return DropReason::Orphan;
+    // Root-count defects and parent cycles.
+    return DropReason::Malformed;
+}
+
+void
+CollectorStats::countDrop(DropReason reason, size_t spans)
+{
+    spansRejected += spans;
+    switch (reason) {
+      case DropReason::Orphan: droppedOrphan += spans; break;
+      case DropReason::Duplicate: droppedDuplicate += spans; break;
+      case DropReason::LateAfterEviction: droppedLate += spans; break;
+      case DropReason::Malformed: droppedMalformed += spans; break;
+      case DropReason::Backpressure:
+        droppedBackpressure += spans;
+        break;
+    }
+}
+
+void
+CollectorStats::merge(const CollectorStats &other)
+{
+    tracesAccepted += other.tracesAccepted;
+    tracesRejected += other.tracesRejected;
+    spansAccepted += other.spansAccepted;
+    spansRejected += other.spansRejected;
+    droppedOrphan += other.droppedOrphan;
+    droppedDuplicate += other.droppedDuplicate;
+    droppedLate += other.droppedLate;
+    droppedMalformed += other.droppedMalformed;
+    droppedBackpressure += other.droppedBackpressure;
 }
 
 namespace {
@@ -154,6 +213,8 @@ TraceCollector::ingest(const std::string &payload, Protocol protocol,
         util::warn("collector: rejecting ", toString(protocol),
                    " payload: ", error);
         ++stats_.tracesRejected;
+        // Span count unknown for an unparsable payload: count one unit.
+        stats_.countDrop(DropReason::Malformed, 1);
         return 0;
     }
     std::vector<trace::Trace> traces;
@@ -176,6 +237,7 @@ TraceCollector::ingest(const std::string &payload, Protocol protocol,
             util::warn("collector: dropping trace '", t.traceId,
                        "': ", why);
             ++stats_.tracesRejected;
+            stats_.countDrop(classifyDefect(t), t.spans.size());
             continue;
         }
         stats_.spansAccepted += t.spans.size();

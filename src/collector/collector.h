@@ -48,12 +48,54 @@ std::vector<trace::Trace> parseJaeger(const util::Json &doc);
  */
 std::vector<trace::Trace> parseOtel(const util::Json &doc);
 
-/** Ingestion statistics of a collector. */
+/**
+ * Why a span (or a whole trace worth of spans) was dropped during
+ * ingestion or online assembly.
+ */
+enum class DropReason {
+    /** A parentSpanId never resolved within the trace. */
+    Orphan,
+    /** A span id appeared more than once within the trace. */
+    Duplicate,
+    /** The span arrived after its trace was completed or evicted. */
+    LateAfterEviction,
+    /** Structurally invalid (no spans, no/multiple roots, cycle, bad
+        JSON). */
+    Malformed,
+    /** Rejected by admission control under overload. */
+    Backpressure,
+};
+
+/** Render a drop reason. */
+const char *toString(DropReason r);
+
+/**
+ * Classify the first structural defect of a trace that failed
+ * TraceGraph validation. Checked in order: empty / duplicate span ids /
+ * unresolved parents (orphans) / everything else (root count, cycles)
+ * as Malformed.
+ */
+DropReason classifyDefect(const trace::Trace &t);
+
+/** Ingestion statistics of a collector (or online span assembler). */
 struct CollectorStats
 {
     size_t tracesAccepted = 0;
     size_t tracesRejected = 0;
     size_t spansAccepted = 0;
+    size_t spansRejected = 0;
+    // Per-reason drop counters (spans).
+    size_t droppedOrphan = 0;
+    size_t droppedDuplicate = 0;
+    size_t droppedLate = 0;
+    size_t droppedMalformed = 0;
+    size_t droppedBackpressure = 0;
+
+    /** Count `spans` spans dropped for `reason`. */
+    void countDrop(DropReason reason, size_t spans);
+
+    /** Fold another stats block into this one (shard aggregation). */
+    void merge(const CollectorStats &other);
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "pipeline.h"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "cluster/svdd.h"
@@ -333,6 +335,24 @@ SleuthPipeline::analyzeCore(
     });
     out.rcaInvocations += rest.size();
     return out;
+}
+
+std::vector<std::pair<std::string, size_t>>
+aggregateRootCauses(const PipelineResult &result)
+{
+    // std::map keeps services sorted, so equal vote counts resolve
+    // lexicographically after the stable sort below.
+    std::map<std::string, size_t> votes;
+    for (const RcaResult &r : result.perTrace)
+        for (const std::string &svc : r.services)
+            ++votes[svc];
+    std::vector<std::pair<std::string, size_t>> ranked(votes.begin(),
+                                                       votes.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return ranked;
 }
 
 } // namespace sleuth::core

@@ -11,6 +11,9 @@
  */
 
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/hdbscan.h"
 #include "core/counterfactual.h"
@@ -80,6 +83,15 @@ struct PipelineResult
      */
     size_t skippedTraces = 0;
 };
+
+/**
+ * Rank root-cause services across a batch result by verdict votes: a
+ * service earns one vote per trace whose verdict lists it. Ties break
+ * lexicographically, so the ranking is a deterministic function of the
+ * result. Used by the online serving layer to headline incidents.
+ */
+std::vector<std::pair<std::string, size_t>>
+aggregateRootCauses(const PipelineResult &result);
 
 /** The trace-storm-scale RCA front end. */
 class SleuthPipeline

@@ -1,0 +1,166 @@
+#include "assembler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sleuth::online {
+
+namespace {
+
+/** Root-span start time (first span as fallback for malformed). */
+int64_t
+rootStartUs(const trace::Trace &t)
+{
+    for (const trace::Span &s : t.spans)
+        if (s.parentSpanId.empty())
+            return s.startUs;
+    return t.spans.empty() ? 0 : t.spans.front().startUs;
+}
+
+} // namespace
+
+SpanAssembler::SpanAssembler(AssemblerConfig config) : config_(config)
+{
+    SLEUTH_ASSERT(config_.latenessUs >= 0 && config_.quietGapUs >= 0,
+                  "assembler horizons must be non-negative");
+}
+
+bool
+SpanAssembler::add(const SpanEvent &event)
+{
+    if (event.traceId.empty() || event.span.spanId.empty()) {
+        stats_.countDrop(collector::DropReason::Malformed, 1);
+        return false;
+    }
+    auto it = pending_.find(event.traceId);
+    if (it == pending_.end()) {
+        // Not pending: late straggler, ghost of a closed trace, or a
+        // genuinely new trace subject to admission control.
+        if (closed_.count(event.traceId)) {
+            stats_.countDrop(collector::DropReason::LateAfterEviction,
+                             1);
+            return false;
+        }
+        if (watermark_ != INT64_MIN &&
+            event.span.endUs + config_.quietGapUs <= watermark_) {
+            // Would complete (incomplete) at the very next drain.
+            stats_.countDrop(collector::DropReason::LateAfterEviction,
+                             1);
+            return false;
+        }
+        if (config_.maxPendingSpans > 0 &&
+            pending_spans_ >= config_.maxPendingSpans) {
+            stats_.countDrop(collector::DropReason::Backpressure, 1);
+            return false;
+        }
+        it = pending_.emplace(event.traceId, Pending{}).first;
+        it->second.trace.traceId = event.traceId;
+    } else {
+        for (const trace::Span &s : it->second.trace.spans) {
+            if (s.spanId == event.span.spanId) {
+                stats_.countDrop(collector::DropReason::Duplicate, 1);
+                return false;
+            }
+        }
+    }
+    Pending &p = it->second;
+    p.lastEndUs = std::max(p.lastEndUs, event.span.endUs);
+    p.trace.spans.push_back(event.span);
+    ++pending_spans_;
+    return true;
+}
+
+bool
+SpanAssembler::finalize(Pending &p, std::vector<trace::Trace> *out)
+{
+    // Canonical span order: ingestion interleaving must not leak into
+    // the emitted trace.
+    std::sort(p.trace.spans.begin(), p.trace.spans.end(),
+              [](const trace::Span &a, const trace::Span &b) {
+                  if (a.startUs != b.startUs)
+                      return a.startUs < b.startUs;
+                  return a.spanId < b.spanId;
+              });
+    pending_spans_ -= p.trace.spans.size();
+    trace::TraceGraph graph;
+    std::string why;
+    if (!trace::TraceGraph::tryBuild(p.trace, &graph, &why)) {
+        ++stats_.tracesRejected;
+        stats_.countDrop(collector::classifyDefect(p.trace),
+                         p.trace.spans.size());
+        return false;
+    }
+    ++stats_.tracesAccepted;
+    stats_.spansAccepted += p.trace.spans.size();
+    out->push_back(std::move(p.trace));
+    return true;
+}
+
+std::vector<trace::Trace>
+SpanAssembler::drain(int64_t nowUs)
+{
+    watermark_ = std::max(watermark_, nowUs - config_.latenessUs);
+    std::vector<trace::Trace> out;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.lastEndUs + config_.quietGapUs <= watermark_) {
+            finalize(it->second, &out);
+            rememberClosed(it->first);
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    pruneClosed();
+    std::sort(out.begin(), out.end(),
+              [](const trace::Trace &a, const trace::Trace &b) {
+                  int64_t sa = rootStartUs(a);
+                  int64_t sb = rootStartUs(b);
+                  if (sa != sb)
+                      return sa < sb;
+                  return a.traceId < b.traceId;
+              });
+    return out;
+}
+
+std::vector<trace::Trace>
+SpanAssembler::flush()
+{
+    std::vector<trace::Trace> out;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        finalize(it->second, &out);
+        rememberClosed(it->first);
+        it = pending_.erase(it);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const trace::Trace &a, const trace::Trace &b) {
+                  int64_t sa = rootStartUs(a);
+                  int64_t sb = rootStartUs(b);
+                  if (sa != sb)
+                      return sa < sb;
+                  return a.traceId < b.traceId;
+              });
+    return out;
+}
+
+void
+SpanAssembler::rememberClosed(const std::string &trace_id)
+{
+    closed_[trace_id] =
+        watermark_ == INT64_MIN ? 0 : watermark_;
+}
+
+void
+SpanAssembler::pruneClosed()
+{
+    if (watermark_ == INT64_MIN)
+        return;
+    for (auto it = closed_.begin(); it != closed_.end();) {
+        if (it->second + config_.closedMemoryUs < watermark_)
+            it = closed_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace sleuth::online

@@ -1,0 +1,130 @@
+#pragma once
+
+/**
+ * @file
+ * Watermark-based span-to-trace assembly for the online serving layer.
+ *
+ * Collectors stream spans, not traces: the spans of one trace arrive
+ * out of order, late, duplicated, and split across payloads (the batch
+ * TraceCollector silently drops any trace split across payloads). The
+ * SpanAssembler buffers spans per trace id and completes a trace when
+ * the event-time watermark passes its quiet horizon — no span of the
+ * trace has an end time within `quietGapUs` of the watermark, so any
+ * further span would be late. Completed traces are validated
+ * (TraceGraph) and emitted in a canonical deterministic form: spans
+ * sorted by (startUs, spanId), traces sorted by (root start, traceId).
+ * Ingestion is therefore order-insensitive — any arrival interleaving
+ * of the same span multiset yields bitwise-identical output, the
+ * property the online/batch differential and the multi-threaded ingest
+ * determinism tests pin.
+ *
+ * The watermark is driven explicitly by drain(nowUs): the caller owns
+ * the clock (wall time in production, simulated time in tests and
+ * sleuth_serviced), and the watermark trails it by `latenessUs`.
+ * Admission control bounds the backlog: past `maxPendingSpans`, spans
+ * opening new traces are rejected (counted as backpressure) while
+ * spans of already-pending traces are still admitted so in-flight
+ * traces can complete.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/collector.h"
+#include "trace/trace.h"
+
+namespace sleuth::online {
+
+/** One span of one trace, as delivered by a collector payload. */
+struct SpanEvent
+{
+    std::string traceId;
+    trace::Span span;
+};
+
+/** Assembly knobs. */
+struct AssemblerConfig
+{
+    /** Watermark lag behind the drain clock (allowed lateness). */
+    int64_t latenessUs = 100'000;
+    /**
+     * Quiet horizon: a pending trace completes when the watermark
+     * passes its latest span end time plus this gap.
+     */
+    int64_t quietGapUs = 50'000;
+    /**
+     * Backlog budget (pending spans) before admission control rejects
+     * spans that would open a new trace (0 = unlimited).
+     */
+    size_t maxPendingSpans = 0;
+    /**
+     * How long (event time) a completed/dropped trace id is remembered
+     * so stragglers are classified late-after-eviction instead of
+     * re-opening a ghost trace.
+     */
+    int64_t closedMemoryUs = 2'000'000;
+};
+
+/** Assembles streamed spans into validated traces. */
+class SpanAssembler
+{
+  public:
+    explicit SpanAssembler(AssemblerConfig config);
+
+    /**
+     * Ingest one span. Returns true when buffered; false when dropped
+     * (duplicate within its pending trace, late after completion /
+     * eviction, structurally empty ids, or backpressure).
+     */
+    bool add(const SpanEvent &event);
+
+    /**
+     * Advance the clock to nowUs (watermark = nowUs - latenessUs) and
+     * emit every trace whose quiet horizon the watermark passed.
+     * Invalid traces (orphan parents, duplicate roots, cycles) are
+     * dropped and counted by reason. Emitted traces and their spans
+     * are canonically sorted (see file comment).
+     */
+    std::vector<trace::Trace> drain(int64_t nowUs);
+
+    /** Complete every pending trace regardless of watermark. */
+    std::vector<trace::Trace> flush();
+
+    /** Pending (buffered, incomplete) trace count. */
+    size_t pendingTraces() const { return pending_.size(); }
+
+    /** Pending span count across all buffered traces. */
+    size_t pendingSpans() const { return pending_spans_; }
+
+    /** Current watermark (event time; INT64_MIN before first drain). */
+    int64_t watermarkUs() const { return watermark_; }
+
+    /** Ingestion + drop statistics. */
+    const collector::CollectorStats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        trace::Trace trace;
+        /** Latest span end time seen (the quiet-horizon anchor). */
+        int64_t lastEndUs = 0;
+    };
+
+    /** Validate, canonicalize, and count one completed trace. */
+    bool finalize(Pending &p, std::vector<trace::Trace> *out);
+
+    void rememberClosed(const std::string &trace_id);
+    void pruneClosed();
+
+    AssemblerConfig config_;
+    collector::CollectorStats stats_;
+    std::unordered_map<std::string, Pending> pending_;
+    /** Recently completed/dropped trace ids -> close watermark. */
+    std::unordered_map<std::string, int64_t> closed_;
+    size_t pending_spans_ = 0;
+    int64_t watermark_ = INT64_MIN;
+};
+
+} // namespace sleuth::online

@@ -1,0 +1,150 @@
+#include "detector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sleuth::online {
+
+StormDetector::StormDetector(DetectorConfig config) : config_(config)
+{
+    SLEUTH_ASSERT(config_.bucketUs > 0, "bucketUs must be positive");
+    SLEUTH_ASSERT(config_.windowBuckets > 0,
+                  "windowBuckets must be positive");
+    SLEUTH_ASSERT(config_.clearFraction <= config_.onsetFraction,
+                  "clear threshold above onset breaks hysteresis");
+}
+
+int64_t
+StormDetector::bucketOf(int64_t startUs) const
+{
+    // Floor division (event times may be negative in tests).
+    int64_t q = startUs / config_.bucketUs;
+    if (startUs % config_.bucketUs < 0)
+        --q;
+    return q;
+}
+
+void
+StormDetector::observe(const Observation &obs)
+{
+    Endpoint &ep = endpoints_[obs.endpoint];
+    if (ep.ring.empty()) {
+        ep.ring.resize(config_.windowBuckets);
+        for (Bucket &b : ep.ring)
+            b.latency = QuantileSketch(config_.sketchAccuracy);
+    }
+    int64_t idx = bucketOf(obs.startUs);
+    Bucket &b = ep.ring[static_cast<size_t>(
+        ((idx % static_cast<int64_t>(ep.ring.size())) +
+         static_cast<int64_t>(ep.ring.size())) %
+        static_cast<int64_t>(ep.ring.size()))];
+    if (b.index > idx)
+        return;  // a full ring length older than data already seen:
+                 // outside any window the advancing watermark can read
+    if (b.index != idx) {
+        // The slot belongs to an older bucket: repurpose it.
+        b.index = idx;
+        b.count = 0;
+        b.anomalous = 0;
+        b.errors = 0;
+        b.latency.clear();
+    }
+    ++b.count;
+    if (obs.anomalous)
+        ++b.anomalous;
+    if (obs.error)
+        ++b.errors;
+    b.latency.add(static_cast<double>(obs.durationUs));
+}
+
+WindowStats
+StormDetector::windowStats(const std::string &endpoint,
+                           int64_t watermarkUs) const
+{
+    WindowStats w;
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end())
+        return w;
+    int64_t hi = bucketOf(watermarkUs);
+    int64_t lo = hi - static_cast<int64_t>(config_.windowBuckets) + 1;
+    QuantileSketch merged(config_.sketchAccuracy);
+    for (const Bucket &b : it->second.ring) {
+        if (b.index < lo || b.index > hi)
+            continue;
+        w.count += b.count;
+        w.anomalous += b.anomalous;
+        w.errors += b.errors;
+        merged.merge(b.latency);
+    }
+    w.p50Us = merged.quantile(0.50);
+    w.p99Us = merged.quantile(0.99);
+    return w;
+}
+
+QuantileSketch
+StormDetector::windowSketch(const std::string &endpoint,
+                            int64_t watermarkUs) const
+{
+    QuantileSketch merged(config_.sketchAccuracy);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end())
+        return merged;
+    int64_t hi = bucketOf(watermarkUs);
+    int64_t lo = hi - static_cast<int64_t>(config_.windowBuckets) + 1;
+    for (const Bucket &b : it->second.ring)
+        if (b.index >= lo && b.index <= hi)
+            merged.merge(b.latency);
+    return merged;
+}
+
+std::vector<StormTransition>
+StormDetector::advance(int64_t watermarkUs)
+{
+    std::vector<StormTransition> onsets;
+    std::vector<StormTransition> clears;
+    for (auto &[name, ep] : endpoints_) {
+        WindowStats w = windowStats(name, watermarkUs);
+        double fraction =
+            w.count == 0 ? 0.0
+                         : static_cast<double>(w.anomalous) /
+                               static_cast<double>(w.count);
+        if (!ep.storming) {
+            if (w.count >= config_.minWindowCount &&
+                w.anomalous >= config_.minAnomalous &&
+                fraction >= config_.onsetFraction) {
+                ep.storming = true;
+                onsets.push_back({StormTransition::Kind::Onset, name,
+                                  watermarkUs, w});
+            }
+        } else {
+            if (w.count == 0 || fraction < config_.clearFraction) {
+                ep.storming = false;
+                clears.push_back({StormTransition::Kind::Clear, name,
+                                  watermarkUs, w});
+            }
+        }
+    }
+    std::vector<StormTransition> out = std::move(onsets);
+    out.insert(out.end(), clears.begin(), clears.end());
+    return out;
+}
+
+bool
+StormDetector::storming(const std::string &endpoint) const
+{
+    auto it = endpoints_.find(endpoint);
+    return it != endpoints_.end() && it->second.storming;
+}
+
+std::vector<std::string>
+StormDetector::stormingEndpoints() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, ep] : endpoints_)
+        if (ep.storming)
+            out.push_back(name);
+    return out;
+}
+
+} // namespace sleuth::online

@@ -1,0 +1,139 @@
+#pragma once
+
+/**
+ * @file
+ * Sliding-window anomaly-storm detection over completed traces.
+ *
+ * Per endpoint (root-span "service/operation"), the detector maintains
+ * a ring of event-time buckets, each holding counters (total traces,
+ * anomalous traces, erroring traces) and a mergeable latency
+ * QuantileSketch. The sliding window at watermark W covers the last
+ * `windowBuckets` buckets ending at W; window quantiles are computed by
+ * merging bucket sketches, so any arrival order of the same
+ * observations yields the same assessment (the determinism contract of
+ * the online layer).
+ *
+ * A storm opens for an endpoint when the window holds at least
+ * `minWindowCount` traces of which at least `minAnomalous` — and at
+ * least `onsetFraction` of the window — are anomalous; it clears when
+ * the anomalous fraction drops to `clearFraction` or the window drains.
+ * Hysteresis (onset > clear) keeps a marginal endpoint from flapping
+ * open/closed on every evaluation.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "online/sketch.h"
+
+namespace sleuth::online {
+
+/** Detection knobs. */
+struct DetectorConfig
+{
+    /** Event-time bucket width. */
+    int64_t bucketUs = 1'000'000;
+    /** Window length in buckets. */
+    size_t windowBuckets = 10;
+    /** Minimum window population before a verdict is attempted. */
+    uint64_t minWindowCount = 8;
+    /** Minimum anomalous traces in the window for storm onset. */
+    uint64_t minAnomalous = 4;
+    /** Anomalous fraction opening a storm. */
+    double onsetFraction = 0.15;
+    /** Anomalous fraction (strictly below) clearing a storm. */
+    double clearFraction = 0.05;
+    /** Relative accuracy of the per-bucket latency sketches. */
+    double sketchAccuracy = 0.02;
+};
+
+/** One observed trace, reduced to what the detector needs. */
+struct Observation
+{
+    std::string endpoint;
+    /** Root span start (event time; assigns the bucket). */
+    int64_t startUs = 0;
+    /** End-to-end latency. */
+    int64_t durationUs = 0;
+    bool anomalous = false;
+    bool error = false;
+};
+
+/** Aggregated window state of one endpoint at a watermark. */
+struct WindowStats
+{
+    uint64_t count = 0;
+    uint64_t anomalous = 0;
+    uint64_t errors = 0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+};
+
+/** A storm lifecycle transition produced by advance(). */
+struct StormTransition
+{
+    enum class Kind { Onset, Clear };
+    Kind kind = Kind::Onset;
+    std::string endpoint;
+    /** Watermark at which the transition was decided. */
+    int64_t atUs = 0;
+    WindowStats window;
+};
+
+/** Sliding-window per-endpoint storm detector. */
+class StormDetector
+{
+  public:
+    explicit StormDetector(DetectorConfig config);
+
+    /** Fold one completed trace into its event-time bucket. */
+    void observe(const Observation &obs);
+
+    /**
+     * Evaluate every endpoint's window at the watermark and return the
+     * lifecycle transitions (onsets before clears, endpoints in
+     * lexicographic order — deterministic).
+     */
+    std::vector<StormTransition> advance(int64_t watermarkUs);
+
+    /** Window counters + quantiles of one endpoint at a watermark. */
+    WindowStats windowStats(const std::string &endpoint,
+                            int64_t watermarkUs) const;
+
+    /** Merged latency sketch of one endpoint's window (for tests). */
+    QuantileSketch windowSketch(const std::string &endpoint,
+                                int64_t watermarkUs) const;
+
+    /** True while the endpoint's storm is open. */
+    bool storming(const std::string &endpoint) const;
+
+    /** Endpoints currently in storm (lexicographic). */
+    std::vector<std::string> stormingEndpoints() const;
+
+  private:
+    struct Bucket
+    {
+        /** Absolute bucket index (startUs / bucketUs); -1 = empty. */
+        int64_t index = -1;
+        uint64_t count = 0;
+        uint64_t anomalous = 0;
+        uint64_t errors = 0;
+        QuantileSketch latency;
+    };
+
+    struct Endpoint
+    {
+        std::vector<Bucket> ring;
+        bool storming = false;
+    };
+
+    int64_t bucketOf(int64_t startUs) const;
+
+    DetectorConfig config_;
+    /** Ordered map: advance() iterates endpoints deterministically. */
+    std::map<std::string, Endpoint> endpoints_;
+};
+
+} // namespace sleuth::online

@@ -1,0 +1,68 @@
+#include "incident.h"
+
+#include "util/logging.h"
+
+namespace sleuth::online {
+
+const char *
+toString(Incident::State s)
+{
+    switch (s) {
+      case Incident::State::Open: return "open";
+      case Incident::State::Analyzed: return "analyzed";
+      case Incident::State::Resolved: return "resolved";
+    }
+    util::panic("invalid incident state");
+}
+
+util::Json
+toJson(const Incident &incident)
+{
+    util::Json doc = util::Json::object();
+    doc.set("id", incident.id);
+    doc.set("state", toString(incident.state));
+    doc.set("openedAtUs", incident.openedAtUs);
+    doc.set("resolvedAtUs", incident.resolvedAtUs);
+    util::Json endpoints = util::Json::array();
+    for (const std::string &e : incident.endpoints)
+        endpoints.push(util::Json(e));
+    doc.set("endpoints", std::move(endpoints));
+    doc.set("windowStartUs", incident.windowStartUs);
+    doc.set("windowEndUs", incident.windowEndUs);
+    doc.set("snapshotMaxRecordId", incident.snapshotMaxRecordId);
+    doc.set("anomalousTraces", incident.anomalousTraces.size());
+    doc.set("normalSample", incident.normalSample.size());
+    doc.set("normalsConsidered", incident.normalsConsidered);
+    doc.set("detectionLatencyUs", incident.detectionLatencyUs);
+    doc.set("rcaMillis", incident.rcaMillis);
+
+    util::Json verdicts = util::Json::array();
+    for (size_t i = 0; i < incident.anomalousTraces.size(); ++i) {
+        util::Json v = util::Json::object();
+        v.set("traceId", incident.anomalousTraces[i].traceId);
+        if (i < incident.rca.perTrace.size()) {
+            const core::RcaResult &r = incident.rca.perTrace[i];
+            util::Json services = util::Json::array();
+            for (const std::string &svc : r.services)
+                services.push(util::Json(svc));
+            v.set("services", std::move(services));
+            v.set("resolved", r.resolved);
+            if (!r.error.empty())
+                v.set("error", r.error);
+        }
+        verdicts.push(std::move(v));
+    }
+    doc.set("verdicts", std::move(verdicts));
+
+    util::Json ranked = util::Json::array();
+    for (const auto &[svc, votes] : incident.rankedRootCauses) {
+        util::Json row = util::Json::object();
+        row.set("service", svc);
+        row.set("votes", votes);
+        ranked.push(std::move(row));
+    }
+    doc.set("rankedRootCauses", std::move(ranked));
+    return doc;
+}
+
+} // namespace sleuth::online

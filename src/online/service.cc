@@ -1,0 +1,393 @@
+#include "service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+
+#include "util/logging.h"
+
+namespace sleuth::online {
+
+namespace {
+
+/**
+ * FNV-1a, used for shard routing and the deterministic normal-trace
+ * sample. std::hash would work within one binary, but an explicit hash
+ * keeps snapshots identical across standard libraries too.
+ */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+const trace::Span *
+rootSpan(const trace::Trace &t)
+{
+    for (const trace::Span &s : t.spans)
+        if (s.parentSpanId.empty())
+            return &s;
+    return nullptr;
+}
+
+} // namespace
+
+OnlineService::OnlineService(const core::SleuthGnn &model,
+                             core::FeatureEncoder &encoder,
+                             const core::NormalProfile &profile,
+                             OnlineConfig config)
+    : config_(std::move(config)),
+      pipeline_(model, encoder, profile, config_.pipeline),
+      store_(config_.retention),
+      detector_(config_.detector)
+{
+    SLEUTH_ASSERT(config_.ingestShards > 0,
+                  "at least one ingest shard is required");
+    shards_.reserve(config_.ingestShards);
+    for (size_t i = 0; i < config_.ingestShards; ++i)
+        shards_.push_back(std::make_unique<Shard>(config_.assembler));
+}
+
+size_t
+OnlineService::shardOf(const std::string &trace_id) const
+{
+    return static_cast<size_t>(fnv1a(trace_id) % shards_.size());
+}
+
+EndpointProfile
+OnlineService::profileFor(const std::string &endpoint) const
+{
+    auto it = config_.endpoints.find(endpoint);
+    return it == config_.endpoints.end() ? EndpointProfile{} : it->second;
+}
+
+bool
+OnlineService::ingest(const SpanEvent &event)
+{
+    Shard &shard = *shards_[shardOf(event.traceId)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.spansIngested;
+    return shard.assembler.add(event);
+}
+
+void
+OnlineService::absorb(std::vector<trace::Trace> traces)
+{
+    for (trace::Trace &t : traces) {
+        const trace::Span *root = rootSpan(t);
+        // The assembler only emits TraceGraph-validated traces, which
+        // always have exactly one root.
+        SLEUTH_ASSERT(root != nullptr, "assembled trace lost its root");
+        std::string endpoint = root->service + "/" + root->name;
+        EndpointProfile prof = profileFor(endpoint);
+
+        Observation obs;
+        obs.endpoint = std::move(endpoint);
+        obs.startUs = root->startUs;
+        obs.durationUs = root->durationUs();
+        obs.error = root->hasError();
+        obs.anomalous =
+            obs.error || (prof.sloUs > 0 && obs.durationUs > prof.sloUs);
+
+        storage::Record rec;
+        rec.trace = std::move(t);
+        rec.sloUs = prof.sloUs;
+        rec.flowIndex = prof.flowIndex;
+        last_record_id_ = store_.insert(std::move(rec));
+        ++traces_stored_;
+
+        detector_.observe(obs);
+    }
+}
+
+std::vector<size_t>
+OnlineService::poll(int64_t nowUs)
+{
+    std::vector<trace::Trace> completed;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        std::vector<trace::Trace> done = shard->assembler.drain(nowUs);
+        completed.insert(completed.end(),
+                         std::make_move_iterator(done.begin()),
+                         std::make_move_iterator(done.end()));
+    }
+    // Shards emit canonically; re-sort the merged batch so the shard
+    // count never shows in downstream order.
+    std::sort(completed.begin(), completed.end(),
+              [](const trace::Trace &a, const trace::Trace &b) {
+                  const trace::Span *ra = rootSpan(a);
+                  const trace::Span *rb = rootSpan(b);
+                  int64_t sa = ra ? ra->startUs : 0;
+                  int64_t sb = rb ? rb->startUs : 0;
+                  if (sa != sb)
+                      return sa < sb;
+                  return a.traceId < b.traceId;
+              });
+    absorb(std::move(completed));
+    watermark_ = std::max(watermark_, nowUs - config_.assembler.latenessUs);
+    return evaluate(watermark_);
+}
+
+std::vector<size_t>
+OnlineService::drainAll(int64_t nowUs)
+{
+    std::vector<size_t> changed = poll(nowUs);
+    std::vector<trace::Trace> completed;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        std::vector<trace::Trace> done = shard->assembler.flush();
+        completed.insert(completed.end(),
+                         std::make_move_iterator(done.begin()),
+                         std::make_move_iterator(done.end()));
+    }
+    std::sort(completed.begin(), completed.end(),
+              [](const trace::Trace &a, const trace::Trace &b) {
+                  const trace::Span *ra = rootSpan(a);
+                  const trace::Span *rb = rootSpan(b);
+                  int64_t sa = ra ? ra->startUs : 0;
+                  int64_t sb = rb ? rb->startUs : 0;
+                  if (sa != sb)
+                      return sa < sb;
+                  return a.traceId < b.traceId;
+              });
+    absorb(std::move(completed));
+    // Evaluate at nowUs itself: the flush already forfeited lateness.
+    watermark_ = std::max(watermark_, nowUs);
+    std::vector<size_t> more = evaluate(watermark_);
+    changed.insert(changed.end(), more.begin(), more.end());
+    // The stream is over: advance past every detection window so the
+    // storms observe the silence, clear, and resolve open incidents.
+    watermark_ +=
+        (static_cast<int64_t>(config_.detector.windowBuckets) + 1) *
+        config_.detector.bucketUs;
+    more = evaluate(watermark_);
+    changed.insert(changed.end(), more.begin(), more.end());
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    return changed;
+}
+
+std::vector<size_t>
+OnlineService::evaluate(int64_t watermark_us)
+{
+    std::vector<StormTransition> transitions =
+        detector_.advance(watermark_us);
+    std::vector<size_t> changed;
+
+    // At most one incident is open at a time: concurrent endpoint
+    // storms are one outage seen from several endpoints.
+    Incident *open = nullptr;
+    size_t open_index = 0;
+    if (!incidents_.empty() &&
+        incidents_.back().state != Incident::State::Resolved) {
+        open = &incidents_.back();
+        open_index = incidents_.size() - 1;
+    }
+
+    std::vector<std::string> onsets;
+    for (const StormTransition &t : transitions)
+        if (t.kind == StormTransition::Kind::Onset)
+            onsets.push_back(t.endpoint);
+
+    if (!onsets.empty()) {
+        if (open == nullptr) {
+            Incident incident;
+            incident.id = incidents_.size();
+            incident.state = Incident::State::Open;
+            incident.openedAtUs = watermark_us;
+            incident.endpoints = onsets;
+            incidents_.push_back(std::move(incident));
+            open = &incidents_.back();
+            open_index = incidents_.size() - 1;
+            analyzeIncident(open);
+            changed.push_back(open_index);
+        } else {
+            for (const std::string &e : onsets)
+                if (std::find(open->endpoints.begin(),
+                              open->endpoints.end(),
+                              e) == open->endpoints.end())
+                    open->endpoints.push_back(e);
+            changed.push_back(open_index);
+        }
+    }
+
+    if (open != nullptr && detector_.stormingEndpoints().empty()) {
+        open->state = Incident::State::Resolved;
+        open->resolvedAtUs = watermark_us;
+        changed.push_back(open_index);
+    }
+
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    return changed;
+}
+
+void
+OnlineService::analyzeIncident(Incident *incident)
+{
+    // The detector window at watermark W covers buckets lo..hi, i.e.
+    // event times [lo*bucketUs, (hi+1)*bucketUs). Snapshot exactly it.
+    int64_t bucket = config_.detector.bucketUs;
+    int64_t hi = incident->openedAtUs / bucket;
+    if (incident->openedAtUs % bucket < 0)
+        --hi;
+    int64_t lo =
+        hi - static_cast<int64_t>(config_.detector.windowBuckets) + 1;
+    incident->windowStartUs = lo * bucket;
+    incident->windowEndUs = (hi + 1) * bucket;
+    // Pin the store high-water mark: traces finishing assembly after
+    // this point may carry start times inside the window but were not
+    // part of the snapshot. Queries filtered by id <= this reproduce it.
+    incident->snapshotMaxRecordId = last_record_id_;
+
+    storage::Query q;
+    q.minStartUs = incident->windowStartUs;
+    q.maxStartUs = incident->windowEndUs;
+    std::vector<const storage::Record *> window = store_.query(q);
+
+    std::vector<const storage::Record *> normals;
+    for (const storage::Record *r : window) {
+        if (r->anomalous()) {
+            incident->anomalousTraces.push_back(r->trace);
+            incident->slos.push_back(r->sloUs);
+        } else {
+            normals.push_back(r);
+        }
+    }
+    incident->normalsConsidered = normals.size();
+
+    // Canonical snapshot order: (root start, traceId). The batch side
+    // of the online/batch differential sorts identically, so HDBSCAN
+    // sees the same batch order on both paths.
+    std::vector<size_t> order(incident->anomalousTraces.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const trace::Trace &ta = incident->anomalousTraces[a];
+        const trace::Trace &tb = incident->anomalousTraces[b];
+        const trace::Span *ra = rootSpan(ta);
+        const trace::Span *rb = rootSpan(tb);
+        int64_t sa = ra ? ra->startUs : 0;
+        int64_t sb = rb ? rb->startUs : 0;
+        if (sa != sb)
+            return sa < sb;
+        return ta.traceId < tb.traceId;
+    });
+    std::vector<trace::Trace> sorted_traces;
+    std::vector<int64_t> sorted_slos;
+    sorted_traces.reserve(order.size());
+    sorted_slos.reserve(order.size());
+    for (size_t i : order) {
+        sorted_traces.push_back(std::move(incident->anomalousTraces[i]));
+        sorted_slos.push_back(incident->slos[i]);
+    }
+    incident->anomalousTraces = std::move(sorted_traces);
+    incident->slos = std::move(sorted_slos);
+
+    // Deterministic normal sample: bottom-k by (hash, traceId) — a
+    // uniform reservoir-equivalent that never depends on store order.
+    if (config_.normalSampleSize > 0 && !normals.empty()) {
+        std::sort(normals.begin(), normals.end(),
+                  [](const storage::Record *a, const storage::Record *b) {
+                      uint64_t ha = fnv1a(a->trace.traceId);
+                      uint64_t hb = fnv1a(b->trace.traceId);
+                      if (ha != hb)
+                          return ha < hb;
+                      return a->trace.traceId < b->trace.traceId;
+                  });
+        size_t k = std::min(config_.normalSampleSize, normals.size());
+        incident->normalSample.reserve(k);
+        for (size_t i = 0; i < k; ++i)
+            incident->normalSample.push_back(normals[i]->trace);
+    }
+
+    if (!incident->anomalousTraces.empty()) {
+        const trace::Span *first = rootSpan(incident->anomalousTraces[0]);
+        int64_t earliest = first ? first->startUs : 0;
+        for (const trace::Trace &t : incident->anomalousTraces) {
+            const trace::Span *r = rootSpan(t);
+            if (r != nullptr)
+                earliest = std::min(earliest, r->startUs);
+        }
+        incident->detectionLatencyUs = incident->openedAtUs - earliest;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    incident->rca =
+        pipeline_.analyze(incident->anomalousTraces, incident->slos);
+    auto t1 = std::chrono::steady_clock::now();
+    incident->rcaMillis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    incident->rankedRootCauses = core::aggregateRootCauses(incident->rca);
+    incident->state = Incident::State::Analyzed;
+}
+
+size_t
+OnlineService::backlogSpans() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        total += shard->assembler.pendingSpans();
+    }
+    return total;
+}
+
+OnlineStats
+OnlineService::stats() const
+{
+    OnlineStats s;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.spansIngested += shard->spansIngested;
+        s.assembly.merge(shard->assembler.stats());
+    }
+    s.tracesStored = traces_stored_;
+    for (const Incident &i : incidents_) {
+        ++s.incidentsOpened;
+        if (i.state != Incident::State::Open)
+            ++s.incidentsAnalyzed;
+        if (i.state == Incident::State::Resolved)
+            ++s.incidentsResolved;
+    }
+    return s;
+}
+
+util::Json
+OnlineService::statsJson() const
+{
+    OnlineStats s = stats();
+    util::Json doc = util::Json::object();
+    doc.set("spansIngested", s.spansIngested);
+    doc.set("spansAccepted", s.assembly.spansAccepted);
+    doc.set("spansRejected", s.assembly.spansRejected);
+    doc.set("tracesAccepted", s.assembly.tracesAccepted);
+    doc.set("tracesRejected", s.assembly.tracesRejected);
+    doc.set("tracesStored", s.tracesStored);
+    util::Json drops = util::Json::object();
+    drops.set("orphan", s.assembly.droppedOrphan);
+    drops.set("duplicate", s.assembly.droppedDuplicate);
+    drops.set("lateAfterEviction", s.assembly.droppedLate);
+    drops.set("malformed", s.assembly.droppedMalformed);
+    drops.set("backpressure", s.assembly.droppedBackpressure);
+    doc.set("drops", std::move(drops));
+    doc.set("backlogSpans", backlogSpans());
+    doc.set("watermarkUs", watermark_);
+    doc.set("storedRecords", store_.size());
+    doc.set("storedSpans", store_.totalSpans());
+    doc.set("evictedRecords", store_.evictions().records);
+    doc.set("evictedSpans", store_.evictions().spans);
+    doc.set("incidentsOpened", s.incidentsOpened);
+    doc.set("incidentsAnalyzed", s.incidentsAnalyzed);
+    doc.set("incidentsResolved", s.incidentsResolved);
+    return doc;
+}
+
+} // namespace sleuth::online

@@ -1,0 +1,178 @@
+#pragma once
+
+/**
+ * @file
+ * The online serving layer (DESIGN.md §3.10): streaming span ingestion,
+ * sliding-window storm detection, and incident-scoped RCA, glued into
+ * one service.
+ *
+ * Ingestion is sharded by hash(traceId) so concurrent collector threads
+ * contend only per shard; the shard count is a configuration constant —
+ * NOT the thread count — so the same span stream lands in the same
+ * shards no matter how many threads deliver it. All evaluation happens
+ * at explicit poll(nowUs) points: shards are drained, completed traces
+ * are merged into one canonically sorted batch, stored (under the
+ * retention policy bounding memory), folded into the storm detector,
+ * and the detector's window verdicts drive the incident lifecycle
+ * (Open → Analyzed → Resolved). On storm onset the service snapshots
+ * the detection window from the store — every anomalous trace plus a
+ * deterministic bottom-k-by-hash sample of normal traces — and runs the
+ * batch SleuthPipeline over the anomalous subset.
+ *
+ * Determinism contract: for a fixed configuration and span multiset
+ * partitioned into the same poll intervals, the stored records, the
+ * incidents, and every verdict within them are bitwise identical
+ * regardless of ingest thread count or per-thread arrival interleaving.
+ * The online/batch differential campaign invariant and the 1/2/8-thread
+ * service test pin this.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "online/assembler.h"
+#include "online/detector.h"
+#include "online/incident.h"
+#include "storage/trace_store.h"
+#include "util/json.h"
+
+namespace sleuth::online {
+
+/** Workload metadata of one endpoint (root "service/operation"). */
+struct EndpointProfile
+{
+    /** Latency SLO against which traces are judged (0 = unknown). */
+    int64_t sloUs = 0;
+    /** Operation flow behind the endpoint (-1 = unknown). */
+    int flowIndex = -1;
+};
+
+/** Online serving knobs. */
+struct OnlineConfig
+{
+    AssemblerConfig assembler;
+    DetectorConfig detector;
+    core::PipelineConfig pipeline;
+    storage::RetentionConfig retention;
+    /**
+     * Ingest shard count. Fixed by configuration — independent of how
+     * many threads call ingest() — so sharding never perturbs results.
+     */
+    size_t ingestShards = 4;
+    /** Normal traces sampled into an incident snapshot (context). */
+    size_t normalSampleSize = 16;
+    /** Endpoint -> SLO/flow metadata; unknown endpoints get 0 / -1. */
+    std::map<std::string, EndpointProfile> endpoints;
+};
+
+/** Cumulative counters of one OnlineService. */
+struct OnlineStats
+{
+    /** Spans offered to ingest() (accepted or not). */
+    size_t spansIngested = 0;
+    /** Traces stored (post-assembly, post-validation). */
+    size_t tracesStored = 0;
+    /** Merged assembly statistics across all shards. */
+    collector::CollectorStats assembly;
+    /** Incident lifecycle counters. */
+    size_t incidentsOpened = 0;
+    size_t incidentsAnalyzed = 0;
+    size_t incidentsResolved = 0;
+};
+
+/** The online serving layer. */
+class OnlineService
+{
+  public:
+    /** Model/encoder/profile are held by reference and must outlive. */
+    OnlineService(const core::SleuthGnn &model,
+                  core::FeatureEncoder &encoder,
+                  const core::NormalProfile &profile, OnlineConfig config);
+
+    /**
+     * Ingest one span. Thread-safe: spans are routed to
+     * hash(traceId) % ingestShards and buffered under that shard's
+     * lock. Returns false when the span was dropped (see SpanAssembler).
+     */
+    bool ingest(const SpanEvent &event);
+
+    /**
+     * Advance the clock: drain every shard at nowUs, store and observe
+     * the completed traces, evaluate storm windows, and run the
+     * incident lifecycle. Must not race ingest() of spans that the
+     * caller needs reflected at this poll (callers barrier their ingest
+     * threads first). Returns indices (into incidents()) of incidents
+     * whose state changed during this poll.
+     */
+    std::vector<size_t> poll(int64_t nowUs);
+
+    /**
+     * End of stream: complete all pending traces, evaluate, then
+     * advance the watermark past every detection window so open storms
+     * observe the silence, clear, and resolve their incident.
+     */
+    std::vector<size_t> drainAll(int64_t nowUs);
+
+    /** All incidents, in open order. */
+    const std::vector<Incident> &incidents() const { return incidents_; }
+
+    /** The backing trace store (snapshot queries, tests, tools). */
+    const storage::TraceStore &store() const { return store_; }
+
+    /** Current watermark (event time). */
+    int64_t watermarkUs() const { return watermark_; }
+
+    /** Assembly backlog across shards (spans). */
+    size_t backlogSpans() const;
+
+    /** Cumulative counters (assembly stats merged across shards). */
+    OnlineStats stats() const;
+
+    /** Render stats + incident summaries for tools. */
+    util::Json statsJson() const;
+
+    /** SLO/flow metadata of an endpoint (default profile if unknown). */
+    EndpointProfile profileFor(const std::string &endpoint) const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mu;
+        SpanAssembler assembler;
+        size_t spansIngested = 0;
+
+        explicit Shard(const AssemblerConfig &config)
+            : assembler(config)
+        {
+        }
+    };
+
+    size_t shardOf(const std::string &trace_id) const;
+
+    /** Store + observe one batch of completed traces (sorted). */
+    void absorb(std::vector<trace::Trace> traces);
+
+    /** Evaluate storms at the watermark; drive incident lifecycle. */
+    std::vector<size_t> evaluate(int64_t watermark_us);
+
+    /** Snapshot the detection window and run incident-scoped RCA. */
+    void analyzeIncident(Incident *incident);
+
+    OnlineConfig config_;
+    core::SleuthPipeline pipeline_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    storage::TraceStore store_;
+    StormDetector detector_;
+    std::vector<Incident> incidents_;
+    int64_t watermark_ = INT64_MIN;
+    size_t traces_stored_ = 0;
+    /** Id of the most recently stored record (snapshot high-water). */
+    size_t last_record_id_ = 0;
+};
+
+} // namespace sleuth::online

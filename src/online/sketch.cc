@@ -1,0 +1,114 @@
+#include "sketch.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sleuth::online {
+
+QuantileSketch::QuantileSketch(double relativeAccuracy,
+                               size_t maxBuckets)
+    : alpha_(relativeAccuracy), max_buckets_(maxBuckets)
+{
+    SLEUTH_ASSERT(relativeAccuracy > 0.0 && relativeAccuracy < 1.0,
+                  "relative accuracy must be in (0, 1)");
+    log_gamma_ = std::log((1.0 + alpha_) / (1.0 - alpha_));
+}
+
+int
+QuantileSketch::bucketIndex(double x) const
+{
+    return static_cast<int>(std::ceil(std::log(x) / log_gamma_));
+}
+
+double
+QuantileSketch::bucketValue(int index) const
+{
+    // Midpoint estimate of (gamma^(i-1), gamma^i]: relative error
+    // against any member of the bucket is at most alpha.
+    double gamma = (1.0 + alpha_) / (1.0 - alpha_);
+    return 2.0 * std::exp(static_cast<double>(index) * log_gamma_) /
+           (1.0 + gamma);
+}
+
+void
+QuantileSketch::add(double x)
+{
+    ++count_;
+    if (!(x > 0.0)) {
+        ++zero_count_;
+        return;
+    }
+    ++buckets_[bucketIndex(x)];
+    collapseIfNeeded();
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    SLEUTH_ASSERT(alpha_ == other.alpha_,
+                  "cannot merge sketches of different accuracy");
+    count_ += other.count_;
+    zero_count_ += other.zero_count_;
+    for (const auto &[idx, n] : other.buckets_)
+        buckets_[idx] += n;
+    collapseIfNeeded();
+}
+
+void
+QuantileSketch::collapseIfNeeded()
+{
+    if (max_buckets_ == 0)
+        return;
+    // Collapse the lowest bucket into its neighbor: upper quantiles
+    // (the ones the detector reads) keep their accuracy bound.
+    while (buckets_.size() > max_buckets_) {
+        auto lowest = buckets_.begin();
+        auto next = std::next(lowest);
+        next->second += lowest->second;
+        buckets_.erase(lowest);
+    }
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the order statistic to report.
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    if (rank < zero_count_)
+        return 0.0;
+    uint64_t cumulative = zero_count_;
+    for (const auto &[idx, n] : buckets_) {
+        cumulative += n;
+        if (rank < cumulative)
+            return bucketValue(idx);
+    }
+    // Numerically unreachable; report the top bucket.
+    return buckets_.empty() ? 0.0
+                            : bucketValue(buckets_.rbegin()->first);
+}
+
+bool
+QuantileSketch::operator==(const QuantileSketch &other) const
+{
+    return alpha_ == other.alpha_ && count_ == other.count_ &&
+           zero_count_ == other.zero_count_ &&
+           buckets_ == other.buckets_;
+}
+
+void
+QuantileSketch::clear()
+{
+    count_ = 0;
+    zero_count_ = 0;
+    buckets_.clear();
+}
+
+} // namespace sleuth::online

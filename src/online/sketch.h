@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Mergeable quantile sketch for online latency statistics.
+ *
+ * A DDSketch-style log-bucketed histogram: values map to geometric
+ * buckets of ratio gamma = (1 + alpha) / (1 - alpha), which bounds the
+ * relative error of any quantile by alpha. Buckets are sparse counters,
+ * so two sketches merge by adding counts — merge(A, B) is bitwise
+ * identical to a sketch that observed A's and B's values directly, in
+ * any order. That commutativity is what makes the sliding-window storm
+ * detector deterministic under sharded multi-threaded ingestion: each
+ * window bucket owns a sketch and window quantiles are computed by
+ * merging the bucket sketches at evaluation time.
+ *
+ * Memory is bounded by maxBuckets: when exceeded, the lowest buckets
+ * collapse into their neighbor (per the DDSketch paper, this preserves
+ * the accuracy of the upper quantiles the detector reads — p50/p99).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace sleuth::online {
+
+/** A mergeable log-bucketed quantile sketch over non-negative values. */
+class QuantileSketch
+{
+  public:
+    /**
+     * @param relativeAccuracy quantile relative-error bound alpha
+     * @param maxBuckets bucket budget (0 = unbounded)
+     */
+    explicit QuantileSketch(double relativeAccuracy = 0.02,
+                            size_t maxBuckets = 1024);
+
+    /** Fold one observation (negative values clamp to zero). */
+    void add(double x);
+
+    /** Fold another sketch (must share the accuracy parameter). */
+    void merge(const QuantileSketch &other);
+
+    /** Observations so far. */
+    uint64_t count() const { return count_; }
+
+    /**
+     * Value at quantile q in [0, 1] (0 when empty). The returned value
+     * is within a factor (1 + alpha) of an exact order statistic.
+     */
+    double quantile(double q) const;
+
+    /** Configured relative accuracy. */
+    double relativeAccuracy() const { return alpha_; }
+
+    /** Live bucket count (memory accounting). */
+    size_t buckets() const { return buckets_.size(); }
+
+    /** Exact equality (bucket maps and counts). */
+    bool operator==(const QuantileSketch &other) const;
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    int bucketIndex(double x) const;
+    double bucketValue(int index) const;
+    void collapseIfNeeded();
+
+    double alpha_;
+    double log_gamma_;
+    size_t max_buckets_;
+    uint64_t count_ = 0;
+    uint64_t zero_count_ = 0;
+    /** bucket index -> observation count; keys ordered ascending. */
+    std::map<int, uint64_t> buckets_;
+};
+
+} // namespace sleuth::online

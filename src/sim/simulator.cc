@@ -48,6 +48,12 @@ Simulator::Simulator(const synth::AppConfig &app,
         flow_weights_.push_back(f.weight);
 }
 
+void
+Simulator::setFaultPlan(const chaos::FaultPlan &plan)
+{
+    faults_ = chaos::FaultIndex(plan);
+}
+
 double
 Simulator::kernelMultiplier(
     const std::vector<const chaos::FaultSpec *> &faults,

@@ -84,6 +84,13 @@ class Simulator
               const SimParams &params,
               const chaos::FaultPlan &plan = {});
 
+    /**
+     * Replace the active fault plan mid-run (rebuilds the index). The
+     * RNG stream and trace-id counter continue, so a chaos schedule
+     * can phase faults in and out over one simulator instance.
+     */
+    void setFaultPlan(const chaos::FaultPlan &plan);
+
     /** Simulate one request of a flow chosen by workload-mix weight. */
     SimResult simulateOne();
 

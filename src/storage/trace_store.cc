@@ -27,10 +27,21 @@ Record::anomalous() const
     return false;
 }
 
+void
+TraceStore::setRetention(RetentionConfig retention)
+{
+    retention_ = retention;
+    // Apply immediately but never evict the newest record: a budget
+    // smaller than one trace otherwise empties the store.
+    if (!records_.empty())
+        enforceRetention(records_.rbegin()->first);
+}
+
 size_t
 TraceStore::insert(Record record)
 {
-    size_t id = records_.size();
+    size_t id = next_id_++;
+    record.id = id;
     by_start_.emplace(record.startUs(), id);
     std::set<std::string> services;
     for (const trace::Span &s : record.trace.spans)
@@ -38,15 +49,77 @@ TraceStore::insert(Record record)
     for (const std::string &svc : services)
         by_service_[svc].push_back(id);
     total_spans_ += record.trace.spans.size();
-    records_.push_back(std::move(record));
+    records_.emplace(id, std::move(record));
+    enforceRetention(id);
     return id;
+}
+
+void
+TraceStore::enforceRetention(size_t protected_id)
+{
+    auto over = [&] {
+        if (retention_.maxSpans > 0 &&
+            total_spans_ > retention_.maxSpans)
+            return true;
+        if (retention_.maxRecords > 0 &&
+            records_.size() > retention_.maxRecords)
+            return true;
+        return false;
+    };
+    // Oldest-first by (startUs, id): the multimap keeps equal start
+    // times in insertion order, so the scan is deterministic.
+    while (over() && records_.size() > 1) {
+        auto it = by_start_.begin();
+        if (it->second == protected_id) {
+            auto next = std::next(it);
+            if (next == by_start_.end())
+                break;
+            it = next;
+        }
+        evictOne(it->second);
+    }
+}
+
+void
+TraceStore::evictOne(size_t id)
+{
+    auto rec_it = records_.find(id);
+    SLEUTH_ASSERT(rec_it != records_.end(), "evicting unknown record");
+    const Record &rec = rec_it->second;
+
+    int64_t start = rec.startUs();
+    auto [lo, hi] = by_start_.equal_range(start);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == id) {
+            by_start_.erase(it);
+            break;
+        }
+    }
+    std::set<std::string> services;
+    for (const trace::Span &s : rec.trace.spans)
+        services.insert(s.service);
+    for (const std::string &svc : services) {
+        auto svc_it = by_service_.find(svc);
+        if (svc_it == by_service_.end())
+            continue;
+        std::vector<size_t> &ids = svc_it->second;
+        ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+        if (ids.empty())
+            by_service_.erase(svc_it);
+    }
+    total_spans_ -= rec.trace.spans.size();
+    ++evictions_.records;
+    evictions_.spans += rec.trace.spans.size();
+    records_.erase(rec_it);
 }
 
 const Record &
 TraceStore::at(size_t id) const
 {
-    SLEUTH_ASSERT(id < records_.size(), "record id out of range");
-    return records_[id];
+    auto it = records_.find(id);
+    SLEUTH_ASSERT(it != records_.end(),
+                  "record id out of range or evicted");
+    return it->second;
 }
 
 std::vector<const Record *>
@@ -59,6 +132,8 @@ TraceStore::query(const Query &q) const
         if (q.minStartUs && r.startUs() < *q.minStartUs)
             return false;
         if (q.maxStartUs && r.startUs() >= *q.maxStartUs)
+            return false;
+        if (q.flowIndex && r.flowIndex != *q.flowIndex)
             return false;
         if (q.onlyAnomalous && !r.anomalous())
             return false;
@@ -81,11 +156,16 @@ TraceStore::query(const Query &q) const
             return out;
         std::vector<size_t> ids = it->second;
         std::sort(ids.begin(), ids.end(), [&](size_t a, size_t b) {
-            return records_[a].startUs() < records_[b].startUs();
+            int64_t sa = records_.at(a).startUs();
+            int64_t sb = records_.at(b).startUs();
+            if (sa != sb)
+                return sa < sb;
+            return a < b;
         });
         for (size_t id : ids) {
-            if (matches(records_[id])) {
-                out.push_back(&records_[id]);
+            const Record &r = records_.at(id);
+            if (matches(r)) {
+                out.push_back(&r);
                 if (q.limit && out.size() >= q.limit)
                     break;
             }
@@ -98,7 +178,7 @@ TraceStore::query(const Query &q) const
     auto hi = q.maxStartUs ? by_start_.lower_bound(*q.maxStartUs)
                            : by_start_.end();
     for (auto it = lo; it != hi; ++it) {
-        const Record &r = records_[it->second];
+        const Record &r = records_.at(it->second);
         if (matches(r)) {
             out.push_back(&r);
             if (q.limit && out.size() >= q.limit)
@@ -113,8 +193,10 @@ TraceStore::scan() const
 {
     std::vector<const Record *> all;
     all.reserve(records_.size());
-    for (const Record &r : records_)
+    for (const auto &[id, r] : records_) {
+        (void)id;
         all.push_back(&r);
+    }
     return Dataset<const Record *>(std::move(all));
 }
 

@@ -32,6 +32,8 @@ struct Record
     int64_t sloUs = 0;
     /** Operation flow that produced the trace (-1 = unknown). */
     int flowIndex = -1;
+    /** Store-assigned id (monotonic admission order; set by insert). */
+    size_t id = 0;
 
     /** Root span start timestamp (used by the time index). */
     int64_t startUs() const;
@@ -48,10 +50,27 @@ struct Query
     std::optional<int64_t> maxStartUs;
     /** Only traces touching this service. */
     std::optional<std::string> service;
+    /** Only traces produced by this operation flow. */
+    std::optional<int> flowIndex;
     /** Only SLO-violating / erroring traces. */
     bool onlyAnomalous = false;
     /** Cap on the number of results (0 = unlimited). */
     size_t limit = 0;
+};
+
+/**
+ * Retention policy bounding the store's memory. 0 disables a bound.
+ * Enforced on insert: the oldest records (by root start time, then by
+ * id) are evicted until the store fits the budget again; the record
+ * being inserted is never evicted, so a single oversized trace is
+ * admitted rather than thrashing.
+ */
+struct RetentionConfig
+{
+    /** Total span budget across all stored records. */
+    size_t maxSpans = 0;
+    /** Record-count budget. */
+    size_t maxRecords = 0;
 };
 
 /** A typed, chainable in-memory operator pipeline. */
@@ -117,17 +136,38 @@ class Dataset
     std::vector<T> items_;
 };
 
+/** Cumulative eviction counters of a TraceStore. */
+struct EvictionStats
+{
+    size_t records = 0;
+    size_t spans = 0;
+};
+
 /** The embedded trace store. */
 class TraceStore
 {
   public:
-    /** Insert a record; returns its id. */
+    TraceStore() = default;
+
+    /** Construct with a retention policy active from the start. */
+    explicit TraceStore(RetentionConfig retention)
+        : retention_(retention)
+    {
+    }
+
+    /** Install or replace the retention policy (applies immediately). */
+    void setRetention(RetentionConfig retention);
+
+    /** Insert a record; returns its id (ids are never reused). */
     size_t insert(Record record);
 
-    /** Number of stored records. */
+    /** Number of live (non-evicted) records. */
     size_t size() const { return records_.size(); }
 
-    /** Record access by id. */
+    /** True when the id names a live record. */
+    bool contains(size_t id) const { return records_.count(id) > 0; }
+
+    /** Record access by id; the id must be live. */
     const Record &at(size_t id) const;
 
     /** Indexed declarative query; results ordered by start time. */
@@ -139,13 +179,25 @@ class TraceStore
     /** Total spans stored (capacity accounting). */
     size_t totalSpans() const { return total_spans_; }
 
+    /** Cumulative eviction counters. */
+    const EvictionStats &evictions() const { return evictions_; }
+
   private:
-    std::vector<Record> records_;
+    /** Evict oldest records until the retention budget fits. */
+    void enforceRetention(size_t protected_id);
+
+    void evictOne(size_t id);
+
+    /** id -> record; a map so eviction can erase without moving ids. */
+    std::map<size_t, Record> records_;
     /** start-time index: (startUs, record id), kept sorted. */
     std::multimap<int64_t, size_t> by_start_;
     /** service name -> record ids. */
     std::map<std::string, std::vector<size_t>> by_service_;
     size_t total_spans_ = 0;
+    size_t next_id_ = 0;
+    RetentionConfig retention_;
+    EvictionStats evictions_;
 };
 
 } // namespace sleuth::storage

@@ -173,3 +173,75 @@ TEST(TraceCollector, RejectsStructurallyInvalidTraces)
     EXPECT_EQ(store.size(), 1u);
     EXPECT_EQ(store.at(0).trace.traceId, "ok");
 }
+
+TEST(CollectorStats, CountsDropsByReason)
+{
+    CollectorStats s;
+    s.countDrop(DropReason::Orphan, 2);
+    s.countDrop(DropReason::Duplicate, 1);
+    s.countDrop(DropReason::LateAfterEviction, 3);
+    s.countDrop(DropReason::Malformed, 4);
+    s.countDrop(DropReason::Backpressure, 5);
+    EXPECT_EQ(s.spansRejected, 15u);
+    EXPECT_EQ(s.droppedOrphan, 2u);
+    EXPECT_EQ(s.droppedDuplicate, 1u);
+    EXPECT_EQ(s.droppedLate, 3u);
+    EXPECT_EQ(s.droppedMalformed, 4u);
+    EXPECT_EQ(s.droppedBackpressure, 5u);
+
+    CollectorStats other;
+    other.countDrop(DropReason::Orphan, 1);
+    other.spansAccepted = 7;
+    other.tracesAccepted = 2;
+    s.merge(other);
+    EXPECT_EQ(s.droppedOrphan, 3u);
+    EXPECT_EQ(s.spansRejected, 16u);
+    EXPECT_EQ(s.spansAccepted, 7u);
+    EXPECT_EQ(s.tracesAccepted, 2u);
+}
+
+TEST(CollectorStats, ClassifyDefectOrdersChecks)
+{
+    using sleuth::testing::makeSpan;
+    trace::Trace empty;
+    EXPECT_EQ(classifyDefect(empty), DropReason::Malformed);
+
+    trace::Trace dup;
+    dup.spans.push_back(makeSpan("x", "", "s", "op", 0, 10));
+    dup.spans.push_back(makeSpan("x", "x", "s", "op2", 1, 5));
+    EXPECT_EQ(classifyDefect(dup), DropReason::Duplicate);
+
+    trace::Trace orphan;
+    orphan.spans.push_back(makeSpan("a", "", "s", "op", 0, 10));
+    orphan.spans.push_back(makeSpan("b", "ghost", "s", "op2", 1, 5));
+    EXPECT_EQ(classifyDefect(orphan), DropReason::Orphan);
+
+    trace::Trace two_roots;
+    two_roots.spans.push_back(makeSpan("a", "", "s", "op", 0, 10));
+    two_roots.spans.push_back(makeSpan("b", "", "s", "op2", 1, 5));
+    EXPECT_EQ(classifyDefect(two_roots), DropReason::Malformed);
+}
+
+TEST(TraceCollector, RejectionsAreCountedByReason)
+{
+    // One orphan trace, one valid trace, one unparsable payload.
+    const char *payload = R"([
+      {"traceId": "bad", "id": "b", "parentId": "ghost",
+       "name": "op", "timestamp": 0, "duration": 5,
+       "localEndpoint": {"serviceName": "s"}},
+      {"traceId": "ok", "id": "a", "name": "op",
+       "timestamp": 0, "duration": 5,
+       "localEndpoint": {"serviceName": "s"}}
+    ])";
+    storage::TraceStore store;
+    TraceCollector collector(&store);
+    collector.ingest(payload, Protocol::Zipkin);
+    collector.ingest("{not json", Protocol::Zipkin);
+    const CollectorStats &s = collector.stats();
+    EXPECT_EQ(s.tracesAccepted, 1u);
+    EXPECT_EQ(s.tracesRejected, 2u);
+    EXPECT_EQ(s.droppedOrphan, 1u);
+    EXPECT_EQ(s.droppedMalformed, 1u);
+    EXPECT_EQ(s.spansRejected, 2u);
+    EXPECT_EQ(s.spansAccepted, 1u);
+}

@@ -1,0 +1,176 @@
+// StormDetector: sliding-window onset/clear hysteresis, window stats
+// over bucket merges, arrival-order insensitivity, and ring-slot
+// recycling at window boundaries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "online/detector.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using online::DetectorConfig;
+using online::Observation;
+using online::StormDetector;
+using online::StormTransition;
+using online::WindowStats;
+
+namespace {
+
+DetectorConfig
+smallConfig()
+{
+    DetectorConfig cfg;
+    cfg.bucketUs = 1'000;
+    cfg.windowBuckets = 4;
+    cfg.minWindowCount = 6;
+    cfg.minAnomalous = 3;
+    cfg.onsetFraction = 0.3;
+    cfg.clearFraction = 0.1;
+    return cfg;
+}
+
+Observation
+obs(const std::string &endpoint, int64_t start_us, int64_t duration_us,
+    bool anomalous, bool error = false)
+{
+    return Observation{endpoint, start_us, duration_us, anomalous,
+                       error};
+}
+
+} // namespace
+
+TEST(StormDetector, QuietEndpointNeverStorms)
+{
+    StormDetector d(smallConfig());
+    for (int i = 0; i < 40; ++i)
+        d.observe(obs("svc/op", i * 100, 1'000, false));
+    EXPECT_TRUE(d.advance(4'000).empty());
+    EXPECT_FALSE(d.storming("svc/op"));
+}
+
+TEST(StormDetector, OnsetThenClearLifecycle)
+{
+    StormDetector d(smallConfig());
+    // Healthy window.
+    for (int i = 0; i < 10; ++i)
+        d.observe(obs("svc/op", i * 100, 1'000, false));
+    EXPECT_TRUE(d.advance(1'000).empty());
+
+    // Anomaly burst in the next bucket: 6 of 8 anomalous.
+    for (int i = 0; i < 8; ++i)
+        d.observe(obs("svc/op", 1'000 + i * 100, 9'000, i < 6));
+    std::vector<StormTransition> tr = d.advance(2'000);
+    ASSERT_EQ(tr.size(), 1u);
+    EXPECT_EQ(tr[0].kind, StormTransition::Kind::Onset);
+    EXPECT_EQ(tr[0].endpoint, "svc/op");
+    EXPECT_TRUE(d.storming("svc/op"));
+    EXPECT_GE(tr[0].window.anomalous, 6u);
+
+    // No new clear while the burst is still inside the window.
+    EXPECT_TRUE(d.advance(3'000).empty());
+
+    // Window slides past the burst (watermark 7'000: buckets 4..7 all
+    // healthy traffic) -> clear.
+    for (int b = 4; b <= 7; ++b)
+        for (int i = 0; i < 4; ++i)
+            d.observe(
+                obs("svc/op", b * 1'000 + i * 100, 1'000, false));
+    std::vector<StormTransition> clear = d.advance(7'000);
+    ASSERT_EQ(clear.size(), 1u);
+    EXPECT_EQ(clear[0].kind, StormTransition::Kind::Clear);
+    EXPECT_FALSE(d.storming("svc/op"));
+}
+
+TEST(StormDetector, HysteresisRequiresBothThresholds)
+{
+    StormDetector d(smallConfig());
+    // High fraction but too few traces: 2 anomalous of 4 < min counts.
+    for (int i = 0; i < 4; ++i)
+        d.observe(obs("a/op", i * 100, 5'000, i < 2));
+    EXPECT_TRUE(d.advance(1'000).empty());
+
+    // Enough traces, enough anomalous, but low fraction: 3 of 30.
+    for (int i = 0; i < 30; ++i)
+        d.observe(obs("b/op", i * 10, 5'000, i < 3));
+    EXPECT_TRUE(d.advance(1'000).empty());
+}
+
+TEST(StormDetector, ArrivalOrderDoesNotChangeVerdicts)
+{
+    std::vector<Observation> observations;
+    util::Rng rng(21);
+    for (int i = 0; i < 60; ++i)
+        observations.push_back(obs("svc/op", i * 50, 8'000, i >= 30));
+    WindowStats ref;
+    for (int round = 0; round < 5; ++round) {
+        StormDetector d(smallConfig());
+        std::vector<Observation> shuffled = observations;
+        rng.shuffle(shuffled);
+        for (const Observation &o : shuffled)
+            d.observe(o);
+        WindowStats w = d.windowStats("svc/op", 3'000);
+        std::vector<StormTransition> tr = d.advance(3'000);
+        ASSERT_EQ(tr.size(), 1u);
+        EXPECT_EQ(tr[0].kind, StormTransition::Kind::Onset);
+        if (round == 0) {
+            ref = w;
+            continue;
+        }
+        EXPECT_EQ(w.count, ref.count);
+        EXPECT_EQ(w.anomalous, ref.anomalous);
+        EXPECT_EQ(w.errors, ref.errors);
+        EXPECT_EQ(w.p50Us, ref.p50Us);  // bitwise: sketch merge exact
+        EXPECT_EQ(w.p99Us, ref.p99Us);
+    }
+}
+
+TEST(StormDetector, WindowStatsMergeBucketsAcrossBoundary)
+{
+    StormDetector d(smallConfig());
+    // 5 observations in bucket 0, 5 in bucket 3 (window edge at
+    // watermark 3'000 covers buckets 0..3).
+    for (int i = 0; i < 5; ++i) {
+        d.observe(obs("svc/op", i * 100, 1'000, false));
+        d.observe(obs("svc/op", 3'000 + i * 100, 3'000, false, true));
+    }
+    WindowStats w = d.windowStats("svc/op", 3'000);
+    EXPECT_EQ(w.count, 10u);
+    EXPECT_EQ(w.errors, 5u);
+    // At watermark 4'000 the window is buckets 1..4: bucket 0 left.
+    WindowStats w2 = d.windowStats("svc/op", 4'000);
+    EXPECT_EQ(w2.count, 5u);
+    EXPECT_EQ(w2.errors, 5u);
+}
+
+TEST(StormDetector, RingRecyclingDropsOnlyAncientObservations)
+{
+    StormDetector d(smallConfig());
+    // Fill bucket 5, then an observation 4 ring-lengths older arrives:
+    // its slot (5 % 4 == 1 % 4) is held by newer data and must not be
+    // clobbered or counted.
+    d.observe(obs("svc/op", 5'500, 1'000, false));
+    d.observe(obs("svc/op", 1'500, 9'000, true));
+    WindowStats w = d.windowStats("svc/op", 5'900);
+    EXPECT_EQ(w.count, 1u);
+    EXPECT_EQ(w.anomalous, 0u);
+}
+
+TEST(StormDetector, EndpointsAreIndependent)
+{
+    StormDetector d(smallConfig());
+    for (int i = 0; i < 10; ++i) {
+        d.observe(obs("sick/op", i * 100, 9'000, true));
+        d.observe(obs("healthy/op", i * 100, 1'000, false));
+    }
+    std::vector<StormTransition> tr = d.advance(1'000);
+    ASSERT_EQ(tr.size(), 1u);
+    EXPECT_EQ(tr[0].endpoint, "sick/op");
+    EXPECT_TRUE(d.storming("sick/op"));
+    EXPECT_FALSE(d.storming("healthy/op"));
+    std::vector<std::string> storming = d.stormingEndpoints();
+    ASSERT_EQ(storming.size(), 1u);
+    EXPECT_EQ(storming[0], "sick/op");
+}

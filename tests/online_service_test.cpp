@@ -1,0 +1,287 @@
+// OnlineService end to end: incident lifecycle over a simulated live
+// load, the determinism contract under 1/2/8 ingest threads, the
+// snapshot/batch differential, and bounded memory under retention.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "eval/harness.h"
+#include "online/live_source.h"
+#include "online/service.h"
+#include "sim/cluster_model.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+
+namespace {
+
+/** Shared fixture: app + deployment + trained model (built once). */
+struct World
+{
+    synth::AppConfig app;
+    sim::ClusterModel cluster;
+    eval::SleuthAdapter adapter;
+    chaos::FaultSchedule schedule;
+
+    static eval::SleuthAdapter::Config
+    adapterConfig()
+    {
+        eval::SleuthAdapter::Config cfg;
+        cfg.train.epochs = 2;
+        return cfg;
+    }
+
+    World() : app(synth::generateApp(synth::syntheticParams(16, 5))),
+              cluster(app, 8, 5), adapter(adapterConfig())
+    {
+        sim::Simulator::calibrateSlos(app, cluster, 200, 99.0, 5);
+        sim::Simulator warmup(app, cluster, {.seed = 0x9a17});
+        std::vector<trace::Trace> corpus;
+        for (int i = 0; i < 200; ++i)
+            corpus.push_back(warmup.simulateOne().trace);
+        adapter.fit(corpus);
+
+        // healthy [0, 0.6s) -> faulty [0.6s, 1.6s) -> healthy.
+        util::Rng chaos_rng(0xc4a05);
+        chaos::FaultPlan plan = chaos::planFixedFaults(
+            cluster.allInstances(), 2, chaos::FaultScope::Container, {},
+            chaos_rng);
+        schedule.phases.push_back({0, {}});
+        schedule.phases.push_back({600'000, plan});
+        schedule.phases.push_back({1'600'000, {}});
+    }
+};
+
+World &
+world()
+{
+    static World w;
+    return w;
+}
+
+online::OnlineConfig
+serviceConfig()
+{
+    online::OnlineConfig cfg;
+    cfg.endpoints = online::endpointProfiles(world().app);
+    cfg.detector.bucketUs = 200'000;
+    cfg.detector.windowBuckets = 5;
+    cfg.assembler.latenessUs = 100'000;
+    cfg.assembler.quietGapUs = 50'000;
+    return cfg;
+}
+
+online::LiveSourceConfig
+loadConfig(size_t threads)
+{
+    online::LiveSourceConfig live;
+    live.seed = 31;
+    live.requests = 900;
+    live.arrivalRatePerSec = 450.0;
+    live.ingestThreads = threads;
+    live.pollIntervalUs = 200'000;
+    live.duplicateProb = 0.03;
+    live.schedule = world().schedule;
+    return live;
+}
+
+/**
+ * Everything determinism-relevant about a service's incidents, as one
+ * string. Excludes wall-clock fields (rcaMillis) by construction.
+ */
+std::string
+incidentFingerprint(const online::OnlineService &service)
+{
+    std::ostringstream out;
+    for (const online::Incident &i : service.incidents()) {
+        out << "#" << i.id << " " << online::toString(i.state) << " @"
+            << i.openedAtUs << "-" << i.resolvedAtUs << " window["
+            << i.windowStartUs << "," << i.windowEndUs << ") hwm "
+            << i.snapshotMaxRecordId << "\n";
+        for (const std::string &e : i.endpoints)
+            out << "  ep " << e << "\n";
+        for (size_t t = 0; t < i.anomalousTraces.size(); ++t) {
+            out << "  " << i.anomalousTraces[t].traceId << " slo "
+                << i.slos[t] << " ->";
+            if (t < i.rca.perTrace.size())
+                for (const std::string &svc :
+                     i.rca.perTrace[t].services)
+                    out << " " << svc;
+            out << "\n";
+        }
+        for (const trace::Trace &n : i.normalSample)
+            out << "  normal " << n.traceId << "\n";
+        out << "  considered " << i.normalsConsidered << " detect "
+            << i.detectionLatencyUs << "\n";
+        for (const auto &[svc, votes] : i.rankedRootCauses)
+            out << "  rank " << svc << "=" << votes << "\n";
+    }
+    return out.str();
+}
+
+} // namespace
+
+TEST(OnlineService, IncidentLifecycleOverLiveLoad)
+{
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(),
+                                  serviceConfig());
+    online::LiveRunResult run =
+        online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                            loadConfig(1), &service);
+
+    EXPECT_EQ(run.requests, 900u);
+    EXPECT_GT(run.anomalousSimulated, 0u);
+
+    online::OnlineStats stats = service.stats();
+    EXPECT_EQ(stats.spansIngested, run.spansDelivered);
+    // Every span is accounted: accepted, rejected, or still pending.
+    EXPECT_EQ(stats.assembly.spansAccepted +
+                  stats.assembly.spansRejected + service.backlogSpans(),
+              stats.spansIngested);
+    // The duplicated deliveries were caught.
+    EXPECT_GT(stats.assembly.droppedDuplicate, 0u);
+    EXPECT_EQ(stats.tracesStored, stats.assembly.tracesAccepted);
+
+    ASSERT_GE(stats.incidentsOpened, 1u);
+    const online::Incident &incident = service.incidents()[0];
+    EXPECT_EQ(incident.state, online::Incident::State::Resolved);
+    EXPECT_LT(incident.openedAtUs, incident.resolvedAtUs);
+    EXPECT_FALSE(incident.endpoints.empty());
+    EXPECT_FALSE(incident.anomalousTraces.empty());
+    EXPECT_EQ(incident.anomalousTraces.size(), incident.slos.size());
+    EXPECT_EQ(incident.anomalousTraces.size(),
+              incident.rca.perTrace.size());
+    EXPECT_FALSE(incident.rankedRootCauses.empty());
+    EXPECT_GE(incident.detectionLatencyUs, 0);
+    ASSERT_FALSE(run.detectionLatenciesUs.empty());
+    // Detected within (well under) the fault phase's one-second span.
+    EXPECT_LT(run.detectionLatenciesUs[0], 1'000'000);
+}
+
+TEST(OnlineService, ThreadCountNeverChangesResults)
+{
+    std::string reference;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        online::OnlineService service(world().adapter.model(),
+                                      world().adapter.encoder(),
+                                      world().adapter.profile(),
+                                      serviceConfig());
+        online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                            loadConfig(threads), &service);
+        std::string fp = incidentFingerprint(service);
+        ASSERT_FALSE(fp.empty());
+        online::OnlineStats stats = service.stats();
+        std::ostringstream counters;
+        counters << stats.spansIngested << "/" << stats.tracesStored
+                 << "/" << stats.assembly.spansAccepted << "/"
+                 << stats.assembly.spansRejected << "/"
+                 << service.store().size() << "/"
+                 << service.store().totalSpans();
+        fp += counters.str();
+        if (reference.empty())
+            reference = fp;
+        else
+            EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+}
+
+TEST(OnlineService, SnapshotMatchesBatchPipelineOverStore)
+{
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(),
+                                  serviceConfig());
+    online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                        loadConfig(2), &service);
+    ASSERT_GE(service.incidents().size(), 1u);
+    const online::Incident &incident = service.incidents()[0];
+
+    // Rebuild the snapshot independently from the store and run the
+    // batch pipeline over it: verdicts must agree per trace. Traces
+    // that finished assembling after the incident was analyzed can
+    // carry start times inside the window; the recorded store
+    // high-water mark excludes them.
+    storage::Query q;
+    q.minStartUs = incident.windowStartUs;
+    q.maxStartUs = incident.windowEndUs;
+    q.onlyAnomalous = true;
+    std::vector<const storage::Record *> window =
+        service.store().query(q);
+    struct Row
+    {
+        const storage::Record *rec;
+        int64_t start;
+    };
+    std::vector<Row> rows;
+    for (const storage::Record *r : window)
+        if (r->id <= incident.snapshotMaxRecordId)
+            rows.push_back({r, r->startUs()});
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.start != b.start)
+            return a.start < b.start;
+        return a.rec->trace.traceId < b.rec->trace.traceId;
+    });
+    ASSERT_EQ(rows.size(), incident.anomalousTraces.size());
+    std::vector<trace::Trace> traces;
+    std::vector<int64_t> slos;
+    for (const Row &r : rows) {
+        traces.push_back(r.rec->trace);
+        slos.push_back(r.rec->sloUs);
+    }
+    core::SleuthPipeline batch(world().adapter.model(),
+                               world().adapter.encoder(),
+                               world().adapter.profile(),
+                               serviceConfig().pipeline);
+    core::PipelineResult ref = batch.analyze(traces, slos);
+    ASSERT_EQ(ref.perTrace.size(), incident.rca.perTrace.size());
+    for (size_t i = 0; i < ref.perTrace.size(); ++i) {
+        EXPECT_EQ(traces[i].traceId,
+                  incident.anomalousTraces[i].traceId);
+        EXPECT_EQ(ref.perTrace[i].services,
+                  incident.rca.perTrace[i].services);
+        EXPECT_EQ(ref.perTrace[i].resolved,
+                  incident.rca.perTrace[i].resolved);
+    }
+    EXPECT_EQ(core::aggregateRootCauses(ref), incident.rankedRootCauses);
+}
+
+TEST(OnlineService, RetentionBoundsStoreMemory)
+{
+    online::OnlineConfig cfg = serviceConfig();
+    cfg.retention.maxSpans = 1'500;
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(), cfg);
+    online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                        loadConfig(2), &service);
+    EXPECT_LE(service.store().totalSpans(), 1'500u);
+    EXPECT_GT(service.store().evictions().records, 0u);
+    EXPECT_GT(service.store().evictions().spans, 0u);
+    // Eviction removed old traces but the stream kept being served.
+    online::OnlineStats stats = service.stats();
+    EXPECT_GT(stats.tracesStored, service.store().size());
+}
+
+TEST(OnlineService, HealthyLoadOpensNoIncident)
+{
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(),
+                                  serviceConfig());
+    online::LiveSourceConfig live = loadConfig(1);
+    live.schedule = {};  // no faults
+    live.requests = 400;
+    online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                        live, &service);
+    EXPECT_EQ(service.incidents().size(), 0u);
+    EXPECT_GT(service.stats().tracesStored, 0u);
+}

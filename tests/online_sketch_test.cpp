@@ -1,0 +1,138 @@
+// QuantileSketch: accuracy bound, merge semantics, window-boundary
+// behavior (two half-window sketches merged == one full-window sketch),
+// and bounded memory under collapse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "online/sketch.h"
+#include "util/rng.h"
+
+using namespace sleuth;
+using online::QuantileSketch;
+
+namespace {
+
+double
+exactQuantile(std::vector<double> xs, double q)
+{
+    std::sort(xs.begin(), xs.end());
+    size_t rank = static_cast<size_t>(
+        q * static_cast<double>(xs.size() - 1));
+    return xs[rank];
+}
+
+} // namespace
+
+TEST(QuantileSketch, EmptyIsZero)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.buckets(), 0u);
+}
+
+TEST(QuantileSketch, RelativeAccuracyBoundHolds)
+{
+    const double alpha = 0.02;
+    QuantileSketch s(alpha);
+    util::Rng rng(42);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) {
+        double x = rng.logNormal(8.0, 1.2);  // latency-like heavy tail
+        xs.push_back(x);
+        s.add(x);
+    }
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        double exact = exactQuantile(xs, q);
+        double est = s.quantile(q);
+        EXPECT_NEAR(est, exact, exact * 2.0 * alpha)
+            << "quantile " << q;
+    }
+}
+
+TEST(QuantileSketch, ZerosAndNegativesClampIntoZeroBucket)
+{
+    QuantileSketch s;
+    s.add(0.0);
+    s.add(-5.0);
+    s.add(100.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.quantile(0.0), 0.0);
+    EXPECT_GT(s.quantile(1.0), 90.0);
+}
+
+// The window-boundary property the storm detector relies on: merging
+// the sketches of two half windows is EXACTLY the sketch of the full
+// window — same buckets, same counts, same quantiles — regardless of
+// how observations were split across the halves.
+TEST(QuantileSketch, TwoHalfWindowsMergeExactlyToFullWindow)
+{
+    const double alpha = 0.02;
+    QuantileSketch full(alpha);
+    QuantileSketch first_half(alpha);
+    QuantileSketch second_half(alpha);
+    util::Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        double x = rng.logNormal(7.5, 1.0);
+        full.add(x);
+        (i % 2 == 0 ? first_half : second_half).add(x);
+    }
+    QuantileSketch merged(alpha);
+    merged.merge(first_half);
+    merged.merge(second_half);
+    EXPECT_TRUE(merged == full);
+    EXPECT_EQ(merged.count(), full.count());
+    for (double q : {0.01, 0.25, 0.5, 0.75, 0.99})
+        EXPECT_EQ(merged.quantile(q), full.quantile(q));
+}
+
+TEST(QuantileSketch, MergeIsCommutative)
+{
+    QuantileSketch a(0.02), b(0.02);
+    util::Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        a.add(rng.logNormal(6.0, 0.8));
+    for (int i = 0; i < 700; ++i)
+        b.add(rng.logNormal(9.0, 0.5));
+    QuantileSketch ab(0.02), ba(0.02);
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_TRUE(ab == ba);
+}
+
+TEST(QuantileSketch, CollapseBoundsMemoryAndKeepsUpperQuantiles)
+{
+    const double alpha = 0.02;
+    QuantileSketch bounded(alpha, 32);
+    QuantileSketch unbounded(alpha, 0);
+    util::Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 3000; ++i) {
+        double x = rng.pareto(10.0, 1.1);  // very wide dynamic range
+        xs.push_back(x);
+        bounded.add(x);
+        unbounded.add(x);
+    }
+    EXPECT_LE(bounded.buckets(), 32u);
+    EXPECT_GT(unbounded.buckets(), 32u);
+    // Collapse folds LOW buckets; p99 must stay within the bound.
+    double exact = exactQuantile(xs, 0.99);
+    EXPECT_NEAR(bounded.quantile(0.99), exact, exact * 2.0 * alpha);
+}
+
+TEST(QuantileSketch, ClearResets)
+{
+    QuantileSketch s;
+    s.add(10.0);
+    s.add(20.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.quantile(0.9), 0.0);
+    QuantileSketch empty;
+    EXPECT_TRUE(s == empty);
+}

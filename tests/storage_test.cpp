@@ -127,3 +127,114 @@ TEST(Dataset, FilterMapGroupAggregate)
     EXPECT_EQ(by_service.size(), 2u);
     EXPECT_EQ(by_service["alpha"].size(), 2u);
 }
+
+TEST(TraceStore, FlowIndexFilter)
+{
+    TraceStore store;
+    Record a = record("a", 0, 10, "svc");
+    a.flowIndex = 0;
+    Record b = record("b", 10, 10, "svc");
+    b.flowIndex = 1;
+    Record c = record("c", 20, 10, "svc");
+    c.flowIndex = 1;
+    store.insert(std::move(a));
+    store.insert(std::move(b));
+    store.insert(std::move(c));
+
+    Query q;
+    q.flowIndex = 1;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->trace.traceId, "b");
+    EXPECT_EQ(hits[1]->trace.traceId, "c");
+
+    q.flowIndex = 9;
+    EXPECT_TRUE(store.query(q).empty());
+}
+
+// Regression: combined time-window + service + limit must return the
+// FIRST matching records in start-time order (the limit applies after
+// all predicates, not to the raw index scan).
+TEST(TraceStore, CombinedWindowServiceLimitOrdering)
+{
+    TraceStore store;
+    store.insert(record("early-other", 0, 10, "other"));
+    store.insert(record("m1", 10, 10, "match"));
+    store.insert(record("m2", 20, 10, "match"));
+    store.insert(record("late-match", 500, 10, "match"));
+    store.insert(record("m3", 30, 10, "match"));
+
+    Query q;
+    q.minStartUs = 5;
+    q.maxStartUs = 100;
+    q.service = "match";
+    q.limit = 2;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->trace.traceId, "m1");
+    EXPECT_EQ(hits[1]->trace.traceId, "m2");
+
+    // Same query unlimited: ordering is by start time throughout.
+    q.limit = 0;
+    hits = store.query(q);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[2]->trace.traceId, "m3");
+}
+
+TEST(TraceStore, RetentionEvictsOldestBySpanBudget)
+{
+    TraceStore store(RetentionConfig{/*maxSpans=*/3, /*maxRecords=*/0});
+    store.insert(record("a", 0, 10, "svc"));
+    store.insert(record("b", 10, 10, "svc"));
+    store.insert(record("c", 20, 10, "svc"));
+    EXPECT_EQ(store.size(), 3u);
+    // A fourth single-span record exceeds the budget: "a" goes.
+    store.insert(record("d", 30, 10, "svc"));
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.totalSpans(), 3u);
+    EXPECT_FALSE(store.contains(0));
+    EXPECT_TRUE(store.contains(3));
+    EXPECT_EQ(store.evictions().records, 1u);
+    EXPECT_EQ(store.evictions().spans, 1u);
+    // Eviction cleans the indexes: queries no longer see "a".
+    Query q;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0]->trace.traceId, "b");
+    Query by_service;
+    by_service.service = "svc";
+    EXPECT_EQ(store.query(by_service).size(), 3u);
+}
+
+TEST(TraceStore, RetentionByRecordCountAndNewestProtected)
+{
+    TraceStore store;
+    store.insert(record("a", 0, 10, "svc"));
+    store.insert(record("b", 10, 10, "svc"));
+    store.insert(record("c", 20, 10, "svc"));
+    // Installing a policy applies it immediately.
+    store.setRetention(RetentionConfig{0, /*maxRecords=*/2});
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_FALSE(store.contains(0));
+
+    // Even a budget of one record admits the record being inserted.
+    store.setRetention(RetentionConfig{0, 1});
+    size_t id = store.insert(record("huge", 100, 10, "svc"));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.contains(id));
+    EXPECT_EQ(store.at(id).trace.traceId, "huge");
+}
+
+TEST(TraceStore, IdsStableAcrossEviction)
+{
+    TraceStore store(RetentionConfig{0, 2});
+    size_t a = store.insert(record("a", 0, 10, "svc"));
+    size_t b = store.insert(record("b", 10, 10, "svc"));
+    size_t c = store.insert(record("c", 20, 10, "svc"));
+    EXPECT_FALSE(store.contains(a));
+    // Surviving ids keep addressing the same records; ids never reuse.
+    EXPECT_EQ(store.at(b).trace.traceId, "b");
+    EXPECT_EQ(store.at(c).trace.traceId, "c");
+    size_t d = store.insert(record("d", 30, 10, "svc"));
+    EXPECT_EQ(d, 3u);
+}

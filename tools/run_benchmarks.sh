@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Build the pipeline perf suite in Release mode and write the
-# machine-readable results to BENCH_pipeline.json at the repo root.
+# Build the perf suites in Release mode and write machine-readable
+# results to the repo root: BENCH_pipeline.json (batch pipeline hot
+# paths) and BENCH_online.json (online serving layer: ingest
+# throughput, detection latency, incident RCA latency).
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 set -euo pipefail
@@ -9,6 +11,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-release}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target perf_suite -j "$(nproc)"
+cmake --build "$build_dir" --target perf_suite online_suite -j "$(nproc)"
 
 "$build_dir/bench/perf_suite" "$repo_root/BENCH_pipeline.json"
+"$build_dir/bench/online_suite" "$repo_root/BENCH_online.json"

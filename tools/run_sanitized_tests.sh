@@ -5,7 +5,9 @@
 # Usage: tools/run_sanitized_tests.sh [build-dir] [sanitizer]
 #   build-dir  defaults to <repo>/build-sanitize
 #   sanitizer  ON (ASan+UBSan, default) or THREAD (TSan). TSan is the
-#              opt-in job for exercising the thread-pool engine; it
+#              opt-in job for exercising the thread-pool engine and the
+#              online layer's sharded concurrent span ingestion
+#              (online_service_test, campaign online-differential); it
 #              cannot be combined with ASan in one build.
 set -euo pipefail
 

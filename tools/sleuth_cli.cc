@@ -16,6 +16,9 @@
 //             Run counterfactual RCA on every SLO-violating trace
 //             (N worker threads; 0 = hardware concurrency; results
 //             are identical at any thread count).
+//   ingest    --traces IN.json [--protocol otel|zipkin|jaeger] [--slo US]
+//             Run a trace file through the collector front end and
+//             print acceptance plus per-reason drop counters.
 //
 // Trace files are JSON arrays of {"slo": us, "trace": {...}} records
 // (the "records" format) or bare arrays of traces (slo 0).
@@ -27,6 +30,7 @@
 #include <sstream>
 #include <string>
 
+#include "collector/collector.h"
 #include "core/anomaly.h"
 #include "core/counterfactual.h"
 #include "core/pipeline.h"
@@ -323,6 +327,62 @@ cmdAnalyze(const Args &args)
     return 0;
 }
 
+int
+cmdIngest(const Args &args)
+{
+    std::string proto_name = args.getOptional("protocol", "otel");
+    collector::Protocol proto;
+    if (proto_name == "otel")
+        proto = collector::Protocol::Otel;
+    else if (proto_name == "zipkin")
+        proto = collector::Protocol::Zipkin;
+    else if (proto_name == "jaeger")
+        proto = collector::Protocol::Jaeger;
+    else
+        util::fatal("unknown protocol '", proto_name, "'");
+
+    storage::TraceStore store;
+    collector::TraceCollector coll(&store);
+
+    util::Json doc = parseFile(args.get("traces"));
+    bool records_format = proto == collector::Protocol::Otel &&
+                          doc.asArray().size() > 0 &&
+                          doc.asArray()[0].has("trace");
+    if (records_format) {
+        // The records format carries a per-trace SLO: ingest each
+        // record as its own single-trace payload so the SLO sticks.
+        for (const util::Json &j : doc.asArray()) {
+            util::Json payload = util::Json::array();
+            payload.push(j.at("trace"));
+            coll.ingest(payload.dump(), proto,
+                        j.has("slo") ? j.at("slo").asInt() : 0);
+        }
+    } else {
+        coll.ingest(readFile(args.get("traces")), proto,
+                    args.getInt("slo", 0));
+    }
+
+    const collector::CollectorStats &s = coll.stats();
+    size_t anomalous = store.scan()
+                           .filter([](const storage::Record *r) {
+                               return r->anomalous();
+                           })
+                           .size();
+    std::printf("ingested %s (%s): %zu traces accepted (%zu spans),"
+                " %zu rejected (%zu spans)\n",
+                args.get("traces").c_str(), proto_name.c_str(),
+                s.tracesAccepted, s.spansAccepted, s.tracesRejected,
+                s.spansRejected);
+    std::printf("  drops: orphan=%zu duplicate=%zu"
+                " late-after-eviction=%zu malformed=%zu"
+                " backpressure=%zu\n",
+                s.droppedOrphan, s.droppedDuplicate, s.droppedLate,
+                s.droppedMalformed, s.droppedBackpressure);
+    std::printf("  stored: %zu records, %zu spans, %zu SLO-violating\n",
+                store.size(), store.totalSpans(), anomalous);
+    return 0;
+}
+
 void
 usage()
 {
@@ -335,7 +395,10 @@ usage()
         "  train    --traces IN.json --out MODEL.json [--epochs E]\n"
         "           [--embed D] [--hidden H]\n"
         "  analyze  --model MODEL.json --traces IN.json\n"
-        "           [--normal NORMAL.json] [--threads N]\n");
+        "           [--normal NORMAL.json] [--threads N]\n"
+        "  ingest   --traces IN.json [--protocol otel|zipkin|jaeger]\n"
+        "           [--slo US]  (validate + store; prints accept/drop\n"
+        "           counters by reason)\n");
 }
 
 } // namespace
@@ -357,6 +420,8 @@ main(int argc, char **argv)
         return cmdTrain(args);
     if (cmd == "analyze")
         return cmdAnalyze(args);
+    if (cmd == "ingest")
+        return cmdIngest(args);
     usage();
     return 2;
 }

@@ -1,0 +1,185 @@
+// sleuth_serviced — drive the online serving layer from the
+// discrete-event simulator under a chaos schedule.
+//
+// The tool generates a synthetic application, calibrates SLOs, trains
+// the Sleuth GNN on a healthy warmup corpus, then streams a Poisson
+// request load through the streaming ingestion path: spans delivered
+// out of order, late, optionally duplicated, split across payload
+// boundaries. Mid-run a fault phase opens (planFixedFaults) and later
+// clears, so the storm detector must open, analyze, and resolve an
+// incident online. On exit the tool prints a metrics document: ingest
+// rate, assembly backlog and drop reasons, storage/eviction counters,
+// detection and RCA latency, and every incident record.
+//
+//   sleuth_serviced [--rpcs N] [--seed S] [--nodes K] [--requests R]
+//                   [--rate RPS] [--threads T] [--poll-ms MS]
+//                   [--faults F] [--duplicate P] [--max-spans BUDGET]
+//                   [--out METRICS.json]
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "chaos/fault.h"
+#include "eval/harness.h"
+#include "online/live_source.h"
+#include "online/service.h"
+#include "sim/cluster_model.h"
+#include "sim/simulator.h"
+#include "synth/generator.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+using namespace sleuth;
+
+namespace {
+
+int64_t
+intArg(int argc, char **argv, const std::string &key, int64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (key == argv[i])
+            return std::stoll(argv[i + 1]);
+    return fallback;
+}
+
+double
+doubleArg(int argc, char **argv, const std::string &key, double fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (key == argv[i])
+            return std::stod(argv[i + 1]);
+    return fallback;
+}
+
+std::string
+strArg(int argc, char **argv, const std::string &key,
+       const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (key == argv[i])
+            return argv[i + 1];
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed =
+        static_cast<uint64_t>(intArg(argc, argv, "--seed", 7));
+    int rpcs = static_cast<int>(intArg(argc, argv, "--rpcs", 24));
+    int nodes = static_cast<int>(intArg(argc, argv, "--nodes", 12));
+    size_t requests =
+        static_cast<size_t>(intArg(argc, argv, "--requests", 3000));
+    double rate = doubleArg(argc, argv, "--rate", 400.0);
+    size_t threads =
+        static_cast<size_t>(intArg(argc, argv, "--threads", 2));
+    int64_t poll_ms = intArg(argc, argv, "--poll-ms", 250);
+    size_t faults =
+        static_cast<size_t>(intArg(argc, argv, "--faults", 2));
+    double duplicate = doubleArg(argc, argv, "--duplicate", 0.02);
+    size_t max_spans =
+        static_cast<size_t>(intArg(argc, argv, "--max-spans", 400'000));
+    std::string out = strArg(argc, argv, "--out", "");
+
+    // --- Application, deployment, SLOs. ---
+    synth::AppConfig app =
+        synth::generateApp(synth::syntheticParams(rpcs, seed));
+    sim::ClusterModel cluster(app, nodes, seed);
+    sim::Simulator::calibrateSlos(app, cluster, 300, 99.0, seed);
+
+    // --- Train on a healthy warmup corpus. ---
+    sim::Simulator warmup(app, cluster, {.seed = seed ^ 0x9a17u});
+    std::vector<trace::Trace> corpus;
+    corpus.reserve(400);
+    for (size_t i = 0; i < 400; ++i)
+        corpus.push_back(warmup.simulateOne().trace);
+    eval::SleuthAdapter adapter;
+    adapter.fit(corpus);
+    std::printf("trained on %zu warmup traces; %zu flows, %zu services\n",
+                corpus.size(), app.flows.size(), app.services.size());
+
+    // --- Chaos schedule: healthy -> faulty -> healthy. ---
+    int64_t total_us = static_cast<int64_t>(
+        static_cast<double>(requests) / rate * 1e6);
+    chaos::FaultSchedule schedule;
+    if (faults > 0) {
+        util::Rng chaos_rng(seed ^ 0xc4a05u);
+        chaos::FaultPlan plan = chaos::planFixedFaults(
+            cluster.allInstances(), faults, chaos::FaultScope::Container,
+            {}, chaos_rng);
+        schedule.phases.push_back({0, {}});
+        schedule.phases.push_back({total_us * 3 / 10, plan});
+        schedule.phases.push_back({total_us * 7 / 10, {}});
+        for (const chaos::FaultSpec &f : plan.faults)
+            std::printf("fault: %s on %s %s\n", toString(f.type),
+                        toString(f.scope), f.target.c_str());
+    }
+
+    // --- Online service. ---
+    online::OnlineConfig cfg;
+    cfg.endpoints = online::endpointProfiles(app);
+    cfg.retention.maxSpans = max_spans;
+    cfg.assembler.latenessUs = 150'000;
+    cfg.assembler.quietGapUs = 100'000;
+    cfg.detector.bucketUs = 500'000;
+    cfg.detector.windowBuckets = 8;
+    online::OnlineService service(adapter.model(), adapter.encoder(),
+                                  adapter.profile(), cfg);
+
+    online::LiveSourceConfig live;
+    live.seed = seed;
+    live.requests = requests;
+    live.arrivalRatePerSec = rate;
+    live.ingestThreads = threads;
+    live.pollIntervalUs = poll_ms * 1000;
+    live.duplicateProb = duplicate;
+    live.schedule = schedule;
+    online::LiveRunResult run = online::runLiveLoad(
+        app, cluster, {.seed = seed ^ 0x515u}, live, &service);
+
+    // --- Report. ---
+    util::Json doc = service.statsJson();
+    doc.set("requests", run.requests);
+    doc.set("spansDelivered", run.spansDelivered);
+    doc.set("anomalousSimulated", run.anomalousSimulated);
+    doc.set("ingestWallMillis", run.ingestWallMillis);
+    doc.set("spansPerSec", run.spansPerSec);
+    util::Json latencies = util::Json::array();
+    for (int64_t l : run.detectionLatenciesUs)
+        latencies.push(util::Json(l));
+    doc.set("detectionLatenciesUs", std::move(latencies));
+    util::Json incidents = util::Json::array();
+    for (const online::Incident &incident : service.incidents())
+        incidents.push(online::toJson(incident));
+    doc.set("incidents", std::move(incidents));
+
+    std::string text = doc.dump();
+    if (!out.empty()) {
+        std::ofstream f(out);
+        if (!f)
+            util::fatal("cannot write ", out);
+        f << text;
+        std::printf("metrics -> %s\n", out.c_str());
+    } else {
+        std::printf("%s\n", text.c_str());
+    }
+
+    online::OnlineStats stats = service.stats();
+    std::printf("ingested %zu spans at %.0f spans/sec; stored %zu"
+                " traces; %zu incidents (%zu analyzed, %zu resolved)\n",
+                stats.spansIngested, run.spansPerSec, stats.tracesStored,
+                stats.incidentsOpened, stats.incidentsAnalyzed,
+                stats.incidentsResolved);
+    for (const online::Incident &incident : service.incidents()) {
+        std::printf("incident #%zu [%s]", incident.id,
+                    online::toString(incident.state));
+        for (const auto &[svc, votes] : incident.rankedRootCauses)
+            std::printf(" %s(%zu)", svc.c_str(), votes);
+        std::printf("\n");
+    }
+    return 0;
+}
