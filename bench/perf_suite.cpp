@@ -27,6 +27,7 @@
 #include "core/pipeline.h"
 #include "core/trainer.h"
 #include "distance/distance_matrix.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "synth/generator.h"
 #include "util/json.h"
@@ -401,6 +402,45 @@ main(int argc, char **argv)
                         "candidates/s"});
         std::printf("rca: %zu candidates in %.1f ms\n", candidates,
                     ms);
+    }
+
+    // --- (f) Self-observability overhead on the 256-trace storm. ---
+    // The metrics layer is a write-only side channel: results must be
+    // bitwise identical with it on or off, and the acceptance bar for
+    // the instrumentation is < 2% overhead on this path.
+    {
+        std::vector<int64_t> slos(storm256.size(),
+                                  stormSlo(storm256));
+        PipelineConfig cfg;
+        SleuthPipeline pipeline(model, encoder, profile, cfg);
+        PipelineResult on_res;
+        double on_ms = bestOfMs(
+            5, [&] { on_res = pipeline.analyze(storm256, slos); });
+        obs::setEnabled(false);
+        PipelineResult off_res;
+        double off_ms = bestOfMs(
+            5, [&] { off_res = pipeline.analyze(storm256, slos); });
+        obs::setEnabled(true);
+        SLEUTH_ASSERT(on_res.clusterLabels == off_res.clusterLabels,
+                      "metrics on/off determinism: labels");
+        SLEUTH_ASSERT(on_res.rcaInvocations == off_res.rcaInvocations,
+                      "metrics on/off determinism: invocations");
+        for (size_t i = 0; i < on_res.perTrace.size(); ++i)
+            SLEUTH_ASSERT(on_res.perTrace[i].services ==
+                              off_res.perTrace[i].services,
+                          "metrics on/off determinism at ", i);
+        double overhead_pct = off_ms > 0.0
+                                  ? (on_ms - off_ms) / off_ms * 100.0
+                                  : 0.0;
+        rows.push_back(
+            {"e2e_analyze_256_metrics_on_ms", on_ms, "ms"});
+        rows.push_back(
+            {"e2e_analyze_256_metrics_off_ms", off_ms, "ms"});
+        rows.push_back({"e2e_analyze_256_metrics_overhead_pct",
+                        overhead_pct, "%"});
+        std::printf("e2e analyze n=256 metrics on/off: %.1f / %.1f ms"
+                    " (%.2f%% overhead)\n",
+                    on_ms, off_ms, overhead_pct);
     }
 
     // --- Emit machine-readable rows. ---

@@ -770,36 +770,49 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     int64_t poll_at = last_end + cfg.assembler.quietGapUs +
                       cfg.assembler.latenessUs + 1;
 
+    // The differential runs on two timelines: the staggered storm as
+    // built, and the same storm shifted wholly before the epoch (every
+    // detector bucket index < -1) — the regression surface of the old
+    // Bucket empty-sentinel collision, which silently dropped all
+    // pre-epoch observations and opened no incident.
+    auto runTimeline = [&](int64_t shift,
+                           const std::string &label) -> InvariantResult {
     std::string reference;
     for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
         online::OnlineService service(run.adapter->model(),
                                       run.adapter->encoder(),
                                       run.adapter->profile(), cfg);
+        auto deliver = [&](const Delivery &d) {
+            online::SpanEvent ev = d.event;
+            ev.span.startUs += shift;
+            ev.span.endUs += shift;
+            service.ingest(ev);
+        };
         if (threads == 1) {
             for (const Delivery &d : deliveries)
-                service.ingest(d.event);
+                deliver(d);
         } else {
             std::vector<std::thread> workers;
             for (size_t t = 0; t < threads; ++t)
                 workers.emplace_back([&, t] {
                     for (size_t i = t; i < deliveries.size();
                          i += threads)
-                        service.ingest(deliveries[i].event);
+                        deliver(deliveries[i]);
                 });
             for (std::thread &w : workers)
                 w.join();
         }
-        service.poll(poll_at);
+        service.poll(poll_at + shift);
         if (service.incidents().empty())
-            return fail("online layer opened no incident over the "
-                        "storm at ingestThreads=" +
+            return fail(label + "online layer opened no incident over "
+                        "the storm at ingestThreads=" +
                         std::to_string(threads));
         const online::Incident &incident = service.incidents()[0];
         std::string fp = incidentFingerprint(incident);
         if (reference.empty())
             reference = fp;
         else if (fp != reference)
-            return fail("incident diverges at ingestThreads=" +
+            return fail(label + "incident diverges at ingestThreads=" +
                         std::to_string(threads));
         if (threads != 1)
             continue;
@@ -825,7 +838,7 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
                   });
         if (rows.size() != incident.anomalousTraces.size())
             return fail(
-                "snapshot not reproducible from the store: " +
+                label + "snapshot not reproducible from the store: " +
                 std::to_string(rows.size()) + " records vs " +
                 std::to_string(incident.anomalousTraces.size()) +
                 " snapshot traces");
@@ -834,8 +847,8 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
         for (size_t i = 0; i < rows.size(); ++i) {
             if (rows[i]->trace.traceId !=
                 incident.anomalousTraces[i].traceId)
-                return fail("snapshot order diverges from the store "
-                            "at position " + std::to_string(i));
+                return fail(label + "snapshot order diverges from the "
+                            "store at position " + std::to_string(i));
             batch.push_back(rows[i]->trace);
             batch_slos.push_back(rows[i]->sloUs);
         }
@@ -843,14 +856,24 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
             incident.rca,
             run.analyzeBatch(cfg.pipeline, batch, batch_slos));
         if (!diff.empty())
-            return fail("online incident RCA diverges from the batch "
-                        "pipeline over the same snapshot: " + diff);
+            return fail(label + "online incident RCA diverges from the "
+                        "batch pipeline over the same snapshot: " +
+                        diff);
         if (core::aggregateRootCauses(incident.rca) !=
             incident.rankedRootCauses)
-            return fail("incident root-cause ranking is not the "
-                        "aggregation of its per-trace verdicts");
+            return fail(label + "incident root-cause ranking is not "
+                        "the aggregation of its per-trace verdicts");
     }
     return pass();
+    };
+
+    InvariantResult on_epoch = runTimeline(0, "");
+    if (!on_epoch.pass)
+        return on_epoch;
+    // Shift the whole storm (and the poll watermark) so every span end
+    // lands below -2 detector buckets.
+    return runTimeline(-(last_end + 3 * cfg.detector.bucketUs),
+                       "negative-epoch timeline: ");
 }
 
 } // namespace

@@ -3,11 +3,46 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace sleuth::collector {
+
+namespace {
+
+/** Per-reason drop counter (one labelled instance per DropReason). */
+obs::Counter &
+dropCounter(DropReason reason)
+{
+    static const char *help = "Spans dropped during ingestion, by reason";
+    static obs::Counter &orphan = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::Orphan)}});
+    static obs::Counter &duplicate = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::Duplicate)}});
+    static obs::Counter &late = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::LateAfterEviction)}});
+    static obs::Counter &malformed = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::Malformed)}});
+    static obs::Counter &backpressure = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::Backpressure)}});
+    switch (reason) {
+      case DropReason::Orphan: return orphan;
+      case DropReason::Duplicate: return duplicate;
+      case DropReason::LateAfterEviction: return late;
+      case DropReason::Malformed: return malformed;
+      case DropReason::Backpressure: return backpressure;
+    }
+    util::panic("invalid drop reason");
+}
+
+} // namespace
 
 const char *
 toString(Protocol p)
@@ -52,6 +87,11 @@ classifyDefect(const trace::Trace &t)
 void
 CollectorStats::countDrop(DropReason reason, size_t spans)
 {
+    // Every ingest-path drop (batch collector, span assembler, online
+    // admission control) funnels through here, so this is the one
+    // place the process-wide drop taxonomy is recorded. merge() is
+    // deliberately not instrumented: it folds already-counted shards.
+    dropCounter(reason).add(spans);
     spansRejected += spans;
     switch (reason) {
       case DropReason::Orphan: droppedOrphan += spans; break;
@@ -241,6 +281,10 @@ TraceCollector::ingest(const std::string &payload, Protocol protocol,
             continue;
         }
         stats_.spansAccepted += t.spans.size();
+        static obs::Counter &spans = obs::counter(
+            "sleuth_ingest_accepted_spans_total",
+            "Spans accepted by the batch trace collector");
+        spans.add(t.spans.size());
         storage::Record rec;
         rec.trace = std::move(t);
         rec.sloUs = slo_us;
@@ -248,6 +292,10 @@ TraceCollector::ingest(const std::string &payload, Protocol protocol,
         ++accepted;
         ++stats_.tracesAccepted;
     }
+    static obs::Counter &payloads = obs::counter(
+        "sleuth_ingest_payloads_total",
+        "Collector payloads parsed (any protocol)");
+    payloads.add();
     return accepted;
 }
 

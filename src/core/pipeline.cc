@@ -5,11 +5,51 @@
 #include <memory>
 
 #include "cluster/svdd.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace sleuth::core {
 
 namespace {
+
+/** Per-stage wall-clock histogram for sleuth_pipeline_stage_ms. */
+enum class Stage { Encode, Distance, Cluster, Rca };
+
+obs::Histogram &
+stageHistogram(Stage stage)
+{
+    static const char *name = "sleuth_pipeline_stage_ms";
+    static const char *help =
+        "Wall-clock milliseconds per pipeline stage per batch";
+    static obs::Histogram &encode =
+        obs::histogram(name, help, {{"stage", "encode"}});
+    static obs::Histogram &distance =
+        obs::histogram(name, help, {{"stage", "distance"}});
+    static obs::Histogram &cluster =
+        obs::histogram(name, help, {{"stage", "cluster"}});
+    static obs::Histogram &rca =
+        obs::histogram(name, help, {{"stage", "rca"}});
+    switch (stage) {
+      case Stage::Encode: return encode;
+      case Stage::Distance: return distance;
+      case Stage::Cluster: return cluster;
+      case Stage::Rca: return rca;
+    }
+    util::panic("invalid pipeline stage");
+}
+
+/** Batch entry accounting shared by the analyze* entry points. */
+void
+countBatch(size_t traces)
+{
+    static obs::Counter &batches = obs::counter(
+        "sleuth_pipeline_batches_total", "Analysis batches started");
+    static obs::Counter &traceCount = obs::counter(
+        "sleuth_pipeline_traces_total",
+        "Traces submitted for analysis");
+    batches.add();
+    traceCount.add(traces);
+}
 
 /** The verdict recorded for a trace the graph builder rejected. */
 RcaResult
@@ -110,17 +150,21 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
     // per batch (paper Eq. 1). Encoding validates each trace;
     // malformed ones are compacted out so they neither crash the batch
     // nor distort clustering.
+    countBatch(n);
     std::vector<std::string> errors(n);
     std::vector<distance::WeightedSpanSet> sets(n);
-    engine.pool.parallelFor(n, [&](size_t i, size_t) {
-        trace::TraceGraph g;
-        std::string err;
-        if (trace::TraceGraph::tryBuild(traces[i], &g, &err))
-            sets[i] = distance::encodeSpanSet(traces[i], g,
-                                              config_.distanceOpts);
-        else
-            errors[i] = err;
-    });
+    {
+        obs::ScopedTimer timer(stageHistogram(Stage::Encode));
+        engine.pool.parallelFor(n, [&](size_t i, size_t) {
+            trace::TraceGraph g;
+            std::string err;
+            if (trace::TraceGraph::tryBuild(traces[i], &g, &err))
+                sets[i] = distance::encodeSpanSet(
+                    traces[i], g, config_.distanceOpts);
+            else
+                errors[i] = err;
+        });
+    }
 
     std::vector<size_t> valid;
     valid.reserve(n);
@@ -132,10 +176,12 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
         std::vector<const trace::Trace *> ptrs(n);
         for (size_t i = 0; i < n; ++i)
             ptrs[i] = &traces[i];
-        return analyzeCore(
-            ptrs, slos,
-            distance::DistanceMatrix::fromSpanSets(sets, &engine.pool),
-            errors, engine);
+        distance::DistanceMatrix dist = [&] {
+            obs::ScopedTimer timer(stageHistogram(Stage::Distance));
+            return distance::DistanceMatrix::fromSpanSets(
+                sets, &engine.pool);
+        }();
+        return analyzeCore(ptrs, slos, dist, errors, engine);
     }
 
     // Compact the well-formed subset, analyze it, scatter back.
@@ -150,10 +196,14 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
         sub_slos.push_back(slos[i]);
         sub_sets.push_back(std::move(sets[i]));
     }
-    PipelineResult sub = analyzeCore(
-        ptrs, sub_slos,
-        distance::DistanceMatrix::fromSpanSets(sub_sets, &engine.pool),
-        std::vector<std::string>(valid.size()), engine);
+    distance::DistanceMatrix sub_dist = [&] {
+        obs::ScopedTimer timer(stageHistogram(Stage::Distance));
+        return distance::DistanceMatrix::fromSpanSets(sub_sets,
+                                                      &engine.pool);
+    }();
+    PipelineResult sub =
+        analyzeCore(ptrs, sub_slos, sub_dist,
+                    std::vector<std::string>(valid.size()), engine);
 
     PipelineResult out;
     out.perTrace.resize(n);
@@ -192,6 +242,7 @@ SleuthPipeline::analyzeIndividually(
 {
     SLEUTH_ASSERT(traces.size() == slos.size(),
                   "trace/slo count mismatch");
+    countBatch(traces.size());
     PipelineResult out;
     const size_t n = traces.size();
     out.perTrace.resize(n);
@@ -207,10 +258,14 @@ SleuthPipeline::analyzeIndividually(
         else
             out.perTrace[i] = errorVerdict(errors[i]);
     }
-    engine.pool.parallelFor(valid.size(), [&](size_t k, size_t w) {
-        size_t i = valid[k];
-        out.perTrace[i] = engine.rcaFor(w).analyze(traces[i], slos[i]);
-    });
+    {
+        obs::ScopedTimer timer(stageHistogram(Stage::Rca));
+        engine.pool.parallelFor(valid.size(), [&](size_t k, size_t w) {
+            size_t i = valid[k];
+            out.perTrace[i] =
+                engine.rcaFor(w).analyze(traces[i], slos[i]);
+        });
+    }
     out.rcaInvocations = valid.size();
     out.skippedTraces = n - valid.size();
     return out;
@@ -226,6 +281,7 @@ SleuthPipeline::analyzeWithMatrix(
                   "trace/slo count mismatch");
     SLEUTH_ASSERT(dist.size() == traces.size(),
                   "distance matrix / trace count mismatch");
+    countBatch(traces.size());
     Engine engine(*this);
     std::vector<const trace::Trace *> ptrs(traces.size());
     for (size_t i = 0; i < traces.size(); ++i)
@@ -260,10 +316,12 @@ SleuthPipeline::analyzeCore(
     out.distanceEvaluations =
         well_formed * (well_formed > 0 ? well_formed - 1 : 0) / 2;
 
-    cluster::ClusterResult clusters =
-        config_.algorithm == PipelineConfig::Algorithm::Hdbscan
-            ? cluster::hdbscan(dist, config_.hdbscan)
-            : cluster::dbscan(dist, config_.dbscan);
+    cluster::ClusterResult clusters = [&] {
+        obs::ScopedTimer timer(stageHistogram(Stage::Cluster));
+        return config_.algorithm == PipelineConfig::Algorithm::Hdbscan
+                   ? cluster::hdbscan(dist, config_.hdbscan)
+                   : cluster::dbscan(dist, config_.dbscan);
+    }();
 
     // Malformed traces (analyzeWithMatrix path: the caller's matrix
     // covers them) are forced out of their clusters; cluster IDs are
@@ -299,6 +357,7 @@ SleuthPipeline::analyzeCore(
     // worker writes only its own clusters, so the output is identical
     // at any thread count. The verdict then generalizes to every
     // member.
+    obs::ScopedTimer rca_timer(stageHistogram(Stage::Rca));
     std::vector<size_t> reps = cluster::selectRepresentatives(
         clusters.labels, clusters.numClusters, dist);
     const size_t num_clusters = static_cast<size_t>(clusters.numClusters);
@@ -334,6 +393,14 @@ SleuthPipeline::analyzeCore(
             engine.rcaFor(w).analyze(*traces[i], slos[i]);
     });
     out.rcaInvocations += rest.size();
+    static obs::Counter &rcaRuns = obs::counter(
+        "sleuth_pipeline_rca_invocations_total",
+        "Counterfactual RCA analyses run");
+    static obs::Counter &skipped = obs::counter(
+        "sleuth_pipeline_skipped_traces_total",
+        "Malformed traces skipped by analysis batches");
+    rcaRuns.add(out.rcaInvocations);
+    skipped.add(out.skippedTraces);
     return out;
 }
 

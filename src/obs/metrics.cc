@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "util/thread_pool.h"
+
+namespace sleuth::obs {
+
+namespace {
+
+std::atomic<bool> gEnabled{true};
+
+/** Round-robin slot assignment; threads keep their slot for life. */
+std::atomic<size_t> gNextSlot{0};
+
+/**
+ * Render labels in canonical form: sorted by key, Prometheus quoting.
+ * Returns "" for an empty set, otherwise `{k1="v1",k2="v2"}`.
+ */
+std::string
+renderLabels(Labels labels)
+{
+    if (labels.empty())
+        return "";
+    std::sort(labels.begin(), labels.end());
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels)
+    {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k;
+        out += "=\"";
+        for (char c : v)
+        {
+            if (c == '\\' || c == '"')
+                out += '\\';
+            if (c == '\n')
+            {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** Insert extra labels into an already-rendered label string. */
+std::string
+withExtraLabel(const std::string &rendered, const std::string &key,
+               const std::string &value)
+{
+    std::string pair = key + "=\"" + value + "\"";
+    if (rendered.empty())
+        return "{" + pair + "}";
+    std::string out = rendered;
+    out.insert(out.size() - 1, "," + pair);
+    return out;
+}
+
+/** Format a double sample the way Prometheus clients do. */
+std::string
+formatValue(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+setEnabled(bool enabled)
+{
+    gEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+size_t
+threadSlot()
+{
+    thread_local size_t slot =
+        gNextSlot.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return slot;
+}
+
+Histogram::Histogram(double relativeAccuracy) : alpha_(relativeAccuracy)
+{
+    for (Slot &s : slots_)
+        s.sketch = online::QuantileSketch(alpha_);
+}
+
+void
+Histogram::record(double x)
+{
+    if (!enabled())
+        return;
+    Slot &s = slots_[threadSlot()];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.sketch.add(x);
+    if (s.count == 0 || x < s.min)
+        s.min = x;
+    if (s.count == 0 || x > s.max)
+        s.max = x;
+    s.count += 1;
+    s.sum += x;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    online::QuantileSketch merged(alpha_);
+    for (const Slot &s : slots_)
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.count == 0)
+            continue;
+        merged.merge(s.sketch);
+        if (snap.count == 0 || s.min < snap.min)
+            snap.min = s.min;
+        if (snap.count == 0 || s.max > snap.max)
+            snap.max = s.max;
+        snap.count += s.count;
+        snap.sum += s.sum;
+    }
+    if (snap.count > 0)
+    {
+        snap.p50 = merged.quantile(0.5);
+        snap.p90 = merged.quantile(0.9);
+        snap.p99 = merged.quantile(0.99);
+    }
+    return snap;
+}
+
+Registry::Metric &
+Registry::findOrCreate(const std::string &name, const Labels &labels,
+                       const std::string &help, Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_pair(name, renderLabels(labels));
+    auto it = metrics_.find(key);
+    if (it != metrics_.end())
+        return *it->second;
+    auto metric = std::make_unique<Metric>();
+    metric->kind = kind;
+    metric->help = help;
+    return *metrics_.emplace(std::move(key), std::move(metric))
+                .first->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const Labels &labels)
+{
+    Metric &m = findOrCreate(name, labels, help, Kind::Counter);
+    // First caller materialises the storage; later calls reuse it.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!m.counter)
+        m.counter = std::make_unique<Counter>();
+    return *m.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const Labels &labels)
+{
+    Metric &m = findOrCreate(name, labels, help, Kind::Gauge);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!m.gauge)
+        m.gauge = std::make_unique<Gauge>();
+    return *m.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    const Labels &labels, double relativeAccuracy)
+{
+    Metric &m = findOrCreate(name, labels, help, Kind::Histogram);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!m.histogram)
+        m.histogram = std::make_unique<Histogram>(relativeAccuracy);
+    return *m.histogram;
+}
+
+void
+Registry::callbackGauge(const std::string &name, const std::string &help,
+                        const Labels &labels,
+                        std::function<int64_t()> fn)
+{
+    Metric &m = findOrCreate(name, labels, help, Kind::Callback);
+    std::lock_guard<std::mutex> lock(mu_);
+    m.callback = std::move(fn);
+}
+
+std::string
+Registry::renderText() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    std::string lastFamily;
+    // metrics_ is keyed (family, labels), so one pass emits each
+    // family's HELP/TYPE header followed by its sorted instances.
+    for (const auto &[key, metric] : metrics_)
+    {
+        const auto &[family, labelStr] = key;
+        const Metric &m = *metric;
+        if (family != lastFamily)
+        {
+            lastFamily = family;
+            out += "# HELP " + family + " " + m.help + "\n";
+            const char *type = "gauge";
+            if (m.kind == Kind::Counter)
+                type = "counter";
+            else if (m.kind == Kind::Histogram)
+                type = "summary";
+            out += "# TYPE " + family + " " + std::string(type) + "\n";
+        }
+        switch (m.kind)
+        {
+        case Kind::Counter:
+            out += family + labelStr + " " +
+                   std::to_string(m.counter ? m.counter->value() : 0) +
+                   "\n";
+            break;
+        case Kind::Gauge:
+            out += family + labelStr + " " +
+                   std::to_string(m.gauge ? m.gauge->value() : 0) + "\n";
+            break;
+        case Kind::Callback:
+            out += family + labelStr + " " +
+                   std::to_string(m.callback ? m.callback() : 0) + "\n";
+            break;
+        case Kind::Histogram:
+        {
+            HistogramSnapshot snap =
+                m.histogram ? m.histogram->snapshot() : HistogramSnapshot{};
+            const std::pair<const char *, double> quantiles[] = {
+                {"0.5", snap.p50}, {"0.9", snap.p90}, {"0.99", snap.p99}};
+            for (const auto &[q, v] : quantiles)
+                out += family +
+                       withExtraLabel(labelStr, "quantile", q) + " " +
+                       formatValue(v) + "\n";
+            out += family + "_count" + labelStr + " " +
+                   std::to_string(snap.count) + "\n";
+            out += family + "_sum" + labelStr + " " +
+                   formatValue(snap.sum) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Surface util::ThreadPool's plain activity counters (util sits below
+ * obs in the dependency order, so the pool cannot record metrics
+ * itself) as callback gauges evaluated at render time.
+ */
+void
+registerProcessGauges(Registry &r)
+{
+    r.callbackGauge("sleuth_threadpool_jobs_total",
+                    "parallelFor invocations dispatched", {}, [] {
+                        return static_cast<int64_t>(
+                            util::ThreadPool::activity().jobs);
+                    });
+    r.callbackGauge("sleuth_threadpool_items_total",
+                    "Loop items dispatched across all parallelFor jobs",
+                    {}, [] {
+                        return static_cast<int64_t>(
+                            util::ThreadPool::activity().items);
+                    });
+    r.callbackGauge("sleuth_threadpool_live_pools",
+                    "Thread pools currently alive", {}, [] {
+                        return util::ThreadPool::activity().livePools;
+                    });
+    r.callbackGauge("sleuth_threadpool_active_jobs",
+                    "parallelFor calls currently executing", {}, [] {
+                        return util::ThreadPool::activity().activeJobs;
+                    });
+}
+
+} // namespace
+
+Registry &
+Registry::defaultRegistry()
+{
+    // Leaky singleton: metric handles cached in function-local statics
+    // across the codebase must outlive every other static destructor.
+    static Registry *instance = [] {
+        Registry *r = new Registry();
+        registerProcessGauges(*r);
+        return r;
+    }();
+    return *instance;
+}
+
+Counter &
+counter(const std::string &name, const std::string &help,
+        const Labels &labels)
+{
+    return Registry::defaultRegistry().counter(name, help, labels);
+}
+
+Gauge &
+gauge(const std::string &name, const std::string &help,
+      const Labels &labels)
+{
+    return Registry::defaultRegistry().gauge(name, help, labels);
+}
+
+Histogram &
+histogram(const std::string &name, const std::string &help,
+          const Labels &labels, double relativeAccuracy)
+{
+    return Registry::defaultRegistry().histogram(name, help, labels,
+                                                 relativeAccuracy);
+}
+
+std::string
+renderText()
+{
+    return Registry::defaultRegistry().renderText();
+}
+
+} // namespace sleuth::obs

@@ -1,0 +1,283 @@
+#pragma once
+
+/**
+ * @file
+ * Self-observability metrics (DESIGN.md §3.11): process-wide counters,
+ * gauges, and latency/size histograms over which the rest of the stack
+ * reports its own health — ingest rates, drop taxonomy, watermark lag,
+ * pipeline stage timings, thread-pool activity, store retention.
+ *
+ * Metrics are strictly write-only side channels: no analysis result
+ * ever reads one, so outputs stay bitwise identical with metrics
+ * enabled or disabled at any thread count (pinned by the metrics
+ * on/off pipeline test). Recording follows the same commutative-
+ * accumulation discipline as the online layer:
+ *
+ *  - Counter: monotonic, sharded into cacheline-padded per-thread
+ *    slots; add() is one relaxed atomic increment on the calling
+ *    thread's slot and value() folds the slots at read time. The fold
+ *    is an integer sum, so it is exact and order-insensitive.
+ *  - Gauge: a single atomic last-write-wins value (set/add).
+ *  - Histogram: per-thread-slot {count, sum, min, max,
+ *    online::QuantileSketch} guarded by one mutex per slot; snapshots
+ *    merge the slot sketches at read time. The sketch defers its
+ *    bucket collapse to read time, so the merged histogram is a pure
+ *    function of the observation multiset, never of thread
+ *    interleaving.
+ *  - ScopedTimer: RAII wall-clock stage timer recording milliseconds
+ *    into a histogram on destruction.
+ *
+ * Handles returned by the registry are stable for the registry's
+ * lifetime, so call sites cache them in function-local statics:
+ *
+ *     static obs::Counter &drops = obs::counter(
+ *         "sleuth_ingest_dropped_spans_total",
+ *         "Spans dropped during ingestion", {{"reason", "orphan"}});
+ *     drops.add(n);
+ *
+ * The default registry is a process-wide leaky singleton rendered by
+ * obs::renderText() in the Prometheus text exposition format (the
+ * `sleuth metrics` CLI subcommand and sleuth_serviced's periodic
+ * snapshots print it). setEnabled(false) turns every record operation
+ * into an early-out for overhead ablations; registration and reads
+ * stay available either way.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "online/sketch.h"
+
+namespace sleuth::obs {
+
+/** Label set of one metric instance, e.g. {{"reason", "orphan"}}. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Per-thread slot count of sharded metrics (folded at read time). */
+constexpr size_t kSlots = 16;
+
+/** Globally disable/enable all record operations (reads unaffected). */
+void setEnabled(bool enabled);
+
+/** True when record operations are active (the default). */
+bool enabled();
+
+/** The slot index of the calling thread (stable per thread). */
+size_t threadSlot();
+
+/** A monotonic counter sharded across per-thread slots. */
+class Counter
+{
+  public:
+    /** Add n to the calling thread's slot (no-op while disabled). */
+    void
+    add(uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        slots_[threadSlot()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Fold every slot (exact: integer sum is order-insensitive). */
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const Slot &s : slots_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    /** One cacheline per slot so concurrent add()s never contend. */
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    Slot slots_[kSlots];
+};
+
+/** A last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        if (!enabled())
+            return;
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta)
+    {
+        if (!enabled())
+            return;
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Read-time aggregate of a histogram. */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * A latency/size distribution: per-thread-slot QuantileSketches merged
+ * at read time (the sketch's deferred collapse keeps the merge a pure
+ * function of the observation multiset).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(double relativeAccuracy = 0.02);
+
+    /** Record one observation into the calling thread's slot. */
+    void record(double x);
+
+    /** Fold every slot into one aggregate view. */
+    HistogramSnapshot snapshot() const;
+
+  private:
+    struct alignas(64) Slot
+    {
+        mutable std::mutex mu;
+        online::QuantileSketch sketch;
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    double alpha_;
+    Slot slots_[kSlots];
+};
+
+/** RAII wall-clock timer recording milliseconds on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &h)
+        : h_(h), t0_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        h_.record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0_)
+                      .count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram &h_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/**
+ * A named collection of metrics. Most code uses the process-wide
+ * default registry through the free functions below; tests construct
+ * private registries to assert on exposition output in isolation.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Find or create a metric. The (name, labels) pair is the identity:
+     * repeated calls return the same handle, which stays valid for the
+     * registry's lifetime. A name must keep one metric kind.
+     */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const Labels &labels = {},
+                         double relativeAccuracy = 0.02);
+
+    /**
+     * Register a gauge whose value is produced by `fn` at render time
+     * (used to surface counters owned elsewhere, e.g. the thread
+     * pool's process-wide activity counters).
+     */
+    void callbackGauge(const std::string &name, const std::string &help,
+                       const Labels &labels,
+                       std::function<int64_t()> fn);
+
+    /**
+     * Render every metric in the Prometheus text exposition format:
+     * one `# HELP` / `# TYPE` header per family (families sorted by
+     * name, instances by label string), counters and gauges as single
+     * samples, histograms as quantile samples plus _count/_sum.
+     */
+    std::string renderText() const;
+
+    /** The process-wide registry (leaky singleton, thread-safe). */
+    static Registry &defaultRegistry();
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram, Callback };
+
+    struct Metric
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<int64_t()> callback;
+    };
+
+    Metric &findOrCreate(const std::string &name, const Labels &labels,
+                         const std::string &help, Kind kind);
+
+    mutable std::mutex mu_;
+    /** (family name, rendered label string) -> metric. */
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<Metric>>
+        metrics_;
+};
+
+/** findOrCreate on the default registry (cache the handle). */
+Counter &counter(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+Gauge &gauge(const std::string &name, const std::string &help,
+             const Labels &labels = {});
+Histogram &histogram(const std::string &name, const std::string &help,
+                     const Labels &labels = {},
+                     double relativeAccuracy = 0.02);
+
+/** Render the default registry. */
+std::string renderText();
+
+} // namespace sleuth::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sleuth::online {
@@ -56,18 +57,16 @@ SpanAssembler::add(const SpanEvent &event)
         }
         it = pending_.emplace(event.traceId, Pending{}).first;
         it->second.trace.traceId = event.traceId;
-    } else {
-        for (const trace::Span &s : it->second.trace.spans) {
-            if (s.spanId == event.span.spanId) {
-                stats_.countDrop(collector::DropReason::Duplicate, 1);
-                return false;
-            }
-        }
     }
     Pending &p = it->second;
+    if (!p.spanIds.insert(event.span.spanId).second) {
+        stats_.countDrop(collector::DropReason::Duplicate, 1);
+        return false;
+    }
     p.lastEndUs = std::max(p.lastEndUs, event.span.endUs);
     p.trace.spans.push_back(event.span);
     ++pending_spans_;
+    ++spans_buffered_; // delta-flushed into obs by drain()
     return true;
 }
 
@@ -85,21 +84,32 @@ SpanAssembler::finalize(Pending &p, std::vector<trace::Trace> *out)
     pending_spans_ -= p.trace.spans.size();
     trace::TraceGraph graph;
     std::string why;
+    static obs::Counter &accepted = obs::counter(
+        "sleuth_assembler_traces_total",
+        "Traces completed by the span assembler",
+        {{"result", "accepted"}});
+    static obs::Counter &rejected = obs::counter(
+        "sleuth_assembler_traces_total",
+        "Traces completed by the span assembler",
+        {{"result", "rejected"}});
     if (!trace::TraceGraph::tryBuild(p.trace, &graph, &why)) {
         ++stats_.tracesRejected;
         stats_.countDrop(collector::classifyDefect(p.trace),
                          p.trace.spans.size());
+        rejected.add();
         return false;
     }
     ++stats_.tracesAccepted;
     stats_.spansAccepted += p.trace.spans.size();
     out->push_back(std::move(p.trace));
+    accepted.add();
     return true;
 }
 
 std::vector<trace::Trace>
 SpanAssembler::drain(int64_t nowUs)
 {
+    flushObs();
     watermark_ = std::max(watermark_, nowUs - config_.latenessUs);
     std::vector<trace::Trace> out;
     for (auto it = pending_.begin(); it != pending_.end();) {
@@ -123,9 +133,22 @@ SpanAssembler::drain(int64_t nowUs)
     return out;
 }
 
+void
+SpanAssembler::flushObs()
+{
+    // Amortized flush of the per-span admission count (see
+    // spans_buffered_): one counter add per drain/flush, not per span.
+    static obs::Counter &buffered = obs::counter(
+        "sleuth_assembler_spans_buffered_total",
+        "Spans admitted into pending trace assembly");
+    buffered.add(spans_buffered_ - spans_buffered_flushed_);
+    spans_buffered_flushed_ = spans_buffered_;
+}
+
 std::vector<trace::Trace>
 SpanAssembler::flush()
 {
+    flushObs();
     std::vector<trace::Trace> out;
     for (auto it = pending_.begin(); it != pending_.end();) {
         finalize(it->second, &out);

@@ -28,8 +28,10 @@
  */
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "collector/collector.h"
@@ -108,12 +110,26 @@ class SpanAssembler
     struct Pending
     {
         trace::Trace trace;
-        /** Latest span end time seen (the quiet-horizon anchor). */
-        int64_t lastEndUs = 0;
+        /**
+         * Span ids already buffered, for O(1) duplicate rejection (a
+         * linear scan over trace.spans is O(n²) per trace at ingest
+         * rates of hundreds of thousands of spans per second).
+         */
+        std::unordered_set<std::string> spanIds;
+        /**
+         * Latest span end time seen (the quiet-horizon anchor).
+         * INT64_MIN, not 0: a zero sentinel would pin the anchor at
+         * the epoch for traces whose spans all end before it, and
+         * they would never go quiet. Always set by the first add().
+         */
+        int64_t lastEndUs = std::numeric_limits<int64_t>::min();
     };
 
     /** Validate, canonicalize, and count one completed trace. */
     bool finalize(Pending &p, std::vector<trace::Trace> *out);
+
+    /** Delta-flush hot-path counts into the obs registry. */
+    void flushObs();
 
     void rememberClosed(const std::string &trace_id);
     void pruneClosed();
@@ -124,6 +140,15 @@ class SpanAssembler
     /** Recently completed/dropped trace ids -> close watermark. */
     std::unordered_map<std::string, int64_t> closed_;
     size_t pending_spans_ = 0;
+    /**
+     * Spans admitted since construction / since the last obs flush.
+     * add() is the per-span hot path, so it only bumps this plain
+     * member; drain() delta-flushes it into the process-wide counter
+     * (a per-span sharded-counter add costs a measurable ~2% of
+     * ingest throughput at hundreds of thousands of spans/s).
+     */
+    uint64_t spans_buffered_ = 0;
+    uint64_t spans_buffered_flushed_ = 0;
     int64_t watermark_ = INT64_MIN;
 };
 

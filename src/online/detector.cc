@@ -1,7 +1,10 @@
 #include "detector.h"
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sleuth::online {
@@ -18,6 +21,10 @@ StormDetector::StormDetector(DetectorConfig config) : config_(config)
 int64_t
 StormDetector::bucketOf(int64_t startUs) const
 {
+    // Keep INT64_MIN free for the empty-slot sentinel (only startUs =
+    // INT64_MIN itself could floor-divide to it).
+    SLEUTH_ASSERT(startUs != std::numeric_limits<int64_t>::min(),
+                  "event time out of range");
     // Floor division (event times may be negative in tests).
     int64_t q = startUs / config_.bucketUs;
     if (startUs % config_.bucketUs < 0)
@@ -39,7 +46,7 @@ StormDetector::observe(const Observation &obs)
         ((idx % static_cast<int64_t>(ep.ring.size())) +
          static_cast<int64_t>(ep.ring.size())) %
         static_cast<int64_t>(ep.ring.size()))];
-    if (b.index > idx)
+    if (b.index != kEmptyBucket && b.index > idx)
         return;  // a full ring length older than data already seen:
                  // outside any window the advancing watermark can read
     if (b.index != idx) {
@@ -56,6 +63,10 @@ StormDetector::observe(const Observation &obs)
     if (obs.error)
         ++b.errors;
     b.latency.add(static_cast<double>(obs.durationUs));
+    static obs::Counter &observations = obs::counter(
+        "sleuth_detector_observations_total",
+        "Completed traces folded into storm-detector windows");
+    observations.add();
 }
 
 WindowStats
@@ -70,7 +81,7 @@ StormDetector::windowStats(const std::string &endpoint,
     int64_t lo = hi - static_cast<int64_t>(config_.windowBuckets) + 1;
     QuantileSketch merged(config_.sketchAccuracy);
     for (const Bucket &b : it->second.ring) {
-        if (b.index < lo || b.index > hi)
+        if (b.index == kEmptyBucket || b.index < lo || b.index > hi)
             continue;
         w.count += b.count;
         w.anomalous += b.anomalous;
@@ -93,7 +104,7 @@ StormDetector::windowSketch(const std::string &endpoint,
     int64_t hi = bucketOf(watermarkUs);
     int64_t lo = hi - static_cast<int64_t>(config_.windowBuckets) + 1;
     for (const Bucket &b : it->second.ring)
-        if (b.index >= lo && b.index <= hi)
+        if (b.index != kEmptyBucket && b.index >= lo && b.index <= hi)
             merged.merge(b.latency);
     return merged;
 }
@@ -101,8 +112,7 @@ StormDetector::windowSketch(const std::string &endpoint,
 std::vector<StormTransition>
 StormDetector::advance(int64_t watermarkUs)
 {
-    std::vector<StormTransition> onsets;
-    std::vector<StormTransition> clears;
+    std::vector<StormTransition> out;
     for (auto &[name, ep] : endpoints_) {
         WindowStats w = windowStats(name, watermarkUs);
         double fraction =
@@ -114,19 +124,38 @@ StormDetector::advance(int64_t watermarkUs)
                 w.anomalous >= config_.minAnomalous &&
                 fraction >= config_.onsetFraction) {
                 ep.storming = true;
-                onsets.push_back({StormTransition::Kind::Onset, name,
-                                  watermarkUs, w});
+                out.push_back({StormTransition::Kind::Onset, name,
+                               watermarkUs, w});
             }
         } else {
             if (w.count == 0 || fraction < config_.clearFraction) {
                 ep.storming = false;
-                clears.push_back({StormTransition::Kind::Clear, name,
-                                  watermarkUs, w});
+                out.push_back({StormTransition::Kind::Clear, name,
+                               watermarkUs, w});
             }
         }
     }
-    std::vector<StormTransition> out = std::move(onsets);
-    out.insert(out.end(), clears.begin(), clears.end());
+    // The emitted order is part of the determinism contract consumers
+    // rely on (service.cc opens incidents from the first onset), so
+    // sort canonically by (kind, endpoint) here rather than leaning on
+    // the container's iteration order: onsets before clears, endpoints
+    // lexicographic within each kind.
+    std::sort(out.begin(), out.end(),
+              [](const StormTransition &a, const StormTransition &b) {
+                  return std::tie(a.kind, a.endpoint) <
+                         std::tie(b.kind, b.endpoint);
+              });
+    static obs::Counter &onsets = obs::counter(
+        "sleuth_detector_transitions_total",
+        "Storm lifecycle transitions emitted by the detector",
+        {{"kind", "onset"}});
+    static obs::Counter &clears = obs::counter(
+        "sleuth_detector_transitions_total",
+        "Storm lifecycle transitions emitted by the detector",
+        {{"kind", "clear"}});
+    for (const StormTransition &t : out)
+        (t.kind == StormTransition::Kind::Onset ? onsets : clears)
+            .add();
     return out;
 }
 

@@ -22,6 +22,7 @@
  */
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -113,10 +114,21 @@ class StormDetector
     std::vector<std::string> stormingEndpoints() const;
 
   private:
+    /**
+     * Empty-slot sentinel. INT64_MIN is unreachable as a real bucket
+     * index (floor division by a positive bucketUs ≥ 1 only yields it
+     * for startUs = INT64_MIN itself, which bucketOf asserts against);
+     * -1 is NOT — it is the legitimate bucket of event times in
+     * [-bucketUs, 0), so using it as the sentinel made a fresh slot
+     * look newer than any pre-epoch observation and silently drop it.
+     */
+    static constexpr int64_t kEmptyBucket =
+        std::numeric_limits<int64_t>::min();
+
     struct Bucket
     {
-        /** Absolute bucket index (startUs / bucketUs); -1 = empty. */
-        int64_t index = -1;
+        /** Absolute bucket index (startUs / bucketUs). */
+        int64_t index = kEmptyBucket;
         uint64_t count = 0;
         uint64_t anomalous = 0;
         uint64_t errors = 0;

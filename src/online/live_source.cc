@@ -151,11 +151,16 @@ runLiveLoad(const synth::AppConfig &app, const sim::ClusterModel &cluster,
             cursor = batch_end;
         }
         service->poll(next_poll);
+        if (config.onPoll)
+            config.onPoll(next_poll);
         next_poll += config.pollIntervalUs;
     }
     // Drain: advance far enough that every quiet horizon passes.
-    service->drainAll(result.lastEventUs + config.jitterUs +
-                      config.pollIntervalUs);
+    int64_t drain_us = result.lastEventUs + config.jitterUs +
+                       config.pollIntervalUs;
+    service->drainAll(drain_us);
+    if (config.onPoll)
+        config.onPoll(drain_us);
     auto wall1 = std::chrono::steady_clock::now();
     result.ingestWallMillis =
         std::chrono::duration<double, std::milli>(wall1 - wall0).count();

@@ -17,6 +17,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ struct LiveSourceConfig
     double duplicateProb = 0.0;
     /** Timed fault phases (empty = healthy run). */
     chaos::FaultSchedule schedule;
+    /**
+     * Observability hook: called on the driver thread after each
+     * service poll (ingest workers joined) and once after the final
+     * drain, with the watermark just polled. Must not mutate the
+     * service — tools use it to snapshot metrics mid-run.
+     */
+    std::function<void(int64_t watermarkUs)> onPoll;
 };
 
 /** Outcome of one live run. */

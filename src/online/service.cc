@@ -4,6 +4,7 @@
 #include <chrono>
 #include <climits>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sleuth::online {
@@ -71,6 +72,9 @@ OnlineService::ingest(const SpanEvent &event)
 {
     Shard &shard = *shards_[shardOf(event.traceId)];
     std::lock_guard<std::mutex> lock(shard.mu);
+    // The hot path only bumps the shard-local count; poll()
+    // delta-flushes the sum into the obs registry (a per-span counter
+    // add costs a measurable ~2% of ingest throughput).
     ++shard.spansIngested;
     return shard.assembler.add(event);
 }
@@ -103,19 +107,35 @@ OnlineService::absorb(std::vector<trace::Trace> traces)
 
         detector_.observe(obs);
     }
+    static obs::Counter &stored = obs::counter(
+        "sleuth_service_traces_stored_total",
+        "Assembled traces absorbed into the online trace store");
+    stored.add(traces.size());
 }
 
 std::vector<size_t>
 OnlineService::poll(int64_t nowUs)
 {
     std::vector<trace::Trace> completed;
+    size_t pending_spans = 0;
+    size_t pending_traces = 0;
+    size_t ingested_total = 0;
     for (auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mu);
         std::vector<trace::Trace> done = shard->assembler.drain(nowUs);
         completed.insert(completed.end(),
                          std::make_move_iterator(done.begin()),
                          std::make_move_iterator(done.end()));
+        pending_spans += shard->assembler.pendingSpans();
+        pending_traces += shard->assembler.pendingTraces();
+        ingested_total += shard->spansIngested;
     }
+    // Amortized flush of the per-span ingest count (see ingest()).
+    static obs::Counter &ingested = obs::counter(
+        "sleuth_service_spans_ingested_total",
+        "Spans offered to the online service (pre-admission)");
+    ingested.add(ingested_total - obs_ingested_flushed_);
+    obs_ingested_flushed_ = ingested_total;
     // Shards emit canonically; re-sort the merged batch so the shard
     // count never shows in downstream order.
     std::sort(completed.begin(), completed.end(),
@@ -128,8 +148,29 @@ OnlineService::poll(int64_t nowUs)
                       return sa < sb;
                   return a.traceId < b.traceId;
               });
+    static obs::Histogram &batch = obs::histogram(
+        "sleuth_service_poll_batch_traces",
+        "Traces completed per service poll");
+    batch.record(static_cast<double>(completed.size()));
     absorb(std::move(completed));
     watermark_ = std::max(watermark_, nowUs - config_.assembler.latenessUs);
+    // Instantaneous health gauges, refreshed once per poll.
+    static obs::Gauge &backlog = obs::gauge(
+        "sleuth_service_backlog_spans",
+        "Spans buffered across ingest-shard assemblers");
+    static obs::Gauge &pendingTraces = obs::gauge(
+        "sleuth_service_pending_traces",
+        "Incomplete traces buffered across ingest shards");
+    static obs::Gauge &lag = obs::gauge(
+        "sleuth_service_watermark_lag_us",
+        "Distance from the poll clock to the event-time watermark");
+    static obs::Gauge &stored = obs::gauge(
+        "sleuth_service_stored_records",
+        "Trace records currently retained by the online store");
+    backlog.set(static_cast<int64_t>(pending_spans));
+    pendingTraces.set(static_cast<int64_t>(pending_traces));
+    lag.set(nowUs - watermark_);
+    stored.set(static_cast<int64_t>(store_.size()));
     return evaluate(watermark_);
 }
 
@@ -205,6 +246,10 @@ OnlineService::evaluate(int64_t watermark_us)
             incidents_.push_back(std::move(incident));
             open = &incidents_.back();
             open_index = incidents_.size() - 1;
+            static obs::Counter &opened = obs::counter(
+                "sleuth_service_incidents_total",
+                "Incident lifecycle events", {{"event", "opened"}});
+            opened.add();
             analyzeIncident(open);
             changed.push_back(open_index);
         } else {
@@ -220,8 +265,19 @@ OnlineService::evaluate(int64_t watermark_us)
     if (open != nullptr && detector_.stormingEndpoints().empty()) {
         open->state = Incident::State::Resolved;
         open->resolvedAtUs = watermark_us;
+        static obs::Counter &resolved = obs::counter(
+            "sleuth_service_incidents_total",
+            "Incident lifecycle events", {{"event", "resolved"}});
+        resolved.add();
         changed.push_back(open_index);
     }
+    static obs::Gauge &openGauge = obs::gauge(
+        "sleuth_service_open_incidents",
+        "Incidents currently open or analyzed but unresolved");
+    openGauge.set(open != nullptr &&
+                          open->state != Incident::State::Resolved
+                      ? 1
+                      : 0);
 
     std::sort(changed.begin(), changed.end());
     changed.erase(std::unique(changed.begin(), changed.end()),
@@ -327,6 +383,14 @@ OnlineService::analyzeIncident(Incident *incident)
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     incident->rankedRootCauses = core::aggregateRootCauses(incident->rca);
     incident->state = Incident::State::Analyzed;
+    static obs::Counter &analyzed = obs::counter(
+        "sleuth_service_incidents_total", "Incident lifecycle events",
+        {{"event", "analyzed"}});
+    analyzed.add();
+    static obs::Histogram &rcaMs = obs::histogram(
+        "sleuth_service_incident_rca_ms",
+        "Incident-scoped RCA wall-clock milliseconds");
+    rcaMs.record(incident->rcaMillis);
 }
 
 size_t

@@ -171,6 +171,8 @@ class OnlineService
     std::vector<Incident> incidents_;
     int64_t watermark_ = INT64_MIN;
     size_t traces_stored_ = 0;
+    /** Ingest count already flushed into the obs registry (poll()). */
+    size_t obs_ingested_flushed_ = 0;
     /** Id of the most recently stored record (snapshot high-water). */
     size_t last_record_id_ = 0;
 };

@@ -40,7 +40,6 @@ QuantileSketch::add(double x)
         return;
     }
     ++buckets_[bucketIndex(x)];
-    collapseIfNeeded();
 }
 
 void
@@ -48,26 +47,12 @@ QuantileSketch::merge(const QuantileSketch &other)
 {
     SLEUTH_ASSERT(alpha_ == other.alpha_,
                   "cannot merge sketches of different accuracy");
+    SLEUTH_ASSERT(max_buckets_ == other.max_buckets_,
+                  "cannot merge sketches of different bucket budgets");
     count_ += other.count_;
     zero_count_ += other.zero_count_;
     for (const auto &[idx, n] : other.buckets_)
         buckets_[idx] += n;
-    collapseIfNeeded();
-}
-
-void
-QuantileSketch::collapseIfNeeded()
-{
-    if (max_buckets_ == 0)
-        return;
-    // Collapse the lowest bucket into its neighbor: upper quantiles
-    // (the ones the detector reads) keep their accuracy bound.
-    while (buckets_.size() > max_buckets_) {
-        auto lowest = buckets_.begin();
-        auto next = std::next(lowest);
-        next->second += lowest->second;
-        buckets_.erase(lowest);
-    }
 }
 
 double
@@ -84,11 +69,28 @@ QuantileSketch::quantile(double q) const
         q * static_cast<double>(count_ - 1));
     if (rank < zero_count_)
         return 0.0;
+    // Apply the maxBuckets budget as a deterministic view: the lowest
+    // buckets beyond the budget report their collapse target's value.
+    // Collapsing only at read time keeps the stored buckets a pure
+    // function of the observation multiset, so sharded merges stay
+    // bitwise identical to sequential adds in any order.
+    size_t collapseInto = 0;
+    if (max_buckets_ != 0 && buckets_.size() > max_buckets_)
+        collapseInto = buckets_.size() - max_buckets_;
+    int collapseIndex =
+        collapseInto == 0
+            ? 0
+            : std::next(buckets_.begin(),
+                        static_cast<long>(collapseInto))
+                  ->first;
     uint64_t cumulative = zero_count_;
+    size_t pos = 0;
     for (const auto &[idx, n] : buckets_) {
         cumulative += n;
         if (rank < cumulative)
-            return bucketValue(idx);
+            return bucketValue(pos < collapseInto ? collapseIndex
+                                                  : idx);
+        ++pos;
     }
     // Numerically unreachable; report the top bucket.
     return buckets_.empty() ? 0.0

@@ -14,9 +14,17 @@
  * window bucket owns a sketch and window quantiles are computed by
  * merging the bucket sketches at evaluation time.
  *
- * Memory is bounded by maxBuckets: when exceeded, the lowest buckets
- * collapse into their neighbor (per the DDSketch paper, this preserves
- * the accuracy of the upper quantiles the detector reads — p50/p99).
+ * The maxBuckets budget collapses the lowest buckets into their
+ * neighbor (per the DDSketch paper, this preserves the accuracy of the
+ * upper quantiles the detector reads — p50/p99). The collapse is
+ * applied as a *view at read time*, never to the stored buckets:
+ * eager collapse would make merge order-sensitive once the budget
+ * trips (a shard that collapsed early loses resolution a sequential
+ * sketch kept, so shard-merge and sequential adds diverge bitwise).
+ * Raw storage stays bounded regardless — bucket keys are
+ * ceil(ln x / ln gamma), so the live-bucket count can never exceed the
+ * log-range of observed values (~520 buckets across 9 decades at the
+ * default alpha = 0.02).
  */
 
 #include <cstddef>
@@ -31,7 +39,7 @@ class QuantileSketch
   public:
     /**
      * @param relativeAccuracy quantile relative-error bound alpha
-     * @param maxBuckets bucket budget (0 = unbounded)
+     * @param maxBuckets read-time collapse budget (0 = unbounded)
      */
     explicit QuantileSketch(double relativeAccuracy = 0.02,
                             size_t maxBuckets = 1024);
@@ -39,7 +47,7 @@ class QuantileSketch
     /** Fold one observation (negative values clamp to zero). */
     void add(double x);
 
-    /** Fold another sketch (must share the accuracy parameter). */
+    /** Fold another sketch (must share accuracy and budget). */
     void merge(const QuantileSketch &other);
 
     /** Observations so far. */
@@ -54,7 +62,7 @@ class QuantileSketch
     /** Configured relative accuracy. */
     double relativeAccuracy() const { return alpha_; }
 
-    /** Live bucket count (memory accounting). */
+    /** Raw (uncollapsed) live bucket count (memory accounting). */
     size_t buckets() const { return buckets_.size(); }
 
     /** Exact equality (bucket maps and counts). */
@@ -66,7 +74,6 @@ class QuantileSketch
   private:
     int bucketIndex(double x) const;
     double bucketValue(int index) const;
-    void collapseIfNeeded();
 
     double alpha_;
     double log_gamma_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sleuth::storage {
@@ -49,6 +50,10 @@ TraceStore::insert(Record record)
     for (const std::string &svc : services)
         by_service_[svc].push_back(id);
     total_spans_ += record.trace.spans.size();
+    static obs::Counter &inserted = obs::counter(
+        "sleuth_store_inserted_records_total",
+        "Trace records inserted into trace stores");
+    inserted.add();
     records_.emplace(id, std::move(record));
     enforceRetention(id);
     return id;
@@ -110,6 +115,14 @@ TraceStore::evictOne(size_t id)
     total_spans_ -= rec.trace.spans.size();
     ++evictions_.records;
     evictions_.spans += rec.trace.spans.size();
+    static obs::Counter &records = obs::counter(
+        "sleuth_store_evicted_records_total",
+        "Trace records evicted by retention enforcement");
+    static obs::Counter &spans = obs::counter(
+        "sleuth_store_evicted_spans_total",
+        "Spans evicted by retention enforcement");
+    records.add();
+    spans.add(rec.trace.spans.size());
     records_.erase(rec_it);
 }
 

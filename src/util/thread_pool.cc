@@ -1,8 +1,30 @@
 #include "thread_pool.h"
 
+#include <atomic>
+
 #include "logging.h"
 
 namespace sleuth::util {
+
+namespace {
+
+std::atomic<uint64_t> gJobs{0};
+std::atomic<uint64_t> gItems{0};
+std::atomic<int64_t> gLivePools{0};
+std::atomic<int64_t> gActiveJobs{0};
+
+} // namespace
+
+ThreadPool::Activity
+ThreadPool::activity()
+{
+    Activity a;
+    a.jobs = gJobs.load(std::memory_order_relaxed);
+    a.items = gItems.load(std::memory_order_relaxed);
+    a.livePools = gLivePools.load(std::memory_order_relaxed);
+    a.activeJobs = gActiveJobs.load(std::memory_order_relaxed);
+    return a;
+}
 
 size_t
 ThreadPool::resolveThreads(size_t requested)
@@ -20,6 +42,7 @@ ThreadPool::ThreadPool(size_t threads)
     workers_.reserve(threads_ - 1);
     for (size_t w = 1; w < threads_; ++w)
         workers_.emplace_back([this, w] { workerMain(w); });
+    gLivePools.fetch_add(1, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool()
@@ -31,6 +54,7 @@ ThreadPool::~ThreadPool()
     start_cv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    gLivePools.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void
@@ -76,10 +100,14 @@ ThreadPool::parallelFor(size_t n,
 {
     if (n == 0)
         return;
+    gJobs.fetch_add(1, std::memory_order_relaxed);
+    gItems.fetch_add(n, std::memory_order_relaxed);
+    gActiveJobs.fetch_add(1, std::memory_order_relaxed);
     if (threads_ == 1 || n == 1) {
         // Inline fast path: no synchronization, the plain serial loop.
         for (size_t i = 0; i < n; ++i)
             fn(i, 0);
+        gActiveJobs.fetch_sub(1, std::memory_order_relaxed);
         return;
     }
     {
@@ -97,6 +125,7 @@ ThreadPool::parallelFor(size_t n,
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return job_pending_ == 0; });
     job_fn_ = nullptr;
+    gActiveJobs.fetch_sub(1, std::memory_order_relaxed);
 }
 
 } // namespace sleuth::util

@@ -60,6 +60,26 @@ class ThreadPool
     /** Resolve a requested thread count (0 = hardware concurrency). */
     static size_t resolveThreads(size_t requested);
 
+    /**
+     * Process-wide activity counters (plain relaxed atomics, always
+     * on). util sits below the obs subsystem in the dependency order,
+     * so obs surfaces these through callback gauges instead of the
+     * pool recording metrics itself.
+     */
+    struct Activity
+    {
+        /** parallelFor invocations that dispatched to workers. */
+        uint64_t jobs = 0;
+        /** Total loop items dispatched across all jobs. */
+        uint64_t items = 0;
+        /** Pools currently alive. */
+        int64_t livePools = 0;
+        /** parallelFor calls currently executing. */
+        int64_t activeJobs = 0;
+    };
+
+    static Activity activity();
+
   private:
     void workerMain(size_t worker);
 

@@ -1,0 +1,155 @@
+// The pinned guarantee of the metrics layer: recording metrics is a
+// write-only side channel, so pipeline analysis results are bitwise
+// identical with metrics enabled or disabled, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "test_helpers.h"
+
+using namespace sleuth;
+using namespace sleuth::core;
+using sleuth::testing::makeSpan;
+
+namespace {
+
+/** Small trained model (mirrors the pipeline_test fixture). */
+struct Fixture
+{
+    FeatureEncoder encoder{8};
+    SleuthGnn model;
+    NormalProfile profile;
+
+    Fixture()
+        : model([] {
+              GnnConfig c;
+              c.embedDim = 8;
+              c.hidden = 16;
+              c.seed = 4;
+              return c;
+          }())
+    {
+        util::Rng rng(8);
+        std::vector<trace::Trace> corpus;
+        for (int i = 0; i < 100; ++i)
+            corpus.push_back(makeTrace(rng, "backend", i >= 85));
+        for (const trace::Trace &t : corpus)
+            profile.add(t);
+        profile.finalize();
+        TrainConfig tc;
+        tc.epochs = 8;
+        Trainer trainer(model, encoder, tc);
+        trainer.train(corpus);
+    }
+
+    static trace::Trace
+    makeTrace(util::Rng &rng, const std::string &backend,
+              bool slow = false)
+    {
+        int64_t b = rng.uniformInt(150, 300) * (slow ? 12 : 1);
+        int64_t pre = rng.uniformInt(50, 120);
+        trace::Trace t;
+        t.traceId = "t" + std::to_string(rng.uniformInt(0, 1 << 30));
+        t.spans.push_back(
+            makeSpan("r", "", "frontend", "Handle", 0, pre + b + 80));
+        t.spans.push_back(makeSpan("c", "r", "frontend",
+                                   "Get" + backend, pre, pre + b + 40,
+                                   trace::SpanKind::Client));
+        t.spans.push_back(makeSpan("s", "c", backend, "Get" + backend,
+                                   pre + 20, pre + 20 + b));
+        return t;
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+/** Every result field, bitwise, as one comparable string. */
+std::string
+fingerprint(const PipelineResult &r)
+{
+    std::ostringstream out;
+    out << r.numClusters << "|" << r.rcaInvocations << "|"
+        << r.distanceEvaluations << "|" << r.skippedTraces << "\n";
+    for (int label : r.clusterLabels)
+        out << label << ",";
+    out << "\n";
+    for (const RcaResult &v : r.perTrace) {
+        for (const std::string &s : v.services)
+            out << s << " ";
+        out << "|";
+        for (const std::string &s : v.pods)
+            out << s << " ";
+        out << "|";
+        for (const std::string &s : v.nodes)
+            out << s << " ";
+        out << "|";
+        for (const std::string &s : v.containers)
+            out << s << " ";
+        out << "|" << v.iterations << "|" << v.resolved << "|"
+            << v.error << "\n";
+    }
+    return out.str();
+}
+
+} // namespace
+
+TEST(ObsDeterminism, MetricsOnOffAndThreadCountNeverChangeResults)
+{
+    Fixture &f = fixture();
+    // Mixed batch: two failure modes plus one malformed trace, so
+    // encode/distance/cluster/RCA stage timers and the skip accounting
+    // all fire while metrics are on.
+    util::Rng rng(9);
+    std::vector<trace::Trace> traces;
+    for (int i = 0; i < 9; ++i)
+        traces.push_back(Fixture::makeTrace(rng, "backend", true));
+    for (int i = 0; i < 9; ++i)
+        traces.push_back(Fixture::makeTrace(rng, "cache", true));
+    trace::Trace bad;
+    bad.traceId = "bad";
+    bad.spans.push_back(
+        makeSpan("x", "missing", "backend", "Get", 0, 10));
+    traces.insert(traces.begin() + 5, bad);
+    std::vector<int64_t> slos(traces.size(), 900);
+
+    PipelineConfig cfg;
+    cfg.hdbscan = {.minClusterSize = 4, .minSamples = 2,
+                   .clusterSelectionEpsilon = 0.0};
+
+    std::string reference;
+    for (bool metrics : {true, false}) {
+        obs::setEnabled(metrics);
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+            cfg.numThreads = threads;
+            SleuthPipeline pipeline(f.model, f.encoder, f.profile,
+                                    cfg);
+            std::string fp = fingerprint(pipeline.analyze(traces, slos));
+            if (reference.empty())
+                reference = fp;
+            else
+                EXPECT_EQ(fp, reference)
+                    << "metrics=" << metrics << " threads=" << threads;
+        }
+    }
+    obs::setEnabled(true);
+    ASSERT_FALSE(reference.empty());
+
+    // The metrics-on runs actually recorded: stage timers and batch
+    // counters are live in the default registry.
+    std::string text = obs::renderText();
+    EXPECT_NE(text.find("sleuth_pipeline_stage_ms_count{stage=\"encode\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_pipeline_batches_total"),
+              std::string::npos);
+}

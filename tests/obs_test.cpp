@@ -1,0 +1,182 @@
+// obs metrics: sharded counter folding under concurrency, gauge
+// semantics, histogram snapshots over merged per-slot sketches, scoped
+// timers, the enable/disable switch, and the Prometheus text
+// exposition format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+using namespace sleuth;
+
+TEST(ObsCounter, FoldsConcurrentAddsExactly)
+{
+    obs::Counter c;
+    const size_t kThreads = 8;
+    const uint64_t kPerThread = 10'000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c.add();
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, AddWithWeight)
+{
+    obs::Counter c;
+    c.add(5);
+    c.add(7);
+    EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(ObsGauge, SetAndAdd)
+{
+    obs::Gauge g;
+    g.set(42);
+    EXPECT_EQ(g.value(), 42);
+    g.add(-10);
+    EXPECT_EQ(g.value(), 32);
+}
+
+TEST(ObsHistogram, SnapshotAggregatesAcrossSlots)
+{
+    obs::Histogram h;
+    // Record from several threads so multiple slots hold data.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < 250; ++i)
+                h.record(static_cast<double>(t * 250 + i + 1));
+        });
+    for (std::thread &t : threads)
+        t.join();
+    obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1000u);
+    EXPECT_DOUBLE_EQ(snap.sum, 1000.0 * 1001.0 / 2.0);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+    // Sketch quantiles carry a relative-error bound, not exactness.
+    EXPECT_NEAR(snap.p50, 500.0, 500.0 * 0.05);
+    EXPECT_NEAR(snap.p99, 990.0, 990.0 * 0.05);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsZero)
+{
+    obs::Histogram h;
+    obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.sum, 0.0);
+    EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(ObsScopedTimer, RecordsOnDestruction)
+{
+    obs::Histogram h;
+    {
+        obs::ScopedTimer timer(h);
+    }
+    obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_GE(snap.sum, 0.0);
+}
+
+TEST(ObsEnabled, DisableStopsRecordingButNotReads)
+{
+    obs::Counter c;
+    obs::Gauge g;
+    obs::Histogram h;
+    obs::setEnabled(false);
+    c.add(3);
+    g.set(9);
+    h.record(1.0);
+    obs::setEnabled(true);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    c.add(3);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsReturnSameHandle)
+{
+    obs::Registry r;
+    obs::Counter &a = r.counter("x_total", "help", {{"k", "v"}});
+    obs::Counter &b = r.counter("x_total", "help", {{"k", "v"}});
+    obs::Counter &other = r.counter("x_total", "help", {{"k", "w"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+}
+
+TEST(ObsRegistry, RenderTextExpositionFormat)
+{
+    obs::Registry r;
+    r.counter("sleuth_test_drops_total", "Drops by reason",
+              {{"reason", "orphan"}})
+        .add(4);
+    r.counter("sleuth_test_drops_total", "Drops by reason",
+              {{"reason", "duplicate"}})
+        .add(2);
+    r.gauge("sleuth_test_backlog", "Backlog spans").set(17);
+    r.histogram("sleuth_test_latency_ms", "Stage latency").record(5.0);
+    r.callbackGauge("sleuth_test_cb", "Callback gauge", {},
+                    [] { return int64_t{7}; });
+    std::string text = r.renderText();
+
+    // One HELP/TYPE header per family, instances grouped beneath it.
+    EXPECT_NE(text.find("# HELP sleuth_test_drops_total Drops by reason\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE sleuth_test_drops_total counter\n"),
+              std::string::npos);
+    EXPECT_EQ(text.find("# TYPE sleuth_test_drops_total counter"),
+              text.rfind("# TYPE sleuth_test_drops_total counter"));
+    EXPECT_NE(
+        text.find("sleuth_test_drops_total{reason=\"duplicate\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("sleuth_test_drops_total{reason=\"orphan\"} 4\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE sleuth_test_backlog gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_test_backlog 17\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE sleuth_test_latency_ms summary\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_test_latency_ms{quantile=\"0.5\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_test_latency_ms_count 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_test_latency_ms_sum 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_test_cb 7\n"), std::string::npos);
+}
+
+TEST(ObsRegistry, LabelsRenderSortedAndEscaped)
+{
+    obs::Registry r;
+    r.counter("sleuth_test_labels_total", "help",
+              {{"zeta", "1"}, {"alpha", "say \"hi\"\\"}})
+        .add(1);
+    std::string text = r.renderText();
+    EXPECT_NE(
+        text.find("sleuth_test_labels_total"
+                  "{alpha=\"say \\\"hi\\\"\\\\\",zeta=\"1\"} 1\n"),
+        std::string::npos);
+}
+
+TEST(ObsDefaultRegistry, ExposesThreadPoolGauges)
+{
+    std::string text = obs::renderText();
+    EXPECT_NE(text.find("sleuth_threadpool_jobs_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_threadpool_live_pools"),
+              std::string::npos);
+    EXPECT_NE(text.find("sleuth_threadpool_active_jobs"),
+              std::string::npos);
+}

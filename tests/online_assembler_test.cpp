@@ -76,6 +76,22 @@ TEST(SpanAssembler, AssemblesOutOfOrderSpans)
     EXPECT_EQ(a.pendingSpans(), 0u);
 }
 
+// Regression: Pending's quiet-horizon anchor used a 0 sentinel, so a
+// trace whose spans all end before the epoch had its anchor pinned at
+// 0 and never went quiet under a (correctly negative) watermark.
+TEST(SpanAssembler, PreEpochTraceCompletesAtNegativeWatermark)
+{
+    SpanAssembler a(tightConfig());
+    for (const SpanEvent &e : figure2Events("t1", -1'000'000))
+        EXPECT_TRUE(a.add(e));
+    // Same clocks as AssemblesOutOfOrderSpans, one epoch earlier.
+    EXPECT_TRUE(a.drain(-999'000).empty());
+    std::vector<trace::Trace> done = a.drain(-998'000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].traceId, "t1");
+    EXPECT_EQ(a.stats().tracesAccepted, 1u);
+}
+
 TEST(SpanAssembler, ArrivalOrderDoesNotChangeOutput)
 {
     std::vector<SpanEvent> events;

@@ -158,6 +158,73 @@ TEST(StormDetector, RingRecyclingDropsOnlyAncientObservations)
     EXPECT_EQ(w.anomalous, 0u);
 }
 
+// Regression: Bucket's empty sentinel used to be -1 — the legitimate
+// bucket of event times in [-bucketUs, 0) — so the staleness guard
+// (b.index > idx) treated every pre-epoch observation (bucket < -1) as
+// older than a FRESH slot and silently dropped it.
+TEST(StormDetector, PreEpochObservationsAreCounted)
+{
+    StormDetector d(smallConfig());
+    // Buckets -4..-1 (all event times negative), 3 anomalous each.
+    for (int b = -4; b <= -1; ++b)
+        for (int i = 0; i < 3; ++i)
+            d.observe(
+                obs("svc/op", b * 1'000 + i * 100, 9'000, true));
+    WindowStats w = d.windowStats("svc/op", -1);
+    EXPECT_EQ(w.count, 12u);
+    EXPECT_EQ(w.anomalous, 12u);
+    EXPECT_GT(w.p99Us, 0.0);
+    // The storm opens from pre-epoch data like any other.
+    std::vector<StormTransition> tr = d.advance(-1);
+    ASSERT_EQ(tr.size(), 1u);
+    EXPECT_EQ(tr[0].kind, StormTransition::Kind::Onset);
+    EXPECT_TRUE(d.storming("svc/op"));
+}
+
+// The staleness guard must still apply on the negative axis: an
+// observation a full ring older than the slot's current (negative)
+// bucket is dropped, not clobbered in.
+TEST(StormDetector, NegativeTimeRingRecyclingStillDropsAncient)
+{
+    StormDetector d(smallConfig());
+    d.observe(obs("svc/op", -500, 1'000, false));    // bucket -1
+    // Bucket -5 shares slot ((-5 mod 4) == (-1 mod 4)) but is older.
+    d.observe(obs("svc/op", -4'500, 9'000, true));
+    WindowStats w = d.windowStats("svc/op", -1);
+    EXPECT_EQ(w.count, 1u);
+    EXPECT_EQ(w.anomalous, 0u);
+}
+
+// Regression: simultaneous transitions must come back canonically
+// sorted by (kind, endpoint) — onsets before clears, lexicographic
+// within each kind — independent of endpoint-map iteration order.
+TEST(StormDetector, SimultaneousTransitionsEmitCanonicalOrder)
+{
+    StormDetector d(smallConfig());
+    // Open a storm on "m/op" in bucket 0.
+    for (int i = 0; i < 10; ++i)
+        d.observe(obs("m/op", i * 100, 9'000, true));
+    std::vector<StormTransition> first = d.advance(1'000);
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_TRUE(d.storming("m/op"));
+    // Bursts for three endpoints (observed in non-lexicographic order)
+    // land in bucket 4; m/op goes quiet. At watermark 7'000 the window
+    // is buckets 4..7: three onsets and one clear, same advance().
+    for (const char *ep : {"c/op", "a/op", "b/op"})
+        for (int i = 0; i < 10; ++i)
+            d.observe(obs(ep, 4'000 + i * 100, 9'000, true));
+    std::vector<StormTransition> tr = d.advance(7'000);
+    ASSERT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr[0].kind, StormTransition::Kind::Onset);
+    EXPECT_EQ(tr[0].endpoint, "a/op");
+    EXPECT_EQ(tr[1].kind, StormTransition::Kind::Onset);
+    EXPECT_EQ(tr[1].endpoint, "b/op");
+    EXPECT_EQ(tr[2].kind, StormTransition::Kind::Onset);
+    EXPECT_EQ(tr[2].endpoint, "c/op");
+    EXPECT_EQ(tr[3].kind, StormTransition::Kind::Clear);
+    EXPECT_EQ(tr[3].endpoint, "m/op");
+}
+
 TEST(StormDetector, EndpointsAreIndependent)
 {
     StormDetector d(smallConfig());

@@ -11,6 +11,7 @@
 
 #include "chaos/fault.h"
 #include "eval/harness.h"
+#include "obs/metrics.h"
 #include "online/live_source.h"
 #include "online/service.h"
 #include "sim/cluster_model.h"
@@ -169,29 +170,80 @@ TEST(OnlineService, IncidentLifecycleOverLiveLoad)
 
 TEST(OnlineService, ThreadCountNeverChangesResults)
 {
+    // Sweep thread counts with metrics on, then repeat with metrics
+    // disabled: results must be bitwise identical in all six runs —
+    // metrics are write-only side channels.
     std::string reference;
+    for (bool metrics : {true, false}) {
+        obs::setEnabled(metrics);
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+            online::OnlineService service(world().adapter.model(),
+                                          world().adapter.encoder(),
+                                          world().adapter.profile(),
+                                          serviceConfig());
+            online::runLiveLoad(world().app, world().cluster,
+                                {.seed = 77}, loadConfig(threads),
+                                &service);
+            std::string fp = incidentFingerprint(service);
+            ASSERT_FALSE(fp.empty());
+            online::OnlineStats stats = service.stats();
+            std::ostringstream counters;
+            counters << stats.spansIngested << "/" << stats.tracesStored
+                     << "/" << stats.assembly.spansAccepted << "/"
+                     << stats.assembly.spansRejected << "/"
+                     << service.store().size() << "/"
+                     << service.store().totalSpans();
+            fp += counters.str();
+            if (reference.empty())
+                reference = fp;
+            else
+                EXPECT_EQ(fp, reference)
+                    << "threads=" << threads << " metrics=" << metrics;
+        }
+    }
+    obs::setEnabled(true);
+}
+
+// Regression companion to the detector's canonical transition sort: a
+// broad outage storms many endpoints at the same watermark, and the
+// incident (whose endpoint list and analysis follow transition order)
+// must still be bitwise identical at any ingest thread count.
+TEST(OnlineService, MultiEndpointSimultaneousStormsStayDeterministic)
+{
+    // Harsher fault plan: six faulted containers storm several
+    // endpoints within one detection window.
+    chaos::FaultSchedule schedule;
+    util::Rng chaos_rng(0xbead5);
+    chaos::FaultPlan plan = chaos::planFixedFaults(
+        world().cluster.allInstances(), 6, chaos::FaultScope::Container,
+        {}, chaos_rng);
+    schedule.phases.push_back({0, {}});
+    schedule.phases.push_back({400'000, plan});
+    schedule.phases.push_back({1'600'000, {}});
+
+    std::string reference;
+    size_t max_endpoints = 0;
     for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
         online::OnlineService service(world().adapter.model(),
                                       world().adapter.encoder(),
                                       world().adapter.profile(),
                                       serviceConfig());
+        online::LiveSourceConfig live = loadConfig(threads);
+        live.schedule = schedule;
         online::runLiveLoad(world().app, world().cluster, {.seed = 77},
-                            loadConfig(threads), &service);
+                            live, &service);
         std::string fp = incidentFingerprint(service);
         ASSERT_FALSE(fp.empty());
-        online::OnlineStats stats = service.stats();
-        std::ostringstream counters;
-        counters << stats.spansIngested << "/" << stats.tracesStored
-                 << "/" << stats.assembly.spansAccepted << "/"
-                 << stats.assembly.spansRejected << "/"
-                 << service.store().size() << "/"
-                 << service.store().totalSpans();
-        fp += counters.str();
+        for (const online::Incident &i : service.incidents())
+            max_endpoints = std::max(max_endpoints, i.endpoints.size());
         if (reference.empty())
             reference = fp;
         else
             EXPECT_EQ(fp, reference) << "threads=" << threads;
     }
+    // The scenario must actually exercise simultaneous storms, or the
+    // canonical-transition-order guarantee went untested.
+    EXPECT_GE(max_endpoints, 2u);
 }
 
 TEST(OnlineService, SnapshotMatchesBatchPipelineOverStore)

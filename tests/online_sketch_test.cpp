@@ -1,6 +1,7 @@
 // QuantileSketch: accuracy bound, merge semantics, window-boundary
 // behavior (two half-window sketches merged == one full-window sketch),
-// and bounded memory under collapse.
+// and the read-time collapse view (budgeted reads, merge-order-free
+// storage).
 
 #include <gtest/gtest.h>
 
@@ -105,7 +106,11 @@ TEST(QuantileSketch, MergeIsCommutative)
     EXPECT_TRUE(ab == ba);
 }
 
-TEST(QuantileSketch, CollapseBoundsMemoryAndKeepsUpperQuantiles)
+// The maxBuckets budget is applied as a read-time view over raw
+// buckets (never to storage), so a budget-limited sketch still answers
+// upper quantiles within the accuracy bound: the collapse folds LOW
+// buckets only.
+TEST(QuantileSketch, CollapseViewKeepsUpperQuantiles)
 {
     const double alpha = 0.02;
     QuantileSketch bounded(alpha, 32);
@@ -118,11 +123,52 @@ TEST(QuantileSketch, CollapseBoundsMemoryAndKeepsUpperQuantiles)
         bounded.add(x);
         unbounded.add(x);
     }
-    EXPECT_LE(bounded.buckets(), 32u);
-    EXPECT_GT(unbounded.buckets(), 32u);
-    // Collapse folds LOW buckets; p99 must stay within the bound.
+    // Raw storage is identical — the budget changes reads, not writes.
+    EXPECT_EQ(bounded.buckets(), unbounded.buckets());
+    EXPECT_GT(bounded.buckets(), 32u);
     double exact = exactQuantile(xs, 0.99);
     EXPECT_NEAR(bounded.quantile(0.99), exact, exact * 2.0 * alpha);
+    // The collapsed view floors low quantiles at the collapse target,
+    // so p0 through the budgeted view is >= the unbounded estimate.
+    EXPECT_GE(bounded.quantile(0.0), unbounded.quantile(0.0));
+}
+
+// Regression for the merge-order sensitivity the eager collapse had:
+// with a tiny budget, sharded accumulation must stay bitwise equal to
+// sequential adds, whichever order the shards merge in.
+TEST(QuantileSketch, TinyBudgetShardMergeEqualsSequentialAdds)
+{
+    const double alpha = 0.02;
+    const size_t kBudget = 4;
+    QuantileSketch sequential(alpha, kBudget);
+    QuantileSketch shard_a(alpha, kBudget);
+    QuantileSketch shard_b(alpha, kBudget);
+    QuantileSketch shard_c(alpha, kBudget);
+    util::Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.pareto(5.0, 1.2);
+        sequential.add(x);
+        (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).add(x);
+    }
+    QuantileSketch abc(alpha, kBudget);
+    abc.merge(shard_a);
+    abc.merge(shard_b);
+    abc.merge(shard_c);
+    QuantileSketch cba(alpha, kBudget);
+    cba.merge(shard_c);
+    cba.merge(shard_b);
+    cba.merge(shard_a);
+    EXPECT_TRUE(abc == sequential);
+    EXPECT_TRUE(cba == sequential);
+    for (double q : {0.0, 0.5, 0.99})
+        EXPECT_EQ(abc.quantile(q), sequential.quantile(q));
+}
+
+TEST(QuantileSketchDeathTest, MergeRejectsMismatchedBudgets)
+{
+    QuantileSketch a(0.02, 8);
+    QuantileSketch b(0.02, 16);
+    EXPECT_DEATH(a.merge(b), "bucket budgets");
 }
 
 TEST(QuantileSketch, ClearResets)

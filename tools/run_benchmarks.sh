@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Build the perf suites in Release mode and write machine-readable
 # results to the repo root: BENCH_pipeline.json (batch pipeline hot
-# paths) and BENCH_online.json (online serving layer: ingest
-# throughput, detection latency, incident RCA latency).
+# paths, including the metrics-on vs metrics-off overhead rows
+# e2e_analyze_256_metrics_{on,off}_ms / _overhead_pct) and
+# BENCH_online.json (online serving layer: ingest throughput with and
+# without the obs metrics layer, detection latency, incident RCA
+# latency).
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 set -euo pipefail

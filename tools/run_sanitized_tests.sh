@@ -5,10 +5,13 @@
 # Usage: tools/run_sanitized_tests.sh [build-dir] [sanitizer]
 #   build-dir  defaults to <repo>/build-sanitize
 #   sanitizer  ON (ASan+UBSan, default) or THREAD (TSan). TSan is the
-#              opt-in job for exercising the thread-pool engine and the
+#              opt-in job for exercising the thread-pool engine, the
 #              online layer's sharded concurrent span ingestion
-#              (online_service_test, campaign online-differential); it
-#              cannot be combined with ASan in one build.
+#              (online_service_test, campaign online-differential),
+#              and the obs metrics layer's sharded counter fold and
+#              per-slot histogram merge (obs_test,
+#              obs_determinism_test); it cannot be combined with ASan
+#              in one build.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -19,6 +19,11 @@
 //   ingest    --traces IN.json [--protocol otel|zipkin|jaeger] [--slo US]
 //             Run a trace file through the collector front end and
 //             print acceptance plus per-reason drop counters.
+//   metrics   --traces IN.json [--model MODEL.json] [--normal N.json]
+//             [--threads N] [--out FILE]
+//             Ingest the traces (and, with a model, analyze the
+//             SLO-violating ones), then print the process metrics
+//             registry in Prometheus text exposition format.
 //
 // Trace files are JSON arrays of {"slo": us, "trace": {...}} records
 // (the "records" format) or bare arrays of traces (slo 0).
@@ -32,6 +37,7 @@
 
 #include "collector/collector.h"
 #include "core/anomaly.h"
+#include "obs/metrics.h"
 #include "core/counterfactual.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
@@ -383,12 +389,69 @@ cmdIngest(const Args &args)
     return 0;
 }
 
+int
+cmdMetrics(const Args &args)
+{
+    // Exercise the instrumented paths in this process, then dump the
+    // registry: ingestion always, batch analysis when a model is given.
+    storage::TraceStore store;
+    collector::TraceCollector coll(&store);
+    std::vector<TraceRecord> records =
+        loadRecords(args.get("traces"));
+    for (const TraceRecord &r : records) {
+        util::Json payload = util::Json::array();
+        payload.push(trace::toJson(r.trace));
+        coll.ingest(payload.dump(), collector::Protocol::Otel,
+                    r.sloUs);
+    }
+
+    if (args.has("model")) {
+        core::SleuthGnn model =
+            core::SleuthGnn::fromJson(parseFile(args.get("model")));
+        core::FeatureEncoder encoder(model.config().embedDim);
+        core::NormalProfile profile;
+        if (args.has("normal")) {
+            for (const TraceRecord &r :
+                 loadRecords(args.get("normal")))
+                profile.add(r.trace);
+        } else {
+            for (const TraceRecord &r : records)
+                if (!core::SloDetector::isAnomalous(r.trace, r.sloUs))
+                    profile.add(r.trace);
+        }
+        profile.finalize();
+        std::vector<trace::Trace> anomalous;
+        std::vector<int64_t> slos;
+        for (const TraceRecord &r : records) {
+            if (!core::SloDetector::isAnomalous(r.trace, r.sloUs))
+                continue;
+            anomalous.push_back(r.trace);
+            slos.push_back(r.sloUs);
+        }
+        core::PipelineConfig cfg;
+        cfg.numThreads =
+            static_cast<size_t>(args.getInt("threads", 1));
+        core::SleuthPipeline pipeline(model, encoder, profile, cfg);
+        pipeline.analyze(anomalous, slos);
+    }
+
+    std::string text = obs::renderText();
+    if (args.has("out")) {
+        writeFile(args.get("out"), text);
+        std::printf("metrics exposition -> %s\n",
+                    args.get("out").c_str());
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+}
+
 void
 usage()
 {
     std::printf(
-        "usage: sleuth <generate|simulate|train|analyze> [--opt"
-        " value]...\n"
+        "usage: sleuth <generate|simulate|train|analyze|ingest|"
+        "metrics> [--opt value]...\n"
         "  generate --rpcs N [--seed S] [--name NAME] [--out DIR]\n"
         "  simulate --config CONFIG.json --count N --out OUT.json\n"
         "           [--seed S] [--nodes K] [--chaos EXPECTED]\n"
@@ -398,7 +461,11 @@ usage()
         "           [--normal NORMAL.json] [--threads N]\n"
         "  ingest   --traces IN.json [--protocol otel|zipkin|jaeger]\n"
         "           [--slo US]  (validate + store; prints accept/drop\n"
-        "           counters by reason)\n");
+        "           counters by reason)\n"
+        "  metrics  --traces IN.json [--model MODEL.json]\n"
+        "           [--normal N.json] [--threads N] [--out FILE]\n"
+        "           (ingest, optionally analyze, then print the\n"
+        "           Prometheus text exposition of process metrics)\n");
 }
 
 } // namespace
@@ -422,6 +489,8 @@ main(int argc, char **argv)
         return cmdAnalyze(args);
     if (cmd == "ingest")
         return cmdIngest(args);
+    if (cmd == "metrics")
+        return cmdMetrics(args);
     usage();
     return 2;
 }

@@ -11,10 +11,16 @@
 // rate, assembly backlog and drop reasons, storage/eviction counters,
 // detection and RCA latency, and every incident record.
 //
+// With --metrics-text the process metrics registry (obs::renderText)
+// is snapshotted to FILE in Prometheus text exposition format every
+// --metrics-every polls and once after the final drain — the textfile
+// pattern a node-exporter-style scraper picks up.
+//
 //   sleuth_serviced [--rpcs N] [--seed S] [--nodes K] [--requests R]
 //                   [--rate RPS] [--threads T] [--poll-ms MS]
 //                   [--faults F] [--duplicate P] [--max-spans BUDGET]
 //                   [--out METRICS.json]
+//                   [--metrics-text FILE] [--metrics-every POLLS]
 
 #include <cstdio>
 #include <fstream>
@@ -23,6 +29,7 @@
 
 #include "chaos/fault.h"
 #include "eval/harness.h"
+#include "obs/metrics.h"
 #include "online/live_source.h"
 #include "online/service.h"
 #include "sim/cluster_model.h"
@@ -84,6 +91,10 @@ main(int argc, char **argv)
     size_t max_spans =
         static_cast<size_t>(intArg(argc, argv, "--max-spans", 400'000));
     std::string out = strArg(argc, argv, "--out", "");
+    std::string metrics_text =
+        strArg(argc, argv, "--metrics-text", "");
+    int64_t metrics_every =
+        std::max<int64_t>(1, intArg(argc, argv, "--metrics-every", 4));
 
     // --- Application, deployment, SLOs. ---
     synth::AppConfig app =
@@ -138,8 +149,34 @@ main(int argc, char **argv)
     live.pollIntervalUs = poll_ms * 1000;
     live.duplicateProb = duplicate;
     live.schedule = schedule;
+    size_t snapshots = 0;
+    if (!metrics_text.empty()) {
+        // Periodic snapshot on the driver thread: rewrite the textfile
+        // every Nth poll so a scraper always sees a complete document.
+        int64_t polls = 0;
+        live.onPoll = [&](int64_t) {
+            if (polls++ % metrics_every != 0)
+                return;
+            std::ofstream f(metrics_text);
+            if (!f)
+                util::fatal("cannot write ", metrics_text);
+            f << obs::renderText();
+            ++snapshots;
+        };
+    }
     online::LiveRunResult run = online::runLiveLoad(
         app, cluster, {.seed = seed ^ 0x515u}, live, &service);
+
+    if (!metrics_text.empty()) {
+        // Final snapshot: everything the drain flushed is included.
+        std::ofstream f(metrics_text);
+        if (!f)
+            util::fatal("cannot write ", metrics_text);
+        f << obs::renderText();
+        ++snapshots;
+        std::printf("metrics exposition -> %s (%zu snapshots)\n",
+                    metrics_text.c_str(), snapshots);
+    }
 
     // --- Report. ---
     util::Json doc = service.statsJson();
