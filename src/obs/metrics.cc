@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <vector>
 
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace sleuth::obs {
@@ -69,7 +73,11 @@ std::string
 formatValue(double v)
 {
     std::ostringstream os;
-    os << v;
+    // max_digits10 keeps the round-trip exact: cumulative _sum values
+    // beyond 1e6 would otherwise round and lose monotonic resolution
+    // between scrapes.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
     return os.str();
 }
 
@@ -152,7 +160,20 @@ Registry::findOrCreate(const std::string &name, const Labels &labels,
     auto key = std::make_pair(name, renderLabels(labels));
     auto it = metrics_.find(key);
     if (it != metrics_.end())
+    {
+        // A name must keep one metric kind: a mismatched re-register
+        // would return a handle whose updates renderText never emits.
+        if (it->second->kind != kind)
+        {
+            static const char *const kKindNames[] = {
+                "counter", "gauge", "histogram", "callback gauge"};
+            util::fatal("metric ", name, key.second, " registered as ",
+                        kKindNames[static_cast<int>(it->second->kind)],
+                        " but re-requested as ",
+                        kKindNames[static_cast<int>(kind)]);
+        }
         return *it->second;
+    }
     auto metric = std::make_unique<Metric>();
     metric->kind = kind;
     metric->help = help;
@@ -207,6 +228,25 @@ Registry::callbackGauge(const std::string &name, const std::string &help,
 std::string
 Registry::renderText() const
 {
+    // Evaluate callback gauges before taking the render lock so a
+    // callback that itself touches the registry (e.g. obs::counter)
+    // cannot deadlock on the non-recursive mu_. Metric objects are
+    // never erased, so the pointers stay valid across the unlock.
+    std::map<const Metric *, int64_t> callbackValues;
+    {
+        std::vector<std::pair<const Metric *, std::function<int64_t()>>>
+            callbacks;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto &[key, metric] : metrics_)
+                if (metric->kind == Kind::Callback && metric->callback)
+                    callbacks.emplace_back(metric.get(),
+                                           metric->callback);
+        }
+        for (const auto &[m, fn] : callbacks)
+            callbackValues.emplace(m, fn());
+    }
+
     std::lock_guard<std::mutex> lock(mu_);
     std::string out;
     std::string lastFamily;
@@ -239,9 +279,14 @@ Registry::renderText() const
                    std::to_string(m.gauge ? m.gauge->value() : 0) + "\n";
             break;
         case Kind::Callback:
-            out += family + labelStr + " " +
-                   std::to_string(m.callback ? m.callback() : 0) + "\n";
+        {
+            // A callback registered between the two locked passes has
+            // no pre-evaluated value yet; render it as 0 this scrape.
+            auto cb = callbackValues.find(&m);
+            int64_t v = cb == callbackValues.end() ? 0 : cb->second;
+            out += family + labelStr + " " + std::to_string(v) + "\n";
             break;
+        }
         case Kind::Histogram:
         {
             HistogramSnapshot snap =

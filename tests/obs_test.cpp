@@ -170,6 +170,40 @@ TEST(ObsRegistry, LabelsRenderSortedAndEscaped)
         std::string::npos);
 }
 
+TEST(ObsRegistry, KindMismatchIsFatal)
+{
+    obs::Registry r;
+    r.counter("sleuth_test_kind_total", "help").add(1);
+    EXPECT_DEATH((void)r.gauge("sleuth_test_kind_total", "help"),
+                 "re-requested");
+}
+
+TEST(ObsRegistry, CallbackMayTouchRegistry)
+{
+    // Callbacks run with the registry mutex released, so one that
+    // itself registers or reads a metric must not deadlock.
+    obs::Registry r;
+    r.callbackGauge("sleuth_test_reentrant_cb", "help", {}, [&r] {
+        return static_cast<int64_t>(
+            r.counter("sleuth_test_inner_total", "help").value());
+    });
+    r.counter("sleuth_test_inner_total", "help").add(3);
+    std::string text = r.renderText();
+    EXPECT_NE(text.find("sleuth_test_reentrant_cb 3\n"),
+              std::string::npos);
+}
+
+TEST(ObsRegistry, LargeSumsRenderFullPrecision)
+{
+    // Cumulative _sum values beyond 1e6 must not round to six
+    // significant digits, or scrape deltas lose resolution.
+    obs::Registry r;
+    r.histogram("sleuth_test_big_ms", "help").record(1234567.25);
+    std::string text = r.renderText();
+    EXPECT_NE(text.find("sleuth_test_big_ms_sum 1234567.25\n"),
+              std::string::npos);
+}
+
 TEST(ObsDefaultRegistry, ExposesThreadPoolGauges)
 {
     std::string text = obs::renderText();

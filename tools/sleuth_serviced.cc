@@ -150,10 +150,12 @@ main(int argc, char **argv)
     live.duplicateProb = duplicate;
     live.schedule = schedule;
     size_t snapshots = 0;
+    // Declared alongside snapshots: the onPoll lambda captures both by
+    // reference and runs inside runLiveLoad, after the if-block ends.
+    int64_t polls = 0;
     if (!metrics_text.empty()) {
         // Periodic snapshot on the driver thread: rewrite the textfile
         // every Nth poll so a scraper always sees a complete document.
-        int64_t polls = 0;
         live.onPoll = [&](int64_t) {
             if (polls++ % metrics_every != 0)
                 return;
