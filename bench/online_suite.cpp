@@ -35,7 +35,9 @@
 #include "online/service.h"
 #include "sim/cluster_model.h"
 #include "sim/simulator.h"
+#include "storage/trace_store.h"
 #include "synth/generator.h"
+#include "trace/columnar.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -151,6 +153,34 @@ main(int argc, char **argv)
             : 0.0;
     rows.push_back(
         {"assembly_drop_fraction", drop_fraction, "fraction"});
+
+    // --- Resident bytes per span in the live trace store, columnar
+    // accounting vs the row-oriented AoS estimate of the same traces
+    // (the before/after of the columnar refactor, online path). ---
+    {
+        const storage::TraceStore &store = service.store();
+        size_t legacy_bytes = 0;
+        storage::Query all;
+        for (const storage::Record *r : store.query(all))
+            legacy_bytes += trace::approxTraceMemoryBytes(r->trace());
+        double spans = static_cast<double>(store.totalSpans());
+        if (spans > 0.0) {
+            double per_span_columnar =
+                static_cast<double>(store.memoryBytes()) / spans;
+            double per_span_legacy =
+                static_cast<double>(legacy_bytes) / spans;
+            rows.push_back({"memory_bytes_per_span", per_span_columnar,
+                            "bytes"});
+            rows.push_back({"memory_bytes_per_span_legacy",
+                            per_span_legacy, "bytes"});
+            rows.push_back({"memory_bytes_per_span_reduction",
+                            per_span_legacy / per_span_columnar, "x"});
+            std::printf("store memory: %.1f bytes/span columnar vs "
+                        "%.1f legacy (%.2fx smaller)\n",
+                        per_span_columnar, per_span_legacy,
+                        per_span_legacy / per_span_columnar);
+        }
+    }
 
     // --- The same stream with the metrics layer on vs off: identical
     // incidents (write-only side channel), throughput delta is the

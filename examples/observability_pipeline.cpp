@@ -59,8 +59,10 @@ main()
         store.scan().aggregate<std::map<std::string, int>>(
             {}, [](std::map<std::string, int> acc,
                    const storage::Record *const &r) {
-                for (const trace::Span &s : r->trace.spans)
-                    acc[s.service]++;
+                const trace::SpanColumns &cols = r->columns.columns();
+                for (size_t i = 0; i < cols.size(); ++i)
+                    acc[r->columns.interner().name(
+                        cols.serviceId(i))]++;
                 return acc;
             });
     std::printf("storage holds %zu traces / %zu spans across %zu"
@@ -84,7 +86,7 @@ main()
     std::vector<trace::Trace> traces;
     std::vector<int64_t> slos;
     for (const storage::Record *r : incidents) {
-        traces.push_back(r->trace);
+        traces.push_back(r->trace());
         slos.push_back(r->sloUs);
     }
     core::PipelineResult result = pipeline.analyze(traces, slos);

@@ -13,6 +13,7 @@
 #include "storage/trace_store.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace sleuth::campaign {
 
@@ -641,7 +642,7 @@ checkStorageRoundTrip(const ScenarioRun &run, const CheckContext &)
     // require a bitwise-identical reanalysis.
     std::map<std::string, size_t> by_id;
     for (size_t id = 0; id < store.size(); ++id)
-        by_id[store.at(id).trace.traceId] = id;
+        by_id[store.at(id).traceId()] = id;
     std::vector<trace::Trace> reloaded;
     std::vector<int64_t> reloaded_slos;
     for (size_t i = 0; i < run.traces.size(); ++i) {
@@ -650,13 +651,13 @@ checkStorageRoundTrip(const ScenarioRun &run, const CheckContext &)
             return fail("trace " + run.traces[i].traceId +
                         " vanished in the store");
         const storage::Record &rec = store.at(it->second);
-        std::string diff = diffTraces(run.traces[i], rec.trace);
+        std::string diff = diffTraces(run.traces[i], rec.trace());
         if (!diff.empty())
             return fail("persisted " + diff);
         if (rec.sloUs != run.slos[i])
             return fail("persisted SLO drifted for trace " +
                         run.traces[i].traceId);
-        reloaded.push_back(rec.trace);
+        reloaded.push_back(rec.trace());
         reloaded_slos.push_back(rec.sloUs);
     }
     core::PipelineConfig cfg = run.scenario.pipelineConfig();
@@ -775,9 +776,14 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     // detector bucket index < -1) — the regression surface of the old
     // Bucket empty-sentinel collision, which silently dropped all
     // pre-epoch observations and opened no incident.
+    // Fingerprint references are keyed by timeline shift and shared
+    // across runTimeline calls, so a re-run of the same timeline (the
+    // SIMD-off leg below) is pinned byte-for-byte to the first run's
+    // incident rather than merely to itself.
+    std::map<int64_t, std::string> reference_by_shift;
     auto runTimeline = [&](int64_t shift,
                            const std::string &label) -> InvariantResult {
-    std::string reference;
+    std::string &reference = reference_by_shift[shift];
     for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
         online::OnlineService service(run.adapter->model(),
                                       run.adapter->encoder(),
@@ -834,7 +840,7 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
                      const storage::Record *b) {
                       if (a->startUs() != b->startUs())
                           return a->startUs() < b->startUs();
-                      return a->trace.traceId < b->trace.traceId;
+                      return a->traceId() < b->traceId();
                   });
         if (rows.size() != incident.anomalousTraces.size())
             return fail(
@@ -845,11 +851,11 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
         std::vector<trace::Trace> batch;
         std::vector<int64_t> batch_slos;
         for (size_t i = 0; i < rows.size(); ++i) {
-            if (rows[i]->trace.traceId !=
+            if (rows[i]->traceId() !=
                 incident.anomalousTraces[i].traceId)
                 return fail(label + "snapshot order diverges from the "
                             "store at position " + std::to_string(i));
-            batch.push_back(rows[i]->trace);
+            batch.push_back(rows[i]->trace());
             batch_slos.push_back(rows[i]->sloUs);
         }
         std::string diff = diffResults(
@@ -870,6 +876,16 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     InvariantResult on_epoch = runTimeline(0, "");
     if (!on_epoch.pass)
         return on_epoch;
+    // SIMD-off leg: replay the epoch timeline with the vectorized
+    // kernels force-dispatched to their scalar mirrors. The shared
+    // fingerprint reference pins columnar + SIMD ≡ legacy scalar end
+    // to end — ingest, detection, snapshot, RCA, and ranking.
+    {
+        simd::ScopedForceScalar scalar_only;
+        InvariantResult simd_off = runTimeline(0, "simd-off: ");
+        if (!simd_off.pass)
+            return simd_off;
+    }
     // Shift the whole storm (and the poll watermark) so every span end
     // lands below -2 detector buckets.
     return runTimeline(-(last_end + 3 * cfg.detector.bucketUs),
@@ -906,7 +922,8 @@ invariantRegistry()
          checkStorageRoundTrip},
         {"online-differential",
          "streaming the storm through the online layer reproduces the "
-         "batch pipeline at 1/2/8 ingest threads",
+         "batch pipeline at 1/2/8 ingest threads, with and without "
+         "SIMD dispatch",
          checkOnlineDifferential},
     };
     return registry;

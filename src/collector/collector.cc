@@ -285,10 +285,7 @@ TraceCollector::ingest(const std::string &payload, Protocol protocol,
             "sleuth_ingest_accepted_spans_total",
             "Spans accepted by the batch trace collector");
         spans.add(t.spans.size());
-        storage::Record rec;
-        rec.trace = std::move(t);
-        rec.sloUs = slo_us;
-        store_->insert(std::move(rec));
+        store_->insert(std::move(t), slo_us);
         ++accepted;
         ++stats_.tracesAccepted;
     }

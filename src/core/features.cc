@@ -118,10 +118,12 @@ FeatureEncoder::encode(const std::vector<const trace::Trace *> &traces)
             // per distinct string (paper's pointer optimization).
             const std::vector<double> &emb = embedder_.embed(
                 s.service + " " + s.name + " " + toString(s.kind));
-            for (size_t c = 0; c < ecols; ++c) {
-                batch.x.at(row, c) = emb[c];
-                batch.xExcl.at(row, c) = emb[c];
-            }
+            // Contiguous row copies instead of per-element at(): the
+            // embedding block dominates the feature row.
+            double *xrow = batch.x.data().data() + row * dim;
+            double *erow = batch.xExcl.data().data() + row * dim;
+            std::copy(emb.begin(), emb.begin() + ecols, xrow);
+            std::copy(emb.begin(), emb.begin() + ecols, erow);
             batch.x.at(row, ecols) = scale_.scaleUs(
                 static_cast<double>(s.durationUs()));
             batch.x.at(row, ecols + 1) = s.hasError() ? 1.0 : 0.0;

@@ -1,11 +1,13 @@
 #include "pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 
 #include "cluster/svdd.h"
 #include "obs/metrics.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace sleuth::core {
@@ -78,6 +80,44 @@ validateTraces(const std::vector<trace::Trace> &traces,
     return errors;
 }
 
+/**
+ * Int8 trace signature for the quantization ablation: the L2-normalized
+ * sum of each span's semantic embedding, quantized to int8. The sum and
+ * normalization use only elementwise kernels (bitwise-stable under any
+ * SIMD dispatch) and a strictly sequential norm reduction, so the
+ * signature — and every distance derived from it, being an exact
+ * integer dot — is independent of ISA and thread count.
+ */
+embed::QuantizedEmbedding
+traceSignature(const trace::Trace &t, FeatureEncoder &enc)
+{
+    embed::TextEmbedder &emb = enc.embedder();
+    const size_t dim = emb.dim();
+    std::vector<double> acc(dim, 0.0);
+    for (const trace::Span &s : t.spans) {
+        const std::vector<double> &e =
+            emb.embed(s.service + " " + s.name + " " + toString(s.kind));
+        simd::add(acc.data(), e.data(), dim);
+    }
+    double norm2 = 0.0;
+    for (double v : acc)
+        norm2 += v * v;
+    if (norm2 > 0.0)
+        simd::div(acc.data(), std::sqrt(norm2), dim);
+    return embed::TextEmbedder::quantize(acc);
+}
+
+/** Packed 1 − cosine matrix over int8 signatures (exact integer math). */
+distance::DistanceMatrix
+int8DistanceMatrix(const std::vector<embed::QuantizedEmbedding> &sigs)
+{
+    return distance::DistanceMatrix::compute(
+        sigs.size(), [&](size_t i, size_t j) {
+            return std::max(0.0, 1.0 - embed::TextEmbedder::cosineQuantized(
+                                           sigs[i], sigs[j]));
+        });
+}
+
 } // namespace
 
 /**
@@ -106,11 +146,13 @@ struct SleuthPipeline::Engine
     };
 
     util::ThreadPool pool;
+    FeatureEncoder &encoder0;
     CounterfactualRca rca0;
     std::vector<std::unique_ptr<PerWorker>> extra;
 
     explicit Engine(const SleuthPipeline &p)
         : pool(util::ThreadPool::resolveThreads(p.config_.numThreads)),
+          encoder0(p.encoder_),
           rca0(p.model_, p.encoder_, p.profile_, p.config_.rca)
     {
         extra.reserve(pool.size() - 1);
@@ -122,6 +164,12 @@ struct SleuthPipeline::Engine
     rcaFor(size_t worker)
     {
         return worker == 0 ? rca0 : extra[worker - 1]->rca;
+    }
+
+    FeatureEncoder &
+    encoderFor(size_t worker)
+    {
+        return worker == 0 ? encoder0 : extra[worker - 1]->encoder;
     }
 };
 
@@ -151,18 +199,29 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
     // malformed ones are compacted out so they neither crash the batch
     // nor distort clustering.
     countBatch(n);
+    const bool int8dist =
+        config_.traceDistance ==
+        PipelineConfig::TraceDistanceKind::EmbeddingCosineInt8;
     std::vector<std::string> errors(n);
-    std::vector<distance::WeightedSpanSet> sets(n);
+    std::vector<distance::WeightedSpanSet> sets(int8dist ? 0 : n);
+    std::vector<embed::QuantizedEmbedding> sigs(int8dist ? n : 0);
     {
         obs::ScopedTimer timer(stageHistogram(Stage::Encode));
-        engine.pool.parallelFor(n, [&](size_t i, size_t) {
+        engine.pool.parallelFor(n, [&](size_t i, size_t w) {
             trace::TraceGraph g;
             std::string err;
-            if (trace::TraceGraph::tryBuild(traces[i], &g, &err))
+            if (!trace::TraceGraph::tryBuild(traces[i], &g, &err)) {
+                errors[i] = err;
+                return;
+            }
+            // Per-worker encoders: the embedding is a pure function of
+            // the string, so private caches change cost, not results.
+            if (int8dist)
+                sigs[i] =
+                    traceSignature(traces[i], engine.encoderFor(w));
+            else
                 sets[i] = distance::encodeSpanSet(
                     traces[i], g, config_.distanceOpts);
-            else
-                errors[i] = err;
         });
     }
 
@@ -178,8 +237,9 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
             ptrs[i] = &traces[i];
         distance::DistanceMatrix dist = [&] {
             obs::ScopedTimer timer(stageHistogram(Stage::Distance));
-            return distance::DistanceMatrix::fromSpanSets(
-                sets, &engine.pool);
+            return int8dist ? int8DistanceMatrix(sigs)
+                            : distance::DistanceMatrix::fromSpanSets(
+                                  sets, &engine.pool);
         }();
         return analyzeCore(ptrs, slos, dist, errors, engine);
     }
@@ -188,18 +248,24 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
     std::vector<const trace::Trace *> ptrs;
     std::vector<int64_t> sub_slos;
     std::vector<distance::WeightedSpanSet> sub_sets;
+    std::vector<embed::QuantizedEmbedding> sub_sigs;
     ptrs.reserve(valid.size());
     sub_slos.reserve(valid.size());
-    sub_sets.reserve(valid.size());
+    sub_sets.reserve(int8dist ? 0 : valid.size());
+    sub_sigs.reserve(int8dist ? valid.size() : 0);
     for (size_t i : valid) {
         ptrs.push_back(&traces[i]);
         sub_slos.push_back(slos[i]);
-        sub_sets.push_back(std::move(sets[i]));
+        if (int8dist)
+            sub_sigs.push_back(std::move(sigs[i]));
+        else
+            sub_sets.push_back(std::move(sets[i]));
     }
     distance::DistanceMatrix sub_dist = [&] {
         obs::ScopedTimer timer(stageHistogram(Stage::Distance));
-        return distance::DistanceMatrix::fromSpanSets(sub_sets,
-                                                      &engine.pool);
+        return int8dist ? int8DistanceMatrix(sub_sigs)
+                        : distance::DistanceMatrix::fromSpanSets(
+                              sub_sets, &engine.pool);
     }();
     PipelineResult sub =
         analyzeCore(ptrs, sub_slos, sub_dist,

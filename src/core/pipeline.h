@@ -28,6 +28,23 @@ struct PipelineConfig
     /** Clustering algorithm choice. */
     enum class Algorithm { Hdbscan, Dbscan };
 
+    /** Trace-distance choice for the default analyze() clustering. */
+    enum class TraceDistanceKind
+    {
+        /** Weighted Jaccard over encoded span sets (paper Eq. 1). */
+        WeightedJaccard,
+        /**
+         * Quantization ablation: 1 − cosine over int8 per-trace
+         * embeddings (the L2-normalized sum of each span's semantic
+         * embedding, quantized to int8). Distances track the float
+         * cosine within ~0.02 absolute (DESIGN.md §3.12) at a quarter
+         * of the bytes per trace signature. Only affects analyze();
+         * analyzeWithDistance/analyzeWithMatrix use their caller's
+         * distance as before.
+         */
+        EmbeddingCosineInt8,
+    };
+
     /** Cluster before RCA (disable to analyze every trace). */
     bool clustering = true;
     /** HDBSCAN (paper §3.3.2) or plain DBSCAN (paper §3.1). */
@@ -38,6 +55,8 @@ struct PipelineConfig
     cluster::DbscanParams dbscan{0.3, 4};
     /** Span-identifier options for the trace distance. */
     distance::SpanSetOptions distanceOpts;
+    /** Distance used by analyze() (Jaccard default; int8 ablation). */
+    TraceDistanceKind traceDistance = TraceDistanceKind::WeightedJaccard;
     /** RCA knobs. */
     RcaParams rca;
     /**

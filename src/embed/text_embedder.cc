@@ -4,6 +4,7 @@
 
 #include <cctype>
 
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace sleuth::embed {
@@ -101,16 +102,17 @@ TextEmbedder::computeEmbedding(const std::string &text) const
         return acc;
     for (const std::string &t : tokens) {
         std::vector<double> tv = tokenVector(t);
-        for (size_t i = 0; i < dim_; ++i)
-            acc[i] += tv[i];
+        simd::add(acc.data(), tv.data(), dim_);
     }
+    // The norm reduction stays strictly sequential so cached embedding
+    // values are independent of SIMD dispatch; the elementwise divide
+    // vectorizes exactly.
     double norm = 0.0;
     for (double x : acc)
         norm += x * x;
     norm = std::sqrt(norm);
     if (norm > 0.0)
-        for (double &x : acc)
-            x /= norm;
+        simd::div(acc.data(), norm, dim_);
     return acc;
 }
 
@@ -127,16 +129,65 @@ double
 TextEmbedder::cosine(const std::vector<double> &a,
                      const std::vector<double> &b)
 {
-    double dot = 0.0, na = 0.0, nb = 0.0;
+    // 4-lane blocked reductions (simd::dotBlocked): no legacy
+    // accumulation order is pinned here, callers only compare
+    // similarities within float tolerance.
     size_t n = std::min(a.size(), b.size());
-    for (size_t i = 0; i < n; ++i) {
-        dot += a[i] * b[i];
-        na += a[i] * a[i];
-        nb += b[i] * b[i];
-    }
+    double dot = simd::dotBlocked(a.data(), b.data(), n);
+    double na = simd::dotBlocked(a.data(), a.data(), n);
+    double nb = simd::dotBlocked(b.data(), b.data(), n);
     if (na == 0.0 || nb == 0.0)
         return 0.0;
     return dot / std::sqrt(na * nb);
+}
+
+bool
+QuantizedEmbedding::zero() const
+{
+    for (int8_t x : q)
+        if (x != 0)
+            return false;
+    return true;
+}
+
+QuantizedEmbedding
+TextEmbedder::quantize(const std::vector<double> &v)
+{
+    QuantizedEmbedding out;
+    out.q.resize(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+        double scaled = std::nearbyint(v[i] * 127.0);
+        if (scaled > 127.0)
+            scaled = 127.0;
+        if (scaled < -127.0)
+            scaled = -127.0;
+        out.q[i] = static_cast<int8_t>(scaled);
+    }
+    return out;
+}
+
+const QuantizedEmbedding &
+TextEmbedder::embedQuantized(const std::string &text)
+{
+    auto it = qcache_.find(text);
+    if (it != qcache_.end())
+        return it->second;
+    return qcache_.emplace(text, quantize(embed(text))).first->second;
+}
+
+double
+TextEmbedder::cosineQuantized(const QuantizedEmbedding &a,
+                              const QuantizedEmbedding &b)
+{
+    size_t n = std::min(a.q.size(), b.q.size());
+    int64_t dot = simd::dotI8(a.q.data(), b.q.data(), n);
+    int64_t na = simd::dotI8(a.q.data(), a.q.data(), n);
+    int64_t nb = simd::dotI8(b.q.data(), b.q.data(), n);
+    if (na == 0 || nb == 0)
+        return 0.0;
+    return static_cast<double>(dot) /
+           std::sqrt(static_cast<double>(na) *
+                     static_cast<double>(nb));
 }
 
 } // namespace sleuth::embed

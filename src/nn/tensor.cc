@@ -1,5 +1,7 @@
 #include "tensor.h"
 
+#include "util/simd.h"
+
 namespace sleuth::nn {
 
 Tensor
@@ -44,15 +46,13 @@ void
 Tensor::addInPlace(const Tensor &other)
 {
     SLEUTH_ASSERT(sameShape(other), "addInPlace shape mismatch");
-    for (size_t i = 0; i < data_.size(); ++i)
-        data_[i] += other.data_[i];
+    simd::add(data_.data(), other.data_.data(), data_.size());
 }
 
 void
 Tensor::scaleInPlace(double s)
 {
-    for (double &x : data_)
-        x *= s;
+    simd::scale(data_.data(), s, data_.size());
 }
 
 Tensor
@@ -68,8 +68,7 @@ Tensor::matmul(const Tensor &other) const
                 continue;
             const double *brow = &other.data_[k * other.cols_];
             double *orow = &out.data_[i * other.cols_];
-            for (size_t j = 0; j < other.cols_; ++j)
-                orow[j] += a * brow[j];
+            simd::axpy(orow, a, brow, other.cols_);
         }
     }
     return out;
@@ -90,8 +89,7 @@ Tensor::matmulTransposedA(const Tensor &other) const
             if (a == 0.0)
                 continue;
             double *orow = &out.data_[i * other.cols_];
-            for (size_t j = 0; j < other.cols_; ++j)
-                orow[j] += a * brow[j];
+            simd::axpy(orow, a, brow, other.cols_);
         }
     }
     return out;
@@ -104,10 +102,22 @@ Tensor::matmulTransposedB(const Tensor &other) const
                   "matmulTransposedB shape mismatch: ", rows_, "x",
                   cols_, " * ", other.rows_, "x", other.cols_, "ᵀ");
     Tensor out(rows_, other.rows_);
+    // Each output is a strictly sequential dot over t, so results are
+    // bitwise-identical to the naive loop: dotRows4 runs four
+    // independent accumulator chains (one per output column) rather
+    // than reassociating within a dot.
     for (size_t i = 0; i < rows_; ++i) {
         const double *arow = &data_[i * cols_];
         double *orow = &out.data_[i * other.rows_];
-        for (size_t j = 0; j < other.rows_; ++j) {
+        size_t j = 0;
+        for (; j + 4 <= other.rows_; j += 4) {
+            simd::dotRows4(arow, &other.data_[j * other.cols_],
+                           &other.data_[(j + 1) * other.cols_],
+                           &other.data_[(j + 2) * other.cols_],
+                           &other.data_[(j + 3) * other.cols_], cols_,
+                           orow + j);
+        }
+        for (; j < other.rows_; ++j) {
             const double *brow = &other.data_[j * other.cols_];
             double dot = 0.0;
             for (size_t t = 0; t < cols_; ++t)

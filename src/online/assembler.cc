@@ -21,7 +21,9 @@ rootStartUs(const trace::Trace &t)
 
 } // namespace
 
-SpanAssembler::SpanAssembler(AssemblerConfig config) : config_(config)
+SpanAssembler::SpanAssembler(AssemblerConfig config)
+    : config_(config),
+      interner_(std::make_shared<trace::StringInterner>())
 {
     SLEUTH_ASSERT(config_.latenessUs >= 0 && config_.quietGapUs >= 0,
                   "assembler horizons must be non-negative");
@@ -56,7 +58,6 @@ SpanAssembler::add(const SpanEvent &event)
             return false;
         }
         it = pending_.emplace(event.traceId, Pending{}).first;
-        it->second.trace.traceId = event.traceId;
     }
     Pending &p = it->second;
     if (!p.spanIds.insert(event.span.spanId).second) {
@@ -64,24 +65,34 @@ SpanAssembler::add(const SpanEvent &event)
         return false;
     }
     p.lastEndUs = std::max(p.lastEndUs, event.span.endUs);
-    p.trace.spans.push_back(event.span);
+    p.cols.append(event.span, *interner_);
     ++pending_spans_;
     ++spans_buffered_; // delta-flushed into obs by drain()
     return true;
 }
 
 bool
-SpanAssembler::finalize(Pending &p, std::vector<trace::Trace> *out)
+SpanAssembler::finalize(const std::string &trace_id, Pending &p,
+                        std::vector<trace::Trace> *out)
 {
     // Canonical span order: ingestion interleaving must not leak into
-    // the emitted trace.
-    std::sort(p.trace.spans.begin(), p.trace.spans.end(),
-              [](const trace::Span &a, const trace::Span &b) {
-                  if (a.startUs != b.startUs)
-                      return a.startUs < b.startUs;
-                  return a.spanId < b.spanId;
-              });
-    pending_spans_ -= p.trace.spans.size();
+    // the emitted trace. Sort a permutation over the columns, then
+    // materialize rows in that order.
+    const size_t n = p.cols.size();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (p.cols.startUs(a) != p.cols.startUs(b))
+            return p.cols.startUs(a) < p.cols.startUs(b);
+        return p.cols.spanId(a) < p.cols.spanId(b);
+    });
+    trace::Trace t;
+    t.traceId = trace_id;
+    t.spans.reserve(n);
+    for (size_t i : order)
+        t.spans.push_back(p.cols.materialize(i, *interner_));
+    pending_spans_ -= n;
     trace::TraceGraph graph;
     std::string why;
     static obs::Counter &accepted = obs::counter(
@@ -92,16 +103,15 @@ SpanAssembler::finalize(Pending &p, std::vector<trace::Trace> *out)
         "sleuth_assembler_traces_total",
         "Traces completed by the span assembler",
         {{"result", "rejected"}});
-    if (!trace::TraceGraph::tryBuild(p.trace, &graph, &why)) {
+    if (!trace::TraceGraph::tryBuild(t, &graph, &why)) {
         ++stats_.tracesRejected;
-        stats_.countDrop(collector::classifyDefect(p.trace),
-                         p.trace.spans.size());
+        stats_.countDrop(collector::classifyDefect(t), t.spans.size());
         rejected.add();
         return false;
     }
     ++stats_.tracesAccepted;
-    stats_.spansAccepted += p.trace.spans.size();
-    out->push_back(std::move(p.trace));
+    stats_.spansAccepted += t.spans.size();
+    out->push_back(std::move(t));
     accepted.add();
     return true;
 }
@@ -114,7 +124,7 @@ SpanAssembler::drain(int64_t nowUs)
     std::vector<trace::Trace> out;
     for (auto it = pending_.begin(); it != pending_.end();) {
         if (it->second.lastEndUs + config_.quietGapUs <= watermark_) {
-            finalize(it->second, &out);
+            finalize(it->first, it->second, &out);
             rememberClosed(it->first);
             it = pending_.erase(it);
         } else {
@@ -151,7 +161,7 @@ SpanAssembler::flush()
     flushObs();
     std::vector<trace::Trace> out;
     for (auto it = pending_.begin(); it != pending_.end();) {
-        finalize(it->second, &out);
+        finalize(it->first, it->second, &out);
         rememberClosed(it->first);
         it = pending_.erase(it);
     }

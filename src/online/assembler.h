@@ -29,12 +29,14 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "collector/collector.h"
+#include "trace/columnar.h"
 #include "trace/trace.h"
 
 namespace sleuth::online {
@@ -109,10 +111,16 @@ class SpanAssembler
   private:
     struct Pending
     {
-        trace::Trace trace;
+        /**
+         * Buffered spans in columnar form: vocabulary fields interned
+         * once per assembler, span ids in a per-trace char arena. The
+         * legacy row-oriented trace is materialized only at finalize,
+         * in canonical span order.
+         */
+        trace::SpanColumns cols;
         /**
          * Span ids already buffered, for O(1) duplicate rejection (a
-         * linear scan over trace.spans is O(n²) per trace at ingest
+         * linear scan over the columns is O(n²) per trace at ingest
          * rates of hundreds of thousands of spans per second).
          */
         std::unordered_set<std::string> spanIds;
@@ -126,7 +134,8 @@ class SpanAssembler
     };
 
     /** Validate, canonicalize, and count one completed trace. */
-    bool finalize(Pending &p, std::vector<trace::Trace> *out);
+    bool finalize(const std::string &trace_id, Pending &p,
+                  std::vector<trace::Trace> *out);
 
     /** Delta-flush hot-path counts into the obs registry. */
     void flushObs();
@@ -136,6 +145,8 @@ class SpanAssembler
 
     AssemblerConfig config_;
     collector::CollectorStats stats_;
+    /** Vocabulary shared by every pending trace of this assembler. */
+    std::shared_ptr<trace::StringInterner> interner_;
     std::unordered_map<std::string, Pending> pending_;
     /** Recently completed/dropped trace ids -> close watermark. */
     std::unordered_map<std::string, int64_t> closed_;

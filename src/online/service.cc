@@ -98,11 +98,8 @@ OnlineService::absorb(std::vector<trace::Trace> traces)
         obs.anomalous =
             obs.error || (prof.sloUs > 0 && obs.durationUs > prof.sloUs);
 
-        storage::Record rec;
-        rec.trace = std::move(t);
-        rec.sloUs = prof.sloUs;
-        rec.flowIndex = prof.flowIndex;
-        last_record_id_ = store_.insert(std::move(rec));
+        last_record_id_ =
+            store_.insert(std::move(t), prof.sloUs, prof.flowIndex);
         ++traces_stored_;
 
         detector_.observe(obs);
@@ -311,7 +308,7 @@ OnlineService::analyzeIncident(Incident *incident)
     std::vector<const storage::Record *> normals;
     for (const storage::Record *r : window) {
         if (r->anomalous()) {
-            incident->anomalousTraces.push_back(r->trace);
+            incident->anomalousTraces.push_back(r->trace());
             incident->slos.push_back(r->sloUs);
         } else {
             normals.push_back(r);
@@ -352,16 +349,16 @@ OnlineService::analyzeIncident(Incident *incident)
     if (config_.normalSampleSize > 0 && !normals.empty()) {
         std::sort(normals.begin(), normals.end(),
                   [](const storage::Record *a, const storage::Record *b) {
-                      uint64_t ha = fnv1a(a->trace.traceId);
-                      uint64_t hb = fnv1a(b->trace.traceId);
+                      uint64_t ha = fnv1a(a->traceId());
+                      uint64_t hb = fnv1a(b->traceId());
                       if (ha != hb)
                           return ha < hb;
-                      return a->trace.traceId < b->trace.traceId;
+                      return a->traceId() < b->traceId();
                   });
         size_t k = std::min(config_.normalSampleSize, normals.size());
         incident->normalSample.reserve(k);
         for (size_t i = 0; i < k; ++i)
-            incident->normalSample.push_back(normals[i]->trace);
+            incident->normalSample.push_back(normals[i]->trace());
     }
 
     if (!incident->anomalousTraces.empty()) {

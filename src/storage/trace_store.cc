@@ -8,24 +8,15 @@
 
 namespace sleuth::storage {
 
-int64_t
-Record::startUs() const
+TraceStore::TraceStore()
+    : interner_(std::make_shared<trace::StringInterner>())
 {
-    for (const trace::Span &s : trace.spans)
-        if (s.parentSpanId.empty())
-            return s.startUs;
-    return 0;
 }
 
-bool
-Record::anomalous() const
+TraceStore::TraceStore(RetentionConfig retention)
+    : interner_(std::make_shared<trace::StringInterner>()),
+      retention_(retention)
 {
-    if (sloUs > 0 && trace.rootDurationUs() > sloUs)
-        return true;
-    for (const trace::Span &s : trace.spans)
-        if (s.parentSpanId.empty())
-            return s.hasError();
-    return false;
 }
 
 void
@@ -39,17 +30,22 @@ TraceStore::setRetention(RetentionConfig retention)
 }
 
 size_t
-TraceStore::insert(Record record)
+TraceStore::insert(trace::Trace t, int64_t sloUs, int flowIndex)
 {
+    Record record;
+    record.columns = trace::ColumnarTrace(t, interner_);
+    record.sloUs = sloUs;
+    record.flowIndex = flowIndex;
     size_t id = next_id_++;
     record.id = id;
     by_start_.emplace(record.startUs(), id);
-    std::set<std::string> services;
-    for (const trace::Span &s : record.trace.spans)
-        services.insert(s.service);
-    for (const std::string &svc : services)
+    std::set<uint32_t> services;
+    const trace::SpanColumns &cols = record.columns.columns();
+    for (size_t i = 0; i < cols.size(); ++i)
+        services.insert(cols.serviceId(i));
+    for (uint32_t svc : services)
         by_service_[svc].push_back(id);
-    total_spans_ += record.trace.spans.size();
+    total_spans_ += record.spanCount();
     static obs::Counter &inserted = obs::counter(
         "sleuth_store_inserted_records_total",
         "Trace records inserted into trace stores");
@@ -100,10 +96,11 @@ TraceStore::evictOne(size_t id)
             break;
         }
     }
-    std::set<std::string> services;
-    for (const trace::Span &s : rec.trace.spans)
-        services.insert(s.service);
-    for (const std::string &svc : services) {
+    std::set<uint32_t> services;
+    const trace::SpanColumns &cols = rec.columns.columns();
+    for (size_t i = 0; i < cols.size(); ++i)
+        services.insert(cols.serviceId(i));
+    for (uint32_t svc : services) {
         auto svc_it = by_service_.find(svc);
         if (svc_it == by_service_.end())
             continue;
@@ -112,9 +109,9 @@ TraceStore::evictOne(size_t id)
         if (ids.empty())
             by_service_.erase(svc_it);
     }
-    total_spans_ -= rec.trace.spans.size();
+    total_spans_ -= rec.spanCount();
     ++evictions_.records;
-    evictions_.spans += rec.trace.spans.size();
+    evictions_.spans += rec.spanCount();
     static obs::Counter &records = obs::counter(
         "sleuth_store_evicted_records_total",
         "Trace records evicted by retention enforcement");
@@ -122,7 +119,7 @@ TraceStore::evictOne(size_t id)
         "sleuth_store_evicted_spans_total",
         "Spans evicted by retention enforcement");
     records.add();
-    spans.add(rec.trace.spans.size());
+    spans.add(rec.spanCount());
     records_.erase(rec_it);
 }
 
@@ -139,8 +136,15 @@ std::vector<const Record *>
 TraceStore::query(const Query &q) const
 {
     // Choose the narrower index: service postings when a service is
-    // given, otherwise the time index.
+    // given, otherwise the time index. An un-interned service name
+    // cannot match any stored span.
     std::vector<const Record *> out;
+    std::optional<uint32_t> service_id;
+    if (q.service) {
+        service_id = interner_->find(*q.service);
+        if (!service_id)
+            return out;
+    }
     auto matches = [&](const Record &r) {
         if (q.minStartUs && r.startUs() < *q.minStartUs)
             return false;
@@ -150,21 +154,13 @@ TraceStore::query(const Query &q) const
             return false;
         if (q.onlyAnomalous && !r.anomalous())
             return false;
-        if (q.service) {
-            bool found = false;
-            for (const trace::Span &s : r.trace.spans)
-                if (s.service == *q.service) {
-                    found = true;
-                    break;
-                }
-            if (!found)
-                return false;
-        }
+        if (service_id && !r.columns.touchesService(*service_id))
+            return false;
         return true;
     };
 
-    if (q.service) {
-        auto it = by_service_.find(*q.service);
+    if (service_id) {
+        auto it = by_service_.find(*service_id);
         if (it == by_service_.end())
             return out;
         std::vector<size_t> ids = it->second;
@@ -211,6 +207,29 @@ TraceStore::scan() const
         all.push_back(&r);
     }
     return Dataset<const Record *>(std::move(all));
+}
+
+size_t
+TraceStore::memoryBytes() const
+{
+    // Estimate: per-record columnar payload plus red-black tree node
+    // overhead for the three indexes (~3 pointers + color per node).
+    constexpr size_t kMapNodeOverhead = 4 * sizeof(void *);
+    size_t bytes = sizeof(*this) + interner_->memoryBytes();
+    for (const auto &[id, r] : records_) {
+        (void)id;
+        bytes += kMapNodeOverhead + sizeof(size_t) + sizeof(Record) -
+                 sizeof(trace::ColumnarTrace) + r.columns.memoryBytes();
+    }
+    bytes += by_start_.size() *
+             (kMapNodeOverhead + sizeof(int64_t) + sizeof(size_t));
+    for (const auto &[svc, ids] : by_service_) {
+        (void)svc;
+        bytes += kMapNodeOverhead + sizeof(uint32_t) +
+                 sizeof(std::vector<size_t>) +
+                 ids.capacity() * sizeof(size_t);
+    }
+    return bytes;
 }
 
 } // namespace sleuth::storage

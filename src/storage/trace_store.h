@@ -11,15 +11,22 @@
  * over stored traces plus a typed operator pipeline (filter / map /
  * group / aggregate) that the feature-engineering code runs close to
  * the data.
+ *
+ * Records are held columnar (trace::ColumnarTrace, DESIGN.md §3.12):
+ * the store owns one StringInterner shared by every record, span
+ * vocabulary fields are u32 ids, and the legacy row-oriented
+ * trace::Trace is materialized on demand via Record::trace().
  */
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "trace/columnar.h"
 #include "trace/trace.h"
 
 namespace sleuth::storage {
@@ -27,7 +34,7 @@ namespace sleuth::storage {
 /** One stored trace with its workload metadata. */
 struct Record
 {
-    trace::Trace trace;
+    trace::ColumnarTrace columns;
     /** Latency SLO the trace is held against (0 = unknown). */
     int64_t sloUs = 0;
     /** Operation flow that produced the trace (-1 = unknown). */
@@ -35,11 +42,25 @@ struct Record
     /** Store-assigned id (monotonic admission order; set by insert). */
     size_t id = 0;
 
+    /** Trace id without materializing. */
+    const std::string &traceId() const { return columns.traceId(); }
+
+    /** Span count without materializing. */
+    size_t spanCount() const { return columns.spanCount(); }
+
+    /** Materialize the legacy row-oriented trace (exact round trip). */
+    trace::Trace trace() const { return columns.toTrace(); }
+
     /** Root span start timestamp (used by the time index). */
-    int64_t startUs() const;
+    int64_t startUs() const { return columns.rootStartUs(); }
 
     /** True when the trace breaches its SLO or errors at the root. */
-    bool anomalous() const;
+    bool anomalous() const
+    {
+        if (sloUs > 0 && columns.rootDurationUs() > sloUs)
+            return true;
+        return columns.rootError();
+    }
 };
 
 /** Declarative filter for TraceStore::query(). */
@@ -147,19 +168,20 @@ struct EvictionStats
 class TraceStore
 {
   public:
-    TraceStore() = default;
+    TraceStore();
 
     /** Construct with a retention policy active from the start. */
-    explicit TraceStore(RetentionConfig retention)
-        : retention_(retention)
-    {
-    }
+    explicit TraceStore(RetentionConfig retention);
 
     /** Install or replace the retention policy (applies immediately). */
     void setRetention(RetentionConfig retention);
 
-    /** Insert a record; returns its id (ids are never reused). */
-    size_t insert(Record record);
+    /**
+     * Encode a trace into the store's columnar layout and insert it;
+     * returns the record id (ids are never reused).
+     */
+    size_t insert(trace::Trace t, int64_t sloUs = 0,
+                  int flowIndex = -1);
 
     /** Number of live (non-evicted) records. */
     size_t size() const { return records_.size(); }
@@ -182,6 +204,19 @@ class TraceStore
     /** Cumulative eviction counters. */
     const EvictionStats &evictions() const { return evictions_; }
 
+    /** The vocabulary interner shared by every stored record. */
+    const std::shared_ptr<trace::StringInterner> &interner() const
+    {
+        return interner_;
+    }
+
+    /**
+     * Estimated resident bytes: columnar records + interner + index
+     * structures. Benchmarks divide by totalSpans() to report
+     * memory_bytes_per_span.
+     */
+    size_t memoryBytes() const;
+
   private:
     /** Evict oldest records until the retention budget fits. */
     void enforceRetention(size_t protected_id);
@@ -192,8 +227,9 @@ class TraceStore
     std::map<size_t, Record> records_;
     /** start-time index: (startUs, record id), kept sorted. */
     std::multimap<int64_t, size_t> by_start_;
-    /** service name -> record ids. */
-    std::map<std::string, std::vector<size_t>> by_service_;
+    /** interned service id -> record ids. */
+    std::map<uint32_t, std::vector<size_t>> by_service_;
+    std::shared_ptr<trace::StringInterner> interner_;
     size_t total_spans_ = 0;
     size_t next_id_ = 0;
     RetentionConfig retention_;

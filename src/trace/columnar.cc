@@ -1,0 +1,184 @@
+#include "columnar.h"
+
+#include "util/logging.h"
+
+namespace sleuth::trace {
+
+StrRef
+SpanColumns::arenaAdd(std::string_view s)
+{
+    SLEUTH_ASSERT(arena_.size() + s.size() <= UINT32_MAX,
+                  "span id arena exceeds 4 GiB");
+    StrRef r;
+    r.off = static_cast<uint32_t>(arena_.size());
+    r.len = static_cast<uint32_t>(s.size());
+    arena_.append(s.data(), s.size());
+    return r;
+}
+
+void
+SpanColumns::append(const Span &s, StringInterner &interner)
+{
+    span_id_.push_back(arenaAdd(s.spanId));
+    parent_id_.push_back(arenaAdd(s.parentSpanId));
+    service_.push_back(interner.intern(s.service));
+    name_.push_back(interner.intern(s.name));
+    container_.push_back(interner.intern(s.container));
+    pod_.push_back(interner.intern(s.pod));
+    node_.push_back(interner.intern(s.node));
+    kind_.push_back(static_cast<uint8_t>(s.kind));
+    status_.push_back(static_cast<uint8_t>(s.status));
+    start_.push_back(s.startUs);
+    end_.push_back(s.endUs);
+}
+
+Span
+SpanColumns::materialize(size_t i, const StringInterner &interner) const
+{
+    SLEUTH_ASSERT(i < size(), "span column index out of range");
+    Span s;
+    s.spanId = std::string(spanId(i));
+    s.parentSpanId = std::string(parentSpanId(i));
+    s.service = interner.name(service_[i]);
+    s.name = interner.name(name_[i]);
+    s.container = interner.name(container_[i]);
+    s.pod = interner.name(pod_[i]);
+    s.node = interner.name(node_[i]);
+    s.kind = kind(i);
+    s.status = status(i);
+    s.startUs = start_[i];
+    s.endUs = end_[i];
+    return s;
+}
+
+void
+SpanColumns::clear()
+{
+    arena_.clear();
+    span_id_.clear();
+    parent_id_.clear();
+    service_.clear();
+    name_.clear();
+    container_.clear();
+    pod_.clear();
+    node_.clear();
+    kind_.clear();
+    status_.clear();
+    start_.clear();
+    end_.clear();
+}
+
+void
+SpanColumns::shrinkToFit()
+{
+    arena_.shrink_to_fit();
+    span_id_.shrink_to_fit();
+    parent_id_.shrink_to_fit();
+    service_.shrink_to_fit();
+    name_.shrink_to_fit();
+    container_.shrink_to_fit();
+    pod_.shrink_to_fit();
+    node_.shrink_to_fit();
+    kind_.shrink_to_fit();
+    status_.shrink_to_fit();
+    start_.shrink_to_fit();
+    end_.shrink_to_fit();
+}
+
+size_t
+SpanColumns::memoryBytes() const
+{
+    size_t bytes = sizeof(*this);
+    if (arena_.capacity() > 15)
+        bytes += arena_.capacity() + 1;
+    bytes += span_id_.capacity() * sizeof(StrRef);
+    bytes += parent_id_.capacity() * sizeof(StrRef);
+    bytes += service_.capacity() * sizeof(uint32_t);
+    bytes += name_.capacity() * sizeof(uint32_t);
+    bytes += container_.capacity() * sizeof(uint32_t);
+    bytes += pod_.capacity() * sizeof(uint32_t);
+    bytes += node_.capacity() * sizeof(uint32_t);
+    bytes += kind_.capacity() * sizeof(uint8_t);
+    bytes += status_.capacity() * sizeof(uint8_t);
+    bytes += start_.capacity() * sizeof(int64_t);
+    bytes += end_.capacity() * sizeof(int64_t);
+    return bytes;
+}
+
+ColumnarTrace::ColumnarTrace(const Trace &t,
+                             std::shared_ptr<StringInterner> interner)
+    : trace_id_(t.traceId), interner_(std::move(interner))
+{
+    SLEUTH_ASSERT(interner_ != nullptr,
+                  "ColumnarTrace requires an interner");
+    for (size_t i = 0; i < t.spans.size(); ++i) {
+        cols_.append(t.spans[i], *interner_);
+        if (root_ < 0 && t.spans[i].parentSpanId.empty())
+            root_ = static_cast<int>(i);
+    }
+    cols_.shrinkToFit();
+}
+
+Trace
+ColumnarTrace::toTrace() const
+{
+    Trace t;
+    t.traceId = trace_id_;
+    t.spans.reserve(cols_.size());
+    for (size_t i = 0; i < cols_.size(); ++i)
+        t.spans.push_back(cols_.materialize(i, *interner_));
+    return t;
+}
+
+bool
+ColumnarTrace::hasError() const
+{
+    for (size_t i = 0; i < cols_.size(); ++i)
+        if (cols_.hasError(i))
+            return true;
+    return false;
+}
+
+bool
+ColumnarTrace::touchesService(uint32_t service_id) const
+{
+    const uint32_t *svc = cols_.serviceData();
+    for (size_t i = 0; i < cols_.size(); ++i)
+        if (svc[i] == service_id)
+            return true;
+    return false;
+}
+
+size_t
+ColumnarTrace::memoryBytes() const
+{
+    size_t bytes = sizeof(*this) - sizeof(SpanColumns);
+    bytes += cols_.memoryBytes();
+    if (trace_id_.capacity() > 15)
+        bytes += trace_id_.capacity() + 1;
+    return bytes;
+}
+
+namespace {
+size_t
+strHeapBytes(const std::string &s)
+{
+    return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+} // namespace
+
+size_t
+approxTraceMemoryBytes(const Trace &t)
+{
+    size_t bytes = sizeof(Trace) + strHeapBytes(t.traceId);
+    bytes += t.spans.capacity() * sizeof(Span);
+    for (const Span &s : t.spans) {
+        bytes += strHeapBytes(s.spanId) + strHeapBytes(s.parentSpanId) +
+                 strHeapBytes(s.service) + strHeapBytes(s.name) +
+                 strHeapBytes(s.container) + strHeapBytes(s.pod) +
+                 strHeapBytes(s.node);
+    }
+    return bytes;
+}
+
+} // namespace sleuth::trace

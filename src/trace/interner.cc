@@ -1,0 +1,70 @@
+#include "interner.h"
+
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace sleuth::trace {
+
+uint32_t
+StringInterner::intern(std::string_view s)
+{
+    {
+        std::shared_lock lock(mu_);
+        auto it = ids_.find(s);
+        if (it != ids_.end())
+            return it->second;
+    }
+    std::unique_lock lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end())
+        return it->second;
+    const uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(s);
+    ids_.emplace(std::string_view(names_.back()), id);
+    return id;
+}
+
+std::optional<uint32_t>
+StringInterner::find(std::string_view s) const
+{
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(s);
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const std::string &
+StringInterner::name(uint32_t id) const
+{
+    std::shared_lock lock(mu_);
+    SLEUTH_ASSERT(id < names_.size(), "interner id out of range");
+    return names_[id];
+}
+
+size_t
+StringInterner::size() const
+{
+    std::shared_lock lock(mu_);
+    return names_.size();
+}
+
+size_t
+StringInterner::memoryBytes() const
+{
+    std::shared_lock lock(mu_);
+    size_t bytes = sizeof(*this);
+    for (const std::string &s : names_) {
+        bytes += sizeof(std::string);
+        if (s.capacity() > 15) // libstdc++ SSO threshold
+            bytes += s.capacity() + 1;
+    }
+    // Hash index: bucket array + one node per entry (estimate).
+    bytes += ids_.bucket_count() * sizeof(void *);
+    bytes += ids_.size() *
+             (sizeof(std::string_view) + sizeof(uint32_t) + 2 * sizeof(void *));
+    return bytes;
+}
+
+} // namespace sleuth::trace

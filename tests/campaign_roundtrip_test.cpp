@@ -78,7 +78,7 @@ TEST(CampaignRoundTrip, PerTraceOtelIngestPreservesEverything)
         EXPECT_EQ(coll.stats().tracesRejected, 0u);
         for (size_t i = 0; i < run->traces.size(); ++i) {
             const storage::Record &rec = store.at(i);
-            expectSameTrace(run->traces[i], rec.trace);
+            expectSameTrace(run->traces[i], rec.trace());
             EXPECT_EQ(rec.sloUs, run->slos[i]);
         }
     }
@@ -94,7 +94,7 @@ TEST(CampaignRoundTrip, BatchedIngestMatchesPerTrace)
                                   collector::Protocol::Otel, 0);
     ASSERT_EQ(accepted, run->traces.size());
     for (size_t i = 0; i < run->traces.size(); ++i)
-        expectSameTrace(run->traces[i], store.at(i).trace);
+        expectSameTrace(run->traces[i], store.at(i).trace());
 }
 
 TEST(CampaignRoundTrip, TrainCorpusSurvivesStorageScan)

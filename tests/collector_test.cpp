@@ -171,7 +171,7 @@ TEST(TraceCollector, RejectsStructurallyInvalidTraces)
     EXPECT_EQ(collector.ingest(payload, Protocol::Zipkin), 1u);
     EXPECT_EQ(collector.stats().tracesRejected, 1u);
     EXPECT_EQ(store.size(), 1u);
-    EXPECT_EQ(store.at(0).trace.traceId, "ok");
+    EXPECT_EQ(store.at(0).trace().traceId, "ok");
 }
 
 TEST(CollectorStats, CountsDropsByReason)

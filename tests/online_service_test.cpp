@@ -280,13 +280,13 @@ TEST(OnlineService, SnapshotMatchesBatchPipelineOverStore)
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
         if (a.start != b.start)
             return a.start < b.start;
-        return a.rec->trace.traceId < b.rec->trace.traceId;
+        return a.rec->traceId() < b.rec->traceId();
     });
     ASSERT_EQ(rows.size(), incident.anomalousTraces.size());
     std::vector<trace::Trace> traces;
     std::vector<int64_t> slos;
     for (const Row &r : rows) {
-        traces.push_back(r.rec->trace);
+        traces.push_back(r.rec->trace());
         slos.push_back(r.rec->sloUs);
     }
     core::SleuthPipeline batch(world().adapter.model(),

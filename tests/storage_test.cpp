@@ -11,16 +11,27 @@ using sleuth::testing::makeSpan;
 
 namespace {
 
-Record
-record(const std::string &id, int64_t start, int64_t dur,
-       const std::string &svc, int64_t slo = 0, bool error = false)
+trace::Trace
+makeTrace(const std::string &id, int64_t start, int64_t dur,
+          const std::string &svc, bool error = false)
 {
-    Record r;
-    r.trace.traceId = id;
-    r.trace.spans.push_back(makeSpan(
+    trace::Trace t;
+    t.traceId = id;
+    t.spans.push_back(makeSpan(
         "root", "", svc, "op", start, start + dur,
         trace::SpanKind::Server,
         error ? trace::StatusCode::Error : trace::StatusCode::Ok));
+    return t;
+}
+
+Record
+record(const std::string &id, int64_t start, int64_t dur,
+      const std::string &svc, int64_t slo = 0, bool error = false)
+{
+    Record r;
+    r.columns = trace::ColumnarTrace(
+        makeTrace(id, start, dur, svc, error),
+        std::make_shared<trace::StringInterner>());
     r.sloUs = slo;
     return r;
 }
@@ -43,12 +54,37 @@ TEST(Record, StartAndAnomalyFlags)
     EXPECT_FALSE(no_slo.anomalous());
 }
 
+TEST(Record, MaterializedTraceRoundTripsExactly)
+{
+    trace::Trace original = makeTrace("rt", 5, 95, "svc-x", true);
+    original.spans.push_back(makeSpan("child", "root", "svc-y", "op2",
+                                      10, 40, trace::SpanKind::Client,
+                                      trace::StatusCode::Ok));
+    Record r;
+    r.columns = trace::ColumnarTrace(
+        original, std::make_shared<trace::StringInterner>());
+    trace::Trace back = r.trace();
+    ASSERT_EQ(back.spans.size(), original.spans.size());
+    EXPECT_EQ(back.traceId, original.traceId);
+    for (size_t i = 0; i < back.spans.size(); ++i) {
+        EXPECT_EQ(back.spans[i].spanId, original.spans[i].spanId);
+        EXPECT_EQ(back.spans[i].parentSpanId,
+                  original.spans[i].parentSpanId);
+        EXPECT_EQ(back.spans[i].service, original.spans[i].service);
+        EXPECT_EQ(back.spans[i].name, original.spans[i].name);
+        EXPECT_EQ(back.spans[i].kind, original.spans[i].kind);
+        EXPECT_EQ(back.spans[i].status, original.spans[i].status);
+        EXPECT_EQ(back.spans[i].startUs, original.spans[i].startUs);
+        EXPECT_EQ(back.spans[i].endUs, original.spans[i].endUs);
+    }
+}
+
 TEST(TraceStore, InsertAndAccess)
 {
     TraceStore store;
-    size_t id = store.insert(record("a", 0, 10, "svc"));
+    size_t id = store.insert(makeTrace("a", 0, 10, "svc"));
     EXPECT_EQ(store.size(), 1u);
-    EXPECT_EQ(store.at(id).trace.traceId, "a");
+    EXPECT_EQ(store.at(id).traceId(), "a");
     EXPECT_EQ(store.totalSpans(), 1u);
 }
 
@@ -56,29 +92,29 @@ TEST(TraceStore, TimeWindowQuery)
 {
     TraceStore store;
     for (int64_t t = 0; t < 10; ++t)
-        store.insert(record("t" + std::to_string(t), t * 100, 10,
-                            "svc"));
+        store.insert(makeTrace("t" + std::to_string(t), t * 100, 10,
+                               "svc"));
     Query q;
     q.minStartUs = 300;
     q.maxStartUs = 600;
     auto hits = store.query(q);
     ASSERT_EQ(hits.size(), 3u);
-    EXPECT_EQ(hits[0]->trace.traceId, "t3");
-    EXPECT_EQ(hits[2]->trace.traceId, "t5");
+    EXPECT_EQ(hits[0]->traceId(), "t3");
+    EXPECT_EQ(hits[2]->traceId(), "t5");
 }
 
 TEST(TraceStore, ServiceQueryUsesPostings)
 {
     TraceStore store;
-    store.insert(record("a", 0, 10, "alpha"));
-    store.insert(record("b", 10, 10, "beta"));
-    store.insert(record("c", 20, 10, "alpha"));
+    store.insert(makeTrace("a", 0, 10, "alpha"));
+    store.insert(makeTrace("b", 10, 10, "beta"));
+    store.insert(makeTrace("c", 20, 10, "alpha"));
     Query q;
     q.service = "alpha";
     auto hits = store.query(q);
     ASSERT_EQ(hits.size(), 2u);
-    EXPECT_EQ(hits[0]->trace.traceId, "a");
-    EXPECT_EQ(hits[1]->trace.traceId, "c");
+    EXPECT_EQ(hits[0]->traceId(), "a");
+    EXPECT_EQ(hits[1]->traceId(), "c");
 
     q.service = "missing";
     EXPECT_TRUE(store.query(q).empty());
@@ -87,10 +123,10 @@ TEST(TraceStore, ServiceQueryUsesPostings)
 TEST(TraceStore, AnomalousFilterAndLimit)
 {
     TraceStore store;
-    store.insert(record("ok1", 0, 100, "svc", 1000));
-    store.insert(record("bad1", 10, 5000, "svc", 1000));
-    store.insert(record("ok2", 20, 100, "svc", 1000));
-    store.insert(record("bad2", 30, 9000, "svc", 1000));
+    store.insert(makeTrace("ok1", 0, 100, "svc"), 1000);
+    store.insert(makeTrace("bad1", 10, 5000, "svc"), 1000);
+    store.insert(makeTrace("ok2", 20, 100, "svc"), 1000);
+    store.insert(makeTrace("bad2", 30, 9000, "svc"), 1000);
     Query q;
     q.onlyAnomalous = true;
     auto hits = store.query(q);
@@ -102,19 +138,19 @@ TEST(TraceStore, AnomalousFilterAndLimit)
 TEST(Dataset, FilterMapGroupAggregate)
 {
     TraceStore store;
-    store.insert(record("a", 0, 100, "alpha"));
-    store.insert(record("b", 10, 200, "beta"));
-    store.insert(record("c", 20, 300, "alpha"));
+    store.insert(makeTrace("a", 0, 100, "alpha"));
+    store.insert(makeTrace("b", 10, 200, "beta"));
+    store.insert(makeTrace("c", 20, 300, "alpha"));
 
     auto slow = store.scan().filter(
         [](const Record *const &r) {
-            return r->trace.rootDurationUs() >= 200;
+            return r->columns.rootDurationUs() >= 200;
         });
     EXPECT_EQ(slow.size(), 2u);
 
     auto durations = slow.map<int64_t>(
         [](const Record *const &r) {
-            return r->trace.rootDurationUs();
+            return r->columns.rootDurationUs();
         });
     int64_t total = durations.aggregate<int64_t>(
         0, [](int64_t acc, const int64_t &d) { return acc + d; });
@@ -122,7 +158,8 @@ TEST(Dataset, FilterMapGroupAggregate)
 
     auto by_service = store.scan().groupBy<std::string>(
         [](const Record *const &r) {
-            return r->trace.spans[0].service;
+            return r->columns.interner().name(
+                r->columns.columns().serviceId(0));
         });
     EXPECT_EQ(by_service.size(), 2u);
     EXPECT_EQ(by_service["alpha"].size(), 2u);
@@ -131,22 +168,16 @@ TEST(Dataset, FilterMapGroupAggregate)
 TEST(TraceStore, FlowIndexFilter)
 {
     TraceStore store;
-    Record a = record("a", 0, 10, "svc");
-    a.flowIndex = 0;
-    Record b = record("b", 10, 10, "svc");
-    b.flowIndex = 1;
-    Record c = record("c", 20, 10, "svc");
-    c.flowIndex = 1;
-    store.insert(std::move(a));
-    store.insert(std::move(b));
-    store.insert(std::move(c));
+    store.insert(makeTrace("a", 0, 10, "svc"), 0, /*flowIndex=*/0);
+    store.insert(makeTrace("b", 10, 10, "svc"), 0, /*flowIndex=*/1);
+    store.insert(makeTrace("c", 20, 10, "svc"), 0, /*flowIndex=*/1);
 
     Query q;
     q.flowIndex = 1;
     auto hits = store.query(q);
     ASSERT_EQ(hits.size(), 2u);
-    EXPECT_EQ(hits[0]->trace.traceId, "b");
-    EXPECT_EQ(hits[1]->trace.traceId, "c");
+    EXPECT_EQ(hits[0]->traceId(), "b");
+    EXPECT_EQ(hits[1]->traceId(), "c");
 
     q.flowIndex = 9;
     EXPECT_TRUE(store.query(q).empty());
@@ -158,11 +189,11 @@ TEST(TraceStore, FlowIndexFilter)
 TEST(TraceStore, CombinedWindowServiceLimitOrdering)
 {
     TraceStore store;
-    store.insert(record("early-other", 0, 10, "other"));
-    store.insert(record("m1", 10, 10, "match"));
-    store.insert(record("m2", 20, 10, "match"));
-    store.insert(record("late-match", 500, 10, "match"));
-    store.insert(record("m3", 30, 10, "match"));
+    store.insert(makeTrace("early-other", 0, 10, "other"));
+    store.insert(makeTrace("m1", 10, 10, "match"));
+    store.insert(makeTrace("m2", 20, 10, "match"));
+    store.insert(makeTrace("late-match", 500, 10, "match"));
+    store.insert(makeTrace("m3", 30, 10, "match"));
 
     Query q;
     q.minStartUs = 5;
@@ -171,25 +202,25 @@ TEST(TraceStore, CombinedWindowServiceLimitOrdering)
     q.limit = 2;
     auto hits = store.query(q);
     ASSERT_EQ(hits.size(), 2u);
-    EXPECT_EQ(hits[0]->trace.traceId, "m1");
-    EXPECT_EQ(hits[1]->trace.traceId, "m2");
+    EXPECT_EQ(hits[0]->traceId(), "m1");
+    EXPECT_EQ(hits[1]->traceId(), "m2");
 
     // Same query unlimited: ordering is by start time throughout.
     q.limit = 0;
     hits = store.query(q);
     ASSERT_EQ(hits.size(), 3u);
-    EXPECT_EQ(hits[2]->trace.traceId, "m3");
+    EXPECT_EQ(hits[2]->traceId(), "m3");
 }
 
 TEST(TraceStore, RetentionEvictsOldestBySpanBudget)
 {
     TraceStore store(RetentionConfig{/*maxSpans=*/3, /*maxRecords=*/0});
-    store.insert(record("a", 0, 10, "svc"));
-    store.insert(record("b", 10, 10, "svc"));
-    store.insert(record("c", 20, 10, "svc"));
+    store.insert(makeTrace("a", 0, 10, "svc"));
+    store.insert(makeTrace("b", 10, 10, "svc"));
+    store.insert(makeTrace("c", 20, 10, "svc"));
     EXPECT_EQ(store.size(), 3u);
     // A fourth single-span record exceeds the budget: "a" goes.
-    store.insert(record("d", 30, 10, "svc"));
+    store.insert(makeTrace("d", 30, 10, "svc"));
     EXPECT_EQ(store.size(), 3u);
     EXPECT_EQ(store.totalSpans(), 3u);
     EXPECT_FALSE(store.contains(0));
@@ -200,7 +231,7 @@ TEST(TraceStore, RetentionEvictsOldestBySpanBudget)
     Query q;
     auto hits = store.query(q);
     ASSERT_EQ(hits.size(), 3u);
-    EXPECT_EQ(hits[0]->trace.traceId, "b");
+    EXPECT_EQ(hits[0]->traceId(), "b");
     Query by_service;
     by_service.service = "svc";
     EXPECT_EQ(store.query(by_service).size(), 3u);
@@ -209,9 +240,9 @@ TEST(TraceStore, RetentionEvictsOldestBySpanBudget)
 TEST(TraceStore, RetentionByRecordCountAndNewestProtected)
 {
     TraceStore store;
-    store.insert(record("a", 0, 10, "svc"));
-    store.insert(record("b", 10, 10, "svc"));
-    store.insert(record("c", 20, 10, "svc"));
+    store.insert(makeTrace("a", 0, 10, "svc"));
+    store.insert(makeTrace("b", 10, 10, "svc"));
+    store.insert(makeTrace("c", 20, 10, "svc"));
     // Installing a policy applies it immediately.
     store.setRetention(RetentionConfig{0, /*maxRecords=*/2});
     EXPECT_EQ(store.size(), 2u);
@@ -219,22 +250,22 @@ TEST(TraceStore, RetentionByRecordCountAndNewestProtected)
 
     // Even a budget of one record admits the record being inserted.
     store.setRetention(RetentionConfig{0, 1});
-    size_t id = store.insert(record("huge", 100, 10, "svc"));
+    size_t id = store.insert(makeTrace("huge", 100, 10, "svc"));
     EXPECT_EQ(store.size(), 1u);
     EXPECT_TRUE(store.contains(id));
-    EXPECT_EQ(store.at(id).trace.traceId, "huge");
+    EXPECT_EQ(store.at(id).traceId(), "huge");
 }
 
 TEST(TraceStore, IdsStableAcrossEviction)
 {
     TraceStore store(RetentionConfig{0, 2});
-    size_t a = store.insert(record("a", 0, 10, "svc"));
-    size_t b = store.insert(record("b", 10, 10, "svc"));
-    size_t c = store.insert(record("c", 20, 10, "svc"));
+    size_t a = store.insert(makeTrace("a", 0, 10, "svc"));
+    size_t b = store.insert(makeTrace("b", 10, 10, "svc"));
+    size_t c = store.insert(makeTrace("c", 20, 10, "svc"));
     EXPECT_FALSE(store.contains(a));
     // Surviving ids keep addressing the same records; ids never reuse.
-    EXPECT_EQ(store.at(b).trace.traceId, "b");
-    EXPECT_EQ(store.at(c).trace.traceId, "c");
-    size_t d = store.insert(record("d", 30, 10, "svc"));
+    EXPECT_EQ(store.at(b).traceId(), "b");
+    EXPECT_EQ(store.at(c).traceId(), "c");
+    size_t d = store.insert(makeTrace("d", 30, 10, "svc"));
     EXPECT_EQ(d, 3u);
 }

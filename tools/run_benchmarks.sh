@@ -16,5 +16,16 @@ build_dir="${1:-$repo_root/build-release}"
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target perf_suite online_suite -j "$(nproc)"
 
+# Record the CPU SIMD feature set alongside the results so a perf
+# number is never read without knowing what ISA produced it (the
+# suites also emit simd_* rows for the dispatch actually taken).
+if [ -r /proc/cpuinfo ]; then
+    grep -m1 '^flags' /proc/cpuinfo |
+        tr ' ' '\n' |
+        grep -E '^(sse2|sse4_1|sse4_2|avx|avx2|avx512f|fma)$' |
+        paste -sd' ' - |
+        sed 's/^/cpu simd features: /'
+fi
+
 "$build_dir/bench/perf_suite" "$repo_root/BENCH_pipeline.json"
 "$build_dir/bench/online_suite" "$repo_root/BENCH_online.json"

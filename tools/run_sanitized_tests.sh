@@ -28,3 +28,17 @@ cmake --build "$build_dir" -j "$(nproc)"
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Second leg: the same sanitizer with the AVX2 kernel bodies compiled
+# out (-DSLEUTH_SIMD=OFF), proving the scalar mirrors and the
+# dispatch-free build are just as clean. The simd-labelled equivalence
+# tests run here too (avx2:: symbols forward to scalar).
+nosimd_dir="$build_dir-nosimd"
+cmake -S "$repo_root" -B "$nosimd_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSLEUTH_SANITIZE="$sanitizer" \
+    -DSLEUTH_SIMD=OFF
+cmake --build "$nosimd_dir" -j "$(nproc)"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$nosimd_dir" --output-on-failure -j "$(nproc)"
