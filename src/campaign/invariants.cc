@@ -720,6 +720,11 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     cfg.detector.clearFraction = 0.0;
     cfg.assembler.latenessUs = 10'000;
     cfg.assembler.quietGapUs = 10'000;
+    // Campaign scenarios construct many short-lived services; size the
+    // rings to the storm (one poll drains everything) instead of the
+    // serving default, which provisions for a full poll interval at
+    // million-span/s rates.
+    cfg.ringCapacitySpans = 4096;
     // Judge each endpoint by the tightest SLO seen at it: every
     // harvested storm trace violates its own flow's SLO (or errors at
     // the root), so all of them stay anomalous under the minimum.
@@ -775,19 +780,28 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     // built, and the same storm shifted wholly before the epoch (every
     // detector bucket index < -1) — the regression surface of the old
     // Bucket empty-sentinel collision, which silently dropped all
-    // pre-epoch observations and opened no incident.
-    // Fingerprint references are keyed by timeline shift and shared
-    // across runTimeline calls, so a re-run of the same timeline (the
+    // pre-epoch observations and opened no incident. On top of that,
+    // every shed policy gets its own leg with an active per-poll
+    // budget, proving shed decisions are deterministic given the
+    // event stream.
+    // Fingerprint references are keyed per leg and shared across
+    // runTimeline calls, so a re-run of the same timeline (the
     // SIMD-off leg below) is pinned byte-for-byte to the first run's
     // incident rather than merely to itself.
-    std::map<int64_t, std::string> reference_by_shift;
-    auto runTimeline = [&](int64_t shift,
-                           const std::string &label) -> InvariantResult {
-    std::string &reference = reference_by_shift[shift];
+    std::map<std::string, std::string> reference_by_key;
+    // Shed legs of a heavily-shrunk scenario may deterministically
+    // shed every anomalous trace; the invariant then pins the absence
+    // of an incident across thread counts instead of failing.
+    auto runTimeline = [&](int64_t shift, const std::string &label,
+                           const online::OnlineConfig &use_cfg,
+                           const std::string &ref_key,
+                           bool allow_no_incident =
+                               false) -> InvariantResult {
+    std::string &reference = reference_by_key[ref_key];
     for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
         online::OnlineService service(run.adapter->model(),
                                       run.adapter->encoder(),
-                                      run.adapter->profile(), cfg);
+                                      run.adapter->profile(), use_cfg);
         auto deliver = [&](const Delivery &d) {
             online::SpanEvent ev = d.event;
             ev.span.startUs += shift;
@@ -809,31 +823,53 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
                 w.join();
         }
         service.poll(poll_at + shift);
-        if (service.incidents().empty())
+        if (service.incidents().empty() && !allow_no_incident)
             return fail(label + "online layer opened no incident over "
                         "the storm at ingestThreads=" +
                         std::to_string(threads));
-        const online::Incident &incident = service.incidents()[0];
-        std::string fp = incidentFingerprint(incident);
+        const online::Incident *incident =
+            service.incidents().empty() ? nullptr
+                                        : &service.incidents()[0];
+        std::string fp = incident != nullptr
+                             ? incidentFingerprint(*incident)
+                             : std::string("no-incident\n");
+        // Drop accounting rides the fingerprint: with poll-side
+        // shedding the whole drop taxonomy — not just the incident —
+        // must be identical at any producer thread count.
+        {
+            online::OnlineStats stats = service.stats();
+            std::ostringstream acct;
+            acct << "acct " << stats.spansIngested << "/"
+                 << stats.assembly.spansAccepted << "/"
+                 << stats.assembly.spansRejected << " drops "
+                 << stats.assembly.droppedOrphan << ","
+                 << stats.assembly.droppedDuplicate << ","
+                 << stats.assembly.droppedLate << ","
+                 << stats.assembly.droppedMalformed << ","
+                 << stats.assembly.droppedBackpressure << ","
+                 << stats.assembly.droppedRingFull << ","
+                 << stats.assembly.droppedShed << "\n";
+            fp += acct.str();
+        }
         if (reference.empty())
             reference = fp;
         else if (fp != reference)
             return fail(label + "incident diverges at ingestThreads=" +
                         std::to_string(threads));
-        if (threads != 1)
+        if (threads != 1 || incident == nullptr)
             continue;
 
         // Batch side of the differential, over the snapshot
         // reconstructed independently from the store.
         storage::Query q;
-        q.minStartUs = incident.windowStartUs;
-        q.maxStartUs = incident.windowEndUs;
+        q.minStartUs = incident->windowStartUs;
+        q.maxStartUs = incident->windowEndUs;
         q.onlyAnomalous = true;
         std::vector<const storage::Record *> window =
             service.store().query(q);
         std::vector<const storage::Record *> rows;
         for (const storage::Record *r : window)
-            if (r->id <= incident.snapshotMaxRecordId)
+            if (r->id <= incident->snapshotMaxRecordId)
                 rows.push_back(r);
         std::sort(rows.begin(), rows.end(),
                   [](const storage::Record *a,
@@ -842,38 +878,38 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
                           return a->startUs() < b->startUs();
                       return a->traceId() < b->traceId();
                   });
-        if (rows.size() != incident.anomalousTraces.size())
+        if (rows.size() != incident->anomalousTraces.size())
             return fail(
                 label + "snapshot not reproducible from the store: " +
                 std::to_string(rows.size()) + " records vs " +
-                std::to_string(incident.anomalousTraces.size()) +
+                std::to_string(incident->anomalousTraces.size()) +
                 " snapshot traces");
         std::vector<trace::Trace> batch;
         std::vector<int64_t> batch_slos;
         for (size_t i = 0; i < rows.size(); ++i) {
             if (rows[i]->traceId() !=
-                incident.anomalousTraces[i].traceId)
+                incident->anomalousTraces[i].traceId)
                 return fail(label + "snapshot order diverges from the "
                             "store at position " + std::to_string(i));
             batch.push_back(rows[i]->trace());
             batch_slos.push_back(rows[i]->sloUs);
         }
         std::string diff = diffResults(
-            incident.rca,
-            run.analyzeBatch(cfg.pipeline, batch, batch_slos));
+            incident->rca,
+            run.analyzeBatch(use_cfg.pipeline, batch, batch_slos));
         if (!diff.empty())
             return fail(label + "online incident RCA diverges from the "
                         "batch pipeline over the same snapshot: " +
                         diff);
-        if (core::aggregateRootCauses(incident.rca) !=
-            incident.rankedRootCauses)
+        if (core::aggregateRootCauses(incident->rca) !=
+            incident->rankedRootCauses)
             return fail(label + "incident root-cause ranking is not "
                         "the aggregation of its per-trace verdicts");
     }
     return pass();
     };
 
-    InvariantResult on_epoch = runTimeline(0, "");
+    InvariantResult on_epoch = runTimeline(0, "", cfg, "epoch");
     if (!on_epoch.pass)
         return on_epoch;
     // SIMD-off leg: replay the epoch timeline with the vectorized
@@ -882,14 +918,303 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     // to end — ingest, detection, snapshot, RCA, and ranking.
     {
         simd::ScopedForceScalar scalar_only;
-        InvariantResult simd_off = runTimeline(0, "simd-off: ");
+        InvariantResult simd_off =
+            runTimeline(0, "simd-off: ", cfg, "epoch");
         if (!simd_off.pass)
             return simd_off;
+    }
+    // Shed-policy legs: rerun the epoch timeline with a per-poll
+    // budget tight enough that every policy actually sheds (60% of
+    // the storm's spans survive). Different policies legitimately
+    // keep different survivors — each leg pins only its own
+    // fingerprint across 1/2/8 producer threads, plus the usual
+    // store-snapshot/batch differential over whatever survived.
+    for (online::ShedPolicy policy : {online::ShedPolicy::DropNewest,
+                                      online::ShedPolicy::DropOldest,
+                                      online::ShedPolicy::Sample}) {
+        online::OnlineConfig shed_cfg = cfg;
+        shed_cfg.shedPolicy = policy;
+        shed_cfg.shedBudgetSpans = std::max<size_t>(
+            1, deliveries.size() * 3 / (5 * shed_cfg.ingestShards));
+        std::string name = online::toString(policy);
+        InvariantResult shed_leg = runTimeline(
+            0, "shed-policy " + name + ": ", shed_cfg,
+            "shed:" + name, /*allow_no_incident=*/true);
+        if (!shed_leg.pass)
+            return shed_leg;
     }
     // Shift the whole storm (and the poll watermark) so every span end
     // lands below -2 detector buckets.
     return runTimeline(-(last_end + 3 * cfg.detector.bucketUs),
-                       "negative-epoch timeline: ");
+                       "negative-epoch timeline: ", cfg, "negative");
+}
+
+InvariantResult
+checkDropAccounting(const ScenarioRun &run, const CheckContext &)
+{
+    // Conservation ledger over the ingest path: at a quiescent barrier
+    // (producers joined, poll done) every span ever offered to
+    // ingest() is accounted for exactly once —
+    //
+    //   sent == accepted + Σ(drops by reason) + backlog
+    //
+    // — and the whole ledger is bitwise identical at 1/2/8 producer
+    // threads for every shed policy, since poll-side shedding decides
+    // over the canonically re-sorted drained batch. A final leg
+    // shrinks the physical ring so the enqueue-side ring-full path
+    // fires: there the victim set is legitimately nondeterministic
+    // (whichever producer loses the race is dropped), but the ledger
+    // must still balance and the ring-full count itself stays
+    // deterministic — between barriered polls exactly `capacity`
+    // pushes per shard can succeed.
+    online::OnlineConfig base;
+    base.pipeline = run.scenario.pipelineConfig();
+    base.detector.bucketUs = 1'000'000;
+    base.detector.windowBuckets = 64;
+    // Accounting only: detection and RCA are pinned by
+    // online-differential, so keep the detector from opening incidents
+    // over whatever survives shedding.
+    base.detector.minAnomalous = 1'000'000;
+    base.assembler.latenessUs = 10'000;
+    base.assembler.quietGapUs = 10'000;
+    // Short-lived services: ring sized to the storm, not the serving
+    // default (the ring-full leg below overrides this downward).
+    base.ringCapacitySpans = 4096;
+
+    std::vector<online::SpanEvent> events;
+    int64_t last_end = 0;
+    for (size_t i = 0; i < run.traces.size(); ++i) {
+        int64_t shift = static_cast<int64_t>(i) * 10'000;
+        for (trace::Span span : run.traces[i].spans) {
+            span.startUs += shift;
+            span.endUs += shift;
+            last_end = std::max(last_end, span.endUs);
+            events.push_back({run.traces[i].traceId, span});
+            // Every third span is delivered twice so the duplicate
+            // reason participates in the ledger (and, when the budget
+            // is 1, guarantees some shard holds two spans and sheds).
+            if (events.size() % 3 == 0)
+                events.push_back(events.back());
+        }
+    }
+    if (events.size() < 3)
+        return pass();
+    int64_t poll_at = last_end + base.assembler.quietGapUs +
+                      base.assembler.latenessUs + 1;
+
+    struct Leg
+    {
+        std::string name;
+        online::OnlineConfig cfg;
+        /** Poll-side shed: the whole ledger is thread-invariant. */
+        bool deterministic = true;
+    };
+    std::vector<Leg> legs;
+    for (online::ShedPolicy policy : {online::ShedPolicy::DropNewest,
+                                      online::ShedPolicy::DropOldest,
+                                      online::ShedPolicy::Sample}) {
+        Leg leg;
+        leg.cfg = base;
+        leg.cfg.shedPolicy = policy;
+        leg.cfg.shedBudgetSpans = std::max<size_t>(
+            1, events.size() / (3 * leg.cfg.ingestShards));
+        leg.name = std::string("shed-policy ") +
+                   std::string(online::toString(policy));
+        legs.push_back(std::move(leg));
+    }
+    {
+        Leg leg;
+        leg.cfg = base;
+        leg.cfg.ringCapacitySpans = 2;
+        leg.name = "ring-full";
+        leg.deterministic = false;
+        legs.push_back(std::move(leg));
+    }
+
+    for (const Leg &leg : legs) {
+        std::string reference;
+        size_t ring_full_reference = 0;
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+            online::OnlineService service(run.adapter->model(),
+                                          run.adapter->encoder(),
+                                          run.adapter->profile(),
+                                          leg.cfg);
+            if (threads == 1) {
+                for (const online::SpanEvent &ev : events)
+                    service.ingest(ev);
+            } else {
+                std::vector<std::thread> workers;
+                for (size_t t = 0; t < threads; ++t)
+                    workers.emplace_back([&, t] {
+                        for (size_t i = t; i < events.size();
+                             i += threads)
+                            service.ingest(events[i]);
+                    });
+                for (std::thread &w : workers)
+                    w.join();
+            }
+            service.poll(poll_at);
+            online::OnlineStats stats = service.stats();
+            size_t backlog = service.backlogSpans();
+            std::string where = leg.name + " at ingestThreads=" +
+                                std::to_string(threads);
+            if (stats.spansIngested != events.size())
+                return fail(where + ": offered " +
+                            std::to_string(events.size()) +
+                            " spans but spansIngested=" +
+                            std::to_string(stats.spansIngested));
+            size_t drops = stats.assembly.droppedOrphan +
+                           stats.assembly.droppedDuplicate +
+                           stats.assembly.droppedLate +
+                           stats.assembly.droppedMalformed +
+                           stats.assembly.droppedBackpressure +
+                           stats.assembly.droppedRingFull +
+                           stats.assembly.droppedShed;
+            if (drops != stats.assembly.spansRejected)
+                return fail(where + ": drop taxonomy sums to " +
+                            std::to_string(drops) +
+                            " but spansRejected=" +
+                            std::to_string(stats.assembly.spansRejected));
+            if (stats.assembly.spansAccepted + drops + backlog !=
+                stats.spansIngested)
+                return fail(
+                    where + ": ledger does not balance: accepted " +
+                    std::to_string(stats.assembly.spansAccepted) +
+                    " + drops " + std::to_string(drops) +
+                    " + backlog " + std::to_string(backlog) +
+                    " != sent " + std::to_string(stats.spansIngested));
+            if (leg.deterministic) {
+                if (stats.assembly.droppedShed == 0)
+                    return fail(where + ": shed budget never fired, "
+                                "the leg proves nothing");
+                std::ostringstream acct;
+                acct << stats.assembly.spansAccepted << "/"
+                     << stats.assembly.spansRejected << "/" << backlog
+                     << " drops " << stats.assembly.droppedOrphan
+                     << "," << stats.assembly.droppedDuplicate << ","
+                     << stats.assembly.droppedLate << ","
+                     << stats.assembly.droppedMalformed << ","
+                     << stats.assembly.droppedBackpressure << ","
+                     << stats.assembly.droppedRingFull << ","
+                     << stats.assembly.droppedShed;
+                if (reference.empty())
+                    reference = acct.str();
+                else if (acct.str() != reference)
+                    return fail(where + ": accounting diverges across "
+                                "thread counts: " + acct.str() +
+                                " vs " + reference);
+            } else {
+                if (stats.assembly.droppedRingFull == 0)
+                    return fail(where + ": tiny ring never "
+                                "overflowed, the leg proves nothing");
+                if (ring_full_reference == 0)
+                    ring_full_reference =
+                        stats.assembly.droppedRingFull;
+                else if (stats.assembly.droppedRingFull !=
+                         ring_full_reference)
+                    return fail(where + ": ring-full count is not "
+                                "deterministic across thread counts");
+            }
+        }
+    }
+    return pass();
+}
+
+InvariantResult
+checkOnlineSoak(const ScenarioRun &run, const CheckContext &)
+{
+    // Long-haul soak: tile the storm across an hour-plus of simulated
+    // time against a retention budget far below the total volume and
+    // require steady state — the watermark advances with every poll,
+    // the backlog fully drains at each quiet horizon (the ring never
+    // wedges), the store never exceeds its span budget (eviction, not
+    // growth, is the steady-state mechanism), and the accounting
+    // ledger balances at the end. This is the campaign-sized mirror
+    // of `online_suite --soak`, which additionally samples RSS; here
+    // the bounded-memory proxies are exact span counts.
+    online::OnlineConfig cfg;
+    cfg.pipeline = run.scenario.pipelineConfig();
+    cfg.detector.bucketUs = 1'000'000;
+    cfg.detector.windowBuckets = 64;
+    // Incidents pin snapshots alive by design and are exercised by
+    // online-differential; the soak measures resource behaviour.
+    cfg.detector.minAnomalous = 1'000'000;
+    cfg.assembler.latenessUs = 10'000;
+    cfg.assembler.quietGapUs = 10'000;
+    cfg.ringCapacitySpans = 4096;
+
+    std::vector<online::SpanEvent> events;
+    int64_t last_end = 0;
+    size_t max_trace_spans = 0;
+    for (size_t i = 0; i < run.traces.size(); ++i) {
+        int64_t shift = static_cast<int64_t>(i) * 10'000;
+        max_trace_spans =
+            std::max(max_trace_spans, run.traces[i].spans.size());
+        for (trace::Span span : run.traces[i].spans) {
+            span.startUs += shift;
+            span.endUs += shift;
+            last_end = std::max(last_end, span.endUs);
+            events.push_back({run.traces[i].traceId, span});
+        }
+    }
+    if (events.empty())
+        return pass();
+    // Keep two repetitions' worth of spans (and never less than a few
+    // whole traces: the store always protects the newest record).
+    cfg.retention.maxSpans =
+        std::max(events.size() * 2, max_trace_spans * 4);
+
+    online::OnlineService service(run.adapter->model(),
+                                  run.adapter->encoder(),
+                                  run.adapter->profile(), cfg);
+    const int64_t spacing = last_end + 60'000'000;
+    const size_t reps = 60; // >= 60 min of simulated time
+    int64_t prev_watermark = INT64_MIN;
+    size_t delivered = 0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+        int64_t shift = static_cast<int64_t>(rep) * spacing;
+        for (online::SpanEvent ev : events) {
+            ev.span.startUs += shift;
+            ev.span.endUs += shift;
+            service.ingest(std::move(ev));
+            ++delivered;
+        }
+        int64_t poll_at = shift + last_end +
+                          cfg.assembler.quietGapUs +
+                          cfg.assembler.latenessUs + 1;
+        service.poll(poll_at);
+        std::string when = "rep " + std::to_string(rep) + "/" +
+                           std::to_string(reps);
+        if (service.watermarkUs() <= prev_watermark)
+            return fail("soak: watermark stalled at " + when);
+        prev_watermark = service.watermarkUs();
+        size_t backlog = service.backlogSpans();
+        if (backlog != 0)
+            return fail("soak: backlog of " + std::to_string(backlog) +
+                        " spans survived the quiet horizon at " + when);
+        if (service.store().totalSpans() > cfg.retention.maxSpans)
+            return fail("soak: store holds " +
+                        std::to_string(service.store().totalSpans()) +
+                        " spans over the " +
+                        std::to_string(cfg.retention.maxSpans) +
+                        "-span budget at " + when);
+    }
+    if (service.store().evictions().records == 0)
+        return fail("soak: retention never evicted — the budget was "
+                    "not exercised");
+    online::OnlineStats stats = service.stats();
+    if (stats.spansIngested != delivered)
+        return fail("soak: delivered " + std::to_string(delivered) +
+                    " spans but spansIngested=" +
+                    std::to_string(stats.spansIngested));
+    if (stats.assembly.spansAccepted + stats.assembly.spansRejected !=
+        stats.spansIngested)
+        return fail("soak: final ledger does not balance: accepted " +
+                    std::to_string(stats.assembly.spansAccepted) +
+                    " + rejected " +
+                    std::to_string(stats.assembly.spansRejected) +
+                    " != sent " + std::to_string(stats.spansIngested));
+    return pass();
 }
 
 } // namespace
@@ -923,8 +1248,17 @@ invariantRegistry()
         {"online-differential",
          "streaming the storm through the online layer reproduces the "
          "batch pipeline at 1/2/8 ingest threads, with and without "
-         "SIMD dispatch",
+         "SIMD dispatch, under every shed policy",
          checkOnlineDifferential},
+        {"drop-accounting",
+         "sent == assembled + Σ(drops by reason) + backlog, bitwise "
+         "at 1/2/8 producer threads per shed policy, ring-full "
+         "included",
+         checkDropAccounting},
+        {"online-soak",
+         "an hour-plus simulated stream holds steady state: watermark "
+         "advances, backlog drains, store obeys its retention budget",
+         checkOnlineSoak},
     };
     return registry;
 }

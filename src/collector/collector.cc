@@ -32,12 +32,20 @@ dropCounter(DropReason reason)
     static obs::Counter &backpressure = obs::counter(
         "sleuth_ingest_dropped_spans_total", help,
         {{"reason", toString(DropReason::Backpressure)}});
+    static obs::Counter &ring_full = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::RingFull)}});
+    static obs::Counter &shed = obs::counter(
+        "sleuth_ingest_dropped_spans_total", help,
+        {{"reason", toString(DropReason::Shed)}});
     switch (reason) {
       case DropReason::Orphan: return orphan;
       case DropReason::Duplicate: return duplicate;
       case DropReason::LateAfterEviction: return late;
       case DropReason::Malformed: return malformed;
       case DropReason::Backpressure: return backpressure;
+      case DropReason::RingFull: return ring_full;
+      case DropReason::Shed: return shed;
     }
     util::panic("invalid drop reason");
 }
@@ -64,6 +72,8 @@ toString(DropReason r)
       case DropReason::LateAfterEviction: return "late-after-eviction";
       case DropReason::Malformed: return "malformed";
       case DropReason::Backpressure: return "backpressure";
+      case DropReason::RingFull: return "ring-full";
+      case DropReason::Shed: return "shed";
     }
     util::panic("invalid drop reason");
 }
@@ -101,6 +111,8 @@ CollectorStats::countDrop(DropReason reason, size_t spans)
       case DropReason::Backpressure:
         droppedBackpressure += spans;
         break;
+      case DropReason::RingFull: droppedRingFull += spans; break;
+      case DropReason::Shed: droppedShed += spans; break;
     }
 }
 
@@ -116,6 +128,8 @@ CollectorStats::merge(const CollectorStats &other)
     droppedLate += other.droppedLate;
     droppedMalformed += other.droppedMalformed;
     droppedBackpressure += other.droppedBackpressure;
+    droppedRingFull += other.droppedRingFull;
+    droppedShed += other.droppedShed;
 }
 
 namespace {

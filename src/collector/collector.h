@@ -64,6 +64,19 @@ enum class DropReason {
     Malformed,
     /** Rejected by admission control under overload. */
     Backpressure,
+    /**
+     * Enqueue-side last resort: the ingest shard's bounded MPSC ring
+     * was physically full (offered load within one poll interval
+     * exceeded the ring capacity), so the producer dropped the span
+     * on the spot.
+     */
+    RingFull,
+    /**
+     * Poll-side load shedding: the drained batch exceeded the
+     * configured per-poll budget and the shed policy (drop-newest /
+     * drop-oldest / sample) discarded this span deterministically.
+     */
+    Shed,
 };
 
 /** Render a drop reason. */
@@ -90,6 +103,8 @@ struct CollectorStats
     size_t droppedLate = 0;
     size_t droppedMalformed = 0;
     size_t droppedBackpressure = 0;
+    size_t droppedRingFull = 0;
+    size_t droppedShed = 0;
 
     /** Count `spans` spans dropped for `reason`. */
     void countDrop(DropReason reason, size_t spans);

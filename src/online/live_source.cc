@@ -47,11 +47,23 @@ struct Delivery
 };
 
 void
-ingestRange(OnlineService *service, const std::vector<Delivery> &all,
+ingestRange(OnlineService *service, std::vector<Delivery> &all,
             size_t begin, size_t end, size_t stride)
 {
+    // Each delivery is consumed exactly once (strides partition the
+    // range), so the event moves into the ingest ring — the producer
+    // path never copies span strings.
     for (size_t i = begin; i < end; i += stride)
-        service->ingest(all[i].event);
+        service->ingest(std::move(all[i].event));
+}
+
+const trace::Span *
+rootSpan(const trace::Trace &t)
+{
+    for (const trace::Span &s : t.spans)
+        if (s.parentSpanId.empty())
+            return &s;
+    return nullptr;
 }
 
 } // namespace
@@ -143,7 +155,7 @@ runLiveLoad(const synth::AppConfig &app, const sim::ClusterModel &cluster,
                 workers.reserve(threads);
                 for (size_t t = 0; t < threads; ++t)
                     workers.emplace_back(ingestRange, service,
-                                         std::cref(deliveries),
+                                         std::ref(deliveries),
                                          cursor + t, batch_end, threads);
                 for (std::thread &w : workers)
                     w.join();
@@ -168,7 +180,13 @@ runLiveLoad(const synth::AppConfig &app, const sim::ClusterModel &cluster,
         result.spansPerSec = static_cast<double>(result.spansDelivered) /
                              (result.ingestWallMillis / 1000.0);
 
-    // --- Detection latency vs. the fault phase active at onset. ---
+    // --- Detection latency: event-time storm onset -> the detecting
+    // poll's watermark. The onset is the earliest anomalous root span
+    // START at/after the active fault phase began — a continuous
+    // event-time quantity — not the phase start itself: measuring from
+    // the configured phase boundary quantized every latency to
+    // (k * pollInterval - lateness - phaseStart), which collapsed p50
+    // and p99 onto the poll interval and hid sub-poll resolution. ---
     for (const Incident &incident : service->incidents()) {
         if (incident.state == Incident::State::Open)
             continue;
@@ -179,9 +197,22 @@ runLiveLoad(const synth::AppConfig &app, const sim::ClusterModel &cluster,
             if (!phase.plan.empty())
                 phase_start = phase.startUs;
         }
-        if (phase_start != INT64_MIN)
-            result.detectionLatenciesUs.push_back(incident.openedAtUs -
-                                                  phase_start);
+        if (phase_start == INT64_MIN)
+            continue;
+        int64_t onset = INT64_MAX;
+        for (const trace::Trace &t : incident.anomalousTraces) {
+            const trace::Span *root = rootSpan(t);
+            if (root == nullptr)
+                continue;
+            // Stragglers that were already anomalous before the fault
+            // phase (healthy-tail SLO misses) are not storm onset.
+            if (root->startUs >= phase_start)
+                onset = std::min(onset, root->startUs);
+        }
+        if (onset == INT64_MAX)
+            onset = phase_start;
+        result.detectionLatenciesUs.push_back(incident.openedAtUs -
+                                              onset);
     }
     return result;
 }

@@ -72,8 +72,13 @@ struct LiveRunResult
     /** Latest event time generated (arrival-shifted span end). */
     int64_t lastEventUs = 0;
     /**
-     * Per analyzed incident: storm-onset watermark minus the start of
-     * the fault phase active at onset (event time).
+     * Per analyzed incident: storm-onset watermark minus the
+     * event-time storm onset — the earliest anomalous root span start
+     * at/after the active fault phase began (falls back to the phase
+     * start when the snapshot holds no such trace). Event-continuous,
+     * so the distribution has sub-poll-interval resolution; measuring
+     * from the phase start instead quantizes every latency to the
+     * poll grid (the old bench bug).
      */
     std::vector<int64_t> detectionLatenciesUs;
 };

@@ -6,26 +6,11 @@
 
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace sleuth::online {
 
 namespace {
-
-/**
- * FNV-1a, used for shard routing and the deterministic normal-trace
- * sample. std::hash would work within one binary, but an explicit hash
- * keeps snapshots identical across standard libraries too.
- */
-uint64_t
-fnv1a(const std::string &s)
-{
-    uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
 
 const trace::Span *
 rootSpan(const trace::Trace &t)
@@ -38,6 +23,35 @@ rootSpan(const trace::Trace &t)
 
 } // namespace
 
+const char *
+toString(ShedPolicy p)
+{
+    switch (p) {
+      case ShedPolicy::DropNewest: return "drop-newest";
+      case ShedPolicy::DropOldest: return "drop-oldest";
+      case ShedPolicy::Sample: return "sample";
+    }
+    util::panic("invalid shed policy");
+}
+
+bool
+shedPolicyFromString(std::string_view name, ShedPolicy *out)
+{
+    if (name == "drop-newest") {
+        *out = ShedPolicy::DropNewest;
+        return true;
+    }
+    if (name == "drop-oldest") {
+        *out = ShedPolicy::DropOldest;
+        return true;
+    }
+    if (name == "sample") {
+        *out = ShedPolicy::Sample;
+        return true;
+    }
+    return false;
+}
+
 OnlineService::OnlineService(const core::SleuthGnn &model,
                              core::FeatureEncoder &encoder,
                              const core::NormalProfile &profile,
@@ -49,15 +63,18 @@ OnlineService::OnlineService(const core::SleuthGnn &model,
 {
     SLEUTH_ASSERT(config_.ingestShards > 0,
                   "at least one ingest shard is required");
+    SLEUTH_ASSERT(config_.ringCapacitySpans > 0,
+                  "ring capacity must be positive");
     shards_.reserve(config_.ingestShards);
     for (size_t i = 0; i < config_.ingestShards; ++i)
-        shards_.push_back(std::make_unique<Shard>(config_.assembler));
+        shards_.push_back(std::make_unique<Shard>(
+            config_.assembler, config_.ringCapacitySpans));
 }
 
 size_t
-OnlineService::shardOf(const std::string &trace_id) const
+OnlineService::shardIndex(uint64_t hash, size_t shard_count)
 {
-    return static_cast<size_t>(fnv1a(trace_id) % shards_.size());
+    return static_cast<size_t>(hash % shard_count);
 }
 
 EndpointProfile
@@ -70,13 +87,129 @@ OnlineService::profileFor(const std::string &endpoint) const
 bool
 OnlineService::ingest(const SpanEvent &event)
 {
-    Shard &shard = *shards_[shardOf(event.traceId)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    // The hot path only bumps the shard-local count; poll()
-    // delta-flushes the sum into the obs registry (a per-span counter
-    // add costs a measurable ~2% of ingest throughput).
-    ++shard.spansIngested;
-    return shard.assembler.add(event);
+    return ingest(SpanEvent(event));
+}
+
+bool
+OnlineService::ingest(SpanEvent &&event)
+{
+    // Hash once per event: the same value routes the shard, rides the
+    // ring for the sample shed policy, and (via the store) seeds the
+    // incident normal-trace sample — no re-hash on the ingest path.
+    uint64_t hash = util::fnv1a(event.traceId);
+    Shard &shard = *shards_[shardIndex(hash, shards_.size())];
+    // The hot path only bumps relaxed shard-local counters; poll()
+    // delta-flushes the sums into the obs registry (a per-span
+    // counter add costs a measurable ~2% of ingest throughput).
+    shard.spansOffered.fetch_add(1, std::memory_order_relaxed);
+    RingEntry entry{std::move(event), hash};
+    if (!shard.ring.tryPush(std::move(entry))) {
+        // Physically full: last-resort enqueue-side drop. Only the
+        // count is deterministic here (see file comment in service.h).
+        shard.ringFullDrops.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+void
+OnlineService::drainShard(Shard *shard, int64_t nowUs,
+                          std::vector<trace::Trace> *completed,
+                          size_t *pending_spans,
+                          size_t *pending_traces)
+{
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->batch.clear();
+    shard->ring.drainInto(&shard->batch);
+    std::vector<RingEntry> &batch = shard->batch;
+
+    // The ring interleaves producer streams nondeterministically;
+    // canonical event-time order restores a batch that is a pure
+    // function of the event multiset before any decision is taken.
+    // Duplicate deliveries tie on every key and are content-identical,
+    // so an unstable sort is still deterministic.
+    std::sort(batch.begin(), batch.end(),
+              [](const RingEntry &a, const RingEntry &b) {
+                  if (a.event.span.endUs != b.event.span.endUs)
+                      return a.event.span.endUs < b.event.span.endUs;
+                  if (a.event.traceId != b.event.traceId)
+                      return a.event.traceId < b.event.traceId;
+                  return a.event.span.spanId < b.event.span.spanId;
+              });
+
+    // Poll-side deterministic shedding: survivors are a pure function
+    // of the (sorted) batch, never of producer interleaving.
+    size_t begin = 0;
+    size_t end = batch.size();
+    size_t budget = config_.shedBudgetSpans;
+    if (budget > 0 && batch.size() > budget) {
+        size_t shed = batch.size() - budget;
+        switch (config_.shedPolicy) {
+          case ShedPolicy::DropNewest:
+            end = budget; // keep the oldest events
+            break;
+          case ShedPolicy::DropOldest:
+            begin = shed; // keep the newest events
+            break;
+          case ShedPolicy::Sample:
+            // Bottom-budget by (traceHash, traceId, spanId):
+            // trace-coherent (spans of one trace sort adjacently) and
+            // uniform across trace ids. Reuses the hash computed at
+            // ingest.
+            std::sort(batch.begin(), batch.end(),
+                      [](const RingEntry &a, const RingEntry &b) {
+                          if (a.traceHash != b.traceHash)
+                              return a.traceHash < b.traceHash;
+                          if (a.event.traceId != b.event.traceId)
+                              return a.event.traceId <
+                                     b.event.traceId;
+                          return a.event.span.spanId <
+                                 b.event.span.spanId;
+                      });
+            end = budget;
+            // Restore event-time order among the survivors so the
+            // assembler feed stays canonical.
+            std::sort(batch.begin(), batch.begin() + end,
+                      [](const RingEntry &a, const RingEntry &b) {
+                          if (a.event.span.endUs != b.event.span.endUs)
+                              return a.event.span.endUs <
+                                     b.event.span.endUs;
+                          if (a.event.traceId != b.event.traceId)
+                              return a.event.traceId <
+                                     b.event.traceId;
+                          return a.event.span.spanId <
+                                 b.event.span.spanId;
+                      });
+            break;
+        }
+        shard->ringStats.countDrop(collector::DropReason::Shed, shed);
+        static obs::Counter &shedCount = obs::counter(
+            "sleuth_service_shed_spans_total",
+            "Spans shed poll-side by the backpressure policy");
+        shedCount.add(shed);
+    }
+
+    // Fold the enqueue-side ring-full drops accumulated since the
+    // last poll into the shard's poll-side stats block.
+    size_t ring_full =
+        shard->ringFullDrops.load(std::memory_order_relaxed);
+    if (ring_full > shard->ringFullFlushed) {
+        shard->ringStats.countDrop(collector::DropReason::RingFull,
+                                   ring_full - shard->ringFullFlushed);
+        shard->ringFullFlushed = ring_full;
+    }
+
+    // Bulk-feed the survivors in canonical order, then advance the
+    // assembler's watermark.
+    for (size_t i = begin; i < end; ++i)
+        shard->assembler.add(batch[i].event);
+    batch.clear();
+    std::vector<trace::Trace> done = shard->assembler.drain(nowUs);
+    completed->insert(completed->end(),
+                      std::make_move_iterator(done.begin()),
+                      std::make_move_iterator(done.end()));
+    *pending_spans += shard->assembler.pendingSpans();
+    *pending_traces += shard->assembler.pendingTraces();
 }
 
 void
@@ -118,14 +251,10 @@ OnlineService::poll(int64_t nowUs)
     size_t pending_traces = 0;
     size_t ingested_total = 0;
     for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        std::vector<trace::Trace> done = shard->assembler.drain(nowUs);
-        completed.insert(completed.end(),
-                         std::make_move_iterator(done.begin()),
-                         std::make_move_iterator(done.end()));
-        pending_spans += shard->assembler.pendingSpans();
-        pending_traces += shard->assembler.pendingTraces();
-        ingested_total += shard->spansIngested;
+        drainShard(shard.get(), nowUs, &completed, &pending_spans,
+                   &pending_traces);
+        ingested_total +=
+            shard->spansOffered.load(std::memory_order_relaxed);
     }
     // Amortized flush of the per-span ingest count (see ingest()).
     static obs::Counter &ingested = obs::counter(
@@ -346,13 +475,13 @@ OnlineService::analyzeIncident(Incident *incident)
 
     // Deterministic normal sample: bottom-k by (hash, traceId) — a
     // uniform reservoir-equivalent that never depends on store order.
+    // The hash was computed once at store insert (Record::traceIdHash),
+    // so the sort never re-hashes a record per comparison.
     if (config_.normalSampleSize > 0 && !normals.empty()) {
         std::sort(normals.begin(), normals.end(),
                   [](const storage::Record *a, const storage::Record *b) {
-                      uint64_t ha = fnv1a(a->traceId());
-                      uint64_t hb = fnv1a(b->traceId());
-                      if (ha != hb)
-                          return ha < hb;
+                      if (a->traceIdHash != b->traceIdHash)
+                          return a->traceIdHash < b->traceIdHash;
                       return a->traceId() < b->traceId();
                   });
         size_t k = std::min(config_.normalSampleSize, normals.size());
@@ -396,7 +525,11 @@ OnlineService::backlogSpans() const
     size_t total = 0;
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mu);
-        total += shard->assembler.pendingSpans();
+        // Ring occupancy counts too: an enqueued span is buffered
+        // until the next poll drains it (exact under shard.mu when
+        // producers are quiescent — the barrier points callers use).
+        total += shard->assembler.pendingSpans() +
+                 shard->ring.sizeApprox();
     }
     return total;
 }
@@ -407,8 +540,18 @@ OnlineService::stats() const
     OnlineStats s;
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mu);
-        s.spansIngested += shard->spansIngested;
+        s.spansIngested +=
+            shard->spansOffered.load(std::memory_order_relaxed);
         s.assembly.merge(shard->assembler.stats());
+        s.assembly.merge(shard->ringStats);
+        // Ring-full drops not yet folded by a poll.
+        size_t ring_full =
+            shard->ringFullDrops.load(std::memory_order_relaxed);
+        if (ring_full > shard->ringFullFlushed) {
+            size_t unflushed = ring_full - shard->ringFullFlushed;
+            s.assembly.spansRejected += unflushed;
+            s.assembly.droppedRingFull += unflushed;
+        }
     }
     s.tracesStored = traces_stored_;
     for (const Incident &i : incidents_) {
@@ -438,7 +581,10 @@ OnlineService::statsJson() const
     drops.set("lateAfterEviction", s.assembly.droppedLate);
     drops.set("malformed", s.assembly.droppedMalformed);
     drops.set("backpressure", s.assembly.droppedBackpressure);
+    drops.set("ringFull", s.assembly.droppedRingFull);
+    drops.set("shed", s.assembly.droppedShed);
     doc.set("drops", std::move(drops));
+    doc.set("shedPolicy", std::string(toString(config_.shedPolicy)));
     doc.set("backlogSpans", backlogSpans());
     doc.set("watermarkUs", watermark_);
     doc.set("storedRecords", store_.size());

@@ -2,36 +2,57 @@
 
 /**
  * @file
- * The online serving layer (DESIGN.md §3.10): streaming span ingestion,
- * sliding-window storm detection, and incident-scoped RCA, glued into
- * one service.
+ * The online serving layer (DESIGN.md §3.10, §3.13): streaming span
+ * ingestion, sliding-window storm detection, and incident-scoped RCA,
+ * glued into one service.
  *
  * Ingestion is sharded by hash(traceId) so concurrent collector threads
  * contend only per shard; the shard count is a configuration constant —
  * NOT the thread count — so the same span stream lands in the same
- * shards no matter how many threads deliver it. All evaluation happens
- * at explicit poll(nowUs) points: shards are drained, completed traces
- * are merged into one canonically sorted batch, stored (under the
- * retention policy bounding memory), folded into the storm detector,
- * and the detector's window verdicts drive the incident lifecycle
- * (Open → Analyzed → Resolved). On storm onset the service snapshots
- * the detection window from the store — every anomalous trace plus a
- * deterministic bottom-k-by-hash sample of normal traces — and runs the
- * batch SleuthPipeline over the anomalous subset.
+ * shards no matter how many threads deliver it. Each shard's front end
+ * is a bounded MPSC ring buffer (util::MpscRing): ingest() hashes the
+ * trace id once, routes, and enqueues — producers never take a lock
+ * and never run the assembler. All evaluation happens at explicit
+ * poll(nowUs) points: each shard's ring is drained in one batch,
+ * canonically re-sorted by event time (the ring interleaves producer
+ * streams nondeterministically), optionally shed down to the per-poll
+ * budget by the configured policy, and fed to that shard's assembler
+ * in bulk; completed traces are merged into one canonically sorted
+ * batch, stored (under the retention policy bounding memory), folded
+ * into the storm detector, and the detector's window verdicts drive
+ * the incident lifecycle (Open → Analyzed → Resolved). On storm onset
+ * the service snapshots the detection window from the store — every
+ * anomalous trace plus a deterministic bottom-k-by-hash sample of
+ * normal traces — and runs the batch SleuthPipeline over the anomalous
+ * subset.
+ *
+ * Backpressure is two-tiered (DESIGN.md §3.13). The deterministic
+ * tier is poll-side: when a drained batch exceeds shedBudgetSpans,
+ * the shed policy picks the survivors as a pure function of the event
+ * multiset (drop-newest / drop-oldest by event end time, sample by
+ * trace-id hash), so shed decisions are identical at any producer
+ * thread count. The last-resort tier is enqueue-side: a physically
+ * full ring drops the incoming span on the producer thread (counted
+ * ring-full); only the count — not the victim set — is deterministic
+ * there, and it is only reachable when one poll interval's offered
+ * load exceeds the ring capacity.
  *
  * Determinism contract: for a fixed configuration and span multiset
- * partitioned into the same poll intervals, the stored records, the
- * incidents, and every verdict within them are bitwise identical
- * regardless of ingest thread count or per-thread arrival interleaving.
- * The online/batch differential campaign invariant and the 1/2/8-thread
- * service test pin this.
+ * partitioned into the same poll intervals — and offered load within
+ * the ring capacity — the stored records, the incidents, and every
+ * verdict within them are bitwise identical regardless of ingest
+ * thread count or per-thread arrival interleaving, for every shed
+ * policy. The online/batch differential campaign invariant and the
+ * 1/2/8-thread service test pin this.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -40,6 +61,7 @@
 #include "online/incident.h"
 #include "storage/trace_store.h"
 #include "util/json.h"
+#include "util/mpsc_ring.h"
 
 namespace sleuth::online {
 
@@ -51,6 +73,27 @@ struct EndpointProfile
     /** Operation flow behind the endpoint (-1 = unknown). */
     int flowIndex = -1;
 };
+
+/**
+ * Load-shedding policy applied poll-side when a shard's drained batch
+ * exceeds the per-poll budget. All three are deterministic functions
+ * of the event multiset (never of producer interleaving):
+ *  - DropNewest keeps the budget's worth of earliest events (by span
+ *    end time) and sheds the newest tail;
+ *  - DropOldest keeps the newest events and sheds the oldest head —
+ *    the freshest data survives a burst;
+ *  - Sample keeps the bottom-budget entries by trace-id hash, which
+ *    is trace-coherent (a trace's spans share the hash, so whole
+ *    traces survive or go together) and uniform across trace ids.
+ */
+enum class ShedPolicy { DropNewest, DropOldest, Sample };
+
+/** Render a shed policy name ("drop-newest" / "drop-oldest" /
+    "sample"). */
+const char *toString(ShedPolicy p);
+
+/** Parse a shed policy name; false when unrecognized. */
+bool shedPolicyFromString(std::string_view name, ShedPolicy *out);
 
 /** Online serving knobs. */
 struct OnlineConfig
@@ -64,6 +107,22 @@ struct OnlineConfig
      * many threads call ingest() — so sharding never perturbs results.
      */
     size_t ingestShards = 4;
+    /**
+     * Per-shard MPSC ring capacity in spans (rounded up to a power of
+     * two). Bounds ingest-path memory; a poll interval offering more
+     * spans than this to one shard hits the enqueue-side ring-full
+     * drop. Sized so that in normal operation a poll always drains
+     * the ring before it wraps.
+     */
+    size_t ringCapacitySpans = 1 << 16;
+    /**
+     * Per-shard per-poll admitted span budget (0 = unlimited). When a
+     * drained batch exceeds it, shedPolicy picks the survivors
+     * deterministically and the rest are counted as shed drops.
+     */
+    size_t shedBudgetSpans = 0;
+    /** Policy picking shed survivors (see ShedPolicy). */
+    ShedPolicy shedPolicy = ShedPolicy::DropNewest;
     /** Normal traces sampled into an incident snapshot (context). */
     size_t normalSampleSize = 16;
     /** Endpoint -> SLO/flow metadata; unknown endpoints get 0 / -1. */
@@ -95,19 +154,26 @@ class OnlineService
                   const core::NormalProfile &profile, OnlineConfig config);
 
     /**
-     * Ingest one span. Thread-safe: spans are routed to
-     * hash(traceId) % ingestShards and buffered under that shard's
-     * lock. Returns false when the span was dropped (see SpanAssembler).
+     * Ingest one span. Thread-safe and lock-free: the trace id is
+     * hashed once, the event is routed to hash % ingestShards, and
+     * enqueued onto that shard's bounded MPSC ring. Returns false
+     * only when the ring was physically full and the span was dropped
+     * on the spot (counted ring-full); admission/validation drops are
+     * decided later, at poll time. The const-ref overload copies the
+     * event; the rvalue overload moves it into the ring.
      */
     bool ingest(const SpanEvent &event);
+    bool ingest(SpanEvent &&event);
 
     /**
-     * Advance the clock: drain every shard at nowUs, store and observe
-     * the completed traces, evaluate storm windows, and run the
-     * incident lifecycle. Must not race ingest() of spans that the
-     * caller needs reflected at this poll (callers barrier their ingest
-     * threads first). Returns indices (into incidents()) of incidents
-     * whose state changed during this poll.
+     * Advance the clock: drain every shard's ring at nowUs (canonical
+     * event-time re-sort, then shed policy, then bulk assembly),
+     * store and observe the completed traces, evaluate storm windows,
+     * and run the incident lifecycle. Concurrent ingest() is safe,
+     * but spans the caller needs reflected at this poll must be
+     * enqueued before it (callers barrier their ingest threads
+     * first). Returns indices (into incidents()) of incidents whose
+     * state changed during this poll.
      */
     std::vector<size_t> poll(int64_t nowUs);
 
@@ -140,19 +206,47 @@ class OnlineService
     EndpointProfile profileFor(const std::string &endpoint) const;
 
   private:
+    /** One ring entry: the event plus its precomputed trace-id hash
+        (computed once in ingest(), reused by the sample policy). */
+    struct RingEntry
+    {
+        SpanEvent event;
+        uint64_t traceHash = 0;
+    };
+
     struct Shard
     {
+        /** Producer side: lock-free ring + relaxed counters. */
+        util::MpscRing<RingEntry> ring;
+        std::atomic<size_t> spansOffered{0};
+        std::atomic<size_t> ringFullDrops{0};
+        /**
+         * Consumer side, guarded by mu: mu serializes poll()'s drain/
+         * assembly against concurrent stats()/backlogSpans() readers.
+         * ingest() never takes it.
+         */
         std::mutex mu;
         SpanAssembler assembler;
-        size_t spansIngested = 0;
+        /** Poll-side drop accounting (shed + flushed ring-full). */
+        collector::CollectorStats ringStats;
+        /** Ring-full count already folded into ringStats. */
+        size_t ringFullFlushed = 0;
+        /** Scratch batch, reused across polls (capacity persists). */
+        std::vector<RingEntry> batch;
 
-        explicit Shard(const AssemblerConfig &config)
-            : assembler(config)
+        Shard(const AssemblerConfig &config, size_t ring_capacity)
+            : ring(ring_capacity), assembler(config)
         {
         }
     };
 
-    size_t shardOf(const std::string &trace_id) const;
+    static size_t shardIndex(uint64_t hash, size_t shard_count);
+
+    /** Drain, canonically sort, shed, and assemble one shard's ring;
+        append completed traces to *completed (under shard.mu). */
+    void drainShard(Shard *shard, int64_t nowUs,
+                    std::vector<trace::Trace> *completed,
+                    size_t *pending_spans, size_t *pending_traces);
 
     /** Store + observe one batch of completed traces (sorted). */
     void absorb(std::vector<trace::Trace> traces);

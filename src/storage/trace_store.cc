@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace sleuth::storage {
 
@@ -38,6 +39,7 @@ TraceStore::insert(trace::Trace t, int64_t sloUs, int flowIndex)
     record.flowIndex = flowIndex;
     size_t id = next_id_++;
     record.id = id;
+    record.traceIdHash = util::fnv1a(record.traceId());
     by_start_.emplace(record.startUs(), id);
     std::set<uint32_t> services;
     const trace::SpanColumns &cols = record.columns.columns();

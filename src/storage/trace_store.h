@@ -41,6 +41,13 @@ struct Record
     int flowIndex = -1;
     /** Store-assigned id (monotonic admission order; set by insert). */
     size_t id = 0;
+    /**
+     * util::fnv1a of the trace id, computed once by insert(). The
+     * online incident snapshot's deterministic bottom-k-by-hash
+     * normal sample sorts on it — cached here so the sample sort
+     * never re-hashes a record per comparison.
+     */
+    uint64_t traceIdHash = 0;
 
     /** Trace id without materializing. */
     const std::string &traceId() const { return columns.traceId(); }

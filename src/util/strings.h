@@ -5,10 +5,31 @@
  * String helpers shared by the text-preprocessing and reporting code.
  */
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sleuth::util {
+
+/**
+ * FNV-1a over a byte view. The online layer uses this one hash for
+ * ingest-shard routing, the deterministic shed `sample` policy, and
+ * the incident normal-trace sample: an explicit hash keeps those
+ * decisions identical across standard libraries, and a string_view
+ * signature means call sites never materialize a temporary string.
+ * The hot path computes it once per span event and reuses the value.
+ */
+inline uint64_t
+fnv1a(std::string_view s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
 
 /** Split a string on a single-character delimiter (keeps empty pieces). */
 std::vector<std::string> split(const std::string &s, char delim);

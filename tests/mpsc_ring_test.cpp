@@ -1,0 +1,168 @@
+// MpscRing unit suite: FIFO order, wraparound re-arming, full-ring
+// refusal, and a multi-producer stress drained concurrently — the
+// latter is the TSan target tools/run_sanitized_tests.sh hammers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/mpsc_ring.h"
+
+using namespace sleuth;
+
+namespace {
+
+TEST(CeilPow2, RoundsUpWithFloorOfTwo)
+{
+    EXPECT_EQ(util::ceilPow2(0), 2u);
+    EXPECT_EQ(util::ceilPow2(1), 2u);
+    EXPECT_EQ(util::ceilPow2(2), 2u);
+    EXPECT_EQ(util::ceilPow2(3), 4u);
+    EXPECT_EQ(util::ceilPow2(4), 4u);
+    EXPECT_EQ(util::ceilPow2(5), 8u);
+    EXPECT_EQ(util::ceilPow2(1023), 1024u);
+    EXPECT_EQ(util::ceilPow2(1024), 1024u);
+}
+
+TEST(MpscRing, SingleProducerIsFifo)
+{
+    util::MpscRing<int> ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ring.tryPush(int{i}));
+    EXPECT_EQ(ring.sizeApprox(), 5u);
+    std::vector<int> out;
+    EXPECT_EQ(ring.drainInto(&out), 5u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(ring.sizeApprox(), 0u);
+}
+
+TEST(MpscRing, FullRingRefusesUntilDrained)
+{
+    util::MpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(int{i}));
+    // Full: the payload is refused, not silently overwritten.
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_FALSE(ring.tryPush(100));
+    EXPECT_EQ(ring.sizeApprox(), 4u);
+    std::vector<int> out;
+    EXPECT_EQ(ring.drainInto(&out), 4u);
+    // Drained slots are re-armed; pushes succeed again.
+    EXPECT_TRUE(ring.tryPush(7));
+    out.clear();
+    EXPECT_EQ(ring.drainInto(&out), 1u);
+    EXPECT_EQ(out, std::vector<int>{7});
+}
+
+TEST(MpscRing, WrapsAroundManyLaps)
+{
+    util::MpscRing<int> ring(4);
+    std::vector<int> out;
+    int next = 0;
+    // 100 laps of push-3/drain-3 crosses the slot array repeatedly;
+    // any re-arming bug shows up as a stuck or reordered lap.
+    for (int lap = 0; lap < 100; ++lap) {
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(ring.tryPush(int{next + i}));
+        size_t before = out.size();
+        ASSERT_EQ(ring.drainInto(&out), 3u);
+        for (int i = 0; i < 3; ++i)
+            ASSERT_EQ(out[before + static_cast<size_t>(i)], next + i);
+        next += 3;
+    }
+}
+
+TEST(MpscRing, MoveOnlyPayloadsMoveThrough)
+{
+    util::MpscRing<std::unique_ptr<int>> ring(4);
+    ASSERT_TRUE(ring.tryPush(std::make_unique<int>(42)));
+    std::vector<std::unique_ptr<int>> out;
+    ASSERT_EQ(ring.drainInto(&out), 1u);
+    ASSERT_NE(out[0], nullptr);
+    EXPECT_EQ(*out[0], 42);
+}
+
+TEST(MpscRing, ConcurrentProducersLoseNothing)
+{
+    // The sanitizer hammer: P producers push disjoint tagged ranges
+    // while the consumer drains concurrently (no barrier between push
+    // and drain). Every push that reported success must come out
+    // exactly once, each producer's own stream in FIFO order.
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 20'000;
+    util::MpscRing<uint64_t> ring(256);
+    std::atomic<size_t> accepted{0};
+    std::atomic<int> live{kProducers};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                uint64_t tagged =
+                    (static_cast<uint64_t>(p) << 32) |
+                    static_cast<uint64_t>(i);
+                // Spin on a full ring: the consumer is draining, so
+                // a slot frees up soon; the accepted count stays a
+                // deterministic kProducers * kPerProducer.
+                while (!ring.tryPush(uint64_t{tagged}))
+                    std::this_thread::yield();
+                accepted.fetch_add(1, std::memory_order_relaxed);
+            }
+            live.fetch_sub(1, std::memory_order_release);
+        });
+
+    std::vector<uint64_t> got;
+    while (live.load(std::memory_order_acquire) > 0 ||
+           ring.sizeApprox() > 0)
+        if (ring.drainInto(&got) == 0)
+            std::this_thread::yield();
+    ring.drainInto(&got);
+    for (std::thread &t : producers)
+        t.join();
+
+    ASSERT_EQ(accepted.load(), static_cast<size_t>(kProducers) *
+                                   kPerProducer);
+    ASSERT_EQ(got.size(), accepted.load());
+    std::vector<int> next(kProducers, 0);
+    std::set<uint64_t> seen;
+    for (uint64_t v : got) {
+        int p = static_cast<int>(v >> 32);
+        int i = static_cast<int>(v & 0xffffffffu);
+        ASSERT_TRUE(seen.insert(v).second) << "duplicate delivery";
+        // Per-producer FIFO: values from one producer appear in the
+        // order that producer pushed them.
+        ASSERT_EQ(i, next[p]) << "producer " << p << " reordered";
+        ++next[p];
+    }
+}
+
+TEST(MpscRing, FullRingUnderContentionAdmitsExactlyCapacity)
+{
+    // With no consumer, racing producers collectively get exactly
+    // `capacity` successful pushes — the ring-full drop count the
+    // online service reports is deterministic even though the victim
+    // set is not.
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 500;
+    util::MpscRing<int> ring(64);
+    std::atomic<size_t> ok{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&] {
+            for (int i = 0; i < kPerProducer; ++i)
+                if (ring.tryPush(int{i}))
+                    ok.fetch_add(1, std::memory_order_relaxed);
+        });
+    for (std::thread &t : producers)
+        t.join();
+    EXPECT_EQ(ok.load(), ring.capacity());
+    std::vector<int> out;
+    EXPECT_EQ(ring.drainInto(&out), ring.capacity());
+}
+
+} // namespace

@@ -323,6 +323,181 @@ TEST(OnlineService, RetentionBoundsStoreMemory)
     EXPECT_GT(stats.tracesStored, service.store().size());
 }
 
+namespace {
+
+/** The full drop taxonomy plus totals, as one comparable string. */
+std::string
+accountingFingerprint(const online::OnlineService &service)
+{
+    online::OnlineStats s = service.stats();
+    std::ostringstream out;
+    out << s.spansIngested << "/" << s.assembly.spansAccepted << "/"
+        << s.assembly.spansRejected << "/" << service.backlogSpans()
+        << " drops " << s.assembly.droppedOrphan << ","
+        << s.assembly.droppedDuplicate << "," << s.assembly.droppedLate
+        << "," << s.assembly.droppedMalformed << ","
+        << s.assembly.droppedBackpressure << ","
+        << s.assembly.droppedRingFull << "," << s.assembly.droppedShed;
+    return out.str();
+}
+
+/** sent == accepted + Σ(drops by reason) + backlog, at a barrier. */
+void
+expectLedgerBalances(const online::OnlineService &service,
+                     size_t delivered)
+{
+    online::OnlineStats s = service.stats();
+    EXPECT_EQ(s.spansIngested, delivered);
+    size_t drops = s.assembly.droppedOrphan +
+                   s.assembly.droppedDuplicate + s.assembly.droppedLate +
+                   s.assembly.droppedMalformed +
+                   s.assembly.droppedBackpressure +
+                   s.assembly.droppedRingFull + s.assembly.droppedShed;
+    EXPECT_EQ(drops, s.assembly.spansRejected);
+    EXPECT_EQ(s.assembly.spansAccepted + drops + service.backlogSpans(),
+              s.spansIngested);
+}
+
+} // namespace
+
+TEST(OnlineService, ShedPoliciesStayDeterministicAndAccounted)
+{
+    // A per-poll budget tight enough that every policy sheds. Shed
+    // decisions happen poll-side over the canonically re-sorted
+    // drained batch, so the incident stream AND the entire drop
+    // taxonomy must be bitwise identical at 1/2/8 producer threads.
+    for (online::ShedPolicy policy : {online::ShedPolicy::DropNewest,
+                                      online::ShedPolicy::DropOldest,
+                                      online::ShedPolicy::Sample}) {
+        std::string reference;
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+            online::OnlineConfig cfg = serviceConfig();
+            cfg.shedPolicy = policy;
+            cfg.shedBudgetSpans = 400;
+            online::OnlineService service(world().adapter.model(),
+                                          world().adapter.encoder(),
+                                          world().adapter.profile(),
+                                          cfg);
+            online::LiveRunResult run = online::runLiveLoad(
+                world().app, world().cluster, {.seed = 77},
+                loadConfig(threads), &service);
+            online::OnlineStats stats = service.stats();
+            EXPECT_GT(stats.assembly.droppedShed, 0u)
+                << online::toString(policy) << " never shed";
+            expectLedgerBalances(service, run.spansDelivered);
+            std::string fp = incidentFingerprint(service) + "\n" +
+                             accountingFingerprint(service);
+            if (reference.empty())
+                reference = fp;
+            else
+                EXPECT_EQ(fp, reference)
+                    << online::toString(policy)
+                    << " diverges at threads=" << threads;
+        }
+    }
+}
+
+TEST(OnlineService, RingFullPathConservesAccounting)
+{
+    // Physically tiny rings force the enqueue-side last resort. The
+    // victim set is nondeterministic under concurrent producers, but
+    // the ledger must still balance and the ring-full count stays
+    // deterministic: between barriered polls each shard admits
+    // exactly its ring capacity.
+    size_t ring_full_reference = 0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        online::OnlineConfig cfg = serviceConfig();
+        cfg.ringCapacitySpans = 16;
+        online::OnlineService service(world().adapter.model(),
+                                      world().adapter.encoder(),
+                                      world().adapter.profile(), cfg);
+        online::LiveRunResult run = online::runLiveLoad(
+            world().app, world().cluster, {.seed = 77},
+            loadConfig(threads), &service);
+        online::OnlineStats stats = service.stats();
+        ASSERT_GT(stats.assembly.droppedRingFull, 0u);
+        expectLedgerBalances(service, run.spansDelivered);
+        if (ring_full_reference == 0)
+            ring_full_reference = stats.assembly.droppedRingFull;
+        else
+            EXPECT_EQ(stats.assembly.droppedRingFull,
+                      ring_full_reference)
+                << "ring-full count varies at threads=" << threads;
+    }
+}
+
+TEST(OnlineService, IngestRefusesOnlyWhenRingIsFull)
+{
+    online::OnlineConfig cfg = serviceConfig();
+    cfg.ringCapacitySpans = 2;
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(), cfg);
+    // Same trace id -> same shard; the third span finds its ring full.
+    auto event = [](int i) {
+        online::SpanEvent ev;
+        ev.traceId = "t-ring";
+        ev.span.spanId = "s" + std::to_string(i);
+        ev.span.service = "svc";
+        ev.span.name = "op";
+        ev.span.startUs = 1'000 + i;
+        ev.span.endUs = 2'000 + i;
+        return ev;
+    };
+    EXPECT_TRUE(service.ingest(event(0)));
+    EXPECT_TRUE(service.ingest(event(1)));
+    EXPECT_FALSE(service.ingest(event(2)));
+    online::OnlineStats stats = service.stats();
+    EXPECT_EQ(stats.assembly.droppedRingFull, 1u);
+    EXPECT_EQ(stats.spansIngested, 3u);
+    // A poll drains the ring; the producer can push again.
+    service.poll(1);
+    EXPECT_TRUE(service.ingest(event(3)));
+    expectLedgerBalances(service, 4u);
+}
+
+TEST(OnlineService, ShedPolicyStringsRoundTrip)
+{
+    for (online::ShedPolicy policy : {online::ShedPolicy::DropNewest,
+                                      online::ShedPolicy::DropOldest,
+                                      online::ShedPolicy::Sample}) {
+        online::ShedPolicy parsed;
+        ASSERT_TRUE(online::shedPolicyFromString(
+            online::toString(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    online::ShedPolicy parsed;
+    EXPECT_FALSE(online::shedPolicyFromString("keep-everything",
+                                              &parsed));
+    EXPECT_FALSE(online::shedPolicyFromString("", &parsed));
+}
+
+TEST(OnlineService, DetectionLatencyHasSubPollResolution)
+{
+    // Regression: latency is measured from the event-time storm onset
+    // (earliest anomalous root span start inside the fault phase), not
+    // from the configured phase boundary. The old measurement made
+    // every latency a poll-grid multiple minus a constant, collapsing
+    // p50 onto p99.
+    online::OnlineService service(world().adapter.model(),
+                                  world().adapter.encoder(),
+                                  world().adapter.profile(),
+                                  serviceConfig());
+    online::LiveRunResult run =
+        online::runLiveLoad(world().app, world().cluster, {.seed = 77},
+                            loadConfig(1), &service);
+    ASSERT_FALSE(run.detectionLatenciesUs.empty());
+    bool off_grid = false;
+    for (int64_t latency : run.detectionLatenciesUs) {
+        EXPECT_GE(latency, 0);
+        if (latency % loadConfig(1).pollIntervalUs != 0)
+            off_grid = true;
+    }
+    EXPECT_TRUE(off_grid)
+        << "every detection latency sits on the poll grid — the "
+           "onset is being taken from the phase boundary again";
+}
+
 TEST(OnlineService, HealthyLoadOpensNoIncident)
 {
     online::OnlineService service(world().adapter.model(),

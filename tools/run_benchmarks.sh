@@ -7,11 +7,23 @@
 # without the obs metrics layer, detection latency, incident RCA
 # latency).
 #
-# Usage: tools/run_benchmarks.sh [build-dir]
+# Usage: tools/run_benchmarks.sh [--soak] [build-dir]
+#
+# --soak additionally replays hours of simulated time through the
+# online service and appends bounded-RSS / watermark-liveness rows
+# (soak_*) to BENCH_online.json. Slower; off by default.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-release}"
+soak_flag=""
+build_dir=""
+for arg in "$@"; do
+    case "$arg" in
+        --soak) soak_flag="--soak" ;;
+        *) build_dir="$arg" ;;
+    esac
+done
+build_dir="${build_dir:-$repo_root/build-release}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target perf_suite online_suite -j "$(nproc)"
@@ -28,4 +40,4 @@ if [ -r /proc/cpuinfo ]; then
 fi
 
 "$build_dir/bench/perf_suite" "$repo_root/BENCH_pipeline.json"
-"$build_dir/bench/online_suite" "$repo_root/BENCH_online.json"
+"$build_dir/bench/online_suite" $soak_flag "$repo_root/BENCH_online.json"

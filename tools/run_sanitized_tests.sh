@@ -6,12 +6,14 @@
 #   build-dir  defaults to <repo>/build-sanitize
 #   sanitizer  ON (ASan+UBSan, default) or THREAD (TSan). TSan is the
 #              opt-in job for exercising the thread-pool engine, the
-#              online layer's sharded concurrent span ingestion
-#              (online_service_test, campaign online-differential),
-#              and the obs metrics layer's sharded counter fold and
-#              per-slot histogram merge (obs_test,
-#              obs_determinism_test); it cannot be combined with ASan
-#              in one build.
+#              online layer's lock-free MPSC ingest rings
+#              (mpsc_ring_test's concurrent producer/drain hammer,
+#              online_service_test's 1/2/8-thread sweeps incl. the
+#              shed-policy and ring-full paths, campaign
+#              online-differential and drop-accounting), and the obs
+#              metrics layer's sharded counter fold and per-slot
+#              histogram merge (obs_test, obs_determinism_test); it
+#              cannot be combined with ASan in one build.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

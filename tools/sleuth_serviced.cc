@@ -19,8 +19,14 @@
 //   sleuth_serviced [--rpcs N] [--seed S] [--nodes K] [--requests R]
 //                   [--rate RPS] [--threads T] [--poll-ms MS]
 //                   [--faults F] [--duplicate P] [--max-spans BUDGET]
+//                   [--ring-capacity SPANS] [--shed-budget SPANS]
+//                   [--shed-policy drop-newest|drop-oldest|sample]
 //                   [--out METRICS.json]
 //                   [--metrics-text FILE] [--metrics-every POLLS]
+//
+// --ring-capacity bounds each ingest shard's MPSC ring (DESIGN.md
+// §3.13); --shed-budget caps the spans a shard admits per poll, the
+// excess shed deterministically by --shed-policy.
 
 #include <cstdio>
 #include <fstream>
@@ -90,6 +96,16 @@ main(int argc, char **argv)
     double duplicate = doubleArg(argc, argv, "--duplicate", 0.02);
     size_t max_spans =
         static_cast<size_t>(intArg(argc, argv, "--max-spans", 400'000));
+    size_t ring_capacity = static_cast<size_t>(
+        intArg(argc, argv, "--ring-capacity", 1 << 16));
+    size_t shed_budget = static_cast<size_t>(
+        intArg(argc, argv, "--shed-budget", 0));
+    std::string shed_policy_name =
+        strArg(argc, argv, "--shed-policy", "drop-newest");
+    online::ShedPolicy shed_policy;
+    if (!online::shedPolicyFromString(shed_policy_name, &shed_policy))
+        util::fatal("unknown --shed-policy '", shed_policy_name,
+                    "' (want drop-newest, drop-oldest, or sample)");
     std::string out = strArg(argc, argv, "--out", "");
     std::string metrics_text =
         strArg(argc, argv, "--metrics-text", "");
@@ -138,6 +154,9 @@ main(int argc, char **argv)
     cfg.assembler.quietGapUs = 100'000;
     cfg.detector.bucketUs = 500'000;
     cfg.detector.windowBuckets = 8;
+    cfg.ringCapacitySpans = ring_capacity;
+    cfg.shedBudgetSpans = shed_budget;
+    cfg.shedPolicy = shed_policy;
     online::OnlineService service(adapter.model(), adapter.encoder(),
                                   adapter.profile(), cfg);
 
