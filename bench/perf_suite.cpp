@@ -357,6 +357,57 @@ main(int argc, char **argv)
             res.rcaInvocations);
     }
 
+    // --- (c) Pre-pruned end-to-end analysis, 256 traces. The
+    // aggressive pruner collapses duplicate storm signatures onto
+    // exemplars before the quadratic stages; the rows report the wall
+    // time next to the measured keep ratios so the speedup can be read
+    // against how much work was actually dropped. The conservative
+    // mode's exactness is pinned by pruner_test and the pruned-vs-full
+    // campaign invariant, not here. ---
+    {
+        std::vector<int64_t> slos(storm256.size(),
+                                  stormSlo(storm256));
+        PipelineConfig cfg;
+        cfg.prune.mode = PruneConfig::Mode::Aggressive;
+        cfg.prune.aggressiveness = 0.7;
+        SleuthPipeline pipeline(model, encoder, profile, cfg);
+        PipelineResult warm = pipeline.analyze(storm256, slos);
+
+        RcaPruner pruner(profile, cfg.prune, cfg.rca);
+        PrunePlan plan;
+        double plan_ms = bestOfMs(3, [&] {
+            plan = pruner.plan(storm256, slos, {});
+        });
+        PipelineResult res;
+        double apply_ms = bestOfMs(3, [&] {
+            res = pipeline.analyzeWithPlan(storm256, slos, plan);
+        });
+        double pruned_ms = plan_ms + apply_ms;
+        (void)warm;
+
+        SLEUTH_ASSERT(res.perTrace.size() == storm256.size(),
+                      "pruned result covers every input trace");
+        SLEUTH_ASSERT(res.pruneTraceKeepRatio > 0.0 &&
+                          res.pruneTraceKeepRatio < 1.0,
+                      "aggressive prune kept a strict subset");
+
+        rows.push_back({"e2e_analyze_256_pruned_ms", pruned_ms, "ms",
+                        "aggressive 0.7"});
+        rows.push_back({"e2e_analyze_256_prune_plan_ms", plan_ms,
+                        "ms"});
+        rows.push_back({"e2e_analyze_256_prune_trace_keep_ratio",
+                        res.pruneTraceKeepRatio, "ratio"});
+        rows.push_back({"e2e_analyze_256_prune_service_keep_ratio",
+                        res.pruneServiceKeepRatio, "ratio"});
+        std::printf(
+            "e2e analyze n=256 pruned: %.1f ms (plan %.1f + apply "
+            "%.1f; trace keep %.2f, service keep %.2f, %d clusters, "
+            "%zu rca invocations)\n",
+            pruned_ms, plan_ms, apply_ms, res.pruneTraceKeepRatio,
+            res.pruneServiceKeepRatio, res.numClusters,
+            res.rcaInvocations);
+    }
+
     // --- (e) Thread-pool scaling on the 256-trace storm. ---
     // The parallel engine is deterministic: every row set below is
     // produced from bitwise-identical results (asserted), only the

@@ -53,7 +53,11 @@ struct Invariant
 /** The registry (construct-on-first-use; order is the check order). */
 const std::vector<Invariant> &invariantRegistry();
 
-/** Look up an invariant by name; fatal() when unknown. */
+/** Look up an invariant by name; nullptr when unknown. */
+const Invariant *tryFindInvariant(const std::string &name);
+
+/** Look up an invariant by name; fatal() (listing the known
+    invariants) when unknown. */
 const Invariant &findInvariant(const std::string &name);
 
 /** Mutation names understood by CheckContext (for validation). */

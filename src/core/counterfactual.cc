@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 namespace sleuth::core {
 
@@ -14,25 +15,23 @@ CounterfactualRca::CounterfactualRca(const SleuthGnn &model,
 {
 }
 
-RcaResult
-CounterfactualRca::analyze(const trace::Trace &trace,
-                           int64_t slo_us) const
+std::vector<CandidateScore>
+rankCandidateServices(const trace::Trace &trace,
+                      const trace::TraceGraph &graph,
+                      const trace::ExclusiveMetrics &metrics,
+                      const NormalProfile &profile, double err_weight)
 {
-    RcaResult result;
-    trace::TraceGraph graph = trace::TraceGraph::build(trace);
-    trace::ExclusiveMetrics metrics =
-        trace::computeExclusive(trace, graph);
-    TraceBatch batch = encoder_.encode(trace);
+    // Rank candidate services by exclusive errors + excess exclusive
+    // duration of their affiliated spans (§3.5). A client span
+    // affiliates with the callee's service too, because network faults
+    // in the child service surface on the client side only.
     const size_t n = trace.spans.size();
-
-    // --- Rank candidate services by exclusive errors + excess
-    // exclusive duration of their affiliated spans (§3.5). A client
-    // span affiliates with the callee's service too, because network
-    // faults in the child service surface on the client side only. ---
-    double err_weight = params_.errorWeightUs > 0.0
-        ? params_.errorWeightUs
-        : static_cast<double>(std::max<int64_t>(slo_us, 1));
-    std::map<std::string, double> score;
+    // Hashed accumulation: per-service sums are added in span order
+    // either way, and the final sort below is a strict total order, so
+    // the container choice cannot change the result — only the cost
+    // (this runs per trace in the pruner's planning pass).
+    std::unordered_map<std::string, double> score;
+    score.reserve(n);
     auto add_score = [&](const std::string &svc, double excess,
                          bool excl_err) {
         score[svc] += excess + (excl_err ? err_weight : 0.0);
@@ -41,8 +40,8 @@ CounterfactualRca::analyze(const trace::Trace &trace,
         const trace::Span &s = trace.spans[i];
         double excess = std::max(
             0.0, static_cast<double>(metrics.exclusiveUs[i]) -
-                     profile_.medianExclusiveUs(s.service, s.name,
-                                                s.kind));
+                     profile.medianExclusiveUs(s.service, s.name,
+                                               s.kind));
         add_score(s.service, excess, metrics.exclusiveError[i]);
         if (s.kind == trace::SpanKind::Client ||
             s.kind == trace::SpanKind::Producer) {
@@ -55,16 +54,52 @@ CounterfactualRca::analyze(const trace::Trace &trace,
             }
         }
     }
-    std::vector<std::pair<std::string, double>> ranked(score.begin(),
-                                                       score.end());
+    std::vector<CandidateScore> ranked;
+    ranked.reserve(score.size());
+    for (const auto &[svc, sc] : score)
+        ranked.push_back({svc, sc});
     std::sort(ranked.begin(), ranked.end(),
-              [](const auto &a, const auto &b) {
-        if (a.second != b.second)
-            return a.second > b.second;
-        return a.first < b.first;
+              [](const CandidateScore &a, const CandidateScore &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.service < b.service;
     });
-    while (!ranked.empty() && ranked.back().second <= 0.0)
+    while (!ranked.empty() && ranked.back().score <= 0.0)
         ranked.pop_back();
+    return ranked;
+}
+
+RcaResult
+CounterfactualRca::analyze(const trace::Trace &trace, int64_t slo_us,
+                           const std::vector<std::string> *allowed) const
+{
+    RcaResult result;
+    trace::TraceGraph graph = trace::TraceGraph::build(trace);
+    trace::ExclusiveMetrics metrics =
+        trace::computeExclusive(trace, graph);
+    TraceBatch batch = encoder_.encode(trace);
+    const size_t n = trace.spans.size();
+
+    double err_weight = params_.errorWeightUs > 0.0
+        ? params_.errorWeightUs
+        : static_cast<double>(std::max<int64_t>(slo_us, 1));
+    std::vector<CandidateScore> ranked =
+        rankCandidateServices(trace, graph, metrics, profile_,
+                              err_weight);
+    // Candidate pre-pruning (DESIGN.md §3.14): the restoration loop
+    // only considers allowed services. The relative order of survivors
+    // is untouched, so a filter covering every ranked candidate leaves
+    // the verdict bit-for-bit unchanged.
+    if (allowed != nullptr) {
+        ranked.erase(
+            std::remove_if(ranked.begin(), ranked.end(),
+                           [&](const CandidateScore &c) {
+                               return !std::binary_search(
+                                   allowed->begin(), allowed->end(),
+                                   c.service);
+                           }),
+            ranked.end());
+    }
     if (ranked.empty())
         return result;
 
@@ -93,8 +128,8 @@ CounterfactualRca::analyze(const trace::Trace &trace,
     size_t limit = std::min(params_.maxRootCauses, ranked.size());
     std::set<std::string> restored;
     for (size_t k = 0; k < limit; ++k) {
-        restored.insert(ranked[k].first);
-        result.services.push_back(ranked[k].first);
+        restored.insert(ranked[k].service);
+        result.services.push_back(ranked[k].service);
 
         std::vector<NodeState> states = observed;
         std::vector<int> dirty;

@@ -63,13 +63,33 @@ NormalProfile::finalize()
     finalized_ = true;
 }
 
+namespace {
+
+/** Compose the lookup key into a reused per-thread buffer: these
+    lookups run once per span in the RCA and pruner hot loops, where a
+    fresh std::string per call is measurable. */
+std::string_view
+keyView(const std::string &service, const std::string &name,
+        trace::SpanKind kind)
+{
+    thread_local std::string buf;
+    buf.assign(service);
+    buf += '\x1f';
+    buf += name;
+    buf += '\x1f';
+    buf += toString(kind);
+    return buf;
+}
+
+} // namespace
+
 double
 NormalProfile::medianExclusiveUs(const std::string &service,
                                  const std::string &name,
                                  trace::SpanKind kind) const
 {
     SLEUTH_ASSERT(finalized_, "profile not finalized");
-    auto it = stats_.find(key(service, name, kind));
+    auto it = stats_.find(keyView(service, name, kind));
     return it == stats_.end() ? global_exclusive_
                               : it->second.medianExclusive;
 }
@@ -80,7 +100,7 @@ NormalProfile::medianDurationUs(const std::string &service,
                                 trace::SpanKind kind) const
 {
     SLEUTH_ASSERT(finalized_, "profile not finalized");
-    auto it = stats_.find(key(service, name, kind));
+    auto it = stats_.find(keyView(service, name, kind));
     return it == stats_.end() ? global_duration_
                               : it->second.medianDuration;
 }

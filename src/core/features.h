@@ -9,6 +9,7 @@
  */
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -74,11 +75,23 @@ class NormalProfile
         double medianDuration = 0.0;
     };
 
+    /** Transparent hash so lookups can pass a string_view over a
+        reused buffer instead of allocating a key per span. */
+    struct KeyHash
+    {
+        using is_transparent = void;
+        size_t operator()(std::string_view s) const noexcept
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
     static std::string key(const std::string &service,
                            const std::string &name,
                            trace::SpanKind kind);
 
-    std::unordered_map<std::string, OpStats> stats_;
+    std::unordered_map<std::string, OpStats, KeyHash, std::equal_to<>>
+        stats_;
     double global_exclusive_ = 100.0;
     double global_duration_ = 100.0;
     bool finalized_ = false;

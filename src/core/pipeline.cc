@@ -6,8 +6,10 @@
 #include <memory>
 
 #include "cluster/svdd.h"
+#include "core/pipeline_cache.h"
 #include "obs/metrics.h"
 #include "util/simd.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace sleuth::core {
@@ -62,22 +64,22 @@ errorVerdict(const std::string &why)
     return r;
 }
 
-/**
- * Validate every trace with TraceGraph::tryBuild; errors[i] is empty
- * for well-formed traces and holds the first defect otherwise.
- */
-std::vector<std::string>
-validateTraces(const std::vector<trace::Trace> &traces,
-               util::ThreadPool &pool)
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
 {
-    std::vector<std::string> errors(traces.size());
-    pool.parallelFor(traces.size(), [&](size_t i, size_t) {
-        trace::TraceGraph g;
-        std::string err;
-        if (!trace::TraceGraph::tryBuild(traces[i], &g, &err))
-            errors[i] = err;
-    });
-    return errors;
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Verdict-cache key component for a candidate filter. The non-zero
+    seed keeps an empty filter distinct from no filter at all. */
+uint64_t
+candidateHash(const std::vector<std::string> &list)
+{
+    uint64_t h = 0xca4d1da7e5ull;
+    for (const std::string &s : list)
+        h = hashCombine(h, util::fnv1a(s));
+    return h;
 }
 
 /**
@@ -116,6 +118,69 @@ int8DistanceMatrix(const std::vector<embed::QuantizedEmbedding> &sigs)
             return std::max(0.0, 1.0 - embed::TextEmbedder::cosineQuantized(
                                            sigs[i], sigs[j]));
         });
+}
+
+/**
+ * Weighted-Jaccard matrix over encoded span sets, assembled through the
+ * incremental cache when one is present. Three tiers, fastest first:
+ * the previous poll's whole matrix reused as a packed prefix (growing
+ * incident windows), then the per-pair cache, then — for mostly-cold
+ * batches (under 25% pair hits) — the grouped SIMD kernel. Every tier
+ * shares jaccardDistance as the per-pair bitwise reference (pinned by
+ * simd_test), so all assembly paths produce identical doubles.
+ */
+distance::DistanceMatrix
+cachedDistanceMatrix(const std::vector<distance::WeightedSpanSet> &sets,
+                     const std::vector<uint32_t> &encIds,
+                     PipelineCache *cache, util::ThreadPool &pool)
+{
+    if (cache == nullptr)
+        return distance::DistanceMatrix::fromSpanSets(sets, &pool);
+    const size_t m = sets.size();
+    const size_t total = m < 2 ? 0 : m * (m - 1) / 2;
+    distance::DistanceMatrix out(m);
+    // On a re-poll of an open incident the previous batch's traces
+    // come back first and new ones append, so the stored triangle is a
+    // byte prefix of this one: copy it wholesale and compute only the
+    // appended rows (each owns a disjoint packed slice, so the
+    // parallel fill is race-free and thread-count independent).
+    size_t prefix = 0;
+    if (const distance::DistanceMatrix *prev =
+            cache->lookupMatrixPrefix(encIds, &prefix)) {
+        out.assignPrefix(*prev);
+        pool.parallelFor(m - prefix, [&](size_t k, size_t) {
+            size_t i = prefix + k;
+            for (size_t j = 0; j < i; ++j)
+                out.set(i, j,
+                        distance::jaccardDistance(sets[i], sets[j]));
+        });
+        cache->storeMatrix(encIds, out);
+        return out;
+    }
+    std::vector<std::pair<size_t, size_t>> missing;
+    for (size_t i = 1; i < m; ++i)
+        for (size_t j = 0; j < i; ++j) {
+            double d;
+            if (cache->lookupDistance(encIds[i], encIds[j], &d))
+                out.set(i, j, d);
+            else
+                missing.push_back({i, j});
+        }
+    if (missing.size() * 4 > total * 3) {
+        out = distance::DistanceMatrix::fromSpanSets(sets, &pool);
+        for (auto [i, j] : missing)
+            cache->storeDistance(encIds[i], encIds[j], out.at(i, j));
+        cache->storeMatrix(encIds, out);
+        return out;
+    }
+    pool.parallelFor(missing.size(), [&](size_t k, size_t) {
+        auto [i, j] = missing[k];
+        out.set(i, j, distance::jaccardDistance(sets[i], sets[j]));
+    });
+    for (auto [i, j] : missing)
+        cache->storeDistance(encIds[i], encIds[j], out.at(i, j));
+    cache->storeMatrix(encIds, out);
+    return out;
 }
 
 } // namespace
@@ -186,90 +251,66 @@ PipelineResult
 SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
                         const std::vector<int64_t> &slos) const
 {
-    if (!config_.clustering)
-        return analyzeIndividually(traces, slos);
+    return analyze(traces, slos, nullptr, nullptr);
+}
+
+PipelineResult
+SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
+                        const std::vector<int64_t> &slos,
+                        const PruneSignals *signals,
+                        PipelineCache *cache) const
+{
     SLEUTH_ASSERT(traces.size() == slos.size(),
                   "trace/slo count mismatch");
-    Engine engine(*this);
+    if (config_.prune.mode != PruneConfig::Mode::Off) {
+        RcaPruner pruner(profile_, config_.prune, config_.rca);
+        PrunePlan plan = pruner.plan(
+            traces, slos, signals != nullptr ? *signals : PruneSignals{});
+        return analyzeWithPlan(traces, slos, plan, cache);
+    }
+    countBatch(traces.size());
+    std::vector<const trace::Trace *> ptrs(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i)
+        ptrs[i] = &traces[i];
+    return analyzeImpl(ptrs, slos, nullptr, cache);
+}
+
+PipelineResult
+SleuthPipeline::analyzeWithPlan(const std::vector<trace::Trace> &traces,
+                                const std::vector<int64_t> &slos,
+                                const PrunePlan &plan,
+                                PipelineCache *cache) const
+{
     const size_t n = traces.size();
-
-    // Default distance: weighted-Jaccard over encoded span sets,
-    // pre-encoded once per trace, then memoized into one packed matrix
-    // per batch (paper Eq. 1). Encoding validates each trace;
-    // malformed ones are compacted out so they neither crash the batch
-    // nor distort clustering.
+    SLEUTH_ASSERT(slos.size() == n, "trace/slo count mismatch");
+    SLEUTH_ASSERT(plan.keep.size() == n && plan.inheritFrom.size() == n &&
+                      plan.restricted.size() == n &&
+                      plan.candidates.size() == n,
+                  "prune plan / trace count mismatch");
     countBatch(n);
-    const bool int8dist =
-        config_.traceDistance ==
-        PipelineConfig::TraceDistanceKind::EmbeddingCosineInt8;
-    std::vector<std::string> errors(n);
-    std::vector<distance::WeightedSpanSet> sets(int8dist ? 0 : n);
-    std::vector<embed::QuantizedEmbedding> sigs(int8dist ? n : 0);
-    {
-        obs::ScopedTimer timer(stageHistogram(Stage::Encode));
-        engine.pool.parallelFor(n, [&](size_t i, size_t w) {
-            trace::TraceGraph g;
-            std::string err;
-            if (!trace::TraceGraph::tryBuild(traces[i], &g, &err)) {
-                errors[i] = err;
-                return;
-            }
-            // Per-worker encoders: the embedding is a pure function of
-            // the string, so private caches change cost, not results.
-            if (int8dist)
-                sigs[i] =
-                    traceSignature(traces[i], engine.encoderFor(w));
-            else
-                sets[i] = distance::encodeSpanSet(
-                    traces[i], g, config_.distanceOpts);
-        });
-    }
 
-    std::vector<size_t> valid;
-    valid.reserve(n);
+    std::vector<size_t> kept;
+    kept.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        if (errors[i].empty())
-            valid.push_back(i);
+        if (plan.keep[i])
+            kept.push_back(i);
 
-    if (valid.size() == n) {
-        std::vector<const trace::Trace *> ptrs(n);
-        for (size_t i = 0; i < n; ++i)
-            ptrs[i] = &traces[i];
-        distance::DistanceMatrix dist = [&] {
-            obs::ScopedTimer timer(stageHistogram(Stage::Distance));
-            return int8dist ? int8DistanceMatrix(sigs)
-                            : distance::DistanceMatrix::fromSpanSets(
-                                  sets, &engine.pool);
-        }();
-        return analyzeCore(ptrs, slos, dist, errors, engine);
-    }
-
-    // Compact the well-formed subset, analyze it, scatter back.
     std::vector<const trace::Trace *> ptrs;
     std::vector<int64_t> sub_slos;
-    std::vector<distance::WeightedSpanSet> sub_sets;
-    std::vector<embed::QuantizedEmbedding> sub_sigs;
-    ptrs.reserve(valid.size());
-    sub_slos.reserve(valid.size());
-    sub_sets.reserve(int8dist ? 0 : valid.size());
-    sub_sigs.reserve(int8dist ? valid.size() : 0);
-    for (size_t i : valid) {
+    AllowedLists sub_allowed;
+    ptrs.reserve(kept.size());
+    sub_slos.reserve(kept.size());
+    sub_allowed.reserve(kept.size());
+    bool any_restricted = false;
+    for (size_t i : kept) {
         ptrs.push_back(&traces[i]);
         sub_slos.push_back(slos[i]);
-        if (int8dist)
-            sub_sigs.push_back(std::move(sigs[i]));
-        else
-            sub_sets.push_back(std::move(sets[i]));
+        sub_allowed.push_back(plan.restricted[i] ? &plan.candidates[i]
+                                                 : nullptr);
+        any_restricted |= plan.restricted[i] != 0;
     }
-    distance::DistanceMatrix sub_dist = [&] {
-        obs::ScopedTimer timer(stageHistogram(Stage::Distance));
-        return int8dist ? int8DistanceMatrix(sub_sigs)
-                        : distance::DistanceMatrix::fromSpanSets(
-                              sub_sets, &engine.pool);
-    }();
-    PipelineResult sub =
-        analyzeCore(ptrs, sub_slos, sub_dist,
-                    std::vector<std::string>(valid.size()), engine);
+    PipelineResult sub = analyzeImpl(
+        ptrs, sub_slos, any_restricted ? &sub_allowed : nullptr, cache);
 
     PipelineResult out;
     out.perTrace.resize(n);
@@ -277,14 +318,209 @@ SleuthPipeline::analyze(const std::vector<trace::Trace> &traces,
     out.numClusters = sub.numClusters;
     out.rcaInvocations = sub.rcaInvocations;
     out.distanceEvaluations = sub.distanceEvaluations;
-    out.skippedTraces = n - valid.size();
-    for (size_t k = 0; k < valid.size(); ++k) {
-        out.perTrace[valid[k]] = std::move(sub.perTrace[k]);
-        out.clusterLabels[valid[k]] = sub.clusterLabels[k];
+    out.skippedTraces = sub.skippedTraces;
+    for (size_t k = 0; k < kept.size(); ++k) {
+        out.perTrace[kept[k]] = std::move(sub.perTrace[k]);
+        out.clusterLabels[kept[k]] = sub.clusterLabels[k];
     }
-    for (size_t i = 0; i < n; ++i)
-        if (!errors[i].empty())
-            out.perTrace[i] = errorVerdict(errors[i]);
+    for (size_t i = 0; i < n; ++i) {
+        if (plan.keep[i])
+            continue;
+        int ex = plan.inheritFrom[i];
+        SLEUTH_ASSERT(ex >= 0 && static_cast<size_t>(ex) < n &&
+                          plan.keep[static_cast<size_t>(ex)],
+                      "pruned trace must inherit from a kept exemplar");
+        out.perTrace[i] = out.perTrace[static_cast<size_t>(ex)];
+        out.clusterLabels[i] = out.clusterLabels[static_cast<size_t>(ex)];
+        ++out.prunedTraces;
+    }
+    out.pruneTraceKeepRatio = plan.traceKeepRatio();
+    out.pruneServiceKeepRatio = plan.serviceKeepRatio();
+    static obs::Counter &pruned = obs::counter(
+        "sleuth_pipeline_pruned_traces_total",
+        "Traces whose verdict was inherited from a prune exemplar");
+    pruned.add(out.prunedTraces);
+    return out;
+}
+
+PipelineResult
+SleuthPipeline::analyzeImpl(
+    const std::vector<const trace::Trace *> &traces,
+    const std::vector<int64_t> &slos, const AllowedLists *allowed,
+    PipelineCache *cache) const
+{
+    SLEUTH_ASSERT(traces.size() == slos.size(),
+                  "trace/slo count mismatch");
+    SLEUTH_ASSERT(allowed == nullptr || allowed->size() == traces.size(),
+                  "candidate filter / trace count mismatch");
+    const size_t n = traces.size();
+    const bool int8dist =
+        config_.traceDistance ==
+        PipelineConfig::TraceDistanceKind::EmbeddingCosineInt8;
+    if (int8dist)
+        cache = nullptr; // pair cache keys require span-set encodings
+    Engine engine(*this);
+
+    std::vector<uint64_t> candHashes(n, 0);
+    if (allowed != nullptr)
+        for (size_t i = 0; i < n; ++i)
+            if ((*allowed)[i] != nullptr)
+                candHashes[i] = candidateHash(*(*allowed)[i]);
+
+    // Content fingerprints drive every cache key; the whole-batch fast
+    // path makes an unchanged snapshot cost one hash pass + one lookup.
+    std::vector<uint64_t> fps;
+    uint64_t batchKey = 0;
+    if (cache != nullptr) {
+        fps.resize(n);
+        engine.pool.parallelFor(n, [&](size_t i, size_t) {
+            fps[i] = PipelineCache::fingerprint(*traces[i]);
+        });
+        cache->beginBatch();
+        batchKey = hashCombine(0x5ba7c45eull, n);
+        for (size_t i = 0; i < n; ++i) {
+            batchKey = hashCombine(batchKey, fps[i]);
+            batchKey =
+                hashCombine(batchKey, static_cast<uint64_t>(slos[i]));
+            batchKey = hashCombine(batchKey, candHashes[i]);
+        }
+        if (const PipelineResult *hit = cache->lookupBatch(batchKey))
+            return *hit;
+    }
+
+    PipelineResult out = [&]() -> PipelineResult {
+        if (!config_.clustering)
+            return analyzeIndividualImpl(traces, slos, allowed, cache,
+                                         fps, candHashes, engine);
+
+        // Default distance: weighted-Jaccard over encoded span sets,
+        // pre-encoded once per trace, then memoized into one packed
+        // matrix per batch (paper Eq. 1). Encoding validates each
+        // trace; malformed ones are compacted out so they neither
+        // crash the batch nor distort clustering. A cached encoding
+        // implies the trace was well-formed last time it was seen, so
+        // hits skip validation too.
+        std::vector<std::string> errors(n);
+        std::vector<distance::WeightedSpanSet> sets(int8dist ? 0 : n);
+        std::vector<embed::QuantizedEmbedding> sigs(int8dist ? n : 0);
+        std::vector<uint32_t> encIds(cache != nullptr ? n : 0);
+        std::vector<char> needEncode(n, 1);
+        if (cache != nullptr) {
+            for (size_t i = 0; i < n; ++i) {
+                const distance::WeightedSpanSet *hit =
+                    cache->lookupEncoding(traces[i]->traceId, fps[i],
+                                          &encIds[i]);
+                if (hit != nullptr) {
+                    sets[i] = *hit;
+                    needEncode[i] = 0;
+                }
+            }
+        }
+        {
+            obs::ScopedTimer timer(stageHistogram(Stage::Encode));
+            engine.pool.parallelFor(n, [&](size_t i, size_t w) {
+                if (!needEncode[i])
+                    return;
+                trace::TraceGraph g;
+                std::string err;
+                if (!trace::TraceGraph::tryBuild(*traces[i], &g,
+                                                 &err)) {
+                    errors[i] = err;
+                    return;
+                }
+                // Per-worker encoders: the embedding is a pure
+                // function of the string, so private caches change
+                // cost, not results.
+                if (int8dist)
+                    sigs[i] =
+                        traceSignature(*traces[i], engine.encoderFor(w));
+                else
+                    sets[i] = distance::encodeSpanSet(
+                        *traces[i], g, config_.distanceOpts);
+            });
+        }
+        if (cache != nullptr)
+            for (size_t i = 0; i < n; ++i)
+                if (needEncode[i] && errors[i].empty())
+                    cache->storeEncoding(traces[i]->traceId, fps[i],
+                                         sets[i], &encIds[i]);
+
+        std::vector<size_t> valid;
+        valid.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            if (errors[i].empty())
+                valid.push_back(i);
+
+        if (valid.size() == n) {
+            distance::DistanceMatrix dist = [&] {
+                obs::ScopedTimer timer(stageHistogram(Stage::Distance));
+                return int8dist
+                           ? int8DistanceMatrix(sigs)
+                           : cachedDistanceMatrix(sets, encIds, cache,
+                                                  engine.pool);
+            }();
+            return analyzeCore(traces, slos, dist, errors, engine,
+                               allowed, cache, fps, candHashes);
+        }
+
+        // Compact the well-formed subset, analyze it, scatter back.
+        std::vector<const trace::Trace *> ptrs;
+        std::vector<int64_t> sub_slos;
+        std::vector<distance::WeightedSpanSet> sub_sets;
+        std::vector<embed::QuantizedEmbedding> sub_sigs;
+        AllowedLists sub_allowed;
+        std::vector<uint64_t> sub_fps;
+        std::vector<uint64_t> sub_ch;
+        std::vector<uint32_t> sub_enc;
+        ptrs.reserve(valid.size());
+        sub_slos.reserve(valid.size());
+        sub_sets.reserve(int8dist ? 0 : valid.size());
+        sub_sigs.reserve(int8dist ? valid.size() : 0);
+        for (size_t i : valid) {
+            ptrs.push_back(traces[i]);
+            sub_slos.push_back(slos[i]);
+            if (int8dist)
+                sub_sigs.push_back(std::move(sigs[i]));
+            else
+                sub_sets.push_back(std::move(sets[i]));
+            if (allowed != nullptr)
+                sub_allowed.push_back((*allowed)[i]);
+            if (cache != nullptr) {
+                sub_fps.push_back(fps[i]);
+                sub_ch.push_back(candHashes[i]);
+                sub_enc.push_back(encIds[i]);
+            }
+        }
+        distance::DistanceMatrix sub_dist = [&] {
+            obs::ScopedTimer timer(stageHistogram(Stage::Distance));
+            return int8dist ? int8DistanceMatrix(sub_sigs)
+                            : cachedDistanceMatrix(sub_sets, sub_enc,
+                                                   cache, engine.pool);
+        }();
+        PipelineResult sub = analyzeCore(
+            ptrs, sub_slos, sub_dist,
+            std::vector<std::string>(valid.size()), engine,
+            allowed != nullptr ? &sub_allowed : nullptr, cache,
+            sub_fps, sub_ch);
+
+        PipelineResult scattered;
+        scattered.perTrace.resize(n);
+        scattered.clusterLabels.assign(n, -1);
+        scattered.numClusters = sub.numClusters;
+        scattered.rcaInvocations = sub.rcaInvocations;
+        scattered.distanceEvaluations = sub.distanceEvaluations;
+        scattered.skippedTraces = n - valid.size();
+        for (size_t k = 0; k < valid.size(); ++k) {
+            scattered.perTrace[valid[k]] = std::move(sub.perTrace[k]);
+            scattered.clusterLabels[valid[k]] = sub.clusterLabels[k];
+        }
+        for (size_t i = 0; i < n; ++i)
+            if (!errors[i].empty())
+                scattered.perTrace[i] = errorVerdict(errors[i]);
+        return scattered;
+    }();
+    if (cache != nullptr)
+        cache->storeBatch(batchKey, out);
     return out;
 }
 
@@ -294,46 +530,83 @@ SleuthPipeline::analyzeWithDistance(
     const std::vector<int64_t> &slos,
     const std::function<double(size_t, size_t)> &dist) const
 {
-    if (!config_.clustering)
-        return analyzeIndividually(traces, slos);
+    if (!config_.clustering) {
+        countBatch(traces.size());
+        std::vector<const trace::Trace *> ptrs(traces.size());
+        for (size_t i = 0; i < traces.size(); ++i)
+            ptrs[i] = &traces[i];
+        Engine engine(*this);
+        return analyzeIndividualImpl(ptrs, slos, nullptr, nullptr, {},
+                                     {}, engine);
+    }
     return analyzeWithMatrix(
         traces, slos,
         distance::DistanceMatrix::compute(traces.size(), dist));
 }
 
 PipelineResult
-SleuthPipeline::analyzeIndividually(
-    const std::vector<trace::Trace> &traces,
-    const std::vector<int64_t> &slos) const
+SleuthPipeline::analyzeIndividualImpl(
+    const std::vector<const trace::Trace *> &traces,
+    const std::vector<int64_t> &slos, const AllowedLists *allowed,
+    PipelineCache *cache, const std::vector<uint64_t> &fps,
+    const std::vector<uint64_t> &candHashes, Engine &engine) const
 {
-    SLEUTH_ASSERT(traces.size() == slos.size(),
-                  "trace/slo count mismatch");
-    countBatch(traces.size());
-    PipelineResult out;
     const size_t n = traces.size();
+    PipelineResult out;
     out.perTrace.resize(n);
     out.clusterLabels.assign(n, -1);
-    Engine engine(*this);
-    std::vector<std::string> errors =
-        validateTraces(traces, engine.pool);
-    std::vector<size_t> valid;
-    valid.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-        if (errors[i].empty())
-            valid.push_back(i);
-        else
-            out.perTrace[i] = errorVerdict(errors[i]);
+
+    // Cached verdicts first: a stored verdict with a matching
+    // fingerprint implies the trace was well-formed, so hits also skip
+    // re-validation.
+    std::vector<char> done(n, 0);
+    if (cache != nullptr) {
+        for (size_t i = 0; i < n; ++i) {
+            const RcaResult *hit = cache->lookupVerdict(
+                traces[i]->traceId, fps[i], slos[i], candHashes[i]);
+            if (hit != nullptr) {
+                out.perTrace[i] = *hit;
+                done[i] = 1;
+            }
+        }
+    }
+    std::vector<size_t> todo;
+    todo.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        if (!done[i])
+            todo.push_back(i);
+    std::vector<std::string> errors(todo.size());
+    engine.pool.parallelFor(todo.size(), [&](size_t k, size_t) {
+        trace::TraceGraph g;
+        std::string err;
+        if (!trace::TraceGraph::tryBuild(*traces[todo[k]], &g, &err))
+            errors[k] = err;
+    });
+    std::vector<size_t> runnable;
+    runnable.reserve(todo.size());
+    for (size_t k = 0; k < todo.size(); ++k) {
+        if (errors[k].empty()) {
+            runnable.push_back(todo[k]);
+        } else {
+            out.perTrace[todo[k]] = errorVerdict(errors[k]);
+            ++out.skippedTraces;
+        }
     }
     {
         obs::ScopedTimer timer(stageHistogram(Stage::Rca));
-        engine.pool.parallelFor(valid.size(), [&](size_t k, size_t w) {
-            size_t i = valid[k];
-            out.perTrace[i] =
-                engine.rcaFor(w).analyze(traces[i], slos[i]);
+        engine.pool.parallelFor(runnable.size(), [&](size_t k,
+                                                     size_t w) {
+            size_t i = runnable[k];
+            out.perTrace[i] = engine.rcaFor(w).analyze(
+                *traces[i], slos[i],
+                allowed != nullptr ? (*allowed)[i] : nullptr);
         });
     }
-    out.rcaInvocations = valid.size();
-    out.skippedTraces = n - valid.size();
+    if (cache != nullptr)
+        for (size_t i : runnable)
+            cache->storeVerdict(traces[i]->traceId, fps[i], slos[i],
+                                candHashes[i], out.perTrace[i]);
+    out.rcaInvocations = n - out.skippedTraces;
     return out;
 }
 
@@ -350,10 +623,16 @@ SleuthPipeline::analyzeWithMatrix(
     countBatch(traces.size());
     Engine engine(*this);
     std::vector<const trace::Trace *> ptrs(traces.size());
+    std::vector<std::string> errors(traces.size());
     for (size_t i = 0; i < traces.size(); ++i)
         ptrs[i] = &traces[i];
-    return analyzeCore(ptrs, slos, dist,
-                       validateTraces(traces, engine.pool), engine);
+    engine.pool.parallelFor(traces.size(), [&](size_t i, size_t) {
+        trace::TraceGraph g;
+        std::string err;
+        if (!trace::TraceGraph::tryBuild(traces[i], &g, &err))
+            errors[i] = err;
+    });
+    return analyzeCore(ptrs, slos, dist, errors, engine);
 }
 
 PipelineResult
@@ -361,7 +640,10 @@ SleuthPipeline::analyzeCore(
     const std::vector<const trace::Trace *> &traces,
     const std::vector<int64_t> &slos,
     const distance::DistanceMatrix &dist,
-    const std::vector<std::string> &errors, Engine &engine) const
+    const std::vector<std::string> &errors, Engine &engine,
+    const AllowedLists *allowed, PipelineCache *cache,
+    const std::vector<uint64_t> &fps,
+    const std::vector<uint64_t> &candHashes) const
 {
     SLEUTH_ASSERT(dist.size() == traces.size(),
                   "distance matrix / trace count mismatch");
@@ -418,20 +700,48 @@ SleuthPipeline::analyzeCore(
     out.clusterLabels = clusters.labels;
     out.numClusters = clusters.numClusters;
 
+    // Candidate filter / verdict-cache plumbing for one trace.
+    auto allowedFor = [&](size_t i) {
+        return allowed != nullptr ? (*allowed)[i] : nullptr;
+    };
+    auto cachedVerdict = [&](size_t i) -> const RcaResult * {
+        return cache != nullptr
+                   ? cache->lookupVerdict(traces[i]->traceId, fps[i],
+                                          slos[i], candHashes[i])
+                   : nullptr;
+    };
+
     // One RCA per cluster representative (geometric median), run in
     // parallel — one verdict slot per cluster is preallocated and each
     // worker writes only its own clusters, so the output is identical
     // at any thread count. The verdict then generalizes to every
-    // member.
+    // member. Verdicts memoized by the incremental cache are filled in
+    // serially first; only misses run the model.
     obs::ScopedTimer rca_timer(stageHistogram(Stage::Rca));
     std::vector<size_t> reps = cluster::selectRepresentatives(
         clusters.labels, clusters.numClusters, dist);
     const size_t num_clusters = static_cast<size_t>(clusters.numClusters);
     std::vector<RcaResult> verdicts(num_clusters);
-    engine.pool.parallelFor(num_clusters, [&](size_t c, size_t w) {
-        verdicts[c] =
-            engine.rcaFor(w).analyze(*traces[reps[c]], slos[reps[c]]);
+    std::vector<size_t> miss_clusters;
+    miss_clusters.reserve(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+        if (const RcaResult *hit = cachedVerdict(reps[c]))
+            verdicts[c] = *hit;
+        else
+            miss_clusters.push_back(c);
+    }
+    engine.pool.parallelFor(miss_clusters.size(), [&](size_t k,
+                                                      size_t w) {
+        size_t c = miss_clusters[k];
+        verdicts[c] = engine.rcaFor(w).analyze(
+            *traces[reps[c]], slos[reps[c]], allowedFor(reps[c]));
     });
+    if (cache != nullptr)
+        for (size_t c : miss_clusters) {
+            size_t i = reps[c];
+            cache->storeVerdict(traces[i]->traceId, fps[i], slos[i],
+                                candHashes[i], verdicts[c]);
+        }
     out.rcaInvocations += num_clusters;
     for (int c = 0; c < clusters.numClusters; ++c) {
         size_t rep = reps[static_cast<size_t>(c)];
@@ -448,16 +758,28 @@ SleuthPipeline::analyzeCore(
         }
     }
     // Noise traces and far members are analyzed individually, again
-    // into preallocated per-trace slots.
+    // into preallocated per-trace slots (cache hits first, as above).
     std::vector<size_t> rest;
     for (size_t i = 0; i < n; ++i)
         if (!assigned[i])
             rest.push_back(i);
-    engine.pool.parallelFor(rest.size(), [&](size_t k, size_t w) {
-        size_t i = rest[k];
-        out.perTrace[i] =
-            engine.rcaFor(w).analyze(*traces[i], slos[i]);
+    std::vector<size_t> miss_rest;
+    miss_rest.reserve(rest.size());
+    for (size_t i : rest) {
+        if (const RcaResult *hit = cachedVerdict(i))
+            out.perTrace[i] = *hit;
+        else
+            miss_rest.push_back(i);
+    }
+    engine.pool.parallelFor(miss_rest.size(), [&](size_t k, size_t w) {
+        size_t i = miss_rest[k];
+        out.perTrace[i] = engine.rcaFor(w).analyze(
+            *traces[i], slos[i], allowedFor(i));
     });
+    if (cache != nullptr)
+        for (size_t i : miss_rest)
+            cache->storeVerdict(traces[i]->traceId, fps[i], slos[i],
+                                candHashes[i], out.perTrace[i]);
     out.rcaInvocations += rest.size();
     static obs::Counter &rcaRuns = obs::counter(
         "sleuth_pipeline_rca_invocations_total",
@@ -465,7 +787,7 @@ SleuthPipeline::analyzeCore(
     static obs::Counter &skipped = obs::counter(
         "sleuth_pipeline_skipped_traces_total",
         "Malformed traces skipped by analysis batches");
-    rcaRuns.add(out.rcaInvocations);
+    rcaRuns.add(miss_clusters.size() + miss_rest.size());
     skipped.add(out.skippedTraces);
     return out;
 }

@@ -8,6 +8,13 @@
  * median), and generalize each representative's root causes to the
  * whole cluster. Noise traces are analyzed individually. Clustering
  * cuts ML inference by orders of magnitude during incident storms.
+ *
+ * Two adaptive layers sit around the core pipeline (DESIGN.md §3.14):
+ * an interpretable pre-pruning stage (RcaPruner) that shrinks the
+ * candidate service/span graph before anything is encoded, and a
+ * cross-poll incremental cache (PipelineCache) that memoizes per-trace
+ * encodings, per-pair distances, and per-trace verdicts between
+ * analyses of overlapping snapshots.
  */
 
 #include <functional>
@@ -17,10 +24,13 @@
 
 #include "cluster/hdbscan.h"
 #include "core/counterfactual.h"
+#include "core/pruner.h"
 #include "distance/distance_matrix.h"
 #include "distance/trace_distance.h"
 
 namespace sleuth::core {
+
+class PipelineCache;
 
 /** Pipeline knobs. */
 struct PipelineConfig
@@ -40,7 +50,8 @@ struct PipelineConfig
          * cosine within ~0.02 absolute (DESIGN.md §3.12) at a quarter
          * of the bytes per trace signature. Only affects analyze();
          * analyzeWithDistance/analyzeWithMatrix use their caller's
-         * distance as before.
+         * distance as before. The incremental cache is bypassed in
+         * this mode (it keys pairwise distances by span-set encoding).
          */
         EmbeddingCosineInt8,
     };
@@ -59,6 +70,8 @@ struct PipelineConfig
     TraceDistanceKind traceDistance = TraceDistanceKind::WeightedJaccard;
     /** RCA knobs. */
     RcaParams rca;
+    /** Pre-pruning stage (off by default; DESIGN.md §3.14). */
+    PruneConfig prune;
     /**
      * Members farther than this from their cluster's representative
      * fall back to individual RCA instead of inheriting its verdict
@@ -83,7 +96,14 @@ struct PipelineResult
     std::vector<int> clusterLabels;
     /** Number of clusters formed. */
     int numClusters = 0;
-    /** Counterfactual RCA invocations actually executed. */
+    /**
+     * Counterfactual RCA verdicts the batch logically required
+     * (representatives + individually analyzed traces). A warm
+     * incremental cache satisfies some from memory without running the
+     * model — PipelineCache::Stats holds the executed/hit split — so
+     * this count is identical between a cold and a warm run of the
+     * same batch (part of the incremental-repoll ≡ guarantee).
+     */
     size_t rcaInvocations = 0;
     /**
      * Pairwise distance evaluations performed for this batch: exactly
@@ -101,6 +121,12 @@ struct PipelineResult
      * label -1; well-formed traces in the same batch are unaffected.
      */
     size_t skippedTraces = 0;
+    /** Traces not analyzed (verdict inherited from a prune exemplar). */
+    size_t prunedTraces = 0;
+    /** Fraction of traces that went through the full pipeline. */
+    double pruneTraceKeepRatio = 1.0;
+    /** Fraction of candidate services that survived pruning. */
+    double pruneServiceKeepRatio = 1.0;
 };
 
 /**
@@ -128,6 +154,32 @@ class SleuthPipeline
      */
     PipelineResult analyze(const std::vector<trace::Trace> &traces,
                            const std::vector<int64_t> &slos) const;
+
+    /**
+     * As analyze(), with the adaptive layers: when config.prune.mode is
+     * not Off a prune plan is computed first (fed by the optional
+     * per-endpoint detector signals) and applied as by
+     * analyzeWithPlan(); when cache is non-null, encodings, distances,
+     * and verdicts memoized from previous polls are reused and fresh
+     * ones inserted (the cache must always be paired with the same
+     * pipeline configuration). Results are bitwise identical to the
+     * cache-free run of the same batch.
+     */
+    PipelineResult analyze(const std::vector<trace::Trace> &traces,
+                           const std::vector<int64_t> &slos,
+                           const PruneSignals *signals,
+                           PipelineCache *cache) const;
+
+    /**
+     * Analyze under an explicit prune plan (normally produced by
+     * RcaPruner over this batch): pruned traces skip the pipeline and
+     * inherit their exemplar's verdict and cluster label; restricted
+     * traces run the RCA over their reduced candidate set.
+     */
+    PipelineResult analyzeWithPlan(
+        const std::vector<trace::Trace> &traces,
+        const std::vector<int64_t> &slos, const PrunePlan &plan,
+        PipelineCache *cache = nullptr) const;
 
     /**
      * As analyze(), but clustering uses a caller-provided distance
@@ -158,23 +210,43 @@ class SleuthPipeline
      */
     struct Engine;
 
+    /** Per-trace candidate filter (nullptr entry = unrestricted). */
+    using AllowedLists = std::vector<const std::vector<std::string> *>;
+
+    /**
+     * The shared batch implementation behind every analyze flavor:
+     * honors the clustering flag, the optional per-trace candidate
+     * filters, and the optional incremental cache.
+     */
+    PipelineResult analyzeImpl(
+        const std::vector<const trace::Trace *> &traces,
+        const std::vector<int64_t> &slos, const AllowedLists *allowed,
+        PipelineCache *cache) const;
+
     /** Per-trace RCA for every input (the clustering-off path). */
-    PipelineResult analyzeIndividually(
-        const std::vector<trace::Trace> &traces,
-        const std::vector<int64_t> &slos) const;
+    PipelineResult analyzeIndividualImpl(
+        const std::vector<const trace::Trace *> &traces,
+        const std::vector<int64_t> &slos, const AllowedLists *allowed,
+        PipelineCache *cache, const std::vector<uint64_t> &fps,
+        const std::vector<uint64_t> &candHashes, Engine &engine) const;
 
     /**
      * Clustered analysis over a batch addressed by pointer, with
      * malformed traces pre-marked (errors[i] non-empty): they get an
      * error verdict, label -1, and never reach the RCA. dist must
      * cover all of traces (malformed rows included, as provided by
-     * the caller of analyzeWithMatrix).
+     * the caller of analyzeWithMatrix). allowed/cache/fps/candHashes
+     * follow analyzeImpl (empty fps/candHashes when cache is null).
      */
     PipelineResult analyzeCore(
         const std::vector<const trace::Trace *> &traces,
         const std::vector<int64_t> &slos,
         const distance::DistanceMatrix &dist,
-        const std::vector<std::string> &errors, Engine &engine) const;
+        const std::vector<std::string> &errors, Engine &engine,
+        const AllowedLists *allowed = nullptr,
+        PipelineCache *cache = nullptr,
+        const std::vector<uint64_t> &fps = {},
+        const std::vector<uint64_t> &candHashes = {}) const;
 
     const SleuthGnn &model_;
     FeatureEncoder &encoder_;

@@ -1,0 +1,225 @@
+#include "pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sleuth::core {
+
+namespace {
+
+const trace::Span *
+rootSpan(const trace::Trace &t)
+{
+    for (const trace::Span &s : t.spans)
+        if (s.parentSpanId.empty())
+            return &s;
+    return nullptr;
+}
+
+/** Union call graph + service universe, collected with hashed
+    containers: this pass touches every span of every storm trace, and
+    only set membership is consumed downstream, so iteration order
+    never reaches an output. */
+using EdgeMap =
+    std::unordered_map<std::string, std::unordered_set<std::string>>;
+
+/** Services reachable from the anomalous roots in the union call
+    graph (BFS; the reachable SET is independent of visit order, so a
+    hashed frontier stays deterministic). */
+std::unordered_set<std::string>
+reachableFrom(const std::set<std::string> &roots, const EdgeMap &edges)
+{
+    std::unordered_set<std::string> seen(roots.begin(), roots.end());
+    std::vector<std::string> frontier(roots.begin(), roots.end());
+    while (!frontier.empty()) {
+        std::string svc = std::move(frontier.back());
+        frontier.pop_back();
+        auto it = edges.find(svc);
+        if (it == edges.end())
+            continue;
+        for (const std::string &callee : it->second)
+            if (seen.insert(callee).second)
+                frontier.push_back(callee);
+    }
+    return seen;
+}
+
+} // namespace
+
+RcaPruner::RcaPruner(const NormalProfile &profile, PruneConfig config,
+                     RcaParams rca)
+    : profile_(profile), config_(config), rca_(rca)
+{
+}
+
+PrunePlan
+RcaPruner::plan(const std::vector<trace::Trace> &traces,
+                const std::vector<int64_t> &slos,
+                const PruneSignals &signals) const
+{
+    const size_t n = traces.size();
+    PrunePlan p;
+    p.keep.assign(n, 1);
+    p.inheritFrom.assign(n, -1);
+    p.restricted.assign(n, 0);
+    p.candidates.resize(n);
+    p.tracesTotal = n;
+    p.tracesKept = n;
+    if (config_.mode == PruneConfig::Mode::Off || n == 0) {
+        p.servicesKept = p.servicesTotal;
+        return p;
+    }
+
+    // Interpretable per-trace scoring (the RCA's own candidate
+    // ranking) plus the storm's union call graph and anomalous roots.
+    std::vector<std::vector<CandidateScore>> ranked(n);
+    std::vector<std::string> endpoint(n);
+    std::vector<char> well_formed(n, 0);
+    std::vector<char> root_error(n, 0);
+    std::unordered_set<std::string> all_services;
+    EdgeMap callees;
+    std::set<std::string> anomalous_roots;
+    for (size_t i = 0; i < n; ++i) {
+        trace::TraceGraph graph;
+        std::string err;
+        if (!trace::TraceGraph::tryBuild(traces[i], &graph, &err))
+            continue; // malformed: kept + unrestricted, pipeline skips
+        well_formed[i] = 1;
+        trace::ExclusiveMetrics metrics =
+            trace::computeExclusive(traces[i], graph);
+        double err_weight = rca_.errorWeightUs > 0.0
+            ? rca_.errorWeightUs
+            : static_cast<double>(std::max<int64_t>(slos[i], 1));
+        ranked[i] = rankCandidateServices(traces[i], graph, metrics,
+                                          profile_, err_weight);
+        const trace::Span *root = rootSpan(traces[i]);
+        if (root != nullptr) {
+            endpoint[i] = root->service + "/" + root->name;
+            root_error[i] = root->hasError() ? 1 : 0;
+            // With detector signals, a root is anomalous when its
+            // endpoint's window shows anomalies or errors (unknown
+            // endpoints stay anomalous — never prune blind); signal-
+            // free batches treat every storm root as anomalous.
+            auto sig = signals.find(endpoint[i]);
+            bool anomalous = sig == signals.end() ||
+                             sig->second.anomalousFraction > 0.0 ||
+                             sig->second.errors > 0;
+            if (anomalous)
+                anomalous_roots.insert(root->service);
+        }
+        const size_t m = traces[i].spans.size();
+        for (size_t s = 0; s < m; ++s)
+            all_services.insert(traces[i].spans[s].service);
+        for (size_t s = 0; s < m; ++s)
+            for (int c : graph.children(static_cast<int>(s))) {
+                const trace::Span &child =
+                    traces[i].spans[static_cast<size_t>(c)];
+                if (child.service != traces[i].spans[s].service)
+                    callees[traces[i].spans[s].service].insert(
+                        child.service);
+            }
+    }
+    p.servicesTotal = all_services.size();
+
+    if (config_.mode == PruneConfig::Mode::Conservative) {
+        // Guaranteed superset: per trace, every positively-scored
+        // candidate — exactly the list the RCA restoration loop walks
+        // (shared rankCandidateServices), so the filtered verdict is
+        // bit-for-bit the unfiltered one. No reachability or signal
+        // thresholding is applied in this mode.
+        std::unordered_set<std::string> kept;
+        for (size_t i = 0; i < n; ++i) {
+            if (!well_formed[i])
+                continue;
+            p.restricted[i] = 1;
+            p.candidates[i].reserve(ranked[i].size());
+            for (const CandidateScore &c : ranked[i]) {
+                p.candidates[i].push_back(c.service);
+                kept.insert(c.service);
+            }
+            std::sort(p.candidates[i].begin(), p.candidates[i].end());
+        }
+        p.servicesKept = kept.size();
+        return p;
+    }
+
+    // --- Aggressive mode ---
+    // Global candidate set: positively-scored services reachable from
+    // an anomalous root, thresholded to the top (1 - aggressiveness)
+    // fraction by aggregate score (ties lexicographic).
+    std::unordered_set<std::string> reachable =
+        reachableFrom(anomalous_roots, callees);
+    // Hashed aggregation is safe here: per-service sums accumulate in
+    // the same (i, rank) order either way, and positives are re-sorted
+    // under a strict total order before any thresholding.
+    std::unordered_map<std::string, double> global;
+    for (size_t i = 0; i < n; ++i)
+        for (const CandidateScore &c : ranked[i])
+            global[c.service] += c.score;
+    std::vector<CandidateScore> positives;
+    for (const auto &[svc, score] : global)
+        if (score > 0.0 && reachable.count(svc))
+            positives.push_back({svc, score});
+    std::sort(positives.begin(), positives.end(),
+              [](const CandidateScore &a, const CandidateScore &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.service < b.service;
+              });
+    double keep_fraction =
+        std::clamp(1.0 - config_.aggressiveness, 0.0, 1.0);
+    size_t keep_count = std::max<size_t>(
+        positives.empty() ? 0 : 1,
+        static_cast<size_t>(std::ceil(
+            keep_fraction * static_cast<double>(positives.size()))));
+    keep_count = std::min(keep_count, positives.size());
+    std::unordered_set<std::string> kept_global;
+    for (size_t k = 0; k < keep_count; ++k)
+        kept_global.insert(positives[k].service);
+    p.servicesKept = kept_global.size();
+
+    // Per-trace candidate filter + interpretable trace signature:
+    // (root endpoint, top surviving candidate, root error flag).
+    // Traces sharing a signature collapse onto the group's leading
+    // exemplars; the rest inherit the first exemplar's verdict.
+    std::map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < n; ++i) {
+        if (!well_formed[i])
+            continue;
+        p.restricted[i] = 1;
+        std::string top;
+        for (const CandidateScore &c : ranked[i]) {
+            if (kept_global.count(c.service)) {
+                if (top.empty())
+                    top = c.service;
+                p.candidates[i].push_back(c.service);
+            }
+        }
+        std::sort(p.candidates[i].begin(), p.candidates[i].end());
+        groups[endpoint[i] + "|" + top +
+               (root_error[i] ? "|err" : "|ok")]
+            .push_back(i);
+    }
+    for (const auto &[sig, members] : groups) {
+        size_t budget = std::max(
+            config_.minExemplarsPerGroup,
+            static_cast<size_t>(std::ceil(
+                keep_fraction * static_cast<double>(members.size()))));
+        if (budget >= members.size())
+            continue;
+        for (size_t k = budget; k < members.size(); ++k) {
+            p.keep[members[k]] = 0;
+            p.inheritFrom[members[k]] =
+                static_cast<int>(members.front());
+        }
+    }
+    p.tracesKept = 0;
+    for (size_t i = 0; i < n; ++i)
+        p.tracesKept += p.keep[i] ? 1 : 0;
+    return p;
+}
+
+} // namespace sleuth::core

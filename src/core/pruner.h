@@ -1,0 +1,156 @@
+#pragma once
+
+/**
+ * @file
+ * Cheap interpretable pre-pruning ahead of the heavy pipeline
+ * (TraceDiag-style; DESIGN.md §3.14). Before any span is embedded or
+ * any distance computed, the pruner shrinks the candidate service/span
+ * graph of an incident storm using only interpretable signals:
+ *
+ *  - per-trace candidate scoring: the exact exclusive-error /
+ *    excess-exclusive-duration ranking the counterfactual RCA itself
+ *    iterates (rankCandidateServices — shared code, not a re-
+ *    implementation, which is what makes the conservative guarantee
+ *    structural);
+ *  - per-endpoint anomaly signals from the online StormDetector's
+ *    already-maintained window sketches (anomalous fraction, error
+ *    count, latency quantiles), when the caller has them;
+ *  - graph-reachability filtering: services unreachable from any
+ *    anomalous root endpoint in the storm's union call graph cannot
+ *    lie on a causal path from a symptom and are dropped from
+ *    candidacy (aggressive mode only).
+ *
+ * Two modes. Conservative keeps every trace and, per trace, every
+ * positively-scored candidate — a guaranteed superset of anything the
+ * RCA restoration loop could pick, so the pruned result is identical
+ * to the full result (pinned by the pruned-vs-full campaign
+ * invariant). Aggressive additionally thresholds the global candidate
+ * set and deduplicates traces by interpretable signature (root
+ * endpoint, top candidate, error flag), analyzing a capped number of
+ * exemplars per group; pruned traces inherit their exemplar's verdict.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/counterfactual.h"
+
+namespace sleuth::core {
+
+/** Pre-pruning knobs (PipelineConfig::prune). */
+struct PruneConfig
+{
+    enum class Mode
+    {
+        /** No pruning (the default pipeline). */
+        Off,
+        /**
+         * Guaranteed-superset mode: every trace is kept and each
+         * trace's candidate set contains every service the RCA could
+         * restore, so verdicts are bit-for-bit those of the full run.
+         */
+        Conservative,
+        /**
+         * Thresholded mode: the global candidate set is cut to the
+         * top-scored reachable services and near-duplicate traces are
+         * collapsed onto exemplars. Verdicts may differ from the full
+         * run (the ablation row in EXPERIMENTS.md measures by how
+         * much).
+         */
+        Aggressive,
+    };
+
+    Mode mode = Mode::Off;
+    /**
+     * Aggressive-mode knob in [0, 1): fraction of the positively
+     * scored candidate services pruned, and of each signature group's
+     * traces collapsed onto its exemplars. 0 keeps everything
+     * (aggressive ≈ conservative); values near 1 keep only the top
+     * candidates and one exemplar per group.
+     */
+    double aggressiveness = 0.5;
+    /** Aggressive mode: exemplar floor per trace signature group. */
+    size_t minExemplarsPerGroup = 2;
+};
+
+/**
+ * Per-endpoint anomaly signal, as maintained by the online
+ * StormDetector window sketches (online::WindowStats shape). The
+ * batch pipeline can also run signal-free; every root endpoint is
+ * then treated as anomalous.
+ */
+struct EndpointSignal
+{
+    double anomalousFraction = 0.0;
+    uint64_t errors = 0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+};
+
+/** Endpoint ("service/operation") -> window signal. */
+using PruneSignals = std::map<std::string, EndpointSignal>;
+
+/** The pruner's decision over one storm batch. */
+struct PrunePlan
+{
+    /** Per trace: analyze through the full pipeline (1) or inherit. */
+    std::vector<char> keep;
+    /** For pruned traces, the exemplar index whose verdict they
+        inherit; -1 for kept traces. */
+    std::vector<int> inheritFrom;
+    /**
+     * Per trace: 1 when the RCA candidate set is restricted to
+     * candidates[i] (sorted). Unrestricted traces (malformed input the
+     * pipeline skips anyway) carry 0 and an empty list.
+     */
+    std::vector<char> restricted;
+    std::vector<std::vector<std::string>> candidates;
+
+    /** Prune-ratio accounting (bench + obs rows). */
+    size_t tracesTotal = 0;
+    size_t tracesKept = 0;
+    size_t servicesTotal = 0;
+    size_t servicesKept = 0;
+
+    double traceKeepRatio() const
+    {
+        return tracesTotal == 0
+                   ? 1.0
+                   : static_cast<double>(tracesKept) /
+                         static_cast<double>(tracesTotal);
+    }
+    double serviceKeepRatio() const
+    {
+        return servicesTotal == 0
+                   ? 1.0
+                   : static_cast<double>(servicesKept) /
+                         static_cast<double>(servicesTotal);
+    }
+};
+
+/** The interpretable pre-pruning stage. */
+class RcaPruner
+{
+  public:
+    /** The profile is held by reference and must outlive the pruner. */
+    RcaPruner(const NormalProfile &profile, PruneConfig config,
+              RcaParams rca);
+
+    /**
+     * Decide the prune plan for one storm batch. Deterministic: a pure
+     * function of (traces, slos, signals, config). Malformed traces
+     * (TraceGraph::tryBuild rejects) are always kept and unrestricted;
+     * the pipeline skips them exactly as without pruning.
+     */
+    PrunePlan plan(const std::vector<trace::Trace> &traces,
+                   const std::vector<int64_t> &slos,
+                   const PruneSignals &signals = {}) const;
+
+  private:
+    const NormalProfile &profile_;
+    PruneConfig config_;
+    RcaParams rca_;
+};
+
+} // namespace sleuth::core

@@ -58,6 +58,7 @@ OnlineService::OnlineService(const core::SleuthGnn &model,
                              OnlineConfig config)
     : config_(std::move(config)),
       pipeline_(model, encoder, profile, config_.pipeline),
+      cache_(config_.cacheConfig),
       store_(config_.retention),
       detector_(config_.detector)
 {
@@ -376,7 +377,7 @@ OnlineService::evaluate(int64_t watermark_us)
                 "sleuth_service_incidents_total",
                 "Incident lifecycle events", {{"event", "opened"}});
             opened.add();
-            analyzeIncident(open);
+            analyzeIncident(open, watermark_us);
             changed.push_back(open_index);
         } else {
             for (const std::string &e : onsets)
@@ -386,6 +387,18 @@ OnlineService::evaluate(int64_t watermark_us)
                     open->endpoints.push_back(e);
             changed.push_back(open_index);
         }
+    }
+
+    // A persisting storm keeps depositing traces into the detection
+    // window; optionally refresh the open incident's verdict over the
+    // slid window. The incremental cache makes each refresh cost only
+    // the delta since the previous snapshot.
+    if (config_.reanalyzeOpenIncidents && open != nullptr &&
+        open->state == Incident::State::Analyzed &&
+        !detector_.stormingEndpoints().empty() &&
+        last_record_id_ != open->snapshotMaxRecordId) {
+        analyzeIncident(open, watermark_us);
+        changed.push_back(open_index);
     }
 
     if (open != nullptr && detector_.stormingEndpoints().empty()) {
@@ -412,13 +425,21 @@ OnlineService::evaluate(int64_t watermark_us)
 }
 
 void
-OnlineService::analyzeIncident(Incident *incident)
+OnlineService::analyzeIncident(Incident *incident, int64_t watermark_us)
 {
+    // Re-analysis rebuilds the snapshot over the slid window: clear
+    // everything derived from the previous one first.
+    incident->anomalousTraces.clear();
+    incident->slos.clear();
+    incident->normalSample.clear();
+    incident->normalsConsidered = 0;
+    incident->rankedRootCauses.clear();
+
     // The detector window at watermark W covers buckets lo..hi, i.e.
     // event times [lo*bucketUs, (hi+1)*bucketUs). Snapshot exactly it.
     int64_t bucket = config_.detector.bucketUs;
-    int64_t hi = incident->openedAtUs / bucket;
-    if (incident->openedAtUs % bucket < 0)
+    int64_t hi = watermark_us / bucket;
+    if (watermark_us % bucket < 0)
         --hi;
     int64_t lo =
         hi - static_cast<int64_t>(config_.detector.windowBuckets) + 1;
@@ -501,9 +522,27 @@ OnlineService::analyzeIncident(Incident *incident)
         incident->detectionLatencyUs = incident->openedAtUs - earliest;
     }
 
+    // Per-endpoint anomaly signals for the pre-pruning stage, straight
+    // from the detector's already-maintained window sketches (only
+    // consulted when the pipeline's prune mode is on).
+    core::PruneSignals signals;
+    for (const std::string &e : incident->endpoints) {
+        WindowStats ws = detector_.windowStats(e, watermark_us);
+        core::EndpointSignal sig;
+        sig.anomalousFraction =
+            ws.count > 0 ? static_cast<double>(ws.anomalous) /
+                               static_cast<double>(ws.count)
+                         : 0.0;
+        sig.errors = ws.errors;
+        sig.p50Us = ws.p50Us;
+        sig.p99Us = ws.p99Us;
+        signals[e] = sig;
+    }
+
     auto t0 = std::chrono::steady_clock::now();
-    incident->rca =
-        pipeline_.analyze(incident->anomalousTraces, incident->slos);
+    incident->rca = pipeline_.analyze(
+        incident->anomalousTraces, incident->slos, &signals,
+        config_.incrementalCache ? &cache_ : nullptr);
     auto t1 = std::chrono::steady_clock::now();
     incident->rcaMillis =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -594,6 +633,22 @@ OnlineService::statsJson() const
     doc.set("incidentsOpened", s.incidentsOpened);
     doc.set("incidentsAnalyzed", s.incidentsAnalyzed);
     doc.set("incidentsResolved", s.incidentsResolved);
+    if (config_.incrementalCache) {
+        core::PipelineCache::Stats cs = cache_.stats();
+        util::Json cache = util::Json::object();
+        cache.set("entries", cache_.size());
+        cache.set("pairs", cache_.pairCount());
+        cache.set("encodingHits", cs.encodingHits);
+        cache.set("encodingMisses", cs.encodingMisses);
+        cache.set("distanceHits", cs.distanceHits);
+        cache.set("distanceMisses", cs.distanceMisses);
+        cache.set("verdictHits", cs.verdictHits);
+        cache.set("verdictMisses", cs.verdictMisses);
+        cache.set("batchHits", cs.batchHits);
+        cache.set("invalidations", cs.invalidations);
+        cache.set("evictions", cs.evictions);
+        doc.set("incrementalCache", std::move(cache));
+    }
     return doc;
 }
 

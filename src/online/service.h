@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/pipeline_cache.h"
 #include "online/assembler.h"
 #include "online/detector.h"
 #include "online/incident.h"
@@ -125,6 +126,25 @@ struct OnlineConfig
     ShedPolicy shedPolicy = ShedPolicy::DropNewest;
     /** Normal traces sampled into an incident snapshot (context). */
     size_t normalSampleSize = 16;
+    /**
+     * Memoize span-set encodings, distance-matrix pairs, and RCA
+     * verdicts across incident analyses (DESIGN.md §3.14). Incident
+     * snapshots of a persisting storm overlap heavily between polls;
+     * the cache recomputes only the delta while keeping every verdict
+     * bitwise identical to a full recompute (the incremental-repoll
+     * campaign invariant pins this), so it is safe to leave on.
+     */
+    bool incrementalCache = true;
+    /** Sizing/retention of the incremental pipeline cache. */
+    core::PipelineCache::Config cacheConfig;
+    /**
+     * Re-analyze the open incident on later polls while its storm
+     * persists and new traces have been stored: the detection window
+     * re-anchors at the current watermark and the snapshot is rebuilt.
+     * Off by default — the incident then keeps its onset-time verdict
+     * (the historical behavior).
+     */
+    bool reanalyzeOpenIncidents = false;
     /** Endpoint -> SLO/flow metadata; unknown endpoints get 0 / -1. */
     std::map<std::string, EndpointProfile> endpoints;
 };
@@ -205,6 +225,9 @@ class OnlineService
     /** SLO/flow metadata of an endpoint (default profile if unknown). */
     EndpointProfile profileFor(const std::string &endpoint) const;
 
+    /** The incremental pipeline cache (hit/miss/invalidation stats). */
+    const core::PipelineCache &cache() const { return cache_; }
+
   private:
     /** One ring entry: the event plus its precomputed trace-id hash
         (computed once in ingest(), reused by the sample policy). */
@@ -254,11 +277,17 @@ class OnlineService
     /** Evaluate storms at the watermark; drive incident lifecycle. */
     std::vector<size_t> evaluate(int64_t watermark_us);
 
-    /** Snapshot the detection window and run incident-scoped RCA. */
-    void analyzeIncident(Incident *incident);
+    /**
+     * Snapshot the detection window anchored at watermark_us and run
+     * incident-scoped RCA. Re-entrant for one incident: a later call
+     * (reanalyzeOpenIncidents) clears the previous snapshot and
+     * rebuilds it over the slid window.
+     */
+    void analyzeIncident(Incident *incident, int64_t watermark_us);
 
     OnlineConfig config_;
     core::SleuthPipeline pipeline_;
+    core::PipelineCache cache_;
     std::vector<std::unique_ptr<Shard>> shards_;
     storage::TraceStore store_;
     StormDetector detector_;

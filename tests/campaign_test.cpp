@@ -92,15 +92,18 @@ TEST(Scenario, ShrinkMasksApply)
 TEST(Invariants, RegistryIsComplete)
 {
     const std::vector<Invariant> &reg = invariantRegistry();
-    ASSERT_EQ(reg.size(), 10u);
+    ASSERT_EQ(reg.size(), 12u);
     for (const Invariant &inv : reg) {
         EXPECT_FALSE(inv.name.empty());
         EXPECT_FALSE(inv.description.empty());
         EXPECT_TRUE(inv.check != nullptr);
         EXPECT_EQ(&findInvariant(inv.name), &inv);
+        EXPECT_EQ(tryFindInvariant(inv.name), &inv);
     }
-    EXPECT_EQ(knownMutations().size(), 1u);
+    EXPECT_EQ(tryFindInvariant("no-such-invariant"), nullptr);
+    EXPECT_EQ(knownMutations().size(), 2u);
     EXPECT_EQ(knownMutations()[0], "miscount-skipped");
+    EXPECT_EQ(knownMutations()[1], "overprune-root-cause");
 }
 
 TEST(Campaign, TierOnePinnedSeedIsGreen)

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "baselines/simple_rules.h"
+#include "core/pipeline.h"
 #include "eval/harness.h"
 
 using namespace sleuth;
@@ -53,6 +56,42 @@ TEST(Metrics, NoQueriesSafe)
     EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
 }
 
+// --- Table-3 root-cause aggregation (aggregateRootCauses) ---
+
+TEST(Aggregation, EmptyStormRanksNothing)
+{
+    core::PipelineResult empty;
+    EXPECT_TRUE(core::aggregateRootCauses(empty).empty());
+}
+
+TEST(Aggregation, AllPrunedVerdictsRankNothing)
+{
+    // The over-aggressive-prune edge: every candidate set was emptied,
+    // so every per-trace verdict is empty. The aggregation must return
+    // an empty ranking, not a crash or a phantom service.
+    core::PipelineResult res;
+    res.perTrace.resize(5);
+    res.clusterLabels.assign(5, -1);
+    EXPECT_TRUE(core::aggregateRootCauses(res).empty());
+}
+
+TEST(Aggregation, TiedVotesBreakLexicographically)
+{
+    core::PipelineResult res;
+    res.perTrace.resize(4);
+    // "zeta" and "alpha" tie at 2 votes; "mid" leads with 3.
+    res.perTrace[0].services = {"zeta", "mid"};
+    res.perTrace[1].services = {"alpha", "mid"};
+    res.perTrace[2].services = {"zeta", "alpha"};
+    res.perTrace[3].services = {"mid"};
+    auto ranked = core::aggregateRootCauses(res);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0], (std::pair<std::string, size_t>{"mid", 3}));
+    // Deterministic tie-break: lexicographic within equal votes.
+    EXPECT_EQ(ranked[1], (std::pair<std::string, size_t>{"alpha", 2}));
+    EXPECT_EQ(ranked[2], (std::pair<std::string, size_t>{"zeta", 2}));
+}
+
 TEST(Harness, MakeAppCatalog)
 {
     EXPECT_EQ(makeApp(BenchmarkApp::SockShop).services.size(), 11u);
@@ -86,6 +125,71 @@ TEST(Harness, PrepareExperimentProducesQueries)
                 violates = true;
         EXPECT_TRUE(violates);
     }
+}
+
+TEST(Harness, TruthScopesMatchAcrossBlastRadii)
+{
+    // Scope-aware ground truth: every materially-perturbing container
+    // and pod must belong to a truth service (the instance naming is
+    // "<service>-ctr-<r>" / "<service>-pod-<r>"), and node-scoped
+    // truth must be non-empty whenever containers perturbed — a
+    // container always runs somewhere.
+    ExperimentParams params;
+    params.trainTraces = 40;
+    params.numQueries = 10;
+    params.clusterNodes = 10;
+    params.seed = 11;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    auto owner = [](const std::string &instance, const char *marker) {
+        size_t pos = instance.rfind(marker);
+        return pos == std::string::npos ? instance
+                                        : instance.substr(0, pos);
+    };
+    for (const AnomalyQuery &q : data.queries) {
+        EXPECT_FALSE(q.truthServices.empty());
+        for (const std::string &c : q.truthContainers)
+            EXPECT_TRUE(q.truthServices.count(owner(c, "-ctr-")))
+                << c << " has no owning truth service";
+        for (const std::string &p : q.truthPods)
+            EXPECT_TRUE(q.truthServices.count(owner(p, "-pod-")))
+                << p << " has no owning truth service";
+        if (!q.truthContainers.empty()) {
+            EXPECT_FALSE(q.truthNodes.empty());
+        }
+    }
+}
+
+TEST(Harness, PipelineEvaluationReportsContainerScores)
+{
+    ExperimentParams params;
+    params.trainTraces = 80;
+    params.numQueries = 12;
+    params.clusterNodes = 20;
+    params.seed = 12;
+    ExperimentData data =
+        prepareExperiment(makeApp(BenchmarkApp::Syn16, 9), params);
+
+    SleuthAdapter::Config cfg;
+    cfg.gnn.embedDim = 8;
+    cfg.gnn.hidden = 16;
+    cfg.train.epochs = 4;
+    SleuthAdapter sleuth(cfg);
+    sleuth.fit(data.trainCorpus);
+
+    core::PipelineConfig pc;
+    pc.hdbscan = {.minClusterSize = 5, .minSamples = 3,
+                  .clusterSelectionEpsilon = 0.05};
+    Scores container_scores{-1.0, -1.0};
+    Scores s = evaluatePipeline(sleuth, data, pc, nullptr, nullptr,
+                                &container_scores);
+    EXPECT_GE(s.f1, 0.0);
+    // The out-param was filled with a valid score pair.
+    EXPECT_GE(container_scores.f1, 0.0);
+    EXPECT_LE(container_scores.f1, 1.0);
+    EXPECT_GE(container_scores.acc, 0.0);
+    EXPECT_LE(container_scores.acc, 1.0);
 }
 
 TEST(Harness, EvaluateAlgorithmEndToEnd)
