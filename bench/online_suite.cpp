@@ -58,6 +58,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <string>
@@ -67,8 +69,11 @@
 #include "chaos/fault.h"
 #include "core/pipeline.h"
 #include "core/pipeline_cache.h"
+#include "durable/durable_log.h"
+#include "durable/wal.h"
 #include "eval/harness.h"
 #include "obs/metrics.h"
+#include "online/durable_state.h"
 #include "online/live_source.h"
 #include "online/service.h"
 #include "sim/cluster_model.h"
@@ -104,6 +109,32 @@ percentile(std::vector<double> xs, double p)
     double frac = rank - static_cast<double>(lo);
     return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }
+
+/** Self-cleaning scratch directory for WAL/snapshot measurements. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                           "/sleuth-bench-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (mkdtemp(buf.data()) != nullptr)
+            path = buf.data();
+    }
+    ~TempDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+};
 
 /** Resident set size from /proc/self/status, in MiB (0 if absent). */
 double
@@ -380,6 +411,8 @@ main(int argc, char **argv)
                     cold_ms, warm_ms, speedup);
     }
 
+    double headline = 0.0; // ingest_spans_per_sec, set below
+
     // --- The same stream with the metrics layer on vs off: identical
     // incidents (write-only side channel), throughput delta is the
     // instrumentation overhead. A single ~100ms ingest loop is too
@@ -403,7 +436,7 @@ main(int argc, char **argv)
             return r.spansPerSec;
         };
         online::Incident off_incident;
-        double on_best = 0.0;
+        double &on_best = headline;
         double off_best = 0.0;
         for (int rep = 0; rep < 5; ++rep) {
             on_best = std::max(on_best, oneRun(true, nullptr));
@@ -433,6 +466,176 @@ main(int argc, char **argv)
         std::printf("ingest metrics on/off best-of-5: %.0f / %.0f"
                     " spans/s (%.2f%% overhead)\n",
                     on_best, off_best, overhead_pct);
+    }
+
+    // --- Durable serving (DESIGN.md §3.15): the same stream with a
+    // write-ahead log attached under each fsync policy, raw WAL append
+    // throughput, snapshot write cost, and recovery replay speed. The
+    // fsync=group ratio is the acceptance bar: durable ingest must
+    // sustain at least half the non-durable headline. ---
+    {
+        // Raw WAL append throughput: batch the live store's records
+        // into span-batch frames (64 records each, the encoding the
+        // service commits) and append them repeatedly, fsync off.
+        {
+            const storage::TraceStore &store = service.store();
+            std::vector<std::string> batches;
+            size_t batch_spans = 0;
+            util::BinaryWriter w;
+            size_t in_batch = 0;
+            for (const storage::Record *r : store.query({})) {
+                online::appendSpanBatchRecord(w, *r);
+                batch_spans += r->spanCount();
+                if (++in_batch == 64) {
+                    batches.push_back(w.take());
+                    in_batch = 0;
+                }
+            }
+            if (in_batch > 0)
+                batches.push_back(w.take());
+            TempDir wal_dir;
+            durable::WalWriter writer(wal_dir.path,
+                                      durable::FsyncPolicy::Off);
+            std::string err;
+            if (!wal_dir.path.empty() &&
+                writer.openSegment(0, 0, &err) && batch_spans > 0) {
+                const int reps = 20;
+                auto t0 = std::chrono::steady_clock::now();
+                for (int rep = 0; rep < reps; ++rep) {
+                    for (const std::string &b : batches)
+                        writer.append(durable::RecordKind::SpanBatch,
+                                      b);
+                    writer.sync();
+                }
+                double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                double spans =
+                    static_cast<double>(batch_spans) * reps;
+                rows.push_back({"wal_append_spans_per_sec",
+                                secs > 0.0 ? spans / secs : 0.0,
+                                "spans/s", "64-record batches, fsync "
+                                           "off"});
+                std::printf("wal append: %.0f spans/s (%.1f MB "
+                            "written)\n",
+                            secs > 0.0 ? spans / secs : 0.0,
+                            static_cast<double>(writer.segmentBytes()) /
+                                1e6);
+            }
+        }
+
+        // Durable ingest under each fsync policy (best of 3, fresh
+        // data directory per rep), plus snapshot and recovery timings
+        // measured on the group-policy log.
+        auto policyName = [](durable::FsyncPolicy p) {
+            return std::string(durable::toString(p));
+        };
+        for (durable::FsyncPolicy policy :
+             {durable::FsyncPolicy::Always, durable::FsyncPolicy::Group,
+              durable::FsyncPolicy::Off}) {
+            double best = 0.0;
+            size_t spans_accepted = 0;
+            double snapshot_ms = 0.0;
+            double recovery_ms = 0.0;
+            for (int rep = 0; rep < 3; ++rep) {
+                TempDir dir;
+                if (dir.path.empty())
+                    continue;
+                durable::DurableConfig dcfg;
+                dcfg.dir = dir.path;
+                dcfg.fsyncPolicy = policy;
+                online::OnlineService svc(adapter.model(),
+                                          adapter.encoder(),
+                                          adapter.profile(), cfg);
+                online::RecoveryInfo boot = svc.enableDurability(dcfg);
+                if (!boot.ok) {
+                    std::fprintf(stderr, "FATAL: durable open failed: "
+                                         "%s\n",
+                                 boot.error.c_str());
+                    return 1;
+                }
+                online::LiveRunResult r = online::runLiveLoad(
+                    app, cluster, {.seed = 0x515}, live, &svc);
+                best = std::max(best, r.spansPerSec);
+                if (policy == durable::FsyncPolicy::Group &&
+                    rep == 0) {
+                    spans_accepted = svc.stats().assembly.spansAccepted;
+                    std::string serr;
+                    auto s0 = std::chrono::steady_clock::now();
+                    if (!svc.snapshotNow(&serr)) {
+                        std::fprintf(stderr,
+                                     "FATAL: snapshot failed: %s\n",
+                                     serr.c_str());
+                        return 1;
+                    }
+                    snapshot_ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - s0)
+                            .count();
+                    // Recover the crashed-process view from disk: the
+                    // snapshot seeds, the WAL tail replays.
+                    online::RecoveryInfo info;
+                    auto r0 = std::chrono::steady_clock::now();
+                    online::DurableServingState state =
+                        online::recoverState(dcfg, {}, &info);
+                    recovery_ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - r0)
+                            .count();
+                    if (!info.ok) {
+                        std::fprintf(stderr,
+                                     "FATAL: bench recovery failed: "
+                                     "%s\n",
+                                     info.error.c_str());
+                        return 1;
+                    }
+                    uint64_t live_fp = svc.servingFingerprint();
+                    uint64_t rec_fp = online::servingStateFingerprint(
+                        state.store, state.detector, state.incidents,
+                        state.watermarkUs, state.tracesStored,
+                        state.lastRecordId);
+                    if (rec_fp != live_fp) {
+                        std::fprintf(stderr,
+                                     "FATAL: bench recovery diverged "
+                                     "from the live service\n");
+                        return 1;
+                    }
+                }
+            }
+            rows.push_back({"wal_fsync_" + policyName(policy) +
+                                "_spans_per_sec",
+                            best, "spans/s", "best-of-3, durable"});
+            std::printf("durable ingest (fsync=%s): %.0f spans/s\n",
+                        policyName(policy).c_str(), best);
+            if (policy == durable::FsyncPolicy::Group) {
+                rows.push_back(
+                    {"snapshot_write_ms", snapshot_ms, "ms"});
+                rows.push_back({"recovery_ms", recovery_ms, "ms",
+                                "snapshot + WAL tail replay"});
+                if (spans_accepted > 0)
+                    rows.push_back(
+                        {"recovery_ms_per_million_spans",
+                         recovery_ms * 1e6 /
+                             static_cast<double>(spans_accepted),
+                         "ms/Mspan"});
+                double ratio =
+                    headline > 0.0 ? best / headline : 0.0;
+                rows.push_back({"wal_fsync_group_vs_headline", ratio,
+                                "fraction",
+                                "acceptance bar: >= 0.5"});
+                std::printf("durable/headline ratio: %.2f (snapshot "
+                            "%.1f ms, recovery %.1f ms)\n",
+                            ratio, snapshot_ms, recovery_ms);
+                if (ratio < 0.5) {
+                    std::fprintf(stderr,
+                                 "FATAL: fsync=group ingest fell "
+                                 "below half the non-durable "
+                                 "headline (%.2f)\n",
+                                 ratio);
+                    return 1;
+                }
+            }
+        }
     }
 
     // --- Producer-thread x shard-count scaling. Parallel speedups

@@ -1,7 +1,12 @@
 #include "invariants.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -11,10 +16,13 @@
 #include "core/pipeline_cache.h"
 #include "core/pruner.h"
 #include "distance/trace_distance.h"
+#include "durable/durable_log.h"
+#include "online/durable_state.h"
 #include "online/service.h"
 #include "storage/trace_store.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/simd.h"
 
 namespace sleuth::campaign {
@@ -701,16 +709,37 @@ incidentFingerprint(const online::Incident &incident)
     return os.str();
 }
 
-InvariantResult
-checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
+/** One span delivery on the staggered storm timeline. */
+struct StormDelivery
 {
-    // Route the scenario's storm through the online serving layer as a
-    // span stream and require (a) the same incident — snapshot, every
-    // verdict, the root-cause ranking — at 1/2/8 ingest threads,
-    // (b) that the snapshot reproduces from the trace store via the
-    // recorded high-water mark, and (c) that the incident-scoped RCA
-    // is bitwise equal to the batch pipeline over that snapshot.
+    int64_t atUs = 0;
+    online::SpanEvent event;
+};
+
+/**
+ * The scenario's storm rendered as an online serving workload, shared
+ * by every online-layer invariant (differential, crash-recovery,
+ * wal-torn-tail): a detection configuration whose single window
+ * comfortably spans the staggered storm, an endpoint SLO map judging
+ * each endpoint by the tightest SLO seen at it, and the storm exploded
+ * into span events delivered at span end in one canonical order (the
+ * thread count only changes which thread performs a delivery).
+ */
+struct StormTimeline
+{
     online::OnlineConfig cfg;
+    std::vector<StormDelivery> deliveries;
+    /** Latest span end on the staggered timeline. */
+    int64_t lastEndUs = 0;
+    /** Poll instant by which every delivered trace has completed. */
+    int64_t pollAtUs = 0;
+};
+
+StormTimeline
+buildStormTimeline(const ScenarioRun &run)
+{
+    StormTimeline tl;
+    online::OnlineConfig &cfg = tl.cfg;
     cfg.pipeline = run.scenario.pipelineConfig();
     // One detection window comfortably spanning the whole staggered
     // storm, firing on the first anomalous trace.
@@ -746,37 +775,44 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
             it->second.sloUs = run.slos[i];
     }
 
-    // Explode the storm into span events on a staggered timeline,
-    // delivered at span end in one canonical order (the thread count
-    // only changes which thread performs a delivery).
-    struct Delivery
-    {
-        int64_t atUs = 0;
-        online::SpanEvent event;
-    };
-    std::vector<Delivery> deliveries;
-    int64_t last_end = 0;
     for (size_t i = 0; i < run.traces.size(); ++i) {
         int64_t shift = static_cast<int64_t>(i) * 10'000;
         for (trace::Span span : run.traces[i].spans) {
             span.startUs += shift;
             span.endUs += shift;
-            last_end = std::max(last_end, span.endUs);
-            deliveries.push_back(
+            tl.lastEndUs = std::max(tl.lastEndUs, span.endUs);
+            tl.deliveries.push_back(
                 {span.endUs,
                  online::SpanEvent{run.traces[i].traceId, span}});
         }
     }
-    std::sort(deliveries.begin(), deliveries.end(),
-              [](const Delivery &a, const Delivery &b) {
+    std::sort(tl.deliveries.begin(), tl.deliveries.end(),
+              [](const StormDelivery &a, const StormDelivery &b) {
                   if (a.atUs != b.atUs)
                       return a.atUs < b.atUs;
                   if (a.event.traceId != b.event.traceId)
                       return a.event.traceId < b.event.traceId;
                   return a.event.span.spanId < b.event.span.spanId;
               });
-    int64_t poll_at = last_end + cfg.assembler.quietGapUs +
-                      cfg.assembler.latenessUs + 1;
+    tl.pollAtUs = tl.lastEndUs + cfg.assembler.quietGapUs +
+                  cfg.assembler.latenessUs + 1;
+    return tl;
+}
+
+InvariantResult
+checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
+{
+    // Route the scenario's storm through the online serving layer as a
+    // span stream and require (a) the same incident — snapshot, every
+    // verdict, the root-cause ranking — at 1/2/8 ingest threads,
+    // (b) that the snapshot reproduces from the trace store via the
+    // recorded high-water mark, and (c) that the incident-scoped RCA
+    // is bitwise equal to the batch pipeline over that snapshot.
+    StormTimeline tl = buildStormTimeline(run);
+    const online::OnlineConfig &cfg = tl.cfg;
+    const std::vector<StormDelivery> &deliveries = tl.deliveries;
+    int64_t last_end = tl.lastEndUs;
+    int64_t poll_at = tl.pollAtUs;
 
     // The differential runs on two timelines: the staggered storm as
     // built, and the same storm shifted wholly before the epoch (every
@@ -804,14 +840,14 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
         online::OnlineService service(run.adapter->model(),
                                       run.adapter->encoder(),
                                       run.adapter->profile(), use_cfg);
-        auto deliver = [&](const Delivery &d) {
+        auto deliver = [&](const StormDelivery &d) {
             online::SpanEvent ev = d.event;
             ev.span.startUs += shift;
             ev.span.endUs += shift;
             service.ingest(ev);
         };
         if (threads == 1) {
-            for (const Delivery &d : deliveries)
+            for (const StormDelivery &d : deliveries)
                 deliver(d);
         } else {
             std::vector<std::thread> workers;
@@ -949,6 +985,413 @@ checkOnlineDifferential(const ScenarioRun &run, const CheckContext &)
     // lands below -2 detector buckets.
     return runTimeline(-(last_end + 3 * cfg.detector.bucketUs),
                        "negative-epoch timeline: ", cfg, "negative");
+}
+
+/** mkdtemp under $TMPDIR (default /tmp), removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    explicit TempDir(const char *tag)
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string tmpl =
+            (base != nullptr && *base != '\0') ? base : "/tmp";
+        if (tmpl.back() != '/')
+            tmpl += '/';
+        tmpl += std::string("sleuth-") + tag + "-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) != nullptr)
+            path.assign(buf.data());
+    }
+
+    ~TempDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+};
+
+/** Deliver a slice of the storm with `threads` striding producers. */
+void
+deliverStorm(online::OnlineService *service,
+             const std::vector<StormDelivery> &deliveries,
+             size_t threads)
+{
+    if (threads <= 1) {
+        for (const StormDelivery &d : deliveries)
+            service->ingest(d.event);
+        return;
+    }
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t)
+        workers.emplace_back([&, t] {
+            for (size_t i = t; i < deliveries.size(); i += threads)
+                service->ingest(deliveries[i].event);
+        });
+    for (std::thread &w : workers)
+        w.join();
+}
+
+InvariantResult
+checkCrashRecovery(const ScenarioRun &run, const CheckContext &ctx)
+{
+    // Kill the durable serving layer mid-storm and restart it from
+    // disk (DESIGN.md §3.15): at 1/2/8 ingest threads, the recovered
+    // service — replayed snapshot + committed WAL polls, then fed the
+    // rest of the storm — must fingerprint bitwise equal to an
+    // uninterrupted (non-durable) run of the same delivery/poll
+    // schedule. The storm is split by whole traces, and the crash
+    // lands on a quiescent committed poll: everything the service
+    // acknowledged at that poll is on disk, while the volatile ingest
+    // front it would have lost in a real crash is exactly the part
+    // the upstream redelivers (the second half of the schedule).
+    StormTimeline tl = buildStormTimeline(run);
+    online::OnlineConfig cfg = tl.cfg;
+    // Tight retention so the committed history contains real
+    // evictions: replay must honor them to land on the same state
+    // (and the skip-eviction-replay mutation has decisions to skip).
+    cfg.retention.maxRecords =
+        std::max<size_t>(1, run.traces.size() / 4);
+
+    // First half = whole traces only — a trace straddling the crash
+    // would leave assembler state the crash legitimately forgets.
+    std::set<std::string> first_ids;
+    for (size_t i = 0; i < run.traces.size() / 2; ++i)
+        first_ids.insert(run.traces[i].traceId);
+    std::vector<StormDelivery> first, second;
+    int64_t first_last_end = 0;
+    for (const StormDelivery &d : tl.deliveries) {
+        if (first_ids.count(d.event.traceId) != 0) {
+            first.push_back(d);
+            first_last_end = std::max(first_last_end, d.atUs);
+        } else {
+            second.push_back(d);
+        }
+    }
+    int64_t mid_poll = first_last_end + cfg.assembler.quietGapUs +
+                       cfg.assembler.latenessUs + 1;
+    int64_t final_poll = std::max(tl.pollAtUs, mid_poll + 1);
+    int64_t drain_at = final_poll + 1;
+
+    online::RecoverOptions opts;
+    opts.skipEvictionReplay = ctx.mutation == "skip-eviction-replay";
+
+    uint64_t reference = 0;
+    bool have_reference = false;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        std::string at =
+            " at ingestThreads=" + std::to_string(threads);
+
+        // Uninterrupted control run, no durability attached: also
+        // pins that attaching the log never changes serving state.
+        uint64_t uninterrupted = 0;
+        {
+            online::OnlineService service(run.adapter->model(),
+                                          run.adapter->encoder(),
+                                          run.adapter->profile(), cfg);
+            deliverStorm(&service, first, threads);
+            service.poll(mid_poll);
+            deliverStorm(&service, second, threads);
+            service.poll(final_poll);
+            service.drainAll(drain_at);
+            uninterrupted = service.servingFingerprint();
+        }
+
+        TempDir dir("crash");
+        if (dir.path.empty())
+            return fail("cannot create a temporary data directory");
+        durable::DurableConfig dcfg;
+        dcfg.dir = dir.path;
+        dcfg.fsyncPolicy = durable::FsyncPolicy::Off;
+        // One leg recovers through a snapshot + WAL tail, the others
+        // through pure WAL replay.
+        dcfg.snapshotEveryPolls = threads == 2 ? 1 : 0;
+
+        // Durable run up to the crash point.
+        {
+            online::OnlineService service(run.adapter->model(),
+                                          run.adapter->encoder(),
+                                          run.adapter->profile(), cfg);
+            online::RecoveryInfo boot = service.enableDurability(dcfg);
+            if (!boot.ok)
+                return fail("fresh durable service refused to open " +
+                            dir.path + ": " + boot.error);
+            deliverStorm(&service, first, threads);
+            service.poll(mid_poll);
+            if (service.backlogSpans() != 0)
+                return fail("crash point is not quiescent (" +
+                            std::to_string(service.backlogSpans()) +
+                            " backlog spans)" + at);
+            // Crash: the service dies here. Committed polls are on
+            // disk; rings and assemblers are simply gone.
+        }
+
+        // Restart from disk and finish the storm.
+        uint64_t recovered_fp = 0;
+        {
+            online::OnlineService service(run.adapter->model(),
+                                          run.adapter->encoder(),
+                                          run.adapter->profile(), cfg);
+            online::RecoveryInfo rec =
+                service.enableDurability(dcfg, opts);
+            if (!rec.ok)
+                return fail("recovery failed" + at + ": " + rec.error);
+            if (dcfg.snapshotEveryPolls != 0 && !rec.usedSnapshot)
+                return fail("snapshot-every=1 recovery did not seed "
+                            "from a snapshot" + at);
+            deliverStorm(&service, second, threads);
+            service.poll(final_poll);
+            service.drainAll(drain_at);
+            recovered_fp = service.servingFingerprint();
+        }
+
+        // Replay the finished log once more: the drainAll commit
+        // group seals several detector advances under one marker, and
+        // replaying them must land on the live service's exact state.
+        online::RecoveryInfo again;
+        online::DurableServingState state =
+            online::recoverState(dcfg, opts, &again);
+        if (!again.ok)
+            return fail("post-drain replay failed" + at + ": " +
+                        again.error);
+        uint64_t replay_fp = online::servingStateFingerprint(
+            state.store, state.detector, state.incidents,
+            state.watermarkUs, state.tracesStored, state.lastRecordId);
+        if (replay_fp != recovered_fp)
+            return fail("post-drain replay diverges from the live "
+                        "recovered service" + at);
+
+        if (!have_reference) {
+            reference = uninterrupted;
+            have_reference = true;
+        } else if (uninterrupted != reference) {
+            return fail("uninterrupted run diverges" + at);
+        }
+        if (recovered_fp != reference)
+            return fail("recovered run diverges from the "
+                        "uninterrupted run" + at);
+    }
+    return pass();
+}
+
+InvariantResult
+checkWalTornTail(const ScenarioRun &run, const CheckContext &)
+{
+    // Crash artifacts never pick a polite boundary: truncate the WAL
+    // at every frame boundary, inside frames, and at random offsets,
+    // and flip single bits — recovery must never crash and must
+    // always rebuild exactly the committed-poll prefix that survived
+    // (ref[m] below), discarding any unsealed tail.
+    StormTimeline tl = buildStormTimeline(run);
+    online::OnlineConfig cfg = tl.cfg;
+    cfg.retention.maxRecords =
+        std::max<size_t>(1, run.traces.size() / 4);
+
+    TempDir dir("torn");
+    if (dir.path.empty())
+        return fail("cannot create a temporary data directory");
+    durable::DurableConfig dcfg;
+    dcfg.dir = dir.path;
+    dcfg.fsyncPolicy = durable::FsyncPolicy::Off;
+    dcfg.snapshotEveryPolls = 0; // pure WAL: one segment, no rotation
+
+    // Write a multi-poll log: the storm in whole-trace chunks, one
+    // poll per chunk, recording the live fingerprint after each
+    // committed poll (plus ref[0], the empty service).
+    const size_t kPolls = 4;
+    std::vector<uint64_t> reference;
+    {
+        online::OnlineService service(run.adapter->model(),
+                                      run.adapter->encoder(),
+                                      run.adapter->profile(), cfg);
+        online::RecoveryInfo boot = service.enableDurability(dcfg);
+        if (!boot.ok)
+            return fail("fresh durable service refused to open " +
+                        dir.path + ": " + boot.error);
+        reference.push_back(service.servingFingerprint());
+        int64_t poll_at = std::numeric_limits<int64_t>::min();
+        size_t begin = 0;
+        for (size_t p = 0; p < kPolls; ++p) {
+            size_t end = run.traces.size() * (p + 1) / kPolls;
+            std::set<std::string> chunk_ids;
+            for (size_t i = begin; i < end; ++i)
+                chunk_ids.insert(run.traces[i].traceId);
+            int64_t chunk_last_end = 0;
+            for (const StormDelivery &d : tl.deliveries)
+                if (chunk_ids.count(d.event.traceId) != 0) {
+                    service.ingest(d.event);
+                    chunk_last_end =
+                        std::max(chunk_last_end, d.atUs);
+                }
+            poll_at = std::max(poll_at + 1,
+                               chunk_last_end +
+                                   cfg.assembler.quietGapUs +
+                                   cfg.assembler.latenessUs + 1);
+            service.poll(poll_at);
+            reference.push_back(service.servingFingerprint());
+            begin = end;
+        }
+    }
+
+    std::vector<std::pair<uint64_t, std::string>> segments =
+        durable::listSegments(dir.path);
+    if (segments.size() != 1)
+        return fail("expected one WAL segment, found " +
+                    std::to_string(segments.size()));
+    durable::SegmentScan scan = durable::scanSegment(segments[0].second);
+    if (scan.torn)
+        return fail("pristine log scans as torn: " + scan.tornReason);
+    if (scan.frames.empty())
+        return fail("pristine log holds no frames");
+    std::string pristine;
+    {
+        std::ifstream in(segments[0].second, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        pristine = buf.str();
+    }
+    if (pristine.size() != scan.validBytes)
+        return fail("segment bytes do not match the scan");
+
+    // Committed polls fully contained in the first `bytes` of the
+    // segment (a truncation there recovers exactly ref of that).
+    auto pollsWithin = [&](uint64_t bytes) {
+        size_t polls = 0, frames = 0;
+        for (size_t i = 0; i < scan.frames.size(); ++i) {
+            uint64_t end = i + 1 < scan.frames.size()
+                               ? scan.frames[i + 1].offset
+                               : scan.validBytes;
+            if (end > bytes)
+                break;
+            ++frames;
+            if (scan.frames[i].kind ==
+                durable::RecordKind::PollMarker)
+                ++polls;
+        }
+        return std::make_pair(polls, frames);
+    };
+
+    TempDir scratch("torn-case");
+    if (scratch.path.empty())
+        return fail("cannot create a scratch data directory");
+    std::string scratch_seg =
+        scratch.path + "/" + durable::segmentFileName(0);
+    durable::DurableConfig scfg;
+    scfg.dir = scratch.path;
+    scfg.fsyncPolicy = durable::FsyncPolicy::Off;
+
+    // `validUpTo` is the length of the byte prefix known to be intact
+    // (everything at or past it may be torn or corrupt).
+    auto checkCase = [&](const std::string &bytes, uint64_t validUpTo,
+                         const std::string &label)
+        -> InvariantResult {
+        {
+            std::ofstream out(scratch_seg,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        online::RecoveryInfo info;
+        online::DurableServingState state =
+            online::recoverState(scfg, {}, &info);
+        if (!info.ok)
+            return fail(label + ": recovery reported an internal "
+                        "inconsistency: " + info.error);
+        auto [polls, frames] = pollsWithin(
+            std::min<uint64_t>(validUpTo, scan.validBytes));
+        if (frames == 0) {
+            // Not even the Epoch survived: recovery must come back
+            // empty (the detector config is unknowable from bytes).
+            if (state.tracesStored != 0 || state.store.size() != 0 ||
+                !state.incidents.empty())
+                return fail(label + ": recovery from an empty prefix "
+                            "is not the empty state");
+            return pass();
+        }
+        uint64_t fp = online::servingStateFingerprint(
+            state.store, state.detector, state.incidents,
+            state.watermarkUs, state.tracesStored, state.lastRecordId);
+        if (fp != reference[polls])
+            return fail(label + ": recovery does not equal the live "
+                        "state after " + std::to_string(polls) +
+                        " committed polls");
+        return pass();
+    };
+
+    // Every frame boundary, plus offsets inside every frame header
+    // and body, as truncation points.
+    for (size_t i = 0; i <= scan.frames.size(); ++i) {
+        uint64_t boundary = i < scan.frames.size()
+                                ? scan.frames[i].offset
+                                : scan.validBytes;
+        InvariantResult r = checkCase(
+            pristine.substr(0, boundary), boundary,
+            "truncate at frame boundary " + std::to_string(boundary));
+        if (!r.pass)
+            return r;
+        if (i < scan.frames.size()) {
+            uint64_t end = i + 1 < scan.frames.size()
+                               ? scan.frames[i + 1].offset
+                               : scan.validBytes;
+            for (uint64_t cut :
+                 {boundary + 1, boundary + 5, end - 1}) {
+                if (cut <= boundary || cut >= end)
+                    continue;
+                r = checkCase(pristine.substr(0, cut), cut,
+                              "truncate mid-frame at " +
+                                  std::to_string(cut));
+                if (!r.pass)
+                    return r;
+            }
+        }
+    }
+
+    // The byte offset where the frame containing `at` starts: a flip
+    // there tears the log at that frame, keeping everything before.
+    auto frameStartBefore = [&](uint64_t at) {
+        uint64_t start = 0;
+        for (const durable::WalFrame &f : scan.frames) {
+            if (f.offset > at)
+                break;
+            start = f.offset;
+        }
+        return start;
+    };
+
+    // Random truncations and single-bit flips (seed-pinned).
+    util::Rng rng(run.scenario.seed ^ 0x70524eULL);
+    for (int k = 0; k < 8; ++k) {
+        uint64_t cut = static_cast<uint64_t>(rng.uniformInt(
+            0, static_cast<int64_t>(pristine.size())));
+        InvariantResult r = checkCase(
+            pristine.substr(0, cut), cut,
+            "truncate at random offset " + std::to_string(cut));
+        if (!r.pass)
+            return r;
+    }
+    for (int k = 0; k < 8; ++k) {
+        uint64_t at = static_cast<uint64_t>(rng.uniformInt(
+            0, static_cast<int64_t>(pristine.size()) - 1));
+        std::string flipped = pristine;
+        flipped[at] = static_cast<char>(
+            static_cast<uint8_t>(flipped[at]) ^
+            (1u << rng.uniformInt(0, 7)));
+        // The flipped frame fails its CRC (or its length turns
+        // implausible): the valid prefix ends where it starts.
+        InvariantResult r = checkCase(
+            flipped, frameStartBefore(at),
+            "bit flip at offset " + std::to_string(at));
+        if (!r.pass)
+            return r;
+    }
+    return pass();
 }
 
 InvariantResult
@@ -1491,6 +1934,16 @@ invariantRegistry()
          "warm-cache re-polls (identical, slid, and mutated windows) "
          "are bitwise equal to a full recompute",
          checkIncrementalRepoll},
+        {"crash-recovery",
+         "kill the durable service mid-storm at 1/2/8 ingest threads "
+         "and restart from disk: the recovered run is bitwise equal "
+         "to the uninterrupted run",
+         checkCrashRecovery},
+        {"wal-torn-tail",
+         "truncate or corrupt the WAL at arbitrary offsets: recovery "
+         "always rebuilds exactly the committed-poll prefix, never "
+         "crashes",
+         checkWalTornTail},
     };
     return registry;
 }
@@ -1525,6 +1978,7 @@ knownMutations()
     static const std::vector<std::string> mutations = {
         "miscount-skipped",
         "overprune-root-cause",
+        "skip-eviction-replay",
     };
     return mutations;
 }

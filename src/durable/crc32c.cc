@@ -1,0 +1,61 @@
+#include "crc32c.h"
+
+#include <array>
+
+namespace sleuth::durable {
+
+namespace {
+
+/** Reflected CRC32C polynomial. */
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables
+{
+    uint32_t t[4][256];
+
+    constexpr Tables() : t{}
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+            t[0][i] = c;
+        }
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = t[0][i];
+            for (int j = 1; j < 4; ++j) {
+                c = (c >> 8) ^ t[0][c & 0xFFu];
+                t[j][i] = c;
+            }
+        }
+    }
+};
+
+constexpr Tables kTables{};
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len, uint32_t crc)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    // Slice-by-4: fold one aligned word per iteration.
+    while (len >= 4) {
+        crc ^= static_cast<uint32_t>(p[0]) |
+               static_cast<uint32_t>(p[1]) << 8 |
+               static_cast<uint32_t>(p[2]) << 16 |
+               static_cast<uint32_t>(p[3]) << 24;
+        crc = kTables.t[3][crc & 0xFFu] ^
+              kTables.t[2][(crc >> 8) & 0xFFu] ^
+              kTables.t[1][(crc >> 16) & 0xFFu] ^
+              kTables.t[0][crc >> 24];
+        p += 4;
+        len -= 4;
+    }
+    while (len-- > 0)
+        crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    return ~crc;
+}
+
+} // namespace sleuth::durable

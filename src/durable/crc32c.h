@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+ * the checksum guarding every WAL frame and snapshot payload
+ * (DESIGN.md §3.15). Software slice-by-4 table implementation: no ISA
+ * dependency, ~1 GB/s, and the polynomial's 4-bit Hamming distance at
+ * these frame sizes catches every torn write and single-burst flip the
+ * torture test injects.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sleuth::durable {
+
+/** CRC32C of a byte range, seeded/chained via `crc` (0 to start). */
+uint32_t crc32c(const void *data, size_t len, uint32_t crc = 0);
+
+inline uint32_t
+crc32c(std::string_view s, uint32_t crc = 0)
+{
+    return crc32c(s.data(), s.size(), crc);
+}
+
+} // namespace sleuth::durable

@@ -1,0 +1,211 @@
+#include "durable_log.h"
+
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "snapshot.h"
+#include "util/logging.h"
+
+namespace sleuth::durable {
+
+namespace {
+
+obs::Counter &
+recoveryRuns()
+{
+    static obs::Counter &c = obs::counter(
+        "sleuth_recovery_runs_total", "Durable-log recovery scans");
+    return c;
+}
+
+obs::Counter &
+recoveryFrames()
+{
+    static obs::Counter &c =
+        obs::counter("sleuth_recovery_frames_total",
+                     "WAL frames read back during recovery scans");
+    return c;
+}
+
+obs::Counter &
+recoveryTorn()
+{
+    static obs::Counter &c = obs::counter(
+        "sleuth_recovery_torn_segments_total",
+        "Segments truncated to a valid prefix during recovery");
+    return c;
+}
+
+obs::Counter &
+recoverySnapshotsSkipped()
+{
+    static obs::Counter &c = obs::counter(
+        "sleuth_recovery_snapshots_skipped_total",
+        "Corrupt snapshots passed over during recovery");
+    return c;
+}
+
+} // namespace
+
+DurableLog::DurableLog(DurableConfig cfg)
+    : cfg_(std::move(cfg)), writer_(cfg_.dir, cfg_.fsyncPolicy)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.dir, ec);
+    if (ec)
+        util::fatal("cannot create data dir ", cfg_.dir, ": ",
+                    ec.message());
+}
+
+RecoveredLog
+DurableLog::recover()
+{
+    RecoveredLog out;
+    recoveryRuns().add(1);
+
+    // Newest valid snapshot wins; corrupt ones are skipped, not fatal.
+    auto snapshots = listSnapshots(cfg_.dir);
+    for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+        std::string err;
+        if (readSnapshotFile(it->second, &out.snapshotPayload, &err)) {
+            out.hasSnapshot = true;
+            out.snapshotIndex = it->first;
+            break;
+        }
+        util::warn("skipping snapshot ", it->second, ": ", err);
+        ++out.snapshotsSkipped;
+    }
+
+    // Replay segments at or after the snapshot, stopping at the first
+    // torn tail: frames after a gap are causally disconnected.
+    bool stopped = false;
+    for (const auto &[index, path] : listSegments(cfg_.dir)) {
+        if (index < out.snapshotIndex)
+            continue;
+        if (stopped) {
+            out.stalePaths.push_back(path);
+            continue;
+        }
+        SegmentScan scan = scanSegment(path);
+        for (WalFrame &frame : scan.frames)
+            out.frames.push_back(std::move(frame));
+        out.haveSegments = true;
+        out.appendSegmentIndex = index;
+        out.appendTruncateTo = scan.validBytes;
+        if (scan.torn) {
+            util::warn("wal segment ", path, " torn at byte ",
+                       scan.validBytes, " (", scan.tornReason,
+                       "); truncating");
+            ++out.tornSegments;
+            stopped = true;
+        }
+    }
+
+    recoveryFrames().add(out.frames.size());
+    recoveryTorn().add(out.tornSegments);
+    recoverySnapshotsSkipped().add(out.snapshotsSkipped);
+    return out;
+}
+
+bool
+DurableLog::openForAppend(const RecoveredLog &recovered,
+                          std::string_view epochPayload,
+                          std::string *err)
+{
+    std::error_code ec;
+    for (const std::string &path : recovered.stalePaths) {
+        util::warn("removing stale wal segment ", path);
+        std::filesystem::remove(path, ec);
+    }
+
+    if (recovered.haveSegments) {
+        if (!writer_.openSegment(recovered.appendSegmentIndex,
+                                 recovered.appendTruncateTo, err))
+            return false;
+        // A segment truncated all the way to zero lost its Epoch
+        // record; rewrite it so every segment stays self-describing.
+        if (recovered.appendTruncateTo == 0 &&
+            !writer_.append(RecordKind::Epoch, epochPayload))
+            return false;
+    } else {
+        if (!writer_.openSegment(recovered.snapshotIndex, 0, err))
+            return false;
+        if (!writer_.append(RecordKind::Epoch, epochPayload))
+            return false;
+    }
+    if (!writer_.sync())
+        return false;
+    refreshGauges();
+    return true;
+}
+
+bool
+DurableLog::append(RecordKind kind, std::string_view payload)
+{
+    return writer_.append(kind, payload);
+}
+
+bool
+DurableLog::commit()
+{
+    if (!writer_.sync())
+        return false;
+    refreshGauges();
+    return true;
+}
+
+bool
+DurableLog::rotateWithSnapshot(const std::string &snapshotPayload,
+                               std::string_view epochPayload,
+                               std::string *err)
+{
+    static obs::Histogram &snap_ms = obs::histogram(
+        "sleuth_snapshot_write_ms", "Snapshot write latency (ms)");
+    static obs::Counter &snaps_total = obs::counter(
+        "sleuth_snapshots_written_total", "Snapshots written");
+
+    uint64_t next = writer_.segmentIndex() + 1;
+    std::string path = cfg_.dir + "/" + snapshotFileName(next);
+    {
+        obs::ScopedTimer timer(snap_ms);
+        if (!writeSnapshotFile(path, snapshotPayload, err))
+            return false;
+    }
+    snaps_total.add(1);
+
+    if (!writer_.openSegment(next, 0, err))
+        return false;
+    if (!writer_.append(RecordKind::Epoch, epochPayload))
+        return false;
+    if (!writer_.sync())
+        return false;
+
+    // Compaction: everything older than the new snapshot is dead.
+    std::error_code ec;
+    for (const auto &[index, old] : listSegments(cfg_.dir))
+        if (index < next)
+            std::filesystem::remove(old, ec);
+    for (const auto &[index, old] : listSnapshots(cfg_.dir))
+        if (index < next)
+            std::filesystem::remove(old, ec);
+    refreshGauges();
+    return true;
+}
+
+void
+DurableLog::refreshGauges()
+{
+    static obs::Gauge &segments = obs::gauge(
+        "sleuth_wal_segments", "WAL segments in the data directory");
+    static obs::Gauge &snapshots = obs::gauge(
+        "sleuth_durable_snapshots",
+        "Snapshot files in the data directory");
+    static obs::Gauge &open_bytes = obs::gauge(
+        "sleuth_wal_open_segment_bytes",
+        "Bytes in the currently open WAL segment");
+    segments.set(static_cast<int64_t>(listSegments(cfg_.dir).size()));
+    snapshots.set(static_cast<int64_t>(listSnapshots(cfg_.dir).size()));
+    open_bytes.set(static_cast<int64_t>(writer_.segmentBytes()));
+}
+
+} // namespace sleuth::durable

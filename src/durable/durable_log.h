@@ -1,0 +1,121 @@
+#pragma once
+
+/**
+ * @file
+ * DurableLog: the data-directory manager stitching WAL segments and
+ * snapshot files into one recoverable log (DESIGN.md §3.15).
+ *
+ * A data directory holds `wal-<n>.log` segments and `snap-<n>.snap`
+ * snapshots, where snapshot n captures the full serving state at the
+ * instant segment n was opened. The invariants:
+ *
+ *  - recovery state = newest valid snapshot n (or empty when none)
+ *    + replay of the frame prefixes of segments n, n+1, ... in order;
+ *  - every segment opens with an Epoch record, so the log is
+ *    self-describing even without a snapshot;
+ *  - rotateWithSnapshot() writes snap-(k+1), opens segment k+1, and
+ *    deletes everything older — compaction is just rotation;
+ *  - after a crash, openForAppend() truncates the tail segment to its
+ *    scanned valid prefix before appending, so a torn frame can never
+ *    precede a fresh one.
+ *
+ * The serving layer owns what the bytes mean; this class only owns
+ * which files exist, where appends go, and what a recovery must read.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wal.h"
+
+namespace sleuth::durable {
+
+/** Durability settings for one data directory. */
+struct DurableConfig
+{
+    /** Data directory (created if missing). */
+    std::string dir;
+    /** When appended frames reach the disk. */
+    FsyncPolicy fsyncPolicy = FsyncPolicy::Group;
+    /** Snapshot + rotate every N poll commits (0 = never). */
+    uint64_t snapshotEveryPolls = 0;
+};
+
+/** Everything a replay needs, produced by DurableLog::recover(). */
+struct RecoveredLog
+{
+    /** True when a valid snapshot was found. */
+    bool hasSnapshot = false;
+    /** Index of the snapshot used (segments >= this were scanned). */
+    uint64_t snapshotIndex = 0;
+    /** The snapshot's opaque payload (empty without a snapshot). */
+    std::string snapshotPayload;
+    /** Valid frames of the replayed segments, in append order. */
+    std::vector<WalFrame> frames;
+    /** True when at least one WAL segment exists in the range. */
+    bool haveSegments = false;
+    /** Segment the next append continues (last replayed segment). */
+    uint64_t appendSegmentIndex = 0;
+    /** Valid-prefix length the append segment is truncated to. */
+    uint64_t appendTruncateTo = 0;
+    /** Corrupt snapshots passed over (newest-first search). */
+    uint64_t snapshotsSkipped = 0;
+    /** Segments whose tail was torn or corrupt. */
+    uint64_t tornSegments = 0;
+    /** Segments after a torn one — stale, deleted on openForAppend. */
+    std::vector<std::string> stalePaths;
+};
+
+/** Manages one data directory's segments, snapshots, and rotation. */
+class DurableLog
+{
+  public:
+    explicit DurableLog(DurableConfig cfg);
+
+    /**
+     * Scan the directory without modifying it: pick the newest valid
+     * snapshot, scan the segments at or after it, and return the
+     * replayable frame sequence. Also bumps the recovery counters.
+     */
+    RecoveredLog recover();
+
+    /**
+     * Open the log for appending after a recover(): truncate the tail
+     * segment to its valid prefix and continue it, or create segment
+     * `snapshotIndex` fresh (writing `epochPayload` as its Epoch
+     * record). Deletes any stale segments the scan flagged.
+     */
+    bool openForAppend(const RecoveredLog &recovered,
+                       std::string_view epochPayload, std::string *err);
+
+    /** Append one record to the open segment. */
+    bool append(RecordKind kind, std::string_view payload);
+
+    /** Group-commit point (fsync under the Group policy). */
+    bool commit();
+
+    /**
+     * Write `snapshotPayload` as snap-(k+1), rotate to segment k+1
+     * (whose first record is `epochPayload`), and delete all older
+     * segments and snapshots. The log compacts to snapshot + one
+     * near-empty segment.
+     */
+    bool rotateWithSnapshot(const std::string &snapshotPayload,
+                            std::string_view epochPayload,
+                            std::string *err);
+
+    bool isOpen() const { return writer_.isOpen(); }
+    uint64_t segmentIndex() const { return writer_.segmentIndex(); }
+    uint64_t segmentBytes() const { return writer_.segmentBytes(); }
+    const DurableConfig &config() const { return cfg_; }
+
+  private:
+    void refreshGauges();
+
+    DurableConfig cfg_;
+    WalWriter writer_;
+};
+
+} // namespace sleuth::durable

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Snapshot files: one whole serving-state image per file, written
+ * atomically and validated end-to-end on read (DESIGN.md §3.15).
+ *
+ * On-disk layout, little-endian:
+ *
+ *     [8B magic "SLTHSNAP"][u32 version][u64 payloadLen]
+ *     [u32 crc32c(payload)][payload]
+ *
+ * The payload is the durable serving state serialized by the online
+ * layer (store columns + interner + detector + incidents + counters);
+ * this module treats it as opaque bytes. Writes go to a `.tmp` sibling
+ * first, fsync the file and its directory, then rename into place —
+ * so a snapshot either exists completely or not at all, and recovery
+ * never has to reason about half-written snapshots (a corrupt one
+ * simply fails validation and the next older snapshot is used).
+ *
+ * Snapshots are named `snap-<index>.snap` where <index> is the WAL
+ * segment index opened immediately after the snapshot was taken:
+ * recovery = newest valid snapshot + replay of segments >= its index.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace sleuth::durable {
+
+/** Current snapshot payload format version. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/**
+ * Write `payload` as a snapshot file at `path` (tmp + fsync + rename).
+ * False (with `err` set) on any I/O failure.
+ */
+bool writeSnapshotFile(const std::string &path,
+                       const std::string &payload, std::string *err);
+
+/**
+ * Read and validate a snapshot file: magic, version, length, CRC.
+ * False when missing or corrupt (`err` says why); `payload` is only
+ * written on success.
+ */
+bool readSnapshotFile(const std::string &path, std::string *payload,
+                      std::string *err);
+
+} // namespace sleuth::durable

@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Write-ahead log: append-only segments of length-prefixed CRC32C
+ * frames (DESIGN.md §3.15).
+ *
+ * Frame layout on disk:
+ *
+ *     [u32 bodyLen][u32 crc32c(body)][body = u8 kind + payload]
+ *
+ * all little-endian. A segment is a sequence of frames named
+ * `wal-<index>.log`; the serving layer rotates to a new segment
+ * whenever it writes a snapshot, so recovery replays only the
+ * segments at or after the newest valid snapshot's index.
+ *
+ * Reading is strictly prefix-valid: scanSegment() walks frames until
+ * the first violation — a header that does not fit, a body length
+ * exceeding the remaining bytes or the sanity cap, a CRC mismatch, an
+ * unknown record kind — and reports everything before it as the valid
+ * prefix plus the reason the walk stopped. A torn tail (the normal
+ * crash artifact) and a flipped byte are indistinguishable by design:
+ * both truncate the log at the last intact frame, and the replay layer
+ * above additionally discards any trailing frames that were not sealed
+ * by a PollMarker (poll-atomic recovery).
+ *
+ * Durability policy: Always fsyncs after every append (one syscall per
+ * record), Group fsyncs only on sync() — the serving layer calls it
+ * once per poll commit — and Off never fsyncs (tests, tmpfs CI legs,
+ * throughput ablations).
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleuth::durable {
+
+/** WAL record kinds (the body's leading byte). */
+enum class RecordKind : uint8_t {
+    /**
+     * Segment epoch marker: first record of every segment. Carries the
+     * format version, the segment index, and the serving-layer
+     * configuration a config-free reader (CLI inspect/compact) needs
+     * to replay the log.
+     */
+    Epoch = 1,
+    /** Strings newly interned since the last commit, in id order. */
+    InternerDelta = 2,
+    /** Trace records admitted to the store this poll, in id order. */
+    SpanBatch = 3,
+    /** Record ids evicted by retention this poll (one summarized
+        record per poll, not one per eviction). */
+    Eviction = 4,
+    /** Full serialized incident (index + state) after a change. */
+    IncidentUpdate = 5,
+    /** Poll commit seal: watermark, high-water record id, counters.
+        Replay applies a poll's records atomically when it arrives. */
+    PollMarker = 6,
+};
+
+/** Render a record kind name ("epoch", "span-batch", ...). */
+const char *toString(RecordKind kind);
+
+/** True when the byte names a known record kind. */
+bool validRecordKind(uint8_t kind);
+
+/** When appended frames reach the disk. */
+enum class FsyncPolicy { Always, Group, Off };
+
+/** Render a policy name ("always" / "group" / "off"). */
+const char *toString(FsyncPolicy policy);
+
+/** Parse a policy name; false when unrecognized. */
+bool fsyncPolicyFromString(std::string_view name, FsyncPolicy *out);
+
+/** One decoded frame. */
+struct WalFrame
+{
+    RecordKind kind = RecordKind::Epoch;
+    std::string payload;
+    /** Byte offset of the frame header within its segment. */
+    uint64_t offset = 0;
+};
+
+/** Result of walking one segment's valid prefix. */
+struct SegmentScan
+{
+    std::vector<WalFrame> frames;
+    /** Length of the clean frame prefix (a safe truncation point). */
+    uint64_t validBytes = 0;
+    /** Total file length. */
+    uint64_t fileBytes = 0;
+    /** True when bytes past validBytes exist (torn or corrupt tail). */
+    bool torn = false;
+    /** Why the walk stopped early (empty on a clean EOF). */
+    std::string tornReason;
+};
+
+/** Decode a segment's valid frame prefix (missing file = empty ok). */
+SegmentScan scanSegment(const std::string &path);
+
+/** Canonical file names: "wal-%010u.log" / "snap-%010u.snap". */
+std::string segmentFileName(uint64_t index);
+std::string snapshotFileName(uint64_t index);
+
+/** (index, path) of every WAL segment in a directory, index order. */
+std::vector<std::pair<uint64_t, std::string>>
+listSegments(const std::string &dir);
+
+/** (index, path) of every snapshot in a directory, index order. */
+std::vector<std::pair<uint64_t, std::string>>
+listSnapshots(const std::string &dir);
+
+/** Encode one frame (header + body) as it would land on disk. */
+std::string encodeFrame(RecordKind kind, std::string_view payload);
+
+/** Appends frames to one segment at a time under an fsync policy. */
+class WalWriter
+{
+  public:
+    WalWriter(std::string dir, FsyncPolicy policy);
+    ~WalWriter();
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+
+    /**
+     * Open segment `index` for appending, creating it if missing. An
+     * existing file is truncated to `truncateTo` first (recovery passes
+     * the scanned valid prefix so a torn tail never precedes fresh
+     * frames). Closes any previously open segment.
+     */
+    bool openSegment(uint64_t index, uint64_t truncateTo,
+                     std::string *err);
+
+    /** Append one frame; fsyncs when the policy is Always. */
+    bool append(RecordKind kind, std::string_view payload);
+
+    /** Group-commit point: fsync unless the policy is Off. */
+    bool sync();
+
+    /** Close the current segment (final fsync per policy). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    uint64_t segmentIndex() const { return index_; }
+    uint64_t segmentBytes() const { return bytes_; }
+    FsyncPolicy policy() const { return policy_; }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    bool fsyncNow();
+
+    std::string dir_;
+    FsyncPolicy policy_;
+    int fd_ = -1;
+    uint64_t index_ = 0;
+    uint64_t bytes_ = 0;
+};
+
+} // namespace sleuth::durable

@@ -176,4 +176,46 @@ StormDetector::stormingEndpoints() const
     return out;
 }
 
+void
+StormDetector::encodeState(util::BinaryWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(endpoints_.size()));
+    for (const auto &[name, ep] : endpoints_) {
+        w.str(name);
+        w.u8(ep.storming ? 1 : 0);
+        w.u32(static_cast<uint32_t>(ep.ring.size()));
+        for (const Bucket &b : ep.ring) {
+            w.i64(b.index);
+            w.u64(b.count);
+            w.u64(b.anomalous);
+            w.u64(b.errors);
+            b.latency.encode(w);
+        }
+    }
+}
+
+bool
+StormDetector::decodeState(util::BinaryReader &r)
+{
+    endpoints_.clear();
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        std::string name = r.str();
+        Endpoint ep;
+        ep.storming = r.u8() != 0;
+        uint32_t slots = r.u32();
+        ep.ring.resize(slots);
+        for (Bucket &b : ep.ring) {
+            b.index = r.i64();
+            b.count = r.u64();
+            b.anomalous = r.u64();
+            b.errors = r.u64();
+            if (!b.latency.decode(r))
+                return false;
+        }
+        endpoints_.emplace(std::move(name), std::move(ep));
+    }
+    return r.ok();
+}
+
 } // namespace sleuth::online

@@ -113,6 +113,16 @@ class StormDetector
     /** Endpoints currently in storm (lexicographic). */
     std::vector<std::string> stormingEndpoints() const;
 
+    /**
+     * Serialize every endpoint's ring + storm flag (durable store).
+     * The config is NOT encoded — recovery constructs the detector
+     * from the service configuration and decodes state into it.
+     */
+    void encodeState(util::BinaryWriter &w) const;
+
+    /** Inverse of encodeState(); false on short/invalid input. */
+    bool decodeState(util::BinaryReader &r);
+
   private:
     /**
      * Empty-slot sentinel. INT64_MIN is unreachable as a real bucket

@@ -20,6 +20,7 @@
 
 #include "core/pipeline.h"
 #include "trace/trace.h"
+#include "util/binary.h"
 #include "util/json.h"
 
 namespace sleuth::online {
@@ -77,5 +78,17 @@ const char *toString(Incident::State s);
 
 /** Serialize an incident (traces reduced to ids; verdicts inline). */
 util::Json toJson(const Incident &incident);
+
+/**
+ * Serialize the complete incident — lifecycle, trace snapshots, the
+ * full pipeline result, ranking, latency accounting — for the durable
+ * store (DESIGN.md §3.15). Recovery restores incidents verbatim from
+ * these records instead of re-running the RCA, so a recovered daemon
+ * reports bitwise-identical verdicts without the model loaded.
+ */
+void encodeIncident(util::BinaryWriter &w, const Incident &incident);
+
+/** Inverse of encodeIncident(); false on short/invalid input. */
+bool decodeIncident(util::BinaryReader &r, Incident *incident);
 
 } // namespace sleuth::online

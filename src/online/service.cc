@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <climits>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -235,6 +236,14 @@ OnlineService::absorb(std::vector<trace::Trace> traces)
         last_record_id_ =
             store_.insert(std::move(t), prof.sloUs, prof.flowIndex);
         ++traces_stored_;
+        // Capture the record's bytes while it is guaranteed live (a
+        // record is never evicted during its own insert; see the
+        // poll_batch_ comment in service.h).
+        if (durable_log_) {
+            appendSpanBatchRecord(poll_batch_,
+                                  store_.at(last_record_id_));
+            ++poll_batch_count_;
+        }
 
         detector_.observe(obs);
     }
@@ -298,7 +307,10 @@ OnlineService::poll(int64_t nowUs)
     pendingTraces.set(static_cast<int64_t>(pending_traces));
     lag.set(nowUs - watermark_);
     stored.set(static_cast<int64_t>(store_.size()));
-    return evaluate(watermark_);
+    std::vector<size_t> changed = evaluate(watermark_);
+    if (durable_log_)
+        commitPoll(changed);
+    return changed;
 }
 
 std::vector<size_t>
@@ -338,12 +350,21 @@ OnlineService::drainAll(int64_t nowUs)
     std::sort(changed.begin(), changed.end());
     changed.erase(std::unique(changed.begin(), changed.end()),
                   changed.end());
+    // The flush + resolution sweep is one more commit group (poll()
+    // above already sealed its own). Re-logging an incident already
+    // updated this call is an idempotent overwrite on replay.
+    if (durable_log_)
+        commitPoll(changed);
     return changed;
 }
 
 std::vector<size_t>
 OnlineService::evaluate(int64_t watermark_us)
 {
+    // Storm hysteresis makes the flags depend on the whole advance
+    // sequence, so each advance is journaled for the poll marker.
+    if (durable_log_)
+        pending_advances_.push_back(watermark_us);
     std::vector<StormTransition> transitions =
         detector_.advance(watermark_us);
     std::vector<size_t> changed;
@@ -556,6 +577,148 @@ OnlineService::analyzeIncident(Incident *incident, int64_t watermark_us)
         "sleuth_service_incident_rca_ms",
         "Incident-scoped RCA wall-clock milliseconds");
     rcaMs.record(incident->rcaMillis);
+}
+
+RecoveryInfo
+OnlineService::enableDurability(const durable::DurableConfig &cfg,
+                                const RecoverOptions &opts)
+{
+    SLEUTH_ASSERT(durable_log_ == nullptr,
+                  "durability is already enabled");
+    SLEUTH_ASSERT(traces_stored_ == 0 && store_.size() == 0 &&
+                      incidents_.empty(),
+                  "enable durability on a fresh service, before "
+                  "any ingest");
+
+    auto log = std::make_unique<durable::DurableLog>(cfg);
+    durable::RecoveredLog recovered = log->recover();
+
+    RecoveryInfo info;
+    auto t0 = std::chrono::steady_clock::now();
+    DurableServingState state =
+        replayRecoveredLog(recovered, config_.detector, opts, &info);
+    auto t1 = std::chrono::steady_clock::now();
+    static obs::Histogram &recoveryMs = obs::histogram(
+        "sleuth_recovery_ms",
+        "Durable recovery wall-clock milliseconds (scan + replay)");
+    recoveryMs.record(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (!info.ok)
+        return info;
+
+    // Install the recovered state wholesale: the replayed store owns
+    // its own interner and the detector its rebuilt rings. Eviction
+    // tracking goes on BEFORE the retention policy is re-applied so a
+    // config shrink's evictions land in the first commit group.
+    store_ = std::move(state.store);
+    store_.trackEvictions(true);
+    store_.setRetention(config_.retention);
+    detector_ = std::move(state.detector);
+    incidents_ = std::move(state.incidents);
+    watermark_ = state.watermarkUs;
+    traces_stored_ = state.tracesStored;
+    last_record_id_ = state.lastRecordId;
+    interner_logged_ = store_.interner()->size();
+
+    // Late-span semantics must survive the restart: a committed poll
+    // at nowUs left every assembler's watermark at nowUs - latenessUs,
+    // which is exactly the watermark the marker recorded. Seed the
+    // fresh assemblers' clocks from it so a span the crashed process
+    // would have rejected as late (at-least-once upstreams redeliver
+    // the tail, stragglers included) is rejected identically here.
+    if (watermark_ != std::numeric_limits<int64_t>::min())
+        for (auto &shard : shards_)
+            shard->assembler.drain(watermark_ +
+                                   config_.assembler.latenessUs);
+
+    std::string err;
+    if (!log->openForAppend(recovered,
+                            encodeEpochPayload(config_.detector),
+                            &err)) {
+        info.ok = false;
+        info.error = "open for append failed: " + err;
+        return info;
+    }
+    durable_log_ = std::move(log);
+    return info;
+}
+
+bool
+OnlineService::snapshotNow(std::string *err)
+{
+    SLEUTH_ASSERT(durable_log_ != nullptr,
+                  "snapshotNow requires durability to be enabled");
+    std::string payload = encodeSnapshotPayload(
+        store_, config_.detector, detector_, incidents_, watermark_,
+        traces_stored_, last_record_id_);
+    std::string e;
+    if (!durable_log_->rotateWithSnapshot(
+            payload, encodeEpochPayload(config_.detector), &e)) {
+        util::warn("snapshot rotation failed: ", e);
+        if (err != nullptr)
+            *err = std::move(e);
+        return false;
+    }
+    polls_since_snapshot_ = 0;
+    return true;
+}
+
+uint64_t
+OnlineService::servingFingerprint() const
+{
+    return servingStateFingerprint(store_, detector_, incidents_,
+                                   watermark_, traces_stored_,
+                                   last_record_id_);
+}
+
+void
+OnlineService::commitPoll(const std::vector<size_t> &changed)
+{
+    // One commit group, in replay order: vocabulary first (the span
+    // batch's raw u32 ids reference it), then the batch, the eviction
+    // summary, incident updates, and the sealing marker. The group
+    // fsync (policy=group) lands on the marker via commit().
+    const auto &interner = store_.interner();
+    size_t interned = interner->size();
+    if (interned > interner_logged_) {
+        durable_log_->append(
+            durable::RecordKind::InternerDelta,
+            encodeInternerDeltaPayload(
+                static_cast<uint32_t>(interner_logged_),
+                interner->namesFrom(interner_logged_)));
+        interner_logged_ = interned;
+    }
+    if (poll_batch_count_ > 0) {
+        durable_log_->append(durable::RecordKind::SpanBatch,
+                             poll_batch_.take());
+        poll_batch_count_ = 0;
+    }
+    std::vector<size_t> evicted = store_.takeRecentEvictions();
+    if (!evicted.empty())
+        durable_log_->append(durable::RecordKind::Eviction,
+                             encodeEvictionPayload(evicted));
+    for (size_t index : changed)
+        durable_log_->append(
+            durable::RecordKind::IncidentUpdate,
+            encodeIncidentUpdatePayload(index, incidents_[index]));
+
+    PollMarkerPayload marker;
+    marker.watermarkUs = watermark_;
+    marker.lastRecordId = last_record_id_;
+    marker.tracesStored = traces_stored_;
+    marker.storeRecords = store_.size();
+    marker.storeSpans = store_.totalSpans();
+    marker.internerSize = interner->size();
+    marker.advanceWatermarks = std::move(pending_advances_);
+    pending_advances_.clear();
+    durable_log_->append(durable::RecordKind::PollMarker,
+                         encodePollMarkerPayload(marker));
+    durable_log_->commit();
+
+    ++polls_since_snapshot_;
+    uint64_t every = durable_log_->config().snapshotEveryPolls;
+    if (every > 0 && polls_since_snapshot_ >= every)
+        snapshotNow();
 }
 
 size_t

@@ -59,8 +59,10 @@
 #include "core/pipeline_cache.h"
 #include "online/assembler.h"
 #include "online/detector.h"
+#include "online/durable_state.h"
 #include "online/incident.h"
 #include "storage/trace_store.h"
+#include "util/binary.h"
 #include "util/json.h"
 #include "util/mpsc_ring.h"
 
@@ -228,6 +230,33 @@ class OnlineService
     /** The incremental pipeline cache (hit/miss/invalidation stats). */
     const core::PipelineCache &cache() const { return cache_; }
 
+    /**
+     * Attach a durable store (DESIGN.md §3.15): recover whatever the
+     * data directory holds (newest valid snapshot + committed WAL
+     * polls), install the recovered state, and open the log for
+     * appending. Must be called on a fresh service, before any
+     * ingest. From then on every poll seals one commit group —
+     * interner delta, span batch, eviction summary, incident updates,
+     * poll marker — and the configured fsync policy decides when it
+     * reaches disk. Returns what the recovery did; when `!info.ok`
+     * the service is left non-durable and untouched.
+     */
+    RecoveryInfo enableDurability(const durable::DurableConfig &cfg,
+                                  const RecoverOptions &opts = {});
+
+    /**
+     * Snapshot the full serving state now and compact the log: writes
+     * snap-(k+1), rotates to segment k+1, deletes everything older.
+     * Also runs automatically every `snapshotEveryPolls` commits.
+     */
+    bool snapshotNow(std::string *err = nullptr);
+
+    /** True when a durable log is attached. */
+    bool durable() const { return durable_log_ != nullptr; }
+
+    /** Exact serving-state fingerprint (recovery equality checks). */
+    uint64_t servingFingerprint() const;
+
   private:
     /** One ring entry: the event plus its precomputed trace-id hash
         (computed once in ingest(), reused by the sample policy). */
@@ -285,6 +314,9 @@ class OnlineService
      */
     void analyzeIncident(Incident *incident, int64_t watermark_us);
 
+    /** Seal and (per policy) fsync this poll's WAL commit group. */
+    void commitPoll(const std::vector<size_t> &changed);
+
     OnlineConfig config_;
     core::SleuthPipeline pipeline_;
     core::PipelineCache cache_;
@@ -298,6 +330,25 @@ class OnlineService
     size_t obs_ingested_flushed_ = 0;
     /** Id of the most recently stored record (snapshot high-water). */
     size_t last_record_id_ = 0;
+
+    /** Durable store (null until enableDurability()). */
+    std::unique_ptr<durable::DurableLog> durable_log_;
+    /**
+     * This poll's SpanBatch payload under construction. Records are
+     * captured at insert time, not at commit: retention triggered by a
+     * later insert in the same poll can evict an earlier record of the
+     * poll, whose columns would be gone by commit time. Replay
+     * restores all then re-applies the logged evictions — same final
+     * state either way.
+     */
+    util::BinaryWriter poll_batch_;
+    size_t poll_batch_count_ = 0;
+    /** Interner size already covered by logged deltas/snapshot. */
+    size_t interner_logged_ = 0;
+    /** Detector advances since the last commit (see PollMarker). */
+    std::vector<int64_t> pending_advances_;
+    /** Commits since the last snapshot rotation. */
+    uint64_t polls_since_snapshot_ = 0;
 };
 
 } // namespace sleuth::online

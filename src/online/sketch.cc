@@ -113,4 +113,37 @@ QuantileSketch::clear()
     buckets_.clear();
 }
 
+void
+QuantileSketch::encode(util::BinaryWriter &w) const
+{
+    w.f64(alpha_);
+    w.u64(max_buckets_);
+    w.u64(count_);
+    w.u64(zero_count_);
+    w.u32(static_cast<uint32_t>(buckets_.size()));
+    for (const auto &[idx, n] : buckets_) {
+        w.i64(idx);
+        w.u64(n);
+    }
+}
+
+bool
+QuantileSketch::decode(util::BinaryReader &r)
+{
+    double alpha = r.f64();
+    uint64_t maxBuckets = r.u64();
+    if (!r.ok() || alpha <= 0.0 || alpha >= 1.0)
+        return false;
+    // The constructor owns the alpha -> gamma derivation.
+    *this = QuantileSketch(alpha, static_cast<size_t>(maxBuckets));
+    count_ = r.u64();
+    zero_count_ = r.u64();
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        int idx = static_cast<int>(r.i64());
+        buckets_[idx] = r.u64();
+    }
+    return r.ok();
+}
+
 } // namespace sleuth::online

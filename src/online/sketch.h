@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <map>
 
+#include "util/binary.h"
+
 namespace sleuth::online {
 
 /** A mergeable log-bucketed quantile sketch over non-negative values. */
@@ -70,6 +72,12 @@ class QuantileSketch
 
     /** Reset to empty. */
     void clear();
+
+    /** Serialize parameters + buckets (durable store). */
+    void encode(util::BinaryWriter &w) const;
+
+    /** Inverse of encode(); false on short/invalid input. */
+    bool decode(util::BinaryReader &r);
 
   private:
     int bucketIndex(double x) const;

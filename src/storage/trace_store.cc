@@ -39,6 +39,41 @@ TraceStore::insert(trace::Trace t, int64_t sloUs, int flowIndex)
     record.flowIndex = flowIndex;
     size_t id = next_id_++;
     record.id = id;
+    static obs::Counter &inserted = obs::counter(
+        "sleuth_store_inserted_records_total",
+        "Trace records inserted into trace stores");
+    inserted.add();
+    admitRecord(std::move(record));
+    enforceRetention(id);
+    return id;
+}
+
+void
+TraceStore::restoreRecord(trace::ColumnarTrace columns, int64_t sloUs,
+                          int flowIndex, size_t id)
+{
+    SLEUTH_ASSERT(columns.internerPtr() == interner_,
+                  "restored columns bound to a foreign interner");
+    SLEUTH_ASSERT(records_.count(id) == 0,
+                  "restoring an id that is already live");
+    Record record;
+    record.columns = std::move(columns);
+    record.sloUs = sloUs;
+    record.flowIndex = flowIndex;
+    record.id = id;
+    static obs::Counter &restored = obs::counter(
+        "sleuth_store_restored_records_total",
+        "Trace records re-admitted during durable-log replay");
+    restored.add();
+    admitRecord(std::move(record));
+    if (id >= next_id_)
+        next_id_ = id + 1;
+}
+
+void
+TraceStore::admitRecord(Record record)
+{
+    size_t id = record.id;
     record.traceIdHash = util::fnv1a(record.traceId());
     by_start_.emplace(record.startUs(), id);
     std::set<uint32_t> services;
@@ -48,13 +83,23 @@ TraceStore::insert(trace::Trace t, int64_t sloUs, int flowIndex)
     for (uint32_t svc : services)
         by_service_[svc].push_back(id);
     total_spans_ += record.spanCount();
-    static obs::Counter &inserted = obs::counter(
-        "sleuth_store_inserted_records_total",
-        "Trace records inserted into trace stores");
-    inserted.add();
     records_.emplace(id, std::move(record));
-    enforceRetention(id);
-    return id;
+}
+
+void
+TraceStore::evictById(size_t id)
+{
+    SLEUTH_ASSERT(records_.count(id) > 0,
+                  "evictById on an id that is not live");
+    evictOne(id);
+}
+
+std::vector<size_t>
+TraceStore::takeRecentEvictions()
+{
+    std::vector<size_t> out;
+    out.swap(recent_evictions_);
+    return out;
 }
 
 void
@@ -122,6 +167,8 @@ TraceStore::evictOne(size_t id)
         "Spans evicted by retention enforcement");
     records.add();
     spans.add(rec.spanCount());
+    if (track_evictions_)
+        recent_evictions_.push_back(id);
     records_.erase(rec_it);
 }
 
@@ -232,6 +279,77 @@ TraceStore::memoryBytes() const
                  ids.capacity() * sizeof(size_t);
     }
     return bytes;
+}
+
+void
+TraceStore::encodeState(util::BinaryWriter &w) const
+{
+    w.u64(next_id_);
+    w.u64(evictions_.records);
+    w.u64(evictions_.spans);
+
+    // Full vocabulary in id order: re-interning it in order on an
+    // empty interner reproduces every id, keeping the raw u32 column
+    // encodings below valid.
+    std::vector<std::string> names = interner_->namesFrom(0);
+    w.u32(static_cast<uint32_t>(names.size()));
+    for (const std::string &s : names)
+        w.str(s);
+
+    w.u32(static_cast<uint32_t>(records_.size()));
+    for (const auto &[id, rec] : records_) {
+        w.u64(id);
+        w.i64(rec.sloUs);
+        w.i64(rec.flowIndex);
+        rec.columns.encode(w);
+    }
+}
+
+bool
+TraceStore::decodeState(util::BinaryReader &r)
+{
+    SLEUTH_ASSERT(records_.empty() && interner_->size() == 0,
+                  "decodeState requires an empty store");
+    uint64_t nextId = r.u64();
+    EvictionStats evictions;
+    evictions.records = r.u64();
+    evictions.spans = r.u64();
+
+    uint32_t nNames = r.u32();
+    for (uint32_t i = 0; i < nNames && r.ok(); ++i) {
+        std::string s = r.str();
+        uint32_t id = interner_->intern(s);
+        if (id != i)
+            return false;
+    }
+    if (!r.ok())
+        return false;
+
+    uint32_t nRecords = r.u32();
+    for (uint32_t i = 0; i < nRecords && r.ok(); ++i) {
+        size_t id = r.u64();
+        int64_t sloUs = r.i64();
+        int flowIndex = static_cast<int>(r.i64());
+        trace::ColumnarTrace columns;
+        if (!columns.decode(r, interner_))
+            return false;
+        if (records_.count(id) > 0)
+            return false;
+        restoreRecord(std::move(columns), sloUs, flowIndex, id);
+    }
+    if (!r.ok())
+        return false;
+    next_id_ = nextId;
+    evictions_ = evictions;
+    return true;
+}
+
+uint64_t
+TraceStore::contentFingerprint() const
+{
+    util::BinaryWriter w;
+    encodeState(w);
+    return util::fnv1a(w.buffer());
 }
 
 } // namespace sleuth::storage

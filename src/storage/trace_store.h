@@ -28,6 +28,7 @@
 
 #include "trace/columnar.h"
 #include "trace/trace.h"
+#include "util/binary.h"
 
 namespace sleuth::storage {
 
@@ -190,6 +191,34 @@ class TraceStore
     size_t insert(trace::Trace t, int64_t sloUs = 0,
                   int flowIndex = -1);
 
+    /**
+     * Re-admit a record under its original id during durable-log
+     * replay (DESIGN.md §3.15). The columns must already be bound to
+     * this store's interner. Retention is NOT enforced: replay honors
+     * the retention the live run actually performed by applying the
+     * logged Eviction records through evictById() instead, which is
+     * what makes recovered state exact rather than re-derived.
+     */
+    void restoreRecord(trace::ColumnarTrace columns, int64_t sloUs,
+                       int flowIndex, size_t id);
+
+    /**
+     * Evict one live record by id (durable-log eviction replay).
+     * Updates every index and the cumulative eviction counters exactly
+     * as live retention enforcement does.
+     */
+    void evictById(size_t id);
+
+    /**
+     * When enabled, every eviction's record id is also appended to an
+     * internal journal drained by takeRecentEvictions() — the hook the
+     * serving layer uses to emit one summarized WAL record per poll.
+     */
+    void trackEvictions(bool enabled) { track_evictions_ = enabled; }
+
+    /** Drain the eviction journal (ids in eviction order). */
+    std::vector<size_t> takeRecentEvictions();
+
     /** Number of live (non-evicted) records. */
     size_t size() const { return records_.size(); }
 
@@ -224,11 +253,35 @@ class TraceStore
      */
     size_t memoryBytes() const;
 
+    /**
+     * Serialize the full store state (DESIGN.md §3.15): id allocator,
+     * eviction counters, the complete interner vocabulary in id order,
+     * and every record's columns in id order. decodeState() on an
+     * empty store is an exact inverse; the retention policy is not
+     * part of the state (the owner re-applies its configuration).
+     */
+    void encodeState(util::BinaryWriter &w) const;
+
+    /** Inverse of encodeState() into an empty store; false on short
+        or inconsistent input. */
+    bool decodeState(util::BinaryReader &r);
+
+    /**
+     * Exact content fingerprint: util::fnv1a over the encodeState()
+     * byte image. Covers record ids, columns, vocabulary, the id
+     * allocator, and eviction counters — two stores fingerprint equal
+     * iff a recovery reproduced the live store bitwise.
+     */
+    uint64_t contentFingerprint() const;
+
   private:
     /** Evict oldest records until the retention budget fits. */
     void enforceRetention(size_t protected_id);
 
     void evictOne(size_t id);
+
+    /** Index + admit a fully-formed record (shared insert/restore). */
+    void admitRecord(Record record);
 
     /** id -> record; a map so eviction can erase without moving ids. */
     std::map<size_t, Record> records_;
@@ -241,6 +294,9 @@ class TraceStore
     size_t next_id_ = 0;
     RetentionConfig retention_;
     EvictionStats evictions_;
+    /** Eviction journal for the durable layer (see trackEvictions). */
+    bool track_evictions_ = false;
+    std::vector<size_t> recent_evictions_;
 };
 
 } // namespace sleuth::storage

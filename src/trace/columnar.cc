@@ -85,6 +85,69 @@ SpanColumns::shrinkToFit()
     end_.shrink_to_fit();
 }
 
+namespace {
+
+/** Write a trivially-copyable vector as one contiguous raw block. */
+template <typename T>
+void
+encodeColumn(util::BinaryWriter &w, const std::vector<T> &v)
+{
+    w.bytes(std::string_view(reinterpret_cast<const char *>(v.data()),
+                             v.size() * sizeof(T)));
+}
+
+/** Read n elements of a raw column block into v; false when short. */
+template <typename T>
+bool
+decodeColumn(util::BinaryReader &r, std::vector<T> &v, size_t n)
+{
+    std::string_view raw = r.view(n * sizeof(T));
+    if (!r.ok())
+        return false;
+    v.resize(n);
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return true;
+}
+
+} // namespace
+
+void
+SpanColumns::encode(util::BinaryWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(size()));
+    w.str(arena_);
+    encodeColumn(w, span_id_);
+    encodeColumn(w, parent_id_);
+    encodeColumn(w, service_);
+    encodeColumn(w, name_);
+    encodeColumn(w, container_);
+    encodeColumn(w, pod_);
+    encodeColumn(w, node_);
+    encodeColumn(w, kind_);
+    encodeColumn(w, status_);
+    encodeColumn(w, start_);
+    encodeColumn(w, end_);
+}
+
+bool
+SpanColumns::decode(util::BinaryReader &r)
+{
+    clear();
+    size_t n = r.u32();
+    arena_ = r.str();
+    bool ok = r.ok() && decodeColumn(r, span_id_, n) &&
+              decodeColumn(r, parent_id_, n) &&
+              decodeColumn(r, service_, n) &&
+              decodeColumn(r, name_, n) &&
+              decodeColumn(r, container_, n) &&
+              decodeColumn(r, pod_, n) && decodeColumn(r, node_, n) &&
+              decodeColumn(r, kind_, n) && decodeColumn(r, status_, n) &&
+              decodeColumn(r, start_, n) && decodeColumn(r, end_, n);
+    if (!ok)
+        clear();
+    return ok;
+}
+
 size_t
 SpanColumns::memoryBytes() const
 {
@@ -147,6 +210,26 @@ ColumnarTrace::touchesService(uint32_t service_id) const
         if (svc[i] == service_id)
             return true;
     return false;
+}
+
+void
+ColumnarTrace::encode(util::BinaryWriter &w) const
+{
+    w.str(trace_id_);
+    w.i64(root_);
+    cols_.encode(w);
+}
+
+bool
+ColumnarTrace::decode(util::BinaryReader &r,
+                      std::shared_ptr<StringInterner> interner)
+{
+    SLEUTH_ASSERT(interner != nullptr,
+                  "ColumnarTrace::decode requires an interner");
+    trace_id_ = r.str();
+    root_ = static_cast<int>(r.i64());
+    interner_ = std::move(interner);
+    return cols_.decode(r) && r.ok();
 }
 
 size_t

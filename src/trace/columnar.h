@@ -28,6 +28,7 @@
 #include "trace/interner.h"
 #include "trace/span.h"
 #include "trace/trace.h"
+#include "util/binary.h"
 
 namespace sleuth::trace {
 
@@ -85,6 +86,18 @@ class SpanColumns
 
     void clear();
     void shrinkToFit();
+
+    /**
+     * Raw-column dump for the durable store (DESIGN.md §3.15): the
+     * arena plus every column as contiguous little-endian blocks.
+     * Interned u32 ids are written as-is, so the encoding is only
+     * meaningful against the same interner state (the durable layer
+     * serializes the vocabulary alongside and re-interns in id order).
+     */
+    void encode(util::BinaryWriter &w) const;
+
+    /** Inverse of encode(); false (and *this cleared) on short input. */
+    bool decode(util::BinaryReader &r);
 
     /** Estimated resident bytes (excludes the shared interner). */
     size_t memoryBytes() const;
@@ -167,6 +180,16 @@ class ColumnarTrace
 
     /** True when any span runs in the service with this interned id. */
     bool touchesService(uint32_t service_id) const;
+
+    /** Columnar dump for the durable store (id + columns + root). */
+    void encode(util::BinaryWriter &w) const;
+
+    /**
+     * Inverse of encode(), binding the result to `interner` (which
+     * must hold the vocabulary the columns were encoded against).
+     */
+    bool decode(util::BinaryReader &r,
+                std::shared_ptr<StringInterner> interner);
 
     /** Estimated resident bytes (excludes the shared interner). */
     size_t memoryBytes() const;

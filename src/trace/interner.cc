@@ -50,6 +50,19 @@ StringInterner::size() const
     return names_.size();
 }
 
+std::vector<std::string>
+StringInterner::namesFrom(size_t from) const
+{
+    std::shared_lock lock(mu_);
+    std::vector<std::string> out;
+    if (from >= names_.size())
+        return out;
+    out.reserve(names_.size() - from);
+    for (size_t i = from; i < names_.size(); ++i)
+        out.push_back(names_[i]);
+    return out;
+}
+
 size_t
 StringInterner::memoryBytes() const
 {

@@ -24,6 +24,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace sleuth::trace {
 
@@ -49,6 +50,16 @@ class StringInterner
 
     /** Number of distinct strings interned so far. */
     size_t size() const;
+
+    /**
+     * Copies of the strings with id >= from, in id order. The durable
+     * layer serializes the vocabulary with this: a snapshot dumps
+     * namesFrom(0) and a WAL commit dumps namesFrom(mark) for the
+     * strings interned since the last commit. Re-interning the dump in
+     * order on an interner of size `from` reproduces the exact ids,
+     * which keeps raw u32 column encodings valid across recovery.
+     */
+    std::vector<std::string> namesFrom(size_t from) const;
 
     /** Estimated resident bytes (strings + hash index). */
     size_t memoryBytes() const;

@@ -5,7 +5,12 @@
 # e2e_analyze_256_metrics_{on,off}_ms / _overhead_pct) and
 # BENCH_online.json (online serving layer: ingest throughput with and
 # without the obs metrics layer, detection latency, incident RCA
-# latency).
+# latency, and the durable-store rows — wal_append_spans_per_sec,
+# wal_fsync_{always,group,off}_spans_per_sec, snapshot_write_ms,
+# recovery_ms[_per_million_spans]; the suite exits nonzero if
+# fsync=group ingest falls below half the non-durable headline).
+# Durable scratch directories live under $TMPDIR; point it at tmpfs
+# to measure the WAL without the build disk in the loop.
 #
 # Usage: tools/run_benchmarks.sh [--soak] [build-dir]
 #

@@ -10,10 +10,13 @@
 #              (mpsc_ring_test's concurrent producer/drain hammer,
 #              online_service_test's 1/2/8-thread sweeps incl. the
 #              shed-policy and ring-full paths, campaign
-#              online-differential and drop-accounting), and the obs
+#              online-differential and drop-accounting), the obs
 #              metrics layer's sharded counter fold and per-slot
-#              histogram merge (obs_test, obs_determinism_test); it
-#              cannot be combined with ASan in one build.
+#              histogram merge (obs_test, obs_determinism_test), and
+#              the durable store's group-commit WAL writes from the
+#              poll loop (durable tests + the crash-recovery and
+#              wal-torn-tail campaign corpus); it cannot be combined
+#              with ASan in one build.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,6 +33,19 @@ cmake --build "$build_dir" -j "$(nproc)"
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=1" \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Durable-store leg: repeat the WAL/recovery slice with its scratch
+# directories on tmpfs. The WAL torture tests rewrite one small file
+# thousands of times; /dev/shm keeps the sanitized pass CPU-bound
+# instead of stalling on the build disk. (The full suite above already
+# ran these once under the default TMPDIR, so this leg is pure signal
+# on the I/O path.)
+if [ -w /dev/shm ]; then
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+    TMPDIR=/dev/shm \
+        ctest --test-dir "$build_dir" -L durable --output-on-failure
+fi
 
 # Second leg: the same sanitizer with the AVX2 kernel bodies compiled
 # out (-DSLEUTH_SIMD=OFF), proving the scalar mirrors and the

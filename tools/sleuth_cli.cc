@@ -24,6 +24,13 @@
 //             Ingest the traces (and, with a model, analyze the
 //             SLO-violating ones), then print the process metrics
 //             registry in Prometheus text exposition format.
+//   wal       --dir DIR [--verify] [--compact]
+//             Inspect a durable data directory (DESIGN.md §3.15):
+//             per-segment frame counts, CRC status, and record-kind
+//             histograms, snapshot validity, and a config-free replay
+//             summary. --verify exits non-zero on any corruption;
+//             --compact folds the whole log into a fresh snapshot +
+//             one near-empty segment.
 //
 // Trace files are JSON arrays of {"slo": us, "trace": {...}} records
 // (the "records" format) or bare arrays of traces (slo 0).
@@ -37,10 +44,13 @@
 
 #include "collector/collector.h"
 #include "core/anomaly.h"
+#include "durable/durable_log.h"
+#include "durable/snapshot.h"
 #include "obs/metrics.h"
 #include "core/counterfactual.h"
 #include "core/pipeline.h"
 #include "core/trainer.h"
+#include "online/durable_state.h"
 #include "sim/simulator.h"
 #include "synth/codegen.h"
 #include "synth/generator.h"
@@ -446,12 +456,124 @@ cmdMetrics(const Args &args)
     return 0;
 }
 
+// Parses its own argv: --verify/--compact are value-less flags, which
+// the shared Args parser (strictly --key value) does not model.
+int
+cmdWal(int argc, char **argv)
+{
+    std::string dir;
+    bool verify = false;
+    bool compact = false;
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--dir" && i + 1 < argc)
+            dir = argv[++i];
+        else if (a == "--verify")
+            verify = true;
+        else if (a == "--compact")
+            compact = true;
+        else
+            util::fatal("unknown wal option '", a,
+                        "' (want --dir DIR [--verify] [--compact])");
+    }
+    if (dir.empty())
+        util::fatal("wal requires --dir DIR");
+
+    bool corrupt = false;
+
+    // Per-segment valid-prefix scan + record-kind histogram.
+    for (const auto &[index, path] : durable::listSegments(dir)) {
+        durable::SegmentScan scan = durable::scanSegment(path);
+        std::map<std::string, size_t> kinds;
+        for (const durable::WalFrame &f : scan.frames)
+            ++kinds[durable::toString(f.kind)];
+        std::printf("segment %010llu: %zu frames, %llu/%llu bytes",
+                    static_cast<unsigned long long>(index),
+                    scan.frames.size(),
+                    static_cast<unsigned long long>(scan.validBytes),
+                    static_cast<unsigned long long>(scan.fileBytes));
+        if (scan.torn) {
+            std::printf("  TORN (%s)", scan.tornReason.c_str());
+            corrupt = true;
+        }
+        std::printf("\n ");
+        for (const auto &[kind, count] : kinds)
+            std::printf(" %s=%zu", kind.c_str(), count);
+        std::printf("\n");
+    }
+    for (const auto &[index, path] : durable::listSnapshots(dir)) {
+        std::string payload;
+        std::string err;
+        bool ok = durable::readSnapshotFile(path, &payload, &err);
+        std::printf("snapshot %010llu: %s (%zu bytes)\n",
+                    static_cast<unsigned long long>(index),
+                    ok ? "valid" : err.c_str(), payload.size());
+        if (!ok)
+            corrupt = true;
+    }
+
+    // Config-free replay: the epoch records / snapshot carry the
+    // detector configuration, so no model or service config is needed.
+    durable::DurableConfig cfg;
+    cfg.dir = dir;
+    online::RecoveryInfo info;
+    online::DurableServingState state =
+        online::recoverState(cfg, {}, &info);
+    if (!info.haveData) {
+        std::printf("replay: empty data directory\n");
+    } else if (info.ok) {
+        std::printf(
+            "replay: ok — snapshot=%s polls=%llu frames=%llu "
+            "discarded-tail=%llu -> %zu records / %zu spans, "
+            "%zu incidents, watermark %lld, store fingerprint "
+            "%016llx\n",
+            info.usedSnapshot ? "yes" : "no",
+            static_cast<unsigned long long>(info.pollsReplayed),
+            static_cast<unsigned long long>(info.framesReplayed),
+            static_cast<unsigned long long>(info.discardedTailFrames),
+            state.store.size(), state.store.totalSpans(),
+            state.incidents.size(),
+            static_cast<long long>(state.watermarkUs),
+            static_cast<unsigned long long>(
+                state.store.contentFingerprint()));
+    } else {
+        std::printf("replay: FAILED — %s\n", info.error.c_str());
+        corrupt = true;
+    }
+
+    if (compact) {
+        if (corrupt && !info.ok)
+            util::fatal("refusing to compact: the log does not "
+                        "replay cleanly");
+        if (!info.haveData) {
+            std::printf("nothing to compact\n");
+        } else {
+            durable::DurableLog log(cfg);
+            durable::RecoveredLog recovered = log.recover();
+            std::string epoch =
+                online::encodeEpochPayload(state.detectorConfig);
+            std::string err;
+            if (!log.openForAppend(recovered, epoch, &err))
+                util::fatal("cannot open log for compaction: ", err);
+            if (!log.rotateWithSnapshot(
+                    online::encodeSnapshotPayload(state), epoch, &err))
+                util::fatal("compaction failed: ", err);
+            std::printf("compacted -> snapshot %llu + segment %llu\n",
+                        static_cast<unsigned long long>(
+                            log.segmentIndex()),
+                        static_cast<unsigned long long>(
+                            log.segmentIndex()));
+        }
+    }
+    return verify && corrupt ? 1 : 0;
+}
+
 void
 usage()
 {
     std::printf(
         "usage: sleuth <generate|simulate|train|analyze|ingest|"
-        "metrics> [--opt value]...\n"
+        "metrics|wal> [--opt value]...\n"
         "  generate --rpcs N [--seed S] [--name NAME] [--out DIR]\n"
         "  simulate --config CONFIG.json --count N --out OUT.json\n"
         "           [--seed S] [--nodes K] [--chaos EXPECTED]\n"
@@ -465,7 +587,12 @@ usage()
         "  metrics  --traces IN.json [--model MODEL.json]\n"
         "           [--normal N.json] [--threads N] [--out FILE]\n"
         "           (ingest, optionally analyze, then print the\n"
-        "           Prometheus text exposition of process metrics)\n");
+        "           Prometheus text exposition of process metrics)\n"
+        "  wal      --dir DIR [--verify] [--compact]\n"
+        "           (inspect a durable data directory: segment CRC\n"
+        "           status, record-kind histograms, replay summary;\n"
+        "           --verify exits non-zero on corruption; --compact\n"
+        "           folds the log into a fresh snapshot)\n");
 }
 
 } // namespace
@@ -478,6 +605,8 @@ main(int argc, char **argv)
         return 2;
     }
     std::string cmd = argv[1];
+    if (cmd == "wal")
+        return cmdWal(argc, argv);
     Args args(argc, argv, 2);
     if (cmd == "generate")
         return cmdGenerate(args);

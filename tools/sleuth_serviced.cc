@@ -21,12 +21,23 @@
 //                   [--faults F] [--duplicate P] [--max-spans BUDGET]
 //                   [--ring-capacity SPANS] [--shed-budget SPANS]
 //                   [--shed-policy drop-newest|drop-oldest|sample]
+//                   [--data-dir DIR] [--fsync-policy always|group|off]
+//                   [--snapshot-every POLLS]
 //                   [--out METRICS.json]
 //                   [--metrics-text FILE] [--metrics-every POLLS]
 //
 // --ring-capacity bounds each ingest shard's MPSC ring (DESIGN.md
 // §3.13); --shed-budget caps the spans a shard admits per poll, the
 // excess shed deterministically by --shed-policy.
+//
+// --data-dir enables the durable store (DESIGN.md §3.15): on startup
+// the daemon auto-recovers whatever the directory holds (newest valid
+// snapshot + committed WAL polls) and from then on every poll seals
+// one group-committed, CRC32C-checksummed commit group. --fsync-policy
+// picks when frames reach disk (default group: one fsync per poll);
+// --snapshot-every rotates the log into a fresh snapshot every N poll
+// commits (0 = never; the WAL then grows unbounded until a manual
+// `sleuth wal --compact`).
 
 #include <cstdio>
 #include <fstream>
@@ -34,6 +45,7 @@
 #include <string>
 
 #include "chaos/fault.h"
+#include "durable/durable_log.h"
 #include "eval/harness.h"
 #include "obs/metrics.h"
 #include "online/live_source.h"
@@ -106,6 +118,16 @@ main(int argc, char **argv)
     if (!online::shedPolicyFromString(shed_policy_name, &shed_policy))
         util::fatal("unknown --shed-policy '", shed_policy_name,
                     "' (want drop-newest, drop-oldest, or sample)");
+    std::string data_dir = strArg(argc, argv, "--data-dir", "");
+    std::string fsync_policy_name =
+        strArg(argc, argv, "--fsync-policy", "group");
+    durable::FsyncPolicy fsync_policy;
+    if (!durable::fsyncPolicyFromString(fsync_policy_name,
+                                        &fsync_policy))
+        util::fatal("unknown --fsync-policy '", fsync_policy_name,
+                    "' (want always, group, or off)");
+    uint64_t snapshot_every = static_cast<uint64_t>(
+        intArg(argc, argv, "--snapshot-every", 64));
     std::string out = strArg(argc, argv, "--out", "");
     std::string metrics_text =
         strArg(argc, argv, "--metrics-text", "");
@@ -160,6 +182,36 @@ main(int argc, char **argv)
     online::OnlineService service(adapter.model(), adapter.encoder(),
                                   adapter.profile(), cfg);
 
+    if (!data_dir.empty()) {
+        durable::DurableConfig dcfg;
+        dcfg.dir = data_dir;
+        dcfg.fsyncPolicy = fsync_policy;
+        dcfg.snapshotEveryPolls = snapshot_every;
+        online::RecoveryInfo rec = service.enableDurability(dcfg);
+        if (!rec.ok)
+            util::fatal("durable recovery failed: ", rec.error);
+        if (rec.haveData)
+            std::printf(
+                "recovered %s: snapshot=%s polls=%llu frames=%llu "
+                "discarded-tail=%llu torn-segments=%llu -> %zu traces, "
+                "%zu incidents, watermark %lld\n",
+                data_dir.c_str(), rec.usedSnapshot ? "yes" : "no",
+                static_cast<unsigned long long>(rec.pollsReplayed),
+                static_cast<unsigned long long>(rec.framesReplayed),
+                static_cast<unsigned long long>(
+                    rec.discardedTailFrames),
+                static_cast<unsigned long long>(rec.tornSegments),
+                service.stats().tracesStored,
+                service.incidents().size(),
+                static_cast<long long>(service.watermarkUs()));
+        else
+            std::printf("durable store %s: fresh data directory "
+                        "(fsync=%s, snapshot-every=%llu)\n",
+                        data_dir.c_str(),
+                        durable::toString(fsync_policy),
+                        static_cast<unsigned long long>(snapshot_every));
+    }
+
     online::LiveSourceConfig live;
     live.seed = seed;
     live.requests = requests;
@@ -201,6 +253,13 @@ main(int argc, char **argv)
 
     // --- Report. ---
     util::Json doc = service.statsJson();
+    if (service.durable()) {
+        char fp[24];
+        std::snprintf(fp, sizeof fp, "%016llx",
+                      static_cast<unsigned long long>(
+                          service.servingFingerprint()));
+        doc.set("servingFingerprint", std::string(fp));
+    }
     doc.set("requests", run.requests);
     doc.set("spansDelivered", run.spansDelivered);
     doc.set("anomalousSimulated", run.anomalousSimulated);
