@@ -32,6 +32,7 @@
 #include "sim/simulator.h"
 #include "storage/trace_store.h"
 #include "synth/generator.h"
+#include "synth/infer.h"
 #include "trace/columnar.h"
 #include "util/json.h"
 #include "util/simd.h"
@@ -558,6 +559,38 @@ main(int argc, char **argv)
                     per_span_columnar, per_span_legacy,
                     per_span_legacy / per_span_columnar,
                     store.totalSpans());
+    }
+
+    // --- (g2) Trace-driven app inference over a 100k-span store. ---
+    // The profile-and-clone path: fill a store past 100k spans with
+    // simulated traffic, then time synth::inferAppModel reconstructing
+    // a full replayable AppConfig from it.
+    {
+        storage::TraceStore store;
+        sim::Simulator feed(app, cluster_model, {.seed = 23});
+        while (store.totalSpans() < 100'000) {
+            sim::SimResult r = feed.simulateOne();
+            store.insert(r.trace,
+                         app.flows[static_cast<size_t>(r.flowIndex)]
+                             .sloUs,
+                         r.flowIndex);
+        }
+        synth::InferStats stats;
+        synth::AppConfig inferred;
+        double ms = bestOfMs(3, [&] {
+            inferred = synth::inferAppModel(store, storage::Query{},
+                                            {}, &stats);
+        });
+        SLEUTH_ASSERT(!inferred.services.empty(),
+                      "inference must reconstruct the fixture app");
+        double spans = static_cast<double>(stats.spans);
+        rows.push_back({"infer_100k_spans_ms", ms, "ms"});
+        rows.push_back({"infer_spans_per_sec", spans / (ms / 1000.0),
+                        "spans/s"});
+        std::printf("infer: %zu traces / %zu spans -> %zu services, "
+                    "%zu flow shapes in %.1f ms\n",
+                    stats.tracesUsed, stats.spans,
+                    inferred.services.size(), stats.flowShapes, ms);
     }
 
     // --- (h) Int8 quantized embedding distance (ablation). ---

@@ -19,7 +19,9 @@
 #include "durable/durable_log.h"
 #include "online/durable_state.h"
 #include "online/service.h"
+#include "sim/simulator.h"
 #include "storage/trace_store.h"
+#include "synth/infer.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -1884,6 +1886,212 @@ checkIncrementalRepoll(const ScenarioRun &run, const CheckContext &)
     return pass();
 }
 
+// ---------------------------------------------------------------------
+// synth-clone-fidelity: profile the scenario's application from its
+// own healthy traces, reconstruct it via synth::inferAppModel, and
+// require the clone to reproduce the source's storm onset and RCA
+// verdict under the same network-delay fault, within declared
+// tolerances:
+//   - the clone validates, its JSON round trip is bitwise stable, and
+//     it invents no service the source does not have;
+//   - fault-free SLO-violation fraction <= 0.12 on both legs;
+//   - when the source leg storms (violation delta >= 0.10 over its
+//     healthy floor), the clone's delta must reach 35% of the
+//     source's (and at least 0.05);
+//   - the two legs' fault-phase violation fractions differ by <= 0.35;
+//   - when the source leg's top-3 aggregated root causes contain the
+//     faulted service, the clone leg's top-3 must too.
+// A network-delay fault is used because network hops are directly
+// inferable from span timestamps; per-call resources are not, so a
+// cpu/memory/disk stress would not transfer to the clone by design.
+
+InvariantResult
+checkSynthCloneFidelity(const ScenarioRun &run, const CheckContext &)
+{
+    const Scenario &s = run.scenario;
+
+    // --- Profile: a healthy corpus simulated from the source app. ---
+    const size_t kProfile = 300;
+    sim::Simulator profiler(run.app, *run.cluster,
+                            {.seed = s.seed ^ 0x1f2au});
+    std::vector<trace::Trace> profile;
+    std::vector<int64_t> profile_slos;
+    profile.reserve(kProfile);
+    for (size_t i = 0; i < kProfile; ++i) {
+        sim::SimResult r = profiler.simulateOne();
+        profile_slos.push_back(
+            run.app.flows[static_cast<size_t>(r.flowIndex)].sloUs);
+        profile.push_back(std::move(r.trace));
+    }
+
+    synth::InferOptions opts;
+    opts.name = run.app.name + "-clone";
+    synth::InferStats stats;
+    synth::AppConfig clone =
+        synth::inferAppModel(profile, profile_slos, opts, &stats);
+    if (stats.tracesUsed == 0)
+        return fail("inference consumed none of the " +
+                    std::to_string(kProfile) + " profiled traces");
+
+    // --- Structural fidelity. ---
+    std::string defect = clone.validationError();
+    if (!defect.empty())
+        return fail("inferred clone fails validation: " + defect);
+    std::string first = toJson(clone).dump(2);
+    std::string err;
+    util::Json doc = util::Json::parse(first, &err);
+    if (!err.empty())
+        return fail("clone JSON does not re-parse: " + err);
+    synth::AppConfig reloaded;
+    if (!synth::tryAppFromJson(doc, &reloaded, &err))
+        return fail("clone JSON does not reload: " + err);
+    if (toJson(reloaded).dump(2) != first)
+        return fail("clone JSON round trip is not bitwise stable");
+    std::set<std::string> source_names = run.serviceNames();
+    for (const synth::ServiceConfig &svc : clone.services)
+        if (source_names.count(svc.name) == 0)
+            return fail("clone invented service '" + svc.name + "'");
+
+    // --- Fault target: the service whose network legs touch the
+    // largest fraction of profiled traces (client side or non-root
+    // server side; ties break lexicographically). ---
+    std::map<std::string, size_t> touched;
+    for (const trace::Trace &t : profile) {
+        std::set<std::string> here;
+        for (const trace::Span &sp : t.spans) {
+            bool caller = sp.kind == trace::SpanKind::Client ||
+                          sp.kind == trace::SpanKind::Producer;
+            if (caller || !sp.parentSpanId.empty())
+                here.insert(sp.service);
+        }
+        for (const std::string &name : here)
+            ++touched[name];
+    }
+    std::string target;
+    size_t target_count = 0;
+    for (const auto &[name, count] : touched) {
+        if (count > target_count) {
+            target = name;
+            target_count = count;
+        }
+    }
+    if (target.empty())
+        return fail("no faultable service observed in the profile");
+    double affected =
+        static_cast<double>(target_count) / profile.size();
+
+    // All replicas of the target get the delay, per leg, using that
+    // leg's own replica count — the svc-ctr-N naming is stable across
+    // ClusterModel builds, so the plan transfers by construction.
+    auto planFor = [&](const synth::AppConfig &app) {
+        chaos::FaultPlan plan;
+        for (const synth::ServiceConfig &svc : app.services) {
+            if (svc.name != target)
+                continue;
+            for (int r = 0; r < svc.replicas; ++r) {
+                chaos::FaultSpec f;
+                f.type = chaos::FaultType::NetworkDelay;
+                f.scope = chaos::FaultScope::Container;
+                f.target = svc.name + "-ctr-" + std::to_string(r);
+                f.latencyMultiplier = 48.0;
+                plan.faults.push_back(std::move(f));
+            }
+        }
+        return plan;
+    };
+
+    sim::ClusterModel clone_cluster(clone, s.clusterNodes,
+                                    s.seed ^ 0xc1u);
+    sim::Simulator::calibrateSlos(clone, clone_cluster, 120, 99.0,
+                                  s.seed ^ 0xca1u);
+
+    // --- Measure one leg: healthy and fault-phase SLO-violation
+    // fractions plus a small anomalous sample for the RCA check. ---
+    struct Leg
+    {
+        double healthy = 0.0;
+        double faulty = 0.0;
+        std::vector<trace::Trace> anomalous;
+        std::vector<int64_t> anomalousSlos;
+    };
+    const size_t kLeg = 120;
+    auto measure = [&](const synth::AppConfig &app,
+                       const sim::ClusterModel &cluster) {
+        Leg leg;
+        sim::Simulator calm(app, cluster, {.seed = s.seed ^ 0x7ea1u});
+        size_t bad = 0;
+        for (size_t i = 0; i < kLeg; ++i) {
+            sim::SimResult r = calm.simulateOne();
+            int64_t slo =
+                app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+            if (r.violatesSlo(slo))
+                ++bad;
+        }
+        leg.healthy = static_cast<double>(bad) / kLeg;
+        sim::Simulator storm(app, cluster, {.seed = s.seed ^ 0x7ea2u},
+                             planFor(app));
+        bad = 0;
+        for (size_t i = 0; i < kLeg; ++i) {
+            sim::SimResult r = storm.simulateOne();
+            int64_t slo =
+                app.flows[static_cast<size_t>(r.flowIndex)].sloUs;
+            if (!r.violatesSlo(slo))
+                continue;
+            ++bad;
+            if (leg.anomalous.size() < 10) {
+                leg.anomalous.push_back(std::move(r.trace));
+                leg.anomalousSlos.push_back(slo);
+            }
+        }
+        leg.faulty = static_cast<double>(bad) / kLeg;
+        return leg;
+    };
+    Leg src = measure(run.app, *run.cluster);
+    Leg cln = measure(clone, clone_cluster);
+
+    // --- Storm-onset fidelity. ---
+    if (src.healthy > 0.12)
+        return fail("source healthy leg violates its own SLOs (" +
+                    std::to_string(src.healthy) + " > 0.12)");
+    if (cln.healthy > 0.12)
+        return fail("clone healthy leg violates its calibrated SLOs (" +
+                    std::to_string(cln.healthy) + " > 0.12)");
+    double src_delta = src.faulty - src.healthy;
+    double cln_delta = cln.faulty - cln.healthy;
+    if (src_delta >= 0.10 &&
+        cln_delta < std::max(0.05, 0.35 * src_delta))
+        return fail("source storms on '" + target + "' (delta " +
+                    std::to_string(src_delta) +
+                    ", affected fraction " + std::to_string(affected) +
+                    ") but the clone does not (delta " +
+                    std::to_string(cln_delta) + ")");
+    if (std::abs(src.faulty - cln.faulty) > 0.35)
+        return fail("fault-phase violation fractions diverge: source " +
+                    std::to_string(src.faulty) + " vs clone " +
+                    std::to_string(cln.faulty) + " (tolerance 0.35)");
+
+    // --- RCA-verdict fidelity: when the source leg's storm pins the
+    // faulted service in its top-3, the clone's storm must as well
+    // (same adapter: the clone emits the source's vocabulary). ---
+    core::PipelineConfig cfg = s.pipelineConfig();
+    cfg.clustering = false;
+    auto topkHasTarget = [&](const Leg &leg) {
+        core::PipelineResult res =
+            run.analyzeBatch(cfg, leg.anomalous, leg.anomalousSlos);
+        auto ranked = aggregateRootCauses(res);
+        for (size_t i = 0; i < ranked.size() && i < 3; ++i)
+            if (ranked[i].first == target)
+                return true;
+        return false;
+    };
+    if (src.anomalous.size() >= 3 && cln.anomalous.size() >= 3 &&
+        topkHasTarget(src) && !topkHasTarget(cln))
+        return fail("source RCA pins '" + target +
+                    "' in its top-3 root causes but the clone's "
+                    "storm does not");
+    return pass();
+}
+
 } // namespace
 
 const std::vector<Invariant> &
@@ -1944,6 +2152,13 @@ invariantRegistry()
          "always rebuilds exactly the committed-poll prefix, never "
          "crashes",
          checkWalTornTail},
+        {"synth-clone-fidelity",
+         "an app inferred from the scenario's own healthy traces "
+         "validates, round-trips bitwise, and reproduces the source's "
+         "storm onset (healthy legs <= 0.12 violations, onset delta "
+         ">= 35% of the source's, fault-phase gap <= 0.35) and top-3 "
+         "RCA verdict under the same network-delay fault",
+         checkSynthCloneFidelity},
     };
     return registry;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/simulator.h"
+#include "synth/catalog.h"
 #include "synth/generator.h"
 #include "util/logging.h"
 
@@ -68,6 +69,7 @@ Scenario::operator==(const Scenario &other) const
 {
     return seed == other.seed && numRpcs == other.numRpcs &&
            clusterNodes == other.clusterNodes &&
+           catalogApp == other.catalogApp &&
            trainTraces == other.trainTraces &&
            trainEpochs == other.trainEpochs &&
            faultCount == other.faultCount &&
@@ -125,6 +127,8 @@ toJson(const Scenario &s)
     doc.set("seed", s.seed);
     doc.set("numRpcs", s.numRpcs);
     doc.set("clusterNodes", s.clusterNodes);
+    if (!s.catalogApp.empty())
+        doc.set("catalogApp", s.catalogApp);
     doc.set("trainTraces", s.trainTraces);
     doc.set("trainEpochs", s.trainEpochs);
     doc.set("faultCount", s.faultCount);
@@ -155,6 +159,8 @@ scenarioFromJson(const util::Json &doc)
     s.seed = static_cast<uint64_t>(doc.at("seed").asInt());
     s.numRpcs = static_cast<int>(doc.at("numRpcs").asInt());
     s.clusterNodes = static_cast<int>(doc.at("clusterNodes").asInt());
+    if (doc.has("catalogApp"))
+        s.catalogApp = doc.at("catalogApp").asString();
     s.trainTraces = static_cast<size_t>(doc.at("trainTraces").asInt());
     s.trainEpochs = static_cast<int>(doc.at("trainEpochs").asInt());
     s.faultCount = static_cast<size_t>(doc.at("faultCount").asInt());
@@ -215,8 +221,15 @@ buildScenario(const Scenario &s)
 {
     auto run = std::make_unique<ScenarioRun>();
     run->scenario = s;
-    run->app = synth::generateApp(
-        synth::syntheticParams(s.numRpcs, s.seed));
+    if (s.catalogApp.empty())
+        run->app = synth::generateApp(
+            synth::syntheticParams(s.numRpcs, s.seed));
+    else if (s.catalogApp == "sockshop")
+        run->app = synth::sockShopConfig();
+    else if (s.catalogApp == "socialnetwork")
+        run->app = synth::socialNetworkConfig();
+    else
+        util::fatal("unknown catalog app '", s.catalogApp, "'");
     run->cluster = std::make_unique<sim::ClusterModel>(
         run->app, s.clusterNodes, s.seed ^ 0xc1u);
     sim::Simulator::calibrateSlos(run->app, *run->cluster, 120, 99.0,

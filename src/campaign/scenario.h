@@ -36,6 +36,12 @@ struct Scenario
     int numRpcs = 24;
     /** Cluster nodes the replicas are placed on. */
     int clusterNodes = 8;
+    /**
+     * Non-empty: use a pinned catalog application ("sockshop" or
+     * "socialnetwork") instead of generating one; numRpcs is then
+     * ignored. Used by the synth-clone-fidelity corpus pins.
+     */
+    std::string catalogApp;
 
     // --- Training ---
     /** Fault-free + faulty traces the model is fitted on. */

@@ -19,18 +19,29 @@ toString(Tier tier)
     util::panic("invalid tier");
 }
 
+bool
+tryTierFromString(const std::string &s, Tier *out)
+{
+    if (s == "frontend")
+        *out = Tier::Frontend;
+    else if (s == "middleware")
+        *out = Tier::Middleware;
+    else if (s == "backend")
+        *out = Tier::Backend;
+    else if (s == "leaf")
+        *out = Tier::Leaf;
+    else
+        return false;
+    return true;
+}
+
 Tier
 tierFromString(const std::string &s)
 {
-    if (s == "frontend")
-        return Tier::Frontend;
-    if (s == "middleware")
-        return Tier::Middleware;
-    if (s == "backend")
-        return Tier::Backend;
-    if (s == "leaf")
-        return Tier::Leaf;
-    util::fatal("unknown tier '", s, "'");
+    Tier tier;
+    if (!tryTierFromString(s, &tier))
+        util::fatal("unknown tier '", s, "'");
+    return tier;
 }
 
 const char *
@@ -45,71 +56,93 @@ toString(Resource r)
     util::panic("invalid resource");
 }
 
+bool
+tryResourceFromString(const std::string &s, Resource *out)
+{
+    if (s == "cpu")
+        *out = Resource::Cpu;
+    else if (s == "memory")
+        *out = Resource::Memory;
+    else if (s == "disk")
+        *out = Resource::Disk;
+    else if (s == "network")
+        *out = Resource::Network;
+    else
+        return false;
+    return true;
+}
+
 Resource
 resourceFromString(const std::string &s)
 {
-    if (s == "cpu")
-        return Resource::Cpu;
-    if (s == "memory")
-        return Resource::Memory;
-    if (s == "disk")
-        return Resource::Disk;
-    if (s == "network")
-        return Resource::Network;
-    util::fatal("unknown resource '", s, "'");
+    Resource r;
+    if (!tryResourceFromString(s, &r))
+        util::fatal("unknown resource '", s, "'");
+    return r;
 }
 
-void
-AppConfig::validate() const
+std::string
+AppConfig::validationError() const
 {
+    std::string prefix = "app '" + name + "': ";
     if (services.empty())
-        util::fatal("app '", name, "': no services");
+        return prefix + "no services";
     if (rpcs.empty())
-        util::fatal("app '", name, "': no rpcs");
+        return prefix + "no rpcs";
     if (flows.empty())
-        util::fatal("app '", name, "': no flows");
+        return prefix + "no flows";
     for (size_t i = 0; i < services.size(); ++i) {
         if (services[i].id != static_cast<int>(i))
-            util::fatal("app '", name, "': service ids must be dense");
+            return prefix + "service ids must be dense";
         if (services[i].replicas < 1)
-            util::fatal("app '", name, "': service '", services[i].name,
-                        "' needs >= 1 replica");
+            return prefix + "service '" + services[i].name +
+                   "' needs >= 1 replica";
     }
     for (size_t i = 0; i < rpcs.size(); ++i) {
         if (rpcs[i].id != static_cast<int>(i))
-            util::fatal("app '", name, "': rpc ids must be dense");
+            return prefix + "rpc ids must be dense";
         if (rpcs[i].serviceId < 0 ||
             rpcs[i].serviceId >= static_cast<int>(services.size()))
-            util::fatal("app '", name, "': rpc '", rpcs[i].name,
-                        "' references unknown service");
+            return prefix + "rpc '" + rpcs[i].name +
+                   "' references unknown service";
     }
     for (const FlowConfig &f : flows) {
         if (f.nodes.empty())
-            util::fatal("app '", name, "': flow '", f.name, "' is empty");
+            return prefix + "flow '" + f.name + "' is empty";
         if (f.root < 0 || f.root >= static_cast<int>(f.nodes.size()))
-            util::fatal("app '", name, "': flow '", f.name,
-                        "' has invalid root");
+            return prefix + "flow '" + f.name + "' has invalid root";
         std::vector<int> indegree(f.nodes.size(), 0);
         for (const CallNode &nd : f.nodes) {
             if (nd.rpcId < 0 ||
                 nd.rpcId >= static_cast<int>(rpcs.size()))
-                util::fatal("app '", name, "': flow '", f.name,
-                            "' references unknown rpc");
+                return prefix + "flow '" + f.name +
+                       "' references unknown rpc";
             for (int c : nd.children) {
                 if (c < 0 || c >= static_cast<int>(f.nodes.size()))
-                    util::fatal("app '", name, "': flow '", f.name,
-                                "' has invalid child index");
+                    return prefix + "flow '" + f.name +
+                           "' has invalid child index";
                 ++indegree[static_cast<size_t>(c)];
             }
         }
         for (size_t i = 0; i < f.nodes.size(); ++i) {
             int expected = static_cast<int>(i) == f.root ? 0 : 1;
             if (indegree[i] != expected)
-                util::fatal("app '", name, "': flow '", f.name,
-                            "' node ", i, " has in-degree ", indegree[i],
-                            " (call trees require ", expected, ")");
+                return prefix + "flow '" + f.name + "' node " +
+                       std::to_string(i) + " has in-degree " +
+                       std::to_string(indegree[i]) +
+                       " (call trees require " +
+                       std::to_string(expected) + ")";
         }
     }
+    return {};
+}
+
+void
+AppConfig::validate() const
+{
+    std::string err = validationError();
+    if (!err.empty())
+        util::fatal(err);
 }
 
 size_t
@@ -161,14 +194,118 @@ kernelToJson(const KernelConfig &k)
     return j;
 }
 
-KernelConfig
-kernelFromJson(const util::Json &j)
+// Checked JSON access for tryAppFromJson: every getter verifies
+// presence and kind, and on failure records a message naming the
+// offending field path (e.g. "rpcs[3].startKernel.resource").
+
+std::string
+joinPath(const std::string &path, const char *key)
 {
-    KernelConfig k;
-    k.resource = resourceFromString(j.at("resource").asString());
-    k.logMu = j.at("logMu").asNumber();
-    k.logSigma = j.at("logSigma").asNumber();
-    return k;
+    return path.empty() ? std::string(key) : path + "." + key;
+}
+
+bool
+getField(const util::Json &obj, const std::string &path, const char *key,
+         const util::Json **out, std::string *error)
+{
+    if (obj.type() != util::Json::Type::Object) {
+        *error = (path.empty() ? std::string("document") : path) +
+                 ": expected an object";
+        return false;
+    }
+    if (!obj.has(key)) {
+        *error = joinPath(path, key) + ": missing field";
+        return false;
+    }
+    *out = &obj.at(key);
+    return true;
+}
+
+bool
+getString(const util::Json &obj, const std::string &path, const char *key,
+          std::string *out, std::string *error)
+{
+    const util::Json *f;
+    if (!getField(obj, path, key, &f, error))
+        return false;
+    if (f->type() != util::Json::Type::String) {
+        *error = joinPath(path, key) + ": expected a string";
+        return false;
+    }
+    *out = f->asString();
+    return true;
+}
+
+bool
+getNumber(const util::Json &obj, const std::string &path, const char *key,
+          double *out, std::string *error)
+{
+    const util::Json *f;
+    if (!getField(obj, path, key, &f, error))
+        return false;
+    if (f->type() != util::Json::Type::Number) {
+        *error = joinPath(path, key) + ": expected a number";
+        return false;
+    }
+    *out = f->asNumber();
+    return true;
+}
+
+bool
+getInt(const util::Json &obj, const std::string &path, const char *key,
+       int64_t *out, std::string *error)
+{
+    double v;
+    if (!getNumber(obj, path, key, &v, error))
+        return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+}
+
+bool
+getBool(const util::Json &obj, const std::string &path, const char *key,
+        bool *out, std::string *error)
+{
+    const util::Json *f;
+    if (!getField(obj, path, key, &f, error))
+        return false;
+    if (f->type() != util::Json::Type::Bool) {
+        *error = joinPath(path, key) + ": expected a bool";
+        return false;
+    }
+    *out = f->asBool();
+    return true;
+}
+
+bool
+getArray(const util::Json &obj, const std::string &path, const char *key,
+         const util::Json::Array **out, std::string *error)
+{
+    const util::Json *f;
+    if (!getField(obj, path, key, &f, error))
+        return false;
+    if (f->type() != util::Json::Type::Array) {
+        *error = joinPath(path, key) + ": expected an array";
+        return false;
+    }
+    *out = &f->asArray();
+    return true;
+}
+
+bool
+tryKernelFromJson(const util::Json &j, const std::string &path,
+                  KernelConfig *k, std::string *error)
+{
+    std::string res;
+    if (!getString(j, path, "resource", &res, error))
+        return false;
+    if (!tryResourceFromString(res, &k->resource)) {
+        *error = joinPath(path, "resource") + ": unknown resource '" +
+                 res + "'";
+        return false;
+    }
+    return getNumber(j, path, "logMu", &k->logMu, error) &&
+           getNumber(j, path, "logSigma", &k->logSigma, error);
 }
 
 } // namespace
@@ -231,49 +368,142 @@ toJson(const AppConfig &app)
     return doc;
 }
 
-AppConfig
-appFromJson(const util::Json &doc)
+bool
+tryAppFromJson(const util::Json &doc, AppConfig *out, std::string *error)
 {
+    std::string scratch;
+    std::string *e = error ? error : &scratch;
+
     AppConfig app;
-    app.name = doc.at("name").asString();
-    app.network = kernelFromJson(doc.at("network"));
-    for (const util::Json &j : doc.at("services").asArray()) {
+    if (!getString(doc, "", "name", &app.name, e))
+        return false;
+    const util::Json *net;
+    if (!getField(doc, "", "network", &net, e))
+        return false;
+    if (!tryKernelFromJson(*net, "network", &app.network, e))
+        return false;
+
+    const util::Json::Array *services;
+    if (!getArray(doc, "", "services", &services, e))
+        return false;
+    for (size_t i = 0; i < services->size(); ++i) {
+        const util::Json &j = (*services)[i];
+        std::string path = "services[" + std::to_string(i) + "]";
         ServiceConfig s;
-        s.id = static_cast<int>(j.at("id").asInt());
-        s.name = j.at("name").asString();
-        s.tier = tierFromString(j.at("tier").asString());
-        s.replicas = static_cast<int>(j.at("replicas").asInt());
+        int64_t v;
+        if (!getInt(j, path, "id", &v, e))
+            return false;
+        s.id = static_cast<int>(v);
+        if (!getString(j, path, "name", &s.name, e))
+            return false;
+        std::string tier;
+        if (!getString(j, path, "tier", &tier, e))
+            return false;
+        if (!tryTierFromString(tier, &s.tier)) {
+            *e = path + ".tier: unknown tier '" + tier + "'";
+            return false;
+        }
+        if (!getInt(j, path, "replicas", &v, e))
+            return false;
+        s.replicas = static_cast<int>(v);
         app.services.push_back(std::move(s));
     }
-    for (const util::Json &j : doc.at("rpcs").asArray()) {
+
+    const util::Json::Array *rpcs;
+    if (!getArray(doc, "", "rpcs", &rpcs, e))
+        return false;
+    for (size_t i = 0; i < rpcs->size(); ++i) {
+        const util::Json &j = (*rpcs)[i];
+        std::string path = "rpcs[" + std::to_string(i) + "]";
         RpcConfig r;
-        r.id = static_cast<int>(j.at("id").asInt());
-        r.serviceId = static_cast<int>(j.at("serviceId").asInt());
-        r.name = j.at("name").asString();
-        r.startKernel = kernelFromJson(j.at("startKernel"));
-        r.endKernel = kernelFromJson(j.at("endKernel"));
-        r.baseErrorProb = j.at("baseErrorProb").asNumber();
-        r.timeoutUs = j.at("timeoutUs").asInt();
+        int64_t v;
+        if (!getInt(j, path, "id", &v, e))
+            return false;
+        r.id = static_cast<int>(v);
+        if (!getInt(j, path, "serviceId", &v, e))
+            return false;
+        r.serviceId = static_cast<int>(v);
+        if (!getString(j, path, "name", &r.name, e))
+            return false;
+        const util::Json *k;
+        if (!getField(j, path, "startKernel", &k, e) ||
+            !tryKernelFromJson(*k, path + ".startKernel", &r.startKernel,
+                               e))
+            return false;
+        if (!getField(j, path, "endKernel", &k, e) ||
+            !tryKernelFromJson(*k, path + ".endKernel", &r.endKernel, e))
+            return false;
+        if (!getNumber(j, path, "baseErrorProb", &r.baseErrorProb, e))
+            return false;
+        if (!getInt(j, path, "timeoutUs", &r.timeoutUs, e))
+            return false;
         app.rpcs.push_back(std::move(r));
     }
-    for (const util::Json &j : doc.at("flows").asArray()) {
+
+    const util::Json::Array *flows;
+    if (!getArray(doc, "", "flows", &flows, e))
+        return false;
+    for (size_t i = 0; i < flows->size(); ++i) {
+        const util::Json &j = (*flows)[i];
+        std::string path = "flows[" + std::to_string(i) + "]";
         FlowConfig f;
-        f.name = j.at("name").asString();
-        f.root = static_cast<int>(j.at("root").asInt());
-        f.weight = j.at("weight").asNumber();
-        f.sloUs = j.at("sloUs").asInt();
-        for (const util::Json &nj : j.at("nodes").asArray()) {
+        int64_t v;
+        if (!getString(j, path, "name", &f.name, e))
+            return false;
+        if (!getInt(j, path, "root", &v, e))
+            return false;
+        f.root = static_cast<int>(v);
+        if (!getNumber(j, path, "weight", &f.weight, e))
+            return false;
+        if (!getInt(j, path, "sloUs", &f.sloUs, e))
+            return false;
+        const util::Json::Array *nodes;
+        if (!getArray(j, path, "nodes", &nodes, e))
+            return false;
+        for (size_t n = 0; n < nodes->size(); ++n) {
+            const util::Json &nj = (*nodes)[n];
+            std::string npath = path + ".nodes[" + std::to_string(n) +
+                                "]";
             CallNode nd;
-            nd.rpcId = static_cast<int>(nj.at("rpcId").asInt());
-            nd.async = nj.at("async").asBool();
-            nd.stage = static_cast<int>(nj.at("stage").asInt());
-            for (const util::Json &c : nj.at("children").asArray())
-                nd.children.push_back(static_cast<int>(c.asInt()));
+            if (!getInt(nj, npath, "rpcId", &v, e))
+                return false;
+            nd.rpcId = static_cast<int>(v);
+            if (!getBool(nj, npath, "async", &nd.async, e))
+                return false;
+            if (!getInt(nj, npath, "stage", &v, e))
+                return false;
+            nd.stage = static_cast<int>(v);
+            const util::Json::Array *kids;
+            if (!getArray(nj, npath, "children", &kids, e))
+                return false;
+            for (size_t c = 0; c < kids->size(); ++c) {
+                if ((*kids)[c].type() != util::Json::Type::Number) {
+                    *e = npath + ".children[" + std::to_string(c) +
+                         "]: expected a number";
+                    return false;
+                }
+                nd.children.push_back(
+                    static_cast<int>((*kids)[c].asInt()));
+            }
             f.nodes.push_back(std::move(nd));
         }
         app.flows.push_back(std::move(f));
     }
-    app.validate();
+
+    *e = app.validationError();
+    if (!e->empty())
+        return false;
+    *out = std::move(app);
+    return true;
+}
+
+AppConfig
+appFromJson(const util::Json &doc)
+{
+    AppConfig app;
+    std::string error;
+    if (!tryAppFromJson(doc, &app, &error))
+        util::fatal(error);
     return app;
 }
 

@@ -28,6 +28,9 @@ const char *toString(Tier tier);
 /** Parse a tier name; fatal() on unknown input. */
 Tier tierFromString(const std::string &s);
 
+/** Parse a tier name; false on unknown input (no abort). */
+bool tryTierFromString(const std::string &s, Tier *out);
+
 /**
  * Hardware/OS resource a local-workload kernel stresses (paper §5.1.4).
  * Chaos faults of the matching resource inflate these kernels.
@@ -39,6 +42,9 @@ const char *toString(Resource r);
 
 /** Parse a resource name; fatal() on unknown input. */
 Resource resourceFromString(const std::string &s);
+
+/** Parse a resource name; false on unknown input (no abort). */
+bool tryResourceFromString(const std::string &s, Resource *out);
 
 /**
  * A local execution kernel: log-normally distributed service time on
@@ -124,6 +130,13 @@ struct AppConfig
     /** Validate referential integrity; fatal() with a reason if broken. */
     void validate() const;
 
+    /**
+     * Validate referential integrity without aborting: the first
+     * defect as a human-readable message, or empty when the config is
+     * well-formed.
+     */
+    std::string validationError() const;
+
     /** Number of call-tree nodes in the largest flow. */
     size_t maxFlowNodes() const;
 
@@ -139,5 +152,18 @@ util::Json toJson(const AppConfig &app);
 
 /** Deserialize an application config; fatal() on malformed input. */
 AppConfig appFromJson(const util::Json &doc);
+
+/**
+ * As appFromJson(), but returns false instead of dying on malformed
+ * input (unknown enum strings, missing or mistyped fields, broken
+ * referential integrity). Inferred or hand-edited model JSON goes
+ * through this path so a typo is a recoverable parse error, not an
+ * abort.
+ *
+ * @param out receives the parsed config on success
+ * @param error receives a description naming the offending field
+ */
+bool tryAppFromJson(const util::Json &doc, AppConfig *out,
+                    std::string *error);
 
 } // namespace sleuth::synth

@@ -1,0 +1,462 @@
+#include "infer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "storage/trace_store.h"
+#include "util/logging.h"
+
+namespace sleuth::synth {
+namespace {
+
+/**
+ * One reconstructed call: the server-side execution of an RPC plus
+ * the client-side hop that invoked it (absent for the trace root).
+ */
+struct CallObs
+{
+    std::string service;
+    std::string rpc;
+    bool async = false;
+    bool hasClient = false;
+    int64_t clientStartUs = 0;
+    int64_t clientEndUs = 0;
+    int64_t serverStartUs = 0;
+    int64_t serverEndUs = 0;
+    bool serverError = false;
+    bool clientError = false;
+    std::string pod;
+    /** Barrier stage among siblings (assigned from start overlap). */
+    int stage = 0;
+    std::vector<CallObs> children;
+};
+
+bool
+isCallerKind(trace::SpanKind k)
+{
+    return k == trace::SpanKind::Client ||
+           k == trace::SpanKind::Producer;
+}
+
+/**
+ * Reconstruct the call rooted at server-side span `idx`. Client-side
+ * children are hops to nested calls (each wrapping one server-side
+ * span); bare server-side children are treated as direct calls with
+ * no network hop. Returns false on shapes the call model cannot
+ * express (e.g. a client hop with no callee).
+ */
+bool
+buildCall(const trace::Trace &t, const trace::TraceGraph &g, int idx,
+          CallObs *out)
+{
+    const trace::Span &server = t.spans[static_cast<size_t>(idx)];
+    out->service = server.service;
+    out->rpc = server.name;
+    out->serverStartUs = server.startUs;
+    out->serverEndUs = server.endUs;
+    out->serverError = server.hasError();
+    out->pod = server.pod;
+    for (int ci : g.children(idx)) {
+        const trace::Span &child = t.spans[static_cast<size_t>(ci)];
+        CallObs obs;
+        if (isCallerKind(child.kind)) {
+            int serverIdx = -1;
+            for (int gi : g.children(ci))
+                if (!isCallerKind(t.spans[static_cast<size_t>(gi)].kind)) {
+                    serverIdx = gi;
+                    break;
+                }
+            if (serverIdx < 0)
+                return false;
+            if (!buildCall(t, g, serverIdx, &obs))
+                return false;
+            obs.hasClient = true;
+            obs.async =
+                child.kind == trace::SpanKind::Producer ||
+                t.spans[static_cast<size_t>(serverIdx)].kind ==
+                    trace::SpanKind::Consumer;
+            obs.clientStartUs = child.startUs;
+            obs.clientEndUs = child.endUs;
+            obs.clientError = child.hasError();
+        } else {
+            if (!buildCall(t, g, ci, &obs))
+                return false;
+            obs.clientStartUs = obs.serverStartUs;
+            obs.clientEndUs = obs.serverEndUs;
+            obs.clientError = obs.serverError;
+        }
+        out->children.push_back(std::move(obs));
+    }
+
+    // Stage detection from start-time overlap: children sharing a
+    // dispatch time ran in parallel; a child that starts at or after
+    // every earlier synchronous sibling has finished opens a new
+    // barrier stage. Asynchronous siblings never gate a stage.
+    std::stable_sort(out->children.begin(), out->children.end(),
+                     [](const CallObs &a, const CallObs &b) {
+                         return a.clientStartUs < b.clientStartUs;
+                     });
+    if (!out->children.empty()) {
+        int stage = 0;
+        int64_t stageStart = out->children[0].clientStartUs;
+        int64_t gate = stageStart;
+        for (CallObs &c : out->children) {
+            if (c.clientStartUs > stageStart && c.clientStartUs >= gate) {
+                ++stage;
+                stageStart = c.clientStartUs;
+                gate = stageStart;
+            }
+            c.stage = stage;
+            if (!c.async)
+                gate = std::max(gate, c.clientEndUs);
+        }
+    }
+    return true;
+}
+
+/**
+ * Canonical shape signature of a call tree. Children are grouped by
+ * stage with signatures sorted within a stage, so shapes differing
+ * only in within-stage (parallel) order collapse to one flow.
+ */
+std::string
+signatureOf(const CallObs &c)
+{
+    std::string sig =
+        c.service + "\x1f" + c.rpc + (c.async ? "\x1f" "a" : "\x1f" "s");
+    if (c.children.empty())
+        return sig;
+    std::vector<std::vector<std::string>> stages;
+    for (const CallObs &ch : c.children) {
+        if (static_cast<size_t>(ch.stage) >= stages.size())
+            stages.resize(static_cast<size_t>(ch.stage) + 1);
+        stages[static_cast<size_t>(ch.stage)].push_back(signatureOf(ch));
+    }
+    for (std::vector<std::string> &stage : stages) {
+        std::sort(stage.begin(), stage.end());
+        sig += "\x1e(";
+        for (const std::string &s : stage)
+            sig += s + ",";
+        sig += ")";
+    }
+    return sig;
+}
+
+struct SvcAgg
+{
+    std::set<std::string> pods;
+    bool isRoot = false;
+    bool hasChildren = false;
+    std::set<std::string> childServices;
+};
+
+struct RpcAgg
+{
+    /** ln(startKernel) from parent occurrences (pre-children gap). */
+    std::vector<double> startLn;
+    /** ln(endKernel) from parent occurrences (post-children gap). */
+    std::vector<double> endLn;
+    /** ln(full duration) from leaf occurrences. */
+    std::vector<double> leafLn;
+    int64_t maxClientLatencyUs = 0;
+    size_t calls = 0;
+    size_t exclusiveErrors = 0;
+};
+
+struct Aggs
+{
+    std::map<std::string, SvcAgg> services;
+    /** Keyed by service + '\x1f' + rpc (sorts by service, then rpc). */
+    std::map<std::string, RpcAgg> rpcs;
+    /** ln(one-way hop) pooled over every client<->server gap. */
+    std::vector<double> netLn;
+};
+
+double
+lnUs(int64_t v)
+{
+    return std::log(static_cast<double>(std::max<int64_t>(v, 1)));
+}
+
+void
+collect(const CallObs &c, bool isRoot, Aggs &a)
+{
+    SvcAgg &svc = a.services[c.service];
+    if (isRoot)
+        svc.isRoot = true;
+    if (!c.pod.empty())
+        svc.pods.insert(c.pod);
+
+    RpcAgg &rpc = a.rpcs[c.service + "\x1f" + c.rpc];
+    ++rpc.calls;
+    bool syncChildError = false;
+    for (const CallObs &ch : c.children)
+        if (!ch.async && ch.clientError)
+            syncChildError = true;
+    if (c.serverError && !syncChildError)
+        ++rpc.exclusiveErrors;
+    int64_t lat = c.hasClient ? c.clientEndUs - c.clientStartUs
+                              : c.serverEndUs - c.serverStartUs;
+    rpc.maxClientLatencyUs = std::max(rpc.maxClientLatencyUs, lat);
+
+    if (c.hasClient) {
+        int64_t fwd = c.serverStartUs - c.clientStartUs;
+        int64_t back = c.clientEndUs - c.serverEndUs;
+        if (fwd >= 0)
+            a.netLn.push_back(lnUs(fwd));
+        // A timed-out client span ends before its server: skip.
+        if (back >= 0)
+            a.netLn.push_back(lnUs(back));
+    }
+
+    if (c.children.empty()) {
+        rpc.leafLn.push_back(lnUs(c.serverEndUs - c.serverStartUs));
+    } else {
+        svc.hasChildren = true;
+        rpc.startLn.push_back(
+            lnUs(c.children.front().clientStartUs - c.serverStartUs));
+        int64_t lastEnd = 0;
+        for (const CallObs &ch : c.children) {
+            // An async dispatch returns immediately; only its launch
+            // time gates the parent's tail.
+            int64_t e = ch.async ? ch.clientStartUs : ch.clientEndUs;
+            lastEnd = std::max(lastEnd, e);
+            svc.childServices.insert(ch.service);
+        }
+        if (c.serverEndUs >= lastEnd)
+            rpc.endLn.push_back(lnUs(c.serverEndUs - lastEnd));
+        for (const CallObs &ch : c.children)
+            collect(ch, false, a);
+    }
+}
+
+KernelConfig
+fitKernel(const std::vector<double> &ln, Resource res)
+{
+    KernelConfig k;
+    k.resource = res;
+    double mu = 0.0;
+    for (double x : ln)
+        mu += x;
+    mu /= static_cast<double>(ln.size());
+    double var = 0.0;
+    for (double x : ln)
+        var += (x - mu) * (x - mu);
+    var /= static_cast<double>(ln.size());
+    k.logMu = mu;
+    k.logSigma = std::clamp(std::sqrt(var), 0.01, 3.0);
+    return k;
+}
+
+struct FlowAgg
+{
+    size_t count = 0;
+    int64_t sloUs = 0;
+    CallObs rep;
+};
+
+int
+emitNodes(const CallObs &c, const std::map<std::string, int> &rpcIds,
+          FlowConfig &f)
+{
+    int idx = static_cast<int>(f.nodes.size());
+    CallNode nd;
+    nd.rpcId = rpcIds.at(c.service + "\x1f" + c.rpc);
+    nd.async = c.async;
+    nd.stage = c.stage;
+    f.nodes.push_back(std::move(nd));
+    for (const CallObs &ch : c.children) {
+        int cidx = emitNodes(ch, rpcIds, f);
+        f.nodes[static_cast<size_t>(idx)].children.push_back(cidx);
+    }
+    return idx;
+}
+
+} // namespace
+
+AppConfig
+inferAppModel(const std::vector<trace::Trace> &traces,
+              const std::vector<int64_t> &slos, const InferOptions &opts,
+              InferStats *stats)
+{
+    InferStats local;
+    InferStats *st = stats ? stats : &local;
+    *st = InferStats{};
+
+    Aggs aggs;
+    std::map<std::string, FlowAgg> flowAggs;
+
+    for (size_t ti = 0; ti < traces.size(); ++ti) {
+        if (opts.maxTraces && st->tracesUsed >= opts.maxTraces)
+            break;
+        const trace::Trace &t = traces[ti];
+        trace::TraceGraph g;
+        std::string err;
+        if (t.spans.empty() || !trace::TraceGraph::tryBuild(t, &g, &err)) {
+            ++st->tracesSkipped;
+            continue;
+        }
+
+        CallObs root;
+        bool ok;
+        int rootIdx = g.root();
+        const trace::Span &rootSpan = t.spans[static_cast<size_t>(rootIdx)];
+        if (isCallerKind(rootSpan.kind)) {
+            // Client-side capture: the root is the hop itself.
+            int serverIdx = -1;
+            for (int gi : g.children(rootIdx))
+                if (!isCallerKind(t.spans[static_cast<size_t>(gi)].kind)) {
+                    serverIdx = gi;
+                    break;
+                }
+            ok = serverIdx >= 0 && buildCall(t, g, serverIdx, &root);
+            if (ok) {
+                root.hasClient = true;
+                root.async =
+                    rootSpan.kind == trace::SpanKind::Producer ||
+                    t.spans[static_cast<size_t>(serverIdx)].kind ==
+                        trace::SpanKind::Consumer;
+                root.clientStartUs = rootSpan.startUs;
+                root.clientEndUs = rootSpan.endUs;
+                root.clientError = rootSpan.hasError();
+            }
+        } else {
+            ok = buildCall(t, g, rootIdx, &root);
+            root.clientStartUs = root.serverStartUs;
+            root.clientEndUs = root.serverEndUs;
+            root.clientError = root.serverError;
+        }
+        if (!ok) {
+            ++st->tracesSkipped;
+            continue;
+        }
+        ++st->tracesUsed;
+        st->spans += t.spans.size();
+
+        collect(root, true, aggs);
+
+        FlowAgg &fa = flowAggs[signatureOf(root)];
+        ++fa.count;
+        if (ti < slos.size())
+            fa.sloUs = std::max(fa.sloUs, slos[ti]);
+        if (fa.count == 1)
+            fa.rep = std::move(root);
+    }
+
+    AppConfig app;
+    app.name = opts.name;
+    if (st->tracesUsed == 0)
+        return app;
+
+    std::map<std::string, int> serviceIds;
+    for (const auto &[name, svc] : aggs.services) {
+        ServiceConfig s;
+        s.id = static_cast<int>(app.services.size());
+        s.name = name;
+        s.replicas = std::max<int>(1, static_cast<int>(svc.pods.size()));
+        app.services.push_back(std::move(s));
+        serviceIds[name] = app.services.back().id;
+    }
+    // Tiers from call-graph position: entry services are Frontend,
+    // services that never fan out are Leaf, services whose fanout
+    // reaches only Leaf services are Backend, the rest Middleware.
+    auto isLeafSvc = [&](const std::string &name) {
+        const SvcAgg &svc = aggs.services.at(name);
+        return !svc.isRoot && !svc.hasChildren;
+    };
+    for (ServiceConfig &s : app.services) {
+        const SvcAgg &svc = aggs.services.at(s.name);
+        if (svc.isRoot) {
+            s.tier = Tier::Frontend;
+        } else if (!svc.hasChildren) {
+            s.tier = Tier::Leaf;
+        } else {
+            bool allLeaf = true;
+            for (const std::string &ch : svc.childServices)
+                if (!isLeafSvc(ch))
+                    allLeaf = false;
+            s.tier = allLeaf ? Tier::Backend : Tier::Middleware;
+        }
+    }
+
+    std::map<std::string, int> rpcIds;
+    for (const auto &[key, agg] : aggs.rpcs) {
+        size_t sep = key.find('\x1f');
+        RpcConfig r;
+        r.id = static_cast<int>(app.rpcs.size());
+        r.serviceId = serviceIds.at(key.substr(0, sep));
+        r.name = key.substr(sep + 1);
+        // Prefer parent-occurrence gap samples: they isolate the
+        // start/end kernels, and a leaf occurrence of the same RPC
+        // replays as startKernel + endKernel anyway.
+        if (!agg.startLn.empty()) {
+            r.startKernel = fitKernel(agg.startLn, Resource::Cpu);
+            r.endKernel = agg.endLn.empty()
+                              ? KernelConfig{Resource::Cpu, 0.0, 0.01}
+                              : fitKernel(agg.endLn, Resource::Cpu);
+        } else {
+            r.startKernel = fitKernel(agg.leafLn, Resource::Cpu);
+            // ~1us: keep the leaf's observed total in startKernel.
+            r.endKernel = KernelConfig{Resource::Cpu, 0.0, 0.01};
+        }
+        r.baseErrorProb =
+            std::min(0.5, static_cast<double>(agg.exclusiveErrors) /
+                              static_cast<double>(agg.calls));
+        r.timeoutUs = static_cast<int64_t>(
+            opts.timeoutHeadroom *
+            static_cast<double>(agg.maxClientLatencyUs));
+        app.rpcs.push_back(std::move(r));
+        rpcIds[key] = app.rpcs.back().id;
+    }
+
+    if (!aggs.netLn.empty())
+        app.network = fitKernel(aggs.netLn, Resource::Network);
+
+    // Flows ordered by observed frequency (ties by signature) so the
+    // dominant workload shape is flow 0.
+    std::vector<const std::pair<const std::string, FlowAgg> *> ordered;
+    for (const auto &kv : flowAggs)
+        ordered.push_back(&kv);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->second.count != b->second.count)
+                      return a->second.count > b->second.count;
+                  return a->first < b->first;
+              });
+    for (const auto *kv : ordered) {
+        const FlowAgg &fa = kv->second;
+        FlowConfig f;
+        f.name = fa.rep.service + "." + fa.rep.rpc + "#" +
+                 std::to_string(app.flows.size());
+        f.weight = static_cast<double>(fa.count) /
+                   static_cast<double>(st->tracesUsed);
+        f.sloUs = fa.sloUs;
+        f.root = emitNodes(fa.rep, rpcIds, f);
+        app.flows.push_back(std::move(f));
+    }
+    st->flowShapes = app.flows.size();
+
+    app.validate();
+    return app;
+}
+
+AppConfig
+inferAppModel(const storage::TraceStore &store,
+              const storage::Query &window, const InferOptions &opts,
+              InferStats *stats)
+{
+    std::vector<const storage::Record *> records = store.query(window);
+    std::vector<trace::Trace> traces;
+    std::vector<int64_t> slos;
+    traces.reserve(records.size());
+    slos.reserve(records.size());
+    for (const storage::Record *r : records) {
+        traces.push_back(r->trace());
+        slos.push_back(r->sloUs);
+    }
+    return inferAppModel(traces, slos, opts, stats);
+}
+
+} // namespace sleuth::synth

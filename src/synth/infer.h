@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-driven application model inference (ROADMAP item 4).
+ *
+ * inferAppModel() closes the serving→generation loop: given traces
+ * ingested by the serving path (or any OpenTelemetry-shaped corpus),
+ * it reconstructs a full AppConfig — services with tiers derived from
+ * call-graph position, the RPC dependency graph, operation flows as
+ * observed call-tree shapes with sequential/parallel stage structure
+ * recovered from child start-time overlap, per-RPC log-normal kernel
+ * fits, error rates, timeouts, and the name vocabulary. The result
+ * serializes through toJson(AppConfig) and replays through
+ * sim::Simulator unmodified, so any captured workload becomes a
+ * reproducible benchmark ("profile and clone").
+ *
+ * Limits: resource labels are not observable in healthy traces, so
+ * every inferred kernel is attributed to Cpu except the network hop
+ * kernel (fitted from client→server / server→client timestamp gaps).
+ * Faults that act on network latency therefore transfer to a clone
+ * with full fidelity; resource-specific stress transfers as latency
+ * only.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/config.h"
+#include "trace/trace.h"
+
+namespace sleuth::storage {
+class TraceStore;
+struct Query;
+} // namespace sleuth::storage
+
+namespace sleuth::synth {
+
+/** Tunables for inferAppModel(). */
+struct InferOptions
+{
+    /** Name given to the inferred AppConfig. */
+    std::string name = "inferred";
+    /** Cap on traces consumed (0 = all). */
+    size_t maxTraces = 0;
+    /**
+     * Inferred per-RPC timeout = headroom x the largest observed
+     * client-side latency, so replayed timeouts fire no more often
+     * than observed ones did.
+     */
+    double timeoutHeadroom = 60.0;
+};
+
+/** Accounting of one inference run. */
+struct InferStats
+{
+    /** Traces that contributed observations. */
+    size_t tracesUsed = 0;
+    /** Traces skipped as malformed (no root, dangling parents, ...). */
+    size_t tracesSkipped = 0;
+    /** Spans across the used traces. */
+    size_t spans = 0;
+    /** Distinct call-tree shapes observed (= inferred flows). */
+    size_t flowShapes = 0;
+};
+
+/**
+ * Infer an application model from a trace corpus.
+ *
+ * @param traces observed traces (healthy traffic gives the best fit)
+ * @param slos per-trace latency SLOs, parallel to traces (empty or
+ *        shorter = unknown; the max observed SLO per flow shape is
+ *        carried into FlowConfig::sloUs)
+ * @param opts tunables
+ * @param stats optional accounting output
+ * @return the inferred model; when no trace is usable the result has
+ *         no services and must not be validated or simulated (check
+ *         stats->tracesUsed or AppConfig::services.empty())
+ */
+AppConfig inferAppModel(const std::vector<trace::Trace> &traces,
+                        const std::vector<int64_t> &slos = {},
+                        const InferOptions &opts = {},
+                        InferStats *stats = nullptr);
+
+/**
+ * Infer an application model from a trace store. The store is read
+ * through its indexed query path, so a half-open time window
+ * (Query::minStartUs / maxStartUs) selects the profiling interval;
+ * stored per-record SLOs feed the flow SLOs.
+ */
+AppConfig inferAppModel(const storage::TraceStore &store,
+                        const storage::Query &window,
+                        const InferOptions &opts = {},
+                        InferStats *stats = nullptr);
+
+} // namespace sleuth::synth

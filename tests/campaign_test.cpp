@@ -92,7 +92,7 @@ TEST(Scenario, ShrinkMasksApply)
 TEST(Invariants, RegistryIsComplete)
 {
     const std::vector<Invariant> &reg = invariantRegistry();
-    ASSERT_EQ(reg.size(), 14u);
+    ASSERT_EQ(reg.size(), 15u);
     for (const Invariant &inv : reg) {
         EXPECT_FALSE(inv.name.empty());
         EXPECT_FALSE(inv.description.empty());

@@ -103,6 +103,57 @@ TEST(TraceStore, TimeWindowQuery)
     EXPECT_EQ(hits[2]->traceId(), "t5");
 }
 
+TEST(TraceStore, TimeWindowIsHalfOpenAtExactBoundaries)
+{
+    // Pins the [minStartUs, maxStartUs) contract with records sitting
+    // exactly on both boundaries, through the time index and through
+    // the service-postings path (which applies the same predicate).
+    TraceStore store;
+    store.insert(makeTrace("before", 100, 10, "svc"));
+    store.insert(makeTrace("at-min", 200, 10, "svc"));
+    store.insert(makeTrace("inside", 300, 10, "svc"));
+    store.insert(makeTrace("at-max", 400, 10, "svc"));
+    store.insert(makeTrace("after", 500, 10, "svc"));
+
+    Query q;
+    q.minStartUs = 200;
+    q.maxStartUs = 400;
+    auto hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->traceId(), "at-min");  // min boundary included
+    EXPECT_EQ(hits[1]->traceId(), "inside");  // max boundary excluded
+
+    q.service = "svc";  // same window through the postings path
+    hits = store.query(q);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->traceId(), "at-min");
+    EXPECT_EQ(hits[1]->traceId(), "inside");
+
+    // An empty half-open window selects nothing, even with a record
+    // exactly at the shared boundary.
+    Query empty;
+    empty.minStartUs = 300;
+    empty.maxStartUs = 300;
+    EXPECT_TRUE(store.query(empty).empty());
+
+    // A one-tick window selects exactly the boundary record.
+    Query tick;
+    tick.minStartUs = 300;
+    tick.maxStartUs = 301;
+    auto one = store.query(tick);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0]->traceId(), "inside");
+
+    // Only one bound set: each side stays half-open independently.
+    Query minOnly;
+    minOnly.minStartUs = 400;
+    ASSERT_EQ(store.query(minOnly).size(), 2u);
+    Query maxOnly;
+    maxOnly.maxStartUs = 200;
+    ASSERT_EQ(store.query(maxOnly).size(), 1u);
+    EXPECT_EQ(store.query(maxOnly)[0]->traceId(), "before");
+}
+
 TEST(TraceStore, ServiceQueryUsesPostings)
 {
     TraceStore store;

@@ -13,6 +13,102 @@
 using namespace sleuth;
 using namespace sleuth::synth;
 
+TEST(ConfigParse, TryTierFromStringRejectsUnknownWithoutAborting)
+{
+    Tier tier = Tier::Backend;
+    EXPECT_TRUE(tryTierFromString("frontend", &tier));
+    EXPECT_EQ(tier, Tier::Frontend);
+    EXPECT_TRUE(tryTierFromString("middleware", &tier));
+    EXPECT_EQ(tier, Tier::Middleware);
+    EXPECT_TRUE(tryTierFromString("backend", &tier));
+    EXPECT_EQ(tier, Tier::Backend);
+    EXPECT_TRUE(tryTierFromString("leaf", &tier));
+    EXPECT_EQ(tier, Tier::Leaf);
+
+    tier = Tier::Middleware;
+    EXPECT_FALSE(tryTierFromString("edge", &tier));
+    EXPECT_FALSE(tryTierFromString("Frontend", &tier));
+    EXPECT_FALSE(tryTierFromString("", &tier));
+    EXPECT_EQ(tier, Tier::Middleware);  // untouched on failure
+}
+
+TEST(ConfigParse, TryResourceFromStringRejectsUnknownWithoutAborting)
+{
+    Resource r = Resource::Disk;
+    EXPECT_TRUE(tryResourceFromString("cpu", &r));
+    EXPECT_EQ(r, Resource::Cpu);
+    EXPECT_TRUE(tryResourceFromString("memory", &r));
+    EXPECT_EQ(r, Resource::Memory);
+    EXPECT_TRUE(tryResourceFromString("disk", &r));
+    EXPECT_EQ(r, Resource::Disk);
+    EXPECT_TRUE(tryResourceFromString("network", &r));
+    EXPECT_EQ(r, Resource::Network);
+
+    r = Resource::Memory;
+    EXPECT_FALSE(tryResourceFromString("gpu", &r));
+    EXPECT_FALSE(tryResourceFromString("CPU", &r));
+    EXPECT_FALSE(tryResourceFromString("", &r));
+    EXPECT_EQ(r, Resource::Memory);
+}
+
+TEST(ConfigParse, TryAppFromJsonNamesTheOffendingField)
+{
+    // Start from a valid document and break one field at a time; the
+    // error must be recoverable (no abort) and name the field.
+    util::Json good = toJson(sockShopConfig());
+    AppConfig parsed;
+    std::string err;
+    ASSERT_TRUE(tryAppFromJson(good, &parsed, &err)) << err;
+    EXPECT_TRUE(err.empty());
+
+    util::Json badTier = toJson(sockShopConfig());
+    badTier.asObject()
+        .at("services")
+        .asArray()[2]
+        .set("tier", util::Json("edge"));
+    EXPECT_FALSE(tryAppFromJson(badTier, &parsed, &err));
+    EXPECT_NE(err.find("services[2].tier"), std::string::npos) << err;
+    EXPECT_NE(err.find("edge"), std::string::npos) << err;
+
+    util::Json badResource = toJson(sockShopConfig());
+    badResource.asObject()
+        .at("rpcs")
+        .asArray()[3]
+        .asObject()
+        .at("startKernel")
+        .set("resource", util::Json("gpu"));
+    EXPECT_FALSE(tryAppFromJson(badResource, &parsed, &err));
+    EXPECT_NE(err.find("rpcs[3].startKernel.resource"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("gpu"), std::string::npos) << err;
+
+    util::Json missing = toJson(sockShopConfig());
+    missing.asObject().erase("network");
+    EXPECT_FALSE(tryAppFromJson(missing, &parsed, &err));
+    EXPECT_NE(err.find("network"), std::string::npos) << err;
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+
+    util::Json mistyped = toJson(sockShopConfig());
+    mistyped.asObject().at("flows").asArray()[0].set(
+        "weight", util::Json("heavy"));
+    EXPECT_FALSE(tryAppFromJson(mistyped, &parsed, &err));
+    EXPECT_NE(err.find("flows[0].weight"), std::string::npos) << err;
+
+    // Structural defects surface through the same recoverable path.
+    util::Json broken = toJson(sockShopConfig());
+    broken.asObject()
+        .at("rpcs")
+        .asArray()[0]
+        .set("serviceId", util::Json(999.0));
+    EXPECT_FALSE(tryAppFromJson(broken, &parsed, &err));
+    EXPECT_NE(err.find("unknown service"), std::string::npos) << err;
+
+    EXPECT_FALSE(tryAppFromJson(util::Json("not-an-object"), &parsed,
+                                &err));
+    EXPECT_FALSE(err.empty());
+}
+
 TEST(Generator, SyntheticParamsFollowPaperScales)
 {
     GeneratorParams p16 = syntheticParams(16);

@@ -19,3 +19,8 @@ run(simulate --config smoke/config.json --count 150 --out normal.json --seed 9)
 run(simulate --config smoke/config.json --count 60 --out incident.json --seed 10 --chaos 2)
 run(train --traces normal.json --out model.json --epochs 4)
 run(analyze --model model.json --traces incident.json --normal normal.json)
+
+# Profile-and-clone: infer an app model from the observed traces and
+# replay the clone through the unmodified simulator.
+run(infer --traces normal.json --out clone.json --name smoke-clone)
+run(simulate --config clone.json --count 30 --out clone-traces.json --seed 11)

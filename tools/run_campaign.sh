@@ -9,6 +9,12 @@
 # regular build. Results land in campaign-results/: repro-*.json for
 # every failing scenario (minimal, self-contained, replayable with
 # `campaign_replay`) plus BENCH_campaign.json.
+#
+# Every scenario runs the full invariant registry, including
+# synth-clone-fidelity: each drawn app is profiled from its own
+# healthy traces, cloned via synth::inferAppModel, and the clone must
+# reproduce the source's storm onset and top-3 RCA verdict under the
+# same network-delay fault (DESIGN.md §3.16).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

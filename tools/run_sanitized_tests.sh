@@ -47,6 +47,15 @@ if [ -w /dev/shm ]; then
         ctest --test-dir "$build_dir" -L durable --output-on-failure
 fi
 
+# Synthesis leg: repeat the trace-driven app-synthesis slice (infer
+# unit tests, the generate→serialize round trip, and the
+# synth-clone-fidelity corpus pins) so the inference hot loops —
+# call-tree reconstruction, stage detection, log-normal fitting — get
+# a dedicated sanitized pass.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$build_dir" -L synth --output-on-failure
+
 # Second leg: the same sanitizer with the AVX2 kernel bodies compiled
 # out (-DSLEUTH_SIMD=OFF), proving the scalar mirrors and the
 # dispatch-free build are just as clean. The simd-labelled equivalence

@@ -31,16 +31,24 @@
 //             summary. --verify exits non-zero on any corruption;
 //             --compact folds the whole log into a fresh snapshot +
 //             one near-empty segment.
+//   infer     (--store DIR | --traces IN.json) --out MODEL.json
+//             [--name NAME] [--max-traces N]
+//             Infer an AppConfig from observed traces (DESIGN.md
+//             §3.16): either replay a durable data directory and read
+//             its store, or load a trace records file. The model
+//             replays through `simulate` unmodified.
 //
 // Trace files are JSON arrays of {"slo": us, "trace": {...}} records
 // (the "records" format) or bare arrays of traces (slo 0).
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <system_error>
 
 #include "collector/collector.h"
 #include "core/anomaly.h"
@@ -54,6 +62,7 @@
 #include "sim/simulator.h"
 #include "synth/codegen.h"
 #include "synth/generator.h"
+#include "synth/infer.h"
 #include "trace/trace_json.h"
 #include "util/logging.h"
 
@@ -150,6 +159,39 @@ parseFile(const std::string &path)
     return doc;
 }
 
+/**
+ * Load and parse an app model through the recoverable path so a typo
+ * in a hand-edited (or inferred) model exits with a message naming
+ * the offending field instead of aborting.
+ */
+synth::AppConfig
+loadAppConfig(const std::string &path)
+{
+    synth::AppConfig app;
+    std::string err;
+    if (!synth::tryAppFromJson(parseFile(path), &app, &err))
+        util::fatal(path, ": ", err);
+    return app;
+}
+
+/**
+ * Require an existing directory before handing it to the durable
+ * layer, which creates missing directories as a side effect of
+ * opening a log — a typo'd path would otherwise be silently created
+ * and reported as an empty (healthy) store.
+ */
+void
+requireDataDir(const std::string &dir, const char *cmd)
+{
+    std::error_code ec;
+    std::filesystem::file_status st = std::filesystem::status(dir, ec);
+    if (ec || !std::filesystem::exists(st))
+        util::fatal(cmd, ": data directory '", dir,
+                    "' does not exist");
+    if (!std::filesystem::is_directory(st))
+        util::fatal(cmd, ": '", dir, "' is not a directory");
+}
+
 struct TraceRecord
 {
     trace::Trace trace;
@@ -208,8 +250,7 @@ cmdGenerate(const Args &args)
 int
 cmdSimulate(const Args &args)
 {
-    synth::AppConfig app =
-        synth::appFromJson(parseFile(args.get("config")));
+    synth::AppConfig app = loadAppConfig(args.get("config"));
     uint64_t seed = static_cast<uint64_t>(args.getInt("seed", 1));
     int nodes = static_cast<int>(args.getInt("nodes", 100));
     size_t count = static_cast<size_t>(args.getInt("count", 1000));
@@ -456,6 +497,58 @@ cmdMetrics(const Args &args)
     return 0;
 }
 
+int
+cmdInfer(const Args &args)
+{
+    synth::InferOptions opts;
+    opts.name = args.getOptional("name", "inferred");
+    opts.maxTraces =
+        static_cast<size_t>(args.getInt("max-traces", 0));
+
+    synth::InferStats stats;
+    synth::AppConfig app;
+    if (args.has("store")) {
+        std::string dir = args.get("store");
+        requireDataDir(dir, "infer");
+        durable::DurableConfig cfg;
+        cfg.dir = dir;
+        online::RecoveryInfo info;
+        online::DurableServingState state =
+            online::recoverState(cfg, {}, &info);
+        if (!info.haveData)
+            util::fatal("infer: data directory '", dir,
+                        "' holds no recoverable state");
+        if (!info.ok)
+            util::fatal("infer: cannot replay '", dir, "': ",
+                        info.error);
+        app = synth::inferAppModel(state.store, storage::Query{},
+                                   opts, &stats);
+    } else if (args.has("traces")) {
+        std::vector<trace::Trace> traces;
+        std::vector<int64_t> slos;
+        for (TraceRecord &r : loadRecords(args.get("traces"))) {
+            slos.push_back(r.sloUs);
+            traces.push_back(std::move(r.trace));
+        }
+        app = synth::inferAppModel(traces, slos, opts, &stats);
+    } else {
+        util::fatal("infer requires --store DIR or --traces IN.json");
+    }
+
+    if (stats.tracesUsed == 0)
+        util::fatal("infer: no usable traces (", stats.tracesSkipped,
+                    " skipped as malformed)");
+    writeFile(args.get("out"), toJson(app).dump(2) + "\n");
+    std::printf("inferred '%s' from %zu traces / %zu spans"
+                " (%zu skipped): %zu services, %zu rpcs, %zu flows"
+                " -> %s\n",
+                app.name.c_str(), stats.tracesUsed, stats.spans,
+                stats.tracesSkipped, app.services.size(),
+                app.rpcs.size(), app.flows.size(),
+                args.get("out").c_str());
+    return 0;
+}
+
 // Parses its own argv: --verify/--compact are value-less flags, which
 // the shared Args parser (strictly --key value) does not model.
 int
@@ -478,6 +571,7 @@ cmdWal(int argc, char **argv)
     }
     if (dir.empty())
         util::fatal("wal requires --dir DIR");
+    requireDataDir(dir, "wal");
 
     bool corrupt = false;
 
@@ -573,7 +667,7 @@ usage()
 {
     std::printf(
         "usage: sleuth <generate|simulate|train|analyze|ingest|"
-        "metrics|wal> [--opt value]...\n"
+        "metrics|wal|infer> [--opt value]...\n"
         "  generate --rpcs N [--seed S] [--name NAME] [--out DIR]\n"
         "  simulate --config CONFIG.json --count N --out OUT.json\n"
         "           [--seed S] [--nodes K] [--chaos EXPECTED]\n"
@@ -592,7 +686,11 @@ usage()
         "           (inspect a durable data directory: segment CRC\n"
         "           status, record-kind histograms, replay summary;\n"
         "           --verify exits non-zero on corruption; --compact\n"
-        "           folds the log into a fresh snapshot)\n");
+        "           folds the log into a fresh snapshot)\n"
+        "  infer    (--store DIR | --traces IN.json) --out MODEL.json\n"
+        "           [--name NAME] [--max-traces N]\n"
+        "           (infer an app model from observed traces; the\n"
+        "           model replays through `simulate` unmodified)\n");
 }
 
 } // namespace
@@ -620,6 +718,8 @@ main(int argc, char **argv)
         return cmdIngest(args);
     if (cmd == "metrics")
         return cmdMetrics(args);
+    if (cmd == "infer")
+        return cmdInfer(args);
     usage();
     return 2;
 }

@@ -16,6 +16,12 @@
 // --metrics-every polls and once after the final drain — the textfile
 // pattern a node-exporter-style scraper picks up.
 //
+// With --infer-out the daemon snapshots an application model inferred
+// from the live trace store (synth::inferAppModel, DESIGN.md §3.16)
+// every --infer-every polls and once after the final drain — the
+// profile-and-clone hook: the file replays through `sleuth simulate`
+// unmodified.
+//
 //   sleuth_serviced [--rpcs N] [--seed S] [--nodes K] [--requests R]
 //                   [--rate RPS] [--threads T] [--poll-ms MS]
 //                   [--faults F] [--duplicate P] [--max-spans BUDGET]
@@ -25,6 +31,7 @@
 //                   [--snapshot-every POLLS]
 //                   [--out METRICS.json]
 //                   [--metrics-text FILE] [--metrics-every POLLS]
+//                   [--infer-out MODEL.json] [--infer-every POLLS]
 //
 // --ring-capacity bounds each ingest shard's MPSC ring (DESIGN.md
 // §3.13); --shed-budget caps the spans a shard admits per poll, the
@@ -40,9 +47,11 @@
 // `sleuth wal --compact`).
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <system_error>
 
 #include "chaos/fault.h"
 #include "durable/durable_log.h"
@@ -53,6 +62,7 @@
 #include "sim/cluster_model.h"
 #include "sim/simulator.h"
 #include "synth/generator.h"
+#include "synth/infer.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -133,6 +143,24 @@ main(int argc, char **argv)
         strArg(argc, argv, "--metrics-text", "");
     int64_t metrics_every =
         std::max<int64_t>(1, intArg(argc, argv, "--metrics-every", 4));
+    std::string infer_out = strArg(argc, argv, "--infer-out", "");
+    int64_t infer_every =
+        std::max<int64_t>(1, intArg(argc, argv, "--infer-every", 16));
+
+    // Validate the data directory before the expensive warmup and
+    // training phases: a typo'd or uncreatable --data-dir must fail
+    // here with a clear message, not minutes later.
+    if (!data_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(data_dir, ec);
+        if (ec)
+            util::fatal("--data-dir ", data_dir,
+                        ": cannot create data directory (",
+                        ec.message(), ")");
+        if (!std::filesystem::is_directory(data_dir))
+            util::fatal("--data-dir ", data_dir,
+                        ": not a directory");
+    }
 
     // --- Application, deployment, SLOs. ---
     synth::AppConfig app =
@@ -221,20 +249,41 @@ main(int argc, char **argv)
     live.duplicateProb = duplicate;
     live.schedule = schedule;
     size_t snapshots = 0;
-    // Declared alongside snapshots: the onPoll lambda captures both by
+    size_t inferred_snapshots = 0;
+    // Declared alongside snapshots: the onPoll lambda captures them by
     // reference and runs inside runLiveLoad, after the if-block ends.
     int64_t polls = 0;
-    if (!metrics_text.empty()) {
-        // Periodic snapshot on the driver thread: rewrite the textfile
+    // Snapshot an inferred model from the live store (the store is
+    // only mutated on the driver thread, which also runs onPoll, so
+    // reading it between polls is race-free).
+    auto writeInferred = [&]() {
+        synth::InferOptions opts;
+        opts.name = app.name + "-inferred";
+        synth::InferStats istats;
+        synth::AppConfig model = synth::inferAppModel(
+            service.store(), storage::Query{}, opts, &istats);
+        if (istats.tracesUsed == 0)
+            return;
+        std::ofstream f(infer_out);
+        if (!f)
+            util::fatal("cannot write ", infer_out);
+        f << toJson(model).dump(2) << "\n";
+        ++inferred_snapshots;
+    };
+    if (!metrics_text.empty() || !infer_out.empty()) {
+        // Periodic snapshots on the driver thread: rewrite each file
         // every Nth poll so a scraper always sees a complete document.
         live.onPoll = [&](int64_t) {
-            if (polls++ % metrics_every != 0)
-                return;
-            std::ofstream f(metrics_text);
-            if (!f)
-                util::fatal("cannot write ", metrics_text);
-            f << obs::renderText();
-            ++snapshots;
+            int64_t n = polls++;
+            if (!metrics_text.empty() && n % metrics_every == 0) {
+                std::ofstream f(metrics_text);
+                if (!f)
+                    util::fatal("cannot write ", metrics_text);
+                f << obs::renderText();
+                ++snapshots;
+            }
+            if (!infer_out.empty() && n % infer_every == 0)
+                writeInferred();
         };
     }
     online::LiveRunResult run = online::runLiveLoad(
@@ -249,6 +298,16 @@ main(int argc, char **argv)
         ++snapshots;
         std::printf("metrics exposition -> %s (%zu snapshots)\n",
                     metrics_text.c_str(), snapshots);
+    }
+
+    if (!infer_out.empty()) {
+        // Final model: everything the drain stored is included.
+        writeInferred();
+        if (inferred_snapshots == 0)
+            util::fatal("--infer-out ", infer_out,
+                        ": no traces stored, nothing to infer");
+        std::printf("inferred model -> %s (%zu snapshots)\n",
+                    infer_out.c_str(), inferred_snapshots);
     }
 
     // --- Report. ---
